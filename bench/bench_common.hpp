@@ -1,0 +1,129 @@
+// Shared scaffolding for the table-regeneration benches.
+//
+// Every bench binary reproduces one table or figure of the paper on the
+// synthetic WTC scene.  The default scene is 96 x 96 pixels with a virtual
+// replication factor that scales the timing model to the paper's full
+// 2133 x 512 AVIRIS scene (about 1.09 M pixels); pass --rows/--cols/
+// --replication to change it.  All numbers are deterministic in --seed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "hsi/scene.hpp"
+#include "simnet/platform.hpp"
+
+namespace hprs::bench {
+
+struct BenchSetup {
+  hsi::Scene scene;
+  core::RunnerConfig config;
+  bool csv = false;
+};
+
+inline const std::vector<std::string>& common_options() {
+  static const std::vector<std::string> opts = {
+      "rows", "cols",   "bands",  "seed",       "replication", "targets",
+      "classes", "iters", "radius", "threshold", "csv",
+  };
+  return opts;
+}
+
+/// Parses the common options and generates the scene.  `default_rows/cols`
+/// let the Thunderhead benches default to taller scenes (>= 256 rows).
+inline BenchSetup make_setup(int argc, char** argv,
+                             std::size_t default_rows = 96,
+                             std::size_t default_cols = 96,
+                             std::size_t default_replication = 119) {
+  const CliArgs args(argc, argv, common_options());
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.rows = static_cast<std::size_t>(
+      args.get_int("rows", static_cast<std::int64_t>(default_rows)));
+  scene_cfg.cols = static_cast<std::size_t>(
+      args.get_int("cols", static_cast<std::int64_t>(default_cols)));
+  scene_cfg.bands = static_cast<std::size_t>(args.get_int("bands", 224));
+  scene_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20010916));
+
+  BenchSetup setup{hsi::generate_wtc_scene(scene_cfg), {}, false};
+  auto& cfg = setup.config;
+  cfg.targets = static_cast<std::size_t>(args.get_int("targets", 18));
+  // c is set to the number of spectrally distinguishable constituents of
+  // the synthetic map (10 materials + fires), mirroring how the paper set
+  // c = 7 from the class count of its USGS map.
+  cfg.classes = static_cast<std::size_t>(args.get_int("classes", 14));
+  cfg.morph_iterations = static_cast<std::size_t>(args.get_int("iters", 5));
+  cfg.kernel_radius = static_cast<std::size_t>(args.get_int("radius", 2));
+  cfg.sad_threshold = args.get_double("threshold", 0.06);
+  cfg.replication = static_cast<std::size_t>(args.get_int(
+      "replication", static_cast<std::int64_t>(default_replication)));
+  setup.csv = args.get_bool("csv", false);
+  return setup;
+}
+
+/// The four 16-node networks of Section 3.1, in the paper's column order.
+inline std::vector<simnet::Platform> paper_networks() {
+  return {simnet::fully_heterogeneous(), simnet::fully_homogeneous(),
+          simnet::partially_heterogeneous(), simnet::partially_homogeneous()};
+}
+
+/// Thunderhead processor counts of Table 8.
+inline const std::vector<std::size_t>& thunderhead_cpus() {
+  static const std::vector<std::size_t> cpus = {1,  4,   16,  36, 64,
+                                                100, 144, 196, 256};
+  return cpus;
+}
+
+inline const std::vector<core::Algorithm>& all_algorithms() {
+  static const std::vector<core::Algorithm> algs = {
+      core::Algorithm::kAtdca, core::Algorithm::kUfcls, core::Algorithm::kPct,
+      core::Algorithm::kMorph};
+  return algs;
+}
+
+/// One cell of the Tables 5-7 sweep: an algorithm/policy pair on one of the
+/// four experimental networks.
+struct SweepRecord {
+  core::Algorithm algorithm;
+  core::PartitionPolicy policy;
+  std::string network;
+  vmpi::RunReport report;
+};
+
+/// Runs every {algorithm} x {hetero, homo} x {network} combination of the
+/// paper's Tables 5-7 and returns the reports in display order (algorithm
+/// major, hetero before homo, networks in paper column order).
+inline std::vector<SweepRecord> network_sweep(const BenchSetup& setup) {
+  std::vector<SweepRecord> records;
+  const auto networks = paper_networks();
+  for (const auto alg : all_algorithms()) {
+    for (const auto policy : {core::PartitionPolicy::kHeterogeneous,
+                              core::PartitionPolicy::kHomogeneous}) {
+      for (const auto& net : networks) {
+        auto cfg = setup.config;
+        cfg.algorithm = alg;
+        cfg.policy = policy;
+        SweepRecord rec{alg, policy, net.name(),
+                        core::run_algorithm(net, setup.scene.cube, cfg)
+                            .report};
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+inline void emit(const TextTable& table, bool csv, const char* title) {
+  std::printf("%s\n", title);
+  if (csv) {
+    std::printf("%s", table.to_csv().c_str());
+  } else {
+    std::printf("%s", table.to_string().c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace hprs::bench

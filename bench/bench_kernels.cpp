@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks of the numeric kernels that dominate the
+// algorithms' inner loops.  These measure *real* wall time on the host --
+// they calibrate how expensive a simulated experiment is to run, and guard
+// against performance regressions in the kernels themselves.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hsi/metrics.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/fcls.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/vec.hpp"
+
+namespace {
+
+using namespace hprs;
+
+std::vector<float> random_pixel(std::size_t bands, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> px(bands);
+  for (auto& v : px) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  return px;
+}
+
+linalg::Matrix random_targets(std::size_t count, std::size_t bands,
+                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  linalg::Matrix m(count, bands);
+  for (std::size_t r = 0; r < count; ++r) {
+    const double shift = rng.uniform(0, 3);
+    for (std::size_t b = 0; b < bands; ++b) {
+      m(r, b) = 0.3 + 0.2 * std::sin(shift + 0.05 * static_cast<double>(b)) +
+                0.01 * rng.uniform();
+    }
+  }
+  return m;
+}
+
+void BM_Sad(benchmark::State& state) {
+  const auto bands = static_cast<std::size_t>(state.range(0));
+  const auto a = random_pixel(bands, 1);
+  const auto b = random_pixel(bands, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsi::sad<float, float>(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Sad)->Arg(32)->Arg(224);
+
+void BM_Sid(benchmark::State& state) {
+  const auto a = random_pixel(224, 3);
+  const auto b = random_pixel(224, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsi::sid<float>(a, b));
+  }
+}
+BENCHMARK(BM_Sid);
+
+void BM_OspScore(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix targets = random_targets(t, 224, 5);
+  const linalg::Cholesky gram(
+      [&] {
+        linalg::Matrix g = targets.multiply(targets.transposed());
+        for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += 1e-6;
+        return g;
+      }());
+  const auto px = random_pixel(224, 6);
+  for (auto _ : state) {
+    std::vector<double> b(t);
+    for (std::size_t i = 0; i < t; ++i) {
+      b[i] = linalg::dot<double, float>(targets.row(i), px);
+    }
+    const auto z = gram.solve(b);
+    benchmark::DoNotOptimize(linalg::norm_sq<float>(px) -
+                             linalg::dot<double, double>(b, z));
+  }
+}
+BENCHMARK(BM_OspScore)->Arg(2)->Arg(9)->Arg(18);
+
+void BM_Fcls(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const linalg::Unmixer unmixer(random_targets(t, 224, 7));
+  const auto px = random_pixel(224, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unmixer.fcls(px));
+  }
+}
+BENCHMARK(BM_Fcls)->Arg(2)->Arg(9)->Arg(18);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(9);
+  linalg::Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  const linalg::Matrix cov = b.gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::jacobi_eigen(cov));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(224)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CovarianceAccumulation(benchmark::State& state) {
+  // The per-pixel covariance update that dominates PCT's parallel phase.
+  const std::size_t bands = 224;
+  const auto px = random_pixel(bands, 10);
+  std::vector<double> mean(bands, 0.4);
+  std::vector<double> centered(bands);
+  std::vector<double> tri(bands * (bands + 1) / 2, 0.0);
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < bands; ++b) {
+      centered[b] = static_cast<double>(px[b]) - mean[b];
+    }
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < bands; ++i) {
+      const double di = centered[i];
+      for (std::size_t j = i; j < bands; ++j) {
+        tri[k++] += di * centered[j];
+      }
+    }
+    benchmark::DoNotOptimize(tri.data());
+  }
+}
+BENCHMARK(BM_CovarianceAccumulation);
+
+void BM_CholeskyFactorization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(11);
+  linalg::Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  linalg::Matrix spd = b.gram();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Cholesky(spd));
+  }
+}
+BENCHMARK(BM_CholeskyFactorization)->Arg(18)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// Table 6: communication (COM), sequential computation (SEQ) and parallel
+// computation (PAR) times for every algorithm/network combination.
+//
+// Paper shapes to hold: PAR dominates COM everywhere; PCT carries the
+// largest SEQ component (its sequential eigendecomposition) and MORPH by
+// far the smallest; the homogeneous versions' PAR explodes on
+// heterogeneous-processor networks.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hprs;
+  const auto setup = bench::make_setup(argc, argv);
+  const auto records = bench::network_sweep(setup);
+
+  TextTable table({"Algorithm", "Network", "COM", "SEQ", "PAR", "Total"});
+  for (const auto& rec : records) {
+    table.add_row({core::display_name(rec.algorithm, rec.policy), rec.network,
+                   TextTable::num(rec.report.com(), 1),
+                   TextTable::num(rec.report.seq(), 1),
+                   TextTable::num(rec.report.par(), 1),
+                   TextTable::num(rec.report.total_time, 1)});
+  }
+  bench::emit(table, setup.csv,
+              "Table 6. Communication (COM), sequential computation (SEQ) "
+              "and parallel computation (PAR) times in seconds.");
+  return 0;
+}

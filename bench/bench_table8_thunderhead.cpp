@@ -1,0 +1,40 @@
+// Table 8: execution times of the heterogeneous algorithms on the
+// Thunderhead Beowulf surrogate for 1..256 processors.
+//
+// Paper shapes to hold: times fall monotonically with processor count for
+// every algorithm; MORPH and ATDCA keep scaling to 256 nodes while PCT
+// saturates earliest (its sequential eigendecomposition).
+//
+// The default scene is taller than the other benches' (the 256-way
+// partition needs at least 256 image rows).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hprs;
+  const auto setup = bench::make_setup(argc, argv, /*default_rows=*/1067,
+                                       /*default_cols=*/32,
+                                       /*default_replication=*/32);
+
+  std::vector<std::string> header = {"CPUs"};
+  for (const auto alg : bench::all_algorithms()) {
+    header.push_back(core::to_string(alg));
+  }
+  TextTable table(std::move(header));
+
+  for (const std::size_t cpus : bench::thunderhead_cpus()) {
+    std::vector<std::string> row = {
+        TextTable::num(static_cast<long long>(cpus))};
+    for (const auto alg : bench::all_algorithms()) {
+      auto cfg = setup.config;
+      cfg.algorithm = alg;
+      const auto out = core::run_algorithm(simnet::thunderhead(cpus),
+                                           setup.scene.cube, cfg);
+      row.push_back(TextTable::num(out.report.total_time, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, setup.csv,
+              "Table 8. Execution times (seconds) of the heterogeneous "
+              "algorithms on Thunderhead.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Minimal command-line option parsing for examples and bench harnesses.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags.  Kept
+// deliberately tiny: the binaries in this repository take a handful of
+// numeric knobs (scene size, seed, processor counts) and nothing more.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hprs {
+
+/// Parsed command line.  Unknown options are an error so typos in experiment
+/// scripts fail loudly instead of silently running the default workload.
+class CliArgs {
+ public:
+  /// Parses argv.  `allowed` lists every recognized option name (without the
+  /// leading dashes); pass the full set so misspellings are rejected.
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hprs

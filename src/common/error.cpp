@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hprs::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << message << " [requirement `" << cond << "` failed at " << file << ':'
+     << line << ']';
+  throw Error(os.str());
+}
+
+void assert_fail(const char* file, int line, const char* cond) {
+  std::fprintf(stderr, "hprs internal invariant `%s` violated at %s:%d\n",
+               cond, file, line);
+  std::abort();
+}
+
+}  // namespace hprs::detail

@@ -1,0 +1,49 @@
+// Error handling primitives shared by every hprs module.
+//
+// The library reports contract violations and unrecoverable runtime
+// conditions through `hprs::Error` (derived from std::runtime_error) so that
+// callers can catch one type at API boundaries.  Internal invariants that
+// indicate programmer error use HPRS_ASSERT, which is active in all build
+// types: this is research infrastructure, and silent corruption of a
+// simulation result is strictly worse than an abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hprs {
+
+/// Exception thrown for all recoverable hprs runtime errors (bad arguments,
+/// malformed files, inconsistent platform descriptions, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the message and throws hprs::Error.  Out-of-line so that the
+/// throwing path does not bloat every call site.
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& message);
+
+/// Aborts with a diagnostic.  Used for internal invariants.
+[[noreturn]] void assert_fail(const char* file, int line, const char* cond);
+}  // namespace detail
+
+}  // namespace hprs
+
+/// Validates a caller-visible precondition; throws hprs::Error on failure.
+#define HPRS_REQUIRE(cond, message)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::hprs::detail::throw_error(__FILE__, __LINE__, #cond, (message)); \
+    }                                                                   \
+  } while (false)
+
+/// Checks an internal invariant; aborts on failure.  Enabled in all builds.
+#define HPRS_ASSERT(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::hprs::detail::assert_fail(__FILE__, __LINE__, #cond);      \
+    }                                                              \
+  } while (false)

@@ -1,0 +1,107 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (scene synthesis, noise
+// injection, property-test input generation) draws from these generators so
+// that a run is reproducible from a single 64-bit seed.  We deliberately do
+// not use std::mt19937 / std::normal_distribution in library code: their
+// outputs are not guaranteed identical across standard library
+// implementations, and reproducibility across toolchains is a requirement
+// for regenerating the paper's tables bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace hprs {
+
+/// SplitMix64: tiny, fast generator used to seed Xoshiro and for cheap
+/// decorrelated streams.  Reference: Steele, Lea & Flood (2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna, 2018).  The library's workhorse
+/// generator: 256-bit state, passes BigCrush, trivially copyable so streams
+/// can be forked deterministically.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  constexpr std::uint64_t uniform_int(std::uint64_t n) {
+    // Multiply-shift rejection-free mapping; bias is < 2^-64 * n which is
+    // immaterial for scene synthesis and test-input generation.
+    __extension__ using uint128 = unsigned __int128;
+    const uint128 m = static_cast<uint128>(next()) * static_cast<uint128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal deviate via Box-Muller (deterministic, no cached state
+  /// so forked streams stay independent).
+  double normal() {
+    // uniform() can return exactly 0; shift into (0,1].
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Forks a decorrelated child stream; the parent advances by one draw.
+  constexpr Xoshiro256 fork() { return Xoshiro256(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hprs

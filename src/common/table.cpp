@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hprs {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HPRS_REQUIRE(!header_.empty(), "table requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HPRS_REQUIRE(cells.size() == header_.size(),
+               "row arity does not match table header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::num(long long value) { return std::to_string(value); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  }();
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += ' ' + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule + emit_row(header_) + rule;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule;
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  const auto sanitize = [](std::string s) {
+    std::replace(s.begin(), s.end(), ',', ';');
+    return s;
+  };
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += sanitize(row[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+}  // namespace hprs

@@ -1,0 +1,45 @@
+// Plain-text table rendering for benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables; this helper
+// renders aligned ASCII tables (and optionally CSV) so the output can be
+// compared side-by-side with the published numbers and parsed by scripts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hprs {
+
+/// Column-aligned text table.  Rows are added as vectors of preformatted
+/// cells; numeric helpers format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a fully formatted row.  Must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 2);
+  /// Formats an integer.
+  static std::string num(long long value);
+
+  /// Renders with box-drawing rules suited for monospaced terminals.
+  [[nodiscard]] std::string to_string() const;
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed for
+  /// our cell vocabulary; commas in cells are replaced by ';').
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: stream the ASCII rendering.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hprs

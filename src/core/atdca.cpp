@@ -1,0 +1,141 @@
+#include "core/atdca.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/spmd_common.hpp"
+#include "linalg/flops.hpp"
+#include "linalg/vec.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core {
+
+namespace {
+
+using detail::Candidate;
+using linalg::flops::Count;
+
+/// Local argmax of the squared norm over the owned rows.
+Candidate brightest_pixel(vmpi::Comm& comm, const PartitionView& view,
+                          std::size_t replication) {
+  const auto& cube = *view.cube;
+  Candidate best{0, 0, -1.0};
+  Count flops = 0;
+  for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+    for (std::size_t c = 0; c < cube.cols(); ++c) {
+      const double score = linalg::norm_sq(cube.pixel(r, c));
+      flops += linalg::flops::dot(cube.bands());
+      if (score > best.score) best = Candidate{r, c, score};
+    }
+  }
+  comm.compute(flops * replication);
+  return best;
+}
+
+/// Master-side selection of the winning candidate, charged as the paper
+/// describes: the master re-applies the current operator at the P proposed
+/// locations before picking the maximum.
+Candidate select_best(vmpi::Comm& comm, const std::vector<Candidate>& cands,
+                      Count per_candidate_flops) {
+  Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+  for (const auto& c : cands) {
+    if (c.score > best.score) best = c;
+  }
+  comm.compute(per_candidate_flops * cands.size() + cands.size(),
+               vmpi::Phase::kSequential);
+  return best;
+}
+
+}  // namespace
+
+WorkloadModel atdca_workload(std::size_t bands, std::size_t targets) {
+  // Brightness pass plus t-1 projection passes of growing width.
+  Count flops = linalg::flops::dot(bands);
+  for (std::size_t t = 1; t < targets; ++t) {
+    flops += linalg::flops::osp_score(bands, t);
+  }
+  WorkloadModel model;
+  model.flops_per_pixel = static_cast<double>(flops);
+  model.bytes_per_pixel = bands * sizeof(float);
+  model.scatter_input = false;
+  model.sync_rounds = static_cast<double>(targets);
+  return model;
+}
+
+TargetDetectionResult run_atdca(const simnet::Platform& platform,
+                                const hsi::HsiCube& cube,
+                                const AtdcaConfig& config,
+                                vmpi::Options options) {
+  HPRS_REQUIRE(config.targets >= 1, "need at least one target");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  TargetDetectionResult result;
+
+  WorkloadModel model = atdca_workload(cube.bands(), config.targets);
+  model.scatter_input = config.charge_data_staging;
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    const PartitionView view = detail::distribute_partitions(
+        comm, cube, model, config.policy, config.memory_fraction,
+        /*overlap=*/0, config.replication);
+
+    // Steps 2-3: global brightest pixel.
+    const Candidate local = brightest_pixel(comm, view, config.replication);
+    const auto cands =
+        comm.gather(comm.root(), local, detail::kCandidateBytes);
+
+    linalg::Matrix targets;  // t x bands, grown at the master
+    std::vector<PixelLocation> found;
+    if (comm.is_root()) {
+      const Candidate t1 =
+          select_best(comm, cands, linalg::flops::dot(cube.bands()));
+      found.push_back({t1.row, t1.col});
+      targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
+    }
+
+    // Steps 4-6: grow U one orthogonal target at a time.
+    while (true) {
+      targets = comm.bcast(comm.root(), std::move(targets),
+                           targets.rows() * cube.bands() * sizeof(double));
+      const std::size_t t_cur = targets.rows();
+      if (t_cur >= config.targets) break;
+
+      // Factor the Gram of U once per iteration (every rank; the master's
+      // copy is reused for candidate re-evaluation).
+      const linalg::Cholesky gram(detail::ridged_row_gram(targets));
+      comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
+                   linalg::flops::cholesky(t_cur));
+
+      Candidate local_best{0, 0, -1.0};
+      Count flops = 0;
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        for (std::size_t c = 0; c < cube.cols(); ++c) {
+          const double score =
+              detail::osp_score(targets, gram, cube.pixel(r, c));
+          flops += linalg::flops::osp_score(cube.bands(), t_cur);
+          if (score > local_best.score) local_best = Candidate{r, c, score};
+        }
+      }
+      comm.compute(flops * config.replication);
+
+      const auto round =
+          comm.gather(comm.root(), local_best, detail::kCandidateBytes);
+      if (comm.is_root()) {
+        const Candidate next = select_best(
+            comm, round, linalg::flops::osp_score(cube.bands(), t_cur));
+        found.push_back({next.row, next.col});
+        targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
+      } else {
+        targets = linalg::Matrix();  // will be refreshed by the next bcast
+      }
+    }
+
+    if (comm.is_root()) {
+      result.targets = std::move(found);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace hprs::core

@@ -1,0 +1,396 @@
+#include "core/morph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/spmd_common.hpp"
+#include "hsi/metrics.hpp"
+#include "linalg/flops.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core {
+
+namespace {
+
+using linalg::flops::Count;
+
+/// A unique-set candidate: location, original spectrum, and its MEI score.
+struct MorphRep {
+  PixelLocation loc;
+  std::vector<float> spectrum;
+  double mei = 0.0;
+};
+
+std::size_t rep_bytes(std::size_t bands, std::size_t count) {
+  return count * (bands * sizeof(float) + 16);
+}
+
+/// A worker's labeled slice.
+struct LabelBlock {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  std::vector<std::uint16_t> labels;
+};
+
+/// Tracks flop charges split between owned rows (scaled by replication) and
+/// redundant halo rows (physical cost only; halos do not grow with the
+/// virtual scene).
+struct SplitFlops {
+  Count owned = 0;
+  Count halo = 0;
+
+  void add(bool in_owned, Count f) { (in_owned ? owned : halo) += f; }
+  [[nodiscard]] Count charge(std::size_t replication) const {
+    return owned * replication + halo;
+  }
+};
+
+/// The per-worker morphological engine.  Operates on a standalone copy of
+/// the block rows [halo_begin, halo_end) of the global cube; `owned` marks
+/// the sub-range this worker is responsible for.
+///
+/// Windows are clamped to the local block, so pixels near a partition
+/// boundary see a truncated neighborhood exactly as pixels at the image
+/// border do.  The overlap border of one kernel radius keeps the owned
+/// rows' first-iteration neighborhoods exact; later iterations are
+/// slightly approximate near partition seams -- the accuracy/communication
+/// trade the paper's overlap-border design makes (its companion JPDC'06
+/// paper sizes the overlap to the structuring element).  Halo-exchange
+/// mode refreshes the borders every iteration and is the tighter (but
+/// communication-heavy) alternative measured by bench_ablation_overlap.
+class MorphWorker {
+ public:
+  MorphWorker(const hsi::HsiCube& cube, const RowPartition& part,
+              const MorphConfig& config)
+      : cube_(cube),
+        config_(config),
+        block_begin_(part.halo_begin),
+        owned_begin_(part.row_begin),
+        owned_end_(part.row_end),
+        f_(cube.copy_rows(part.halo_begin, part.halo_end)),
+        mei_(f_.rows() * f_.cols(), 0.0) {}
+
+  /// Runs one MEI-update pass (and, unless `last`, the dilation) over the
+  /// whole block.  Returns the flop charges of the pass.
+  SplitFlops iterate(bool last);
+
+  /// Refreshes up to `width` halo rows on each side from the owned rows of
+  /// the neighbouring workers (halo-exchange mode).
+  void exchange_halo(vmpi::Comm& comm, std::size_t width);
+
+  /// The c highest-MEI owned pixels (original spectra).
+  [[nodiscard]] std::vector<MorphRep> top_candidates() const;
+
+ private:
+  [[nodiscard]] std::size_t block_rows() const { return f_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return f_.cols(); }
+  /// Whether block row br corresponds to a row this worker owns.
+  [[nodiscard]] bool is_owned(std::size_t br) const {
+    const std::size_t global = block_begin_ + br;
+    return global >= owned_begin_ && global < owned_end_;
+  }
+
+  const hsi::HsiCube& cube_;
+  const MorphConfig& config_;
+  std::size_t block_begin_;
+  std::size_t owned_begin_;
+  std::size_t owned_end_;
+  hsi::HsiCube f_;           // working image (dilated per iteration)
+  std::vector<double> mei_;  // per block pixel, running max
+};
+
+SplitFlops MorphWorker::iterate(bool last) {
+  const std::size_t r = config_.kernel_radius;
+  const std::size_t rows = block_rows();
+  const std::size_t n_cols = cols();
+  const std::size_t bands = f_.bands();
+  SplitFlops flops;
+
+  const auto row_window = [&](std::size_t x) {
+    return std::pair<std::size_t, std::size_t>{x >= r ? x - r : 0,
+                                               std::min(x + r + 1, rows)};
+  };
+  const auto col_window = [&](std::size_t y) {
+    return std::pair<std::size_t, std::size_t>{y >= r ? y - r : 0,
+                                               std::min(y + r + 1, n_cols)};
+  };
+
+  // --- D pass: D(x, y) = sum over the structuring element of
+  //     SAD(F(x, y), F(neighbor)), windows clamped to the block.
+  std::vector<double> d(rows * n_cols, 0.0);
+  for (std::size_t x = 0; x < rows; ++x) {
+    const bool owned = is_owned(x);
+    const auto [i_lo, i_hi] = row_window(x);
+    for (std::size_t y = 0; y < n_cols; ++y) {
+      const auto [j_lo, j_hi] = col_window(y);
+      const auto center = f_.pixel(x, y);
+      double acc = 0.0;
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+          acc += hsi::sad<float, float>(center, f_.pixel(i, j));
+          flops.add(owned, hsi::flops::sad(bands));
+        }
+      }
+      d[x * n_cols + y] = acc;
+    }
+  }
+
+  // --- MEI + dilation pass: erosion picks the window's argmin of D, the
+  //     dilation its argmax; MEI accumulates the SAD between the two picks.
+  hsi::HsiCube next = last ? hsi::HsiCube() : f_;
+  for (std::size_t x = 0; x < rows; ++x) {
+    const bool owned = is_owned(x);
+    const auto [i_lo, i_hi] = row_window(x);
+    for (std::size_t y = 0; y < n_cols; ++y) {
+      const auto [j_lo, j_hi] = col_window(y);
+      double d_min = std::numeric_limits<double>::infinity();
+      double d_max = -d_min;
+      std::size_t min_x = x, min_y = y, max_x = x, max_y = y;
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+          const double v = d[i * n_cols + j];
+          if (v < d_min) {
+            d_min = v;
+            min_x = i;
+            min_y = j;
+          }
+          if (v > d_max) {
+            d_max = v;
+            max_x = i;
+            max_y = j;
+          }
+        }
+      }
+      flops.add(owned, (i_hi - i_lo) * (j_hi - j_lo) * 2);
+
+      const double score = hsi::sad<float, float>(f_.pixel(min_x, min_y),
+                                                  f_.pixel(max_x, max_y));
+      flops.add(owned, hsi::flops::sad(bands));
+      // AMEE convention: the eccentricity score is associated with the
+      // spectrally purest pixel of the window (the dilation pick), which is
+      // what makes high-MEI pixels good class representatives.
+      auto& best = mei_[max_x * n_cols + max_y];
+      best = std::max(best, score);
+
+      if (!last) {
+        const auto src = f_.pixel(max_x, max_y);
+        std::copy(src.begin(), src.end(), next.pixel(x, y).begin());
+      }
+    }
+  }
+
+  if (!last) {
+    f_ = std::move(next);
+  }
+  return flops;
+}
+
+void MorphWorker::exchange_halo(vmpi::Comm& comm, std::size_t width) {
+  // Ship our updated boundary rows to the vertical neighbours and splice
+  // the received rows into our halo.  Row payloads are raw samples.
+  const std::size_t n_cols = cols();
+  const std::size_t bands = f_.bands();
+  const std::size_t row_bytes = n_cols * bands * sizeof(float);
+
+  std::vector<std::tuple<int, std::vector<float>, std::size_t>> sends;
+  const int rank = comm.rank();
+  const auto pack_rows = [&](std::size_t lo, std::size_t hi) {
+    std::vector<float> buf;
+    buf.reserve((hi - lo) * n_cols * bands);
+    for (std::size_t x = lo; x < hi; ++x) {
+      const auto row = f_.pixel(x, 0);
+      const auto* begin = row.data();
+      buf.insert(buf.end(), begin, begin + n_cols * bands);
+    }
+    return buf;
+  };
+
+  const std::size_t ob = owned_begin_ - block_begin_;  // owned range in block
+  const std::size_t oe = owned_end_ - block_begin_;
+  if (rank > 0 && owned_begin_ > 0) {
+    const std::size_t hi = std::min(oe, ob + width);
+    sends.emplace_back(rank - 1, pack_rows(ob, hi), (hi - ob) * row_bytes);
+  }
+  if (rank + 1 < comm.size() && owned_end_ < cube_.rows()) {
+    const std::size_t lo = oe >= ob + width ? oe - width : ob;
+    sends.emplace_back(rank + 1, pack_rows(lo, oe), (oe - lo) * row_bytes);
+  }
+
+  const auto received = comm.exchange(std::move(sends));
+  for (const auto& [src, rows] : received) {
+    const std::size_t count = rows.size() / (n_cols * bands);
+    // Rows from the lower-ranked neighbour fill the top halo (they are the
+    // rows just above our owned range); rows from above fill the bottom.
+    const std::size_t dst_begin = src < rank ? ob - count : oe;
+    for (std::size_t k = 0; k < count; ++k) {
+      auto dst = f_.pixel(dst_begin + k, 0);
+      std::copy(rows.begin() + static_cast<std::ptrdiff_t>(k * n_cols * bands),
+                rows.begin() +
+                    static_cast<std::ptrdiff_t>((k + 1) * n_cols * bands),
+                dst.data());
+    }
+  }
+}
+
+std::vector<MorphRep> MorphWorker::top_candidates() const {
+  std::vector<MorphRep> all;
+  const std::size_t n_cols = cols();
+  for (std::size_t x = 0; x < block_rows(); ++x) {
+    if (!is_owned(x)) continue;
+    for (std::size_t y = 0; y < n_cols; ++y) {
+      const auto px = cube_.pixel(block_begin_ + x, y);
+      all.push_back(MorphRep{{block_begin_ + x, y},
+                             std::vector<float>(px.begin(), px.end()),
+                             mei_[x * n_cols + y]});
+    }
+  }
+  const std::size_t keep = std::min(config_.classes, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),
+                    [](const MorphRep& a, const MorphRep& b) {
+                      if (a.mei != b.mei) return a.mei > b.mei;
+                      if (a.loc.row != b.loc.row) return a.loc.row < b.loc.row;
+                      return a.loc.col < b.loc.col;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace
+
+WorkloadModel morph_workload(std::size_t bands, const MorphConfig& config) {
+  const std::size_t w = 2 * config.kernel_radius + 1;
+  const Count per_iter =
+      (w * w + 1) * hsi::flops::sad(bands) + 2 * w * w;
+  const Count label = config.classes * hsi::flops::sad(bands);
+  WorkloadModel model;
+  model.flops_per_pixel =
+      static_cast<double>(per_iter * config.iterations + label);
+  model.bytes_per_pixel = bands * sizeof(float);
+  model.scatter_input = false;
+  // One synchronized block: the morphology runs locally; only the
+  // candidate gather and label pass re-synchronize.
+  model.sync_rounds = 2.0;
+  return model;
+}
+
+ClassificationResult run_morph(const simnet::Platform& platform,
+                               const hsi::HsiCube& cube,
+                               const MorphConfig& config,
+                               vmpi::Options options) {
+  HPRS_REQUIRE(config.classes >= 1, "need at least one class");
+  HPRS_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  HPRS_REQUIRE(config.kernel_radius >= 1, "kernel radius must be >= 1");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  ClassificationResult result;
+  WorkloadModel model = morph_workload(cube.bands(), config);
+  model.scatter_input = config.charge_data_staging;
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+
+  // Overlap border of one structuring-element radius on each side (the
+  // companion JPDC'06 paper's sizing); the same width is refreshed every
+  // iteration in halo-exchange mode.
+  const std::size_t halo = config.kernel_radius;
+
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    const PartitionView view = detail::distribute_partitions(
+        comm, cube, model, config.policy, config.memory_fraction, halo,
+        config.replication);
+
+    // --- Step 2: iterative morphology on the local block ---------------
+    MorphWorker worker(cube, view.part, config);
+    for (std::size_t j = 1; j <= config.iterations; ++j) {
+      if (!config.overlap_borders && j > 1) {
+        worker.exchange_halo(comm, halo);
+      }
+      const SplitFlops flops = worker.iterate(j == config.iterations);
+      comm.compute(flops.charge(config.replication));
+    }
+
+    // --- Step 3: master merges the per-worker candidates ----------------
+    auto local = worker.top_candidates();
+    const std::size_t local_count = local.size();
+    auto rep_sets = comm.gather(comm.root(), std::move(local),
+                                rep_bytes(bands, local_count));
+
+    std::vector<MorphRep> unique;
+    if (comm.is_root()) {
+      std::vector<detail::SpectralCandidate> pool;
+      for (auto& set : rep_sets) {
+        for (auto& rep : set) {
+          pool.push_back(detail::SpectralCandidate{
+              rep.loc, std::move(rep.spectrum), rep.mei});
+        }
+      }
+      // Highest-MEI first so cluster exemplars are the purest pixels.
+      std::stable_sort(pool.begin(), pool.end(),
+                       [](const detail::SpectralCandidate& a,
+                          const detail::SpectralCandidate& b) {
+                         if (a.weight != b.weight) return a.weight > b.weight;
+                         if (a.loc.row != b.loc.row)
+                           return a.loc.row < b.loc.row;
+                         return a.loc.col < b.loc.col;
+                       });
+      const auto selection = detail::consolidate_unique_set(
+          pool, config.classes, config.sad_threshold);
+      for (const std::size_t idx : selection.chosen) {
+        unique.push_back(MorphRep{pool[idx].loc,
+                                  std::move(pool[idx].spectrum),
+                                  pool[idx].weight});
+      }
+      comm.compute(selection.sad_evals * hsi::flops::sad(bands),
+                   vmpi::Phase::kSequential);
+    }
+
+    // --- Step 4: broadcast the unique set, label locally -----------------
+    unique = comm.bcast(comm.root(), std::move(unique),
+                        rep_bytes(bands, unique.size()));
+    const std::size_t reps = unique.size();
+
+    LabelBlock block;
+    block.row_begin = view.part.row_begin;
+    block.row_end = view.part.row_end;
+    block.labels.reserve(view.part.owned_rows() * cols);
+    Count label_flops = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const auto px = cube.pixel(r, c);
+        std::uint16_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t u = 0; u < reps; ++u) {
+          const double dist = hsi::sad<float, float>(unique[u].spectrum, px);
+          if (dist < best_d) {
+            best_d = dist;
+            best = static_cast<std::uint16_t>(u);
+          }
+        }
+        block.labels.push_back(best);
+        label_flops += reps * hsi::flops::sad(bands);
+      }
+    }
+    comm.compute(label_flops * config.replication);
+
+    // --- Step 5: master assembles the classification matrix -------------
+    const std::size_t block_bytes =
+        block.labels.size() * sizeof(std::uint16_t) * config.replication;
+    auto blocks = comm.gather(comm.root(), std::move(block), block_bytes);
+    if (comm.is_root()) {
+      result.labels.assign(cube.pixel_count(), 0);
+      for (const auto& blk : blocks) {
+        std::copy(blk.labels.begin(), blk.labels.end(),
+                  result.labels.begin() +
+                      static_cast<std::ptrdiff_t>(blk.row_begin * cols));
+      }
+      result.label_count = std::max<std::size_t>(1, reps);
+      comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace hprs::core

@@ -1,0 +1,214 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hprs::core {
+
+const char* to_string(PartitionPolicy p) {
+  switch (p) {
+    case PartitionPolicy::kHomogeneous: return "homogeneous";
+    case PartitionPolicy::kHeterogeneous: return "heterogeneous";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Raw (uncapped) workload fractions.
+std::vector<double> base_fractions(const simnet::Platform& platform,
+                                   const WorkloadModel& model,
+                                   PartitionPolicy policy, int root) {
+  const std::size_t p = platform.size();
+  std::vector<double> alpha(p, 1.0 / static_cast<double>(p));
+  if (policy == PartitionPolicy::kHomogeneous || p == 1) {
+    return alpha;
+  }
+
+  // Per-pixel compute seconds e_i and transfer seconds g_i (g == 0 for the
+  // root, whose block never crosses the wire, or when data is
+  // pre-distributed).
+  std::vector<double> e(p);
+  std::vector<double> g(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    e[i] = model.flops_per_pixel * 1e-6 * platform.cycle_time(i);
+    if (model.scatter_input && static_cast<int>(i) != root) {
+      const double mbits =
+          static_cast<double>(model.bytes_per_pixel) * 8.0 / 1e6;
+      g[i] = mbits *
+             platform.link_ms_per_mbit(static_cast<std::size_t>(root), i) /
+             1000.0 / std::max(1.0, model.sync_rounds);
+    }
+  }
+
+  // Divisible-load recursion along the (rank-ordered) scatter chain of the
+  // non-root processors: equal finish times require
+  //   alpha_{next} = alpha_{prev} * e_prev / (g_next + e_next).
+  // The root computes after its NIC finishes the chain, so it matches the
+  // last worker via alpha_root * e_root = alpha_last * e_last.
+  std::vector<std::size_t> chain;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (static_cast<int>(i) != root) chain.push_back(i);
+  }
+  alpha.assign(p, 0.0);
+  alpha[chain.front()] = 1.0;
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    const std::size_t prev = chain[k - 1];
+    const std::size_t cur = chain[k];
+    alpha[cur] = alpha[prev] * e[prev] / (g[cur] + e[cur]);
+  }
+  const std::size_t last = chain.back();
+  alpha[static_cast<std::size_t>(root)] =
+      alpha[last] * e[last] / e[static_cast<std::size_t>(root)];
+
+  const double total = std::accumulate(alpha.begin(), alpha.end(), 0.0);
+  for (auto& a : alpha) a /= total;
+  return alpha;
+}
+
+/// Applies per-node memory caps (fractions of capacity) with the recursive
+/// redistribution of Algorithm 1 step 3(b): saturated nodes keep their cap;
+/// the excess is re-shared among unsaturated nodes in proportion to their
+/// original fractions.
+std::vector<double> apply_memory_caps(std::vector<double> alpha,
+                                      const std::vector<double>& cap) {
+  const std::size_t p = alpha.size();
+  std::vector<bool> saturated(p, false);
+  for (int pass = 0; pass < static_cast<int>(p) + 1; ++pass) {
+    double excess = 0.0;
+    double unsat_weight = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (saturated[i]) continue;
+      if (alpha[i] > cap[i]) {
+        excess += alpha[i] - cap[i];
+        alpha[i] = cap[i];
+        saturated[i] = true;
+      } else {
+        unsat_weight += alpha[i];
+      }
+    }
+    if (excess <= 0.0) return alpha;
+    HPRS_REQUIRE(unsat_weight > 0.0,
+                 "image does not fit in the aggregate memory of the platform");
+    for (std::size_t i = 0; i < p; ++i) {
+      if (!saturated[i]) alpha[i] += excess * alpha[i] / unsat_weight;
+    }
+  }
+  // One node saturates per pass at most, so p+1 passes always suffice.
+  HPRS_ASSERT(false);
+  return alpha;
+}
+
+}  // namespace
+
+PartitionResult wea_partition(const simnet::Platform& platform,
+                              std::size_t rows, std::size_t cols,
+                              const WorkloadModel& model,
+                              PartitionPolicy policy, double memory_fraction,
+                              std::size_t overlap, int root) {
+  const std::size_t p = platform.size();
+  HPRS_REQUIRE(rows >= p, "fewer image rows than processors");
+  HPRS_REQUIRE(cols > 0, "cols must be positive");
+  HPRS_REQUIRE(memory_fraction > 0.0 && memory_fraction <= 1.0,
+               "memory_fraction must be in (0, 1]");
+  HPRS_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < p,
+               "root out of range");
+
+  PartitionResult result;
+  result.alpha = base_fractions(platform, model, policy, root);
+
+  // Memory caps as fractions of the total workload.
+  const double bytes_per_row =
+      static_cast<double>(cols) * static_cast<double>(model.bytes_per_pixel);
+  const double total_bytes = bytes_per_row * static_cast<double>(rows);
+  std::vector<double> cap(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double budget = memory_fraction *
+                          static_cast<double>(platform.processor(i).memory_mb) *
+                          1024.0 * 1024.0;
+    cap[i] = budget / total_bytes;
+  }
+  result.alpha = apply_memory_caps(std::move(result.alpha), cap);
+
+  // Turn fractions into whole-row counts (largest-remainder rounding so
+  // counts sum exactly to `rows` and every rank gets >= 1 row).
+  std::vector<std::size_t> count(p, 1);
+  std::size_t assigned = p;
+  std::vector<std::pair<double, std::size_t>> remainder(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double exact = result.alpha[i] * static_cast<double>(rows);
+    const auto extra = static_cast<std::size_t>(
+        std::max(0.0, std::floor(exact - 1.0)));
+    count[i] += extra;
+    assigned += extra;
+    remainder[i] = {exact - std::floor(exact), i};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // deterministic tie-break
+            });
+  for (std::size_t k = 0; assigned < rows; k = (k + 1) % p) {
+    ++count[remainder[k].second];
+    ++assigned;
+  }
+  while (assigned > rows) {
+    // Over-assignment can only come from the +1 row floor on tiny shares;
+    // trim from the largest partitions.
+    const auto it = std::max_element(count.begin(), count.end());
+    HPRS_ASSERT(*it > 1);
+    --*it;
+    --assigned;
+  }
+
+  // Materialize contiguous row ranges in rank order, with optional halo.
+  result.parts.resize(p);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    auto& part = result.parts[i];
+    part.row_begin = row;
+    part.row_end = row + count[i];
+    part.halo_begin = part.row_begin >= overlap ? part.row_begin - overlap : 0;
+    part.halo_end = std::min(rows, part.row_end + overlap);
+    row = part.row_end;
+  }
+  HPRS_ASSERT(row == rows);
+  return result;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> spectral_partition(
+    const simnet::Platform& platform, std::size_t bands,
+    PartitionPolicy policy, int root) {
+  const std::size_t p = platform.size();
+  HPRS_REQUIRE(bands >= p, "fewer bands than processors");
+  // Band slices carry every pixel, so the transfer cost per rank is the
+  // same regardless of assignment; fractions follow compute speed only.
+  WorkloadModel model;
+  model.scatter_input = false;
+  auto alpha = base_fractions(platform, model, policy, root);
+
+  std::vector<std::pair<std::size_t, std::size_t>> parts(p);
+  std::size_t band = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const auto n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(
+               alpha[i] * static_cast<double>(bands))));
+    parts[i].first = band;
+    parts[i].second = std::min(bands, band + n);
+    band = parts[i].second;
+  }
+  // Give any unassigned tail (or steal any overshoot) to the last ranks.
+  parts.back().second = bands;
+  for (std::size_t i = p; i-- > 1;) {
+    if (parts[i].first >= parts[i].second) {
+      parts[i].first = parts[i].second > 0 ? parts[i].second - 1 : 0;
+      parts[i - 1].second = parts[i].first;
+    }
+  }
+  return parts;
+}
+
+}  // namespace hprs::core

@@ -1,0 +1,100 @@
+// Workload estimation and data partitioning (paper Algorithm 1, WEA).
+//
+// The WEA assigns each processor a workload fraction alpha_i and turns the
+// fractions into spatial-domain partitions (blocks of whole image rows that
+// keep full spectral content -- the paper's hybrid strategy), subject to
+// per-node memory bounds with recursive redistribution of any excess.
+//
+// Two policies:
+//
+//  * kHomogeneous -- the paper's homogeneous baseline: equal fractions
+//    alpha_i = 1/P regardless of the platform.
+//
+//  * kHeterogeneous -- the heterogeneity-aware WEA.  The paper's text
+//    derives alpha_i from cycle-times only (alpha_i ~ 1/w_i), but its
+//    evaluation (Table 5, partially homogeneous network) shows the
+//    heterogeneous algorithms adapting to *link* heterogeneity as well, so
+//    our WEA computes the fractions from the full cost model: processor i
+//    receives its block over the master's serialized NIC chain and then
+//    computes it, and the fractions are chosen so all processors finish
+//    simultaneously.  With per-pixel compute cost e_i and per-pixel
+//    transfer cost g_i this is the classical divisible-load recursion
+//        alpha_{i+1} = alpha_i * e_i / (g_{i+1} + e_{i+1}),
+//    which degenerates to alpha_i ~ 1/w_i exactly when communication is
+//    negligible -- the paper's formula.  DESIGN.md discusses this
+//    refinement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/platform.hpp"
+
+namespace hprs::core {
+
+enum class PartitionPolicy : std::uint8_t {
+  kHomogeneous,
+  kHeterogeneous,
+};
+
+[[nodiscard]] const char* to_string(PartitionPolicy p);
+
+/// Per-pixel cost model of the algorithm to be partitioned; only the ratio
+/// of the two costs matters for the fractions.
+struct WorkloadModel {
+  double flops_per_pixel = 1.0;
+  std::size_t bytes_per_pixel = 1;
+  /// Whether the input block is transferred from the master (true for all
+  /// the shipped algorithms; false models pre-distributed data).
+  bool scatter_input = true;
+  /// Number of globally synchronized compute rounds the algorithm runs
+  /// after receiving its block.  The one-time staging transfer can only be
+  /// hidden behind the first round, so the divisible-load recursion
+  /// amortizes the per-pixel transfer cost over this many rounds; iterative
+  /// algorithms (large values) therefore converge to the pure-speed
+  /// fractions alpha ~ 1/w.
+  double sync_rounds = 1.0;
+};
+
+/// One rank's slice: whole image rows [row_begin, row_end), plus the halo
+/// extent [halo_begin, halo_end) when an overlap border was requested
+/// (MORPH's redundant-computation scheme).  Without overlap the halo equals
+/// the owned range.
+struct RowPartition {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  std::size_t halo_begin = 0;
+  std::size_t halo_end = 0;
+
+  [[nodiscard]] std::size_t owned_rows() const { return row_end - row_begin; }
+  [[nodiscard]] std::size_t halo_rows() const { return halo_end - halo_begin; }
+};
+
+struct PartitionResult {
+  /// Workload fraction per rank (sums to 1).
+  std::vector<double> alpha;
+  /// Row ranges per rank, in rank order, covering [0, rows) exactly.
+  std::vector<RowPartition> parts;
+};
+
+/// Computes workload fractions and row partitions for `rows` x `cols`
+/// pixels of `bytes_per_pixel` bytes on the platform.
+///
+/// `memory_fraction` is the fraction of each node's main memory usable for
+/// its partition (the upper bound of Algorithm 1 step 3); exceeding it
+/// triggers the recursive redistribution.  `overlap` adds that many halo
+/// rows on each side of every partition (clamped at the image border).
+/// Throws hprs::Error if the image does not fit in the aggregate memory.
+[[nodiscard]] PartitionResult wea_partition(
+    const simnet::Platform& platform, std::size_t rows, std::size_t cols,
+    const WorkloadModel& model, PartitionPolicy policy,
+    double memory_fraction = 0.5, std::size_t overlap = 0, int root = 0);
+
+/// Spectral-domain partitioning (contiguous band ranges per rank), provided
+/// for the partitioning-strategy ablation.  Returns [begin, end) band
+/// ranges proportional to the same fractions as wea_partition.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+spectral_partition(const simnet::Platform& platform, std::size_t bands,
+                   PartitionPolicy policy, int root = 0);
+
+}  // namespace hprs::core

@@ -1,0 +1,320 @@
+#include "core/pct.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/spmd_common.hpp"
+#include "hsi/metrics.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/flops.hpp"
+#include "linalg/vec.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core {
+
+namespace {
+
+using linalg::flops::Count;
+
+/// A unique-set member: where it came from and its full spectrum.
+struct Rep {
+  PixelLocation loc;
+  std::vector<float> spectrum;
+};
+
+std::size_t rep_bytes(std::size_t bands, std::size_t count) {
+  return count * (bands * sizeof(float) + 8);
+}
+
+/// Everything the workers need for the transform + labeling stage.
+struct PctBundle {
+  linalg::Matrix transform;      // c x bands (leading eigenvector rows)
+  std::vector<double> mean;      // bands
+  linalg::Matrix reduced_reps;   // label_count x c (reps in PCT space)
+};
+
+/// A worker's labeled slice.
+struct LabelBlock {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  std::vector<std::uint16_t> labels;  // owned_rows * cols
+};
+
+}  // namespace
+
+WorkloadModel pct_workload(std::size_t bands, std::size_t classes) {
+  // Unique-set comparisons, mean + covariance accumulation, projection, and
+  // reduced-space labeling per pixel.
+  const Count unique = 3 * classes * hsi::flops::sad(bands);
+  const Count stats = bands + bands + bands * (bands + 1);
+  const Count project = linalg::flops::matvec(classes, bands) + bands;
+  const Count label = classes * hsi::flops::sad(classes);
+  WorkloadModel model;
+  model.flops_per_pixel =
+      static_cast<double>(unique + stats + project + label);
+  model.bytes_per_pixel = bands * sizeof(float);
+  model.scatter_input = false;
+  model.sync_rounds = 4.0;  // unique sets, mean, covariance, labeling
+  return model;
+}
+
+ClassificationResult run_pct(const simnet::Platform& platform,
+                             const hsi::HsiCube& cube, const PctConfig& config,
+                             vmpi::Options options) {
+  HPRS_REQUIRE(config.classes >= 1, "need at least one class");
+  HPRS_REQUIRE(config.classes <= cube.bands(),
+               "cannot extract more components than bands");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  ClassificationResult result;
+  WorkloadModel model = pct_workload(cube.bands(), config.classes);
+  model.scatter_input = config.charge_data_staging;
+  const std::size_t bands = cube.bands();
+
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    const PartitionView view = detail::distribute_partitions(
+        comm, cube, model, config.policy, config.memory_fraction,
+        /*overlap=*/0, config.replication);
+    const std::size_t cols = cube.cols();
+
+    // --- Step 2: local unique spectral sets -----------------------------
+    // Online SAD clustering of the local pixels: each pixel either joins
+    // the first cluster whose exemplar is within the threshold or founds a
+    // new cluster.  The best-supported 3c exemplars go to the master, so
+    // rare mixtures do not crowd out the partition's real constituents.
+    struct LocalCluster {
+      Rep exemplar;
+      std::size_t support = 1;
+    };
+    std::vector<LocalCluster> local_clusters;
+    Count sad_evals = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const auto px = cube.pixel(r, c);
+        bool merged = false;
+        for (auto& cl : local_clusters) {
+          ++sad_evals;
+          if (hsi::sad<float, float>(cl.exemplar.spectrum, px) <=
+              config.sad_threshold) {
+            ++cl.support;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) {
+          local_clusters.push_back(LocalCluster{
+              Rep{{r, c}, std::vector<float>(px.begin(), px.end())}, 1});
+        }
+      }
+    }
+    comm.compute(sad_evals * hsi::flops::sad(bands) * config.replication);
+    std::sort(local_clusters.begin(), local_clusters.end(),
+              [](const LocalCluster& a, const LocalCluster& b) {
+                if (a.support != b.support) return a.support > b.support;
+                if (a.exemplar.loc.row != b.exemplar.loc.row) {
+                  return a.exemplar.loc.row < b.exemplar.loc.row;
+                }
+                return a.exemplar.loc.col < b.exemplar.loc.col;
+              });
+    const std::size_t local_cap =
+        std::min<std::size_t>(3 * config.classes, local_clusters.size());
+    std::vector<Rep> local_reps;
+    local_reps.reserve(local_cap);
+    for (std::size_t k = 0; k < local_cap; ++k) {
+      local_reps.push_back(std::move(local_clusters[k].exemplar));
+    }
+
+    // --- Step 3: master merges the unique sets --------------------------
+    const std::size_t local_count = local_reps.size();
+    auto rep_sets = comm.gather(comm.root(), std::move(local_reps),
+                                rep_bytes(bands, local_count));
+    std::vector<Rep> unique;
+    if (comm.is_root()) {
+      std::vector<detail::SpectralCandidate> pool;
+      for (auto& set : rep_sets) {
+        for (auto& rep : set) {
+          pool.push_back(detail::SpectralCandidate{rep.loc,
+                                                   std::move(rep.spectrum),
+                                                   0.0});
+        }
+      }
+      const auto selection = detail::consolidate_unique_set(
+          pool, config.classes, config.sad_threshold);
+      for (const std::size_t idx : selection.chosen) {
+        unique.push_back(Rep{pool[idx].loc, std::move(pool[idx].spectrum)});
+      }
+      comm.compute(selection.sad_evals * hsi::flops::sad(bands),
+                   vmpi::Phase::kSequential);
+    }
+
+    // --- Steps 4-6: parallel mean and covariance ------------------------
+    std::vector<double> local_mean(bands, 0.0);
+    Count mean_flops = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const auto px = cube.pixel(r, c);
+        for (std::size_t b = 0; b < bands; ++b) {
+          local_mean[b] += px[b];
+        }
+        mean_flops += bands;
+      }
+    }
+    comm.compute(mean_flops * config.replication);
+    auto mean_parts = comm.gather(comm.root(), std::move(local_mean),
+                                  bands * sizeof(double));
+    std::vector<double> mean(bands, 0.0);
+    if (comm.is_root()) {
+      for (const auto& part : mean_parts) {
+        for (std::size_t b = 0; b < bands; ++b) mean[b] += part[b];
+      }
+      const double n = static_cast<double>(cube.pixel_count());
+      for (auto& m : mean) m /= n;
+      comm.compute(mean_parts.size() * bands + bands,
+                   vmpi::Phase::kSequential);
+    }
+    mean = comm.bcast(comm.root(), std::move(mean), bands * sizeof(double));
+
+    // Upper-triangle covariance accumulation over owned pixels.
+    const std::size_t tri = bands * (bands + 1) / 2;
+    std::vector<double> local_cov(tri, 0.0);
+    std::vector<double> centered(bands);
+    Count cov_flops = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const auto px = cube.pixel(r, c);
+        for (std::size_t b = 0; b < bands; ++b) {
+          centered[b] = static_cast<double>(px[b]) - mean[b];
+        }
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < bands; ++i) {
+          const double di = centered[i];
+          for (std::size_t j = i; j < bands; ++j) {
+            local_cov[k++] += di * centered[j];
+          }
+        }
+        cov_flops += bands + 2 * tri;
+      }
+    }
+    comm.compute(cov_flops * config.replication);
+    auto cov_parts = comm.gather(comm.root(), std::move(local_cov),
+                                 tri * sizeof(double));
+
+    // --- Step 7: sequential eigendecomposition at the master ------------
+    PctBundle bundle;
+    std::size_t label_count = 0;
+    if (comm.is_root()) {
+      std::vector<double> cov_sum(tri, 0.0);
+      for (const auto& part : cov_parts) {
+        for (std::size_t k = 0; k < tri; ++k) cov_sum[k] += part[k];
+      }
+      linalg::Matrix cov(bands, bands);
+      const double n = static_cast<double>(cube.pixel_count());
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < bands; ++i) {
+        for (std::size_t j = i; j < bands; ++j) {
+          cov(i, j) = cov_sum[k] / n;
+          cov(j, i) = cov(i, j);
+          ++k;
+        }
+      }
+      comm.compute(cov_parts.size() * tri + tri, vmpi::Phase::kSequential);
+
+      const auto eig = linalg::jacobi_eigen(cov);
+      comm.compute(static_cast<Count>(eig.sweeps) *
+                       linalg::flops::jacobi_sweep(bands),
+                   vmpi::Phase::kSequential);
+
+      bundle.transform = linalg::Matrix(config.classes, bands);
+      for (std::size_t comp = 0; comp < config.classes; ++comp) {
+        for (std::size_t b = 0; b < bands; ++b) {
+          bundle.transform(comp, b) = eig.vectors(comp, b);
+        }
+      }
+      bundle.mean = mean;
+
+      // Project the unique set into the reduced space.
+      label_count = unique.size();
+      bundle.reduced_reps = linalg::Matrix(label_count, config.classes);
+      for (std::size_t u = 0; u < label_count; ++u) {
+        for (std::size_t b = 0; b < bands; ++b) {
+          centered[b] =
+              static_cast<double>(unique[u].spectrum[b]) - mean[b];
+        }
+        const auto y = bundle.transform.multiply(centered);
+        for (std::size_t comp = 0; comp < config.classes; ++comp) {
+          bundle.reduced_reps(u, comp) = y[comp];
+        }
+      }
+      comm.compute(label_count * (bands + linalg::flops::matvec(
+                                              config.classes, bands)),
+                   vmpi::Phase::kSequential);
+    }
+
+    // --- Steps 8-9: parallel transform + reduced-space labeling ---------
+    bundle = comm.bcast(
+        comm.root(), std::move(bundle),
+        config.classes * bands * sizeof(double) + bands * sizeof(double) +
+            config.classes * config.classes * sizeof(double));
+    const std::size_t reps = bundle.reduced_reps.rows();
+
+    LabelBlock block;
+    block.row_begin = view.part.row_begin;
+    block.row_end = view.part.row_end;
+    block.labels.reserve(view.part.owned_rows() * cols);
+    std::vector<double> reduced(config.classes);
+    Count label_flops = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const auto px = cube.pixel(r, c);
+        for (std::size_t b = 0; b < bands; ++b) {
+          centered[b] = static_cast<double>(px[b]) - bundle.mean[b];
+        }
+        const auto y = bundle.transform.multiply(centered);
+        std::uint16_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t u = 0; u < reps; ++u) {
+          // Minimum Euclidean distance in the reduced space: the PCT
+          // projection is mean-centered, so distances (not angles) are the
+          // meaningful similarity there.
+          double dist = 0.0;
+          const auto rep = bundle.reduced_reps.row(u);
+          for (std::size_t k = 0; k < config.classes; ++k) {
+            const double diff = rep[k] - y[k];
+            dist += diff * diff;
+          }
+          if (dist < best_d) {
+            best_d = dist;
+            best = static_cast<std::uint16_t>(u);
+          }
+        }
+        block.labels.push_back(best);
+        label_flops += bands +
+                       linalg::flops::matvec(config.classes, bands) +
+                       reps * 3 * config.classes;
+      }
+    }
+    comm.compute(label_flops * config.replication);
+
+    const std::size_t block_bytes =
+        block.labels.size() * sizeof(std::uint16_t) * config.replication;
+    auto blocks = comm.gather(comm.root(), std::move(block), block_bytes);
+
+    // Master assembles the final label image.
+    if (comm.is_root()) {
+      result.labels.assign(cube.pixel_count(), 0);
+      for (const auto& blk : blocks) {
+        std::copy(blk.labels.begin(), blk.labels.end(),
+                  result.labels.begin() +
+                      static_cast<std::ptrdiff_t>(blk.row_begin * cols));
+      }
+      result.label_count = std::max<std::size_t>(1, reps);
+      comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace hprs::core

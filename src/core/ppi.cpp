@@ -1,0 +1,182 @@
+#include "core/ppi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/spmd_common.hpp"
+#include "linalg/flops.hpp"
+#include "linalg/vec.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core {
+
+namespace {
+
+using linalg::flops::Count;
+
+/// A ranked purity candidate at the master.
+struct PurityEntry {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::uint32_t count = 0;
+};
+
+/// Per-skewer local extremes a worker reports: projection values plus the
+/// pixel locations realizing them.
+struct SkewerExtreme {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t lo_row = 0, lo_col = 0;
+  std::size_t hi_row = 0, hi_col = 0;
+};
+/// Wire size of one SkewerExtreme (two doubles + four 32-bit coordinates).
+constexpr std::size_t kExtremeBytes = 2 * 8 + 4 * 4;
+
+/// K unit skewers on `bands` channels, deterministic in the seed.
+linalg::Matrix make_skewers(std::size_t k, std::size_t bands,
+                            std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  linalg::Matrix skewers(k, bands);
+  for (std::size_t s = 0; s < k; ++s) {
+    auto row = skewers.row(s);
+    double norm_sq = 0.0;
+    for (std::size_t b = 0; b < bands; ++b) {
+      row[b] = rng.normal();
+      norm_sq += row[b] * row[b];
+    }
+    const double inv = 1.0 / std::sqrt(std::max(norm_sq, 1e-300));
+    for (std::size_t b = 0; b < bands; ++b) row[b] *= inv;
+  }
+  return skewers;
+}
+
+}  // namespace
+
+WorkloadModel ppi_workload(std::size_t bands, std::size_t skewers) {
+  WorkloadModel model;
+  model.flops_per_pixel = static_cast<double>(
+      skewers * linalg::flops::dot(bands));
+  model.bytes_per_pixel = bands * sizeof(float);
+  model.scatter_input = false;
+  model.sync_rounds = 1.0;  // single projection pass, single reduction
+  return model;
+}
+
+PpiResult run_ppi(const simnet::Platform& platform, const hsi::HsiCube& cube,
+                  const PpiConfig& config, vmpi::Options options) {
+  HPRS_REQUIRE(config.targets >= 1, "need at least one target");
+  HPRS_REQUIRE(config.skewers >= 1, "need at least one skewer");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  PpiResult result;
+  WorkloadModel model = ppi_workload(cube.bands(), config.skewers);
+  model.scatter_input = config.charge_data_staging;
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    const PartitionView view = detail::distribute_partitions(
+        comm, cube, model, config.policy, config.memory_fraction,
+        /*overlap=*/0, config.replication);
+
+    // Master draws the skewers and broadcasts them.
+    linalg::Matrix skewers;
+    if (comm.is_root()) {
+      skewers = make_skewers(config.skewers, bands, config.seed);
+      comm.compute(config.skewers * (3 * bands + 1),
+                   vmpi::Phase::kSequential);
+    }
+    skewers = comm.bcast(comm.root(), std::move(skewers),
+                         config.skewers * bands * sizeof(double));
+
+    // Projection pass: per skewer, the local extremes and their locations.
+    // The global extremes are selected at the master, so the purity counts
+    // are independent of the partitioning.
+    std::vector<SkewerExtreme> local(config.skewers);
+    Count flops = 0;
+    for (std::size_t s = 0; s < config.skewers; ++s) {
+      const auto skewer = skewers.row(s);
+      auto& ext = local[s];
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const double proj =
+              linalg::dot<double, float>(skewer, cube.pixel(r, c));
+          flops += linalg::flops::dot(bands);
+          if (proj < ext.lo) {
+            ext.lo = proj;
+            ext.lo_row = r;
+            ext.lo_col = c;
+          }
+          if (proj > ext.hi) {
+            ext.hi = proj;
+            ext.hi_row = r;
+            ext.hi_col = c;
+          }
+        }
+      }
+    }
+    comm.compute(flops * config.replication);
+
+    const std::size_t local_bytes = config.skewers * kExtremeBytes;
+    auto gathered = comm.gather(comm.root(), std::move(local), local_bytes);
+
+    if (comm.is_root()) {
+      // Global extreme per skewer; ties broken by row-major position so
+      // the outcome cannot depend on rank assignment.
+      std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> counts;
+      for (std::size_t s = 0; s < config.skewers; ++s) {
+        std::size_t lo_row = 0, lo_col = 0, hi_row = 0, hi_col = 0;
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        for (const auto& part : gathered) {
+          const auto& ext = part[s];
+          if (ext.lo < lo ||
+              (ext.lo == lo && std::make_pair(ext.lo_row, ext.lo_col) <
+                                   std::make_pair(lo_row, lo_col))) {
+            lo = ext.lo;
+            lo_row = ext.lo_row;
+            lo_col = ext.lo_col;
+          }
+          if (ext.hi > hi ||
+              (ext.hi == hi && std::make_pair(ext.hi_row, ext.hi_col) <
+                                   std::make_pair(hi_row, hi_col))) {
+            hi = ext.hi;
+            hi_row = ext.hi_row;
+            hi_col = ext.hi_col;
+          }
+        }
+        ++counts[{lo_row, lo_col}];
+        ++counts[{hi_row, hi_col}];
+      }
+      comm.compute(config.skewers * gathered.size() * 4,
+                   vmpi::Phase::kSequential);
+
+      std::vector<PurityEntry> all;
+      all.reserve(counts.size());
+      for (const auto& [loc, count] : counts) {
+        all.push_back(PurityEntry{loc.first, loc.second, count});
+      }
+      // Deterministic ranking: count desc, then row-major position.
+      std::sort(all.begin(), all.end(),
+                [](const PurityEntry& a, const PurityEntry& b) {
+                  if (a.count != b.count) return a.count > b.count;
+                  if (a.row != b.row) return a.row < b.row;
+                  return a.col < b.col;
+                });
+      const std::size_t keep = std::min(config.targets, all.size());
+      for (std::size_t k = 0; k < keep; ++k) {
+        result.targets.push_back({all[k].row, all[k].col});
+        result.scores.push_back(all[k].count);
+      }
+    }
+  });
+
+  return result;
+}
+
+}  // namespace hprs::core

@@ -1,0 +1,115 @@
+#include "core/spmd_common.hpp"
+
+#include <algorithm>
+
+#include "hsi/metrics.hpp"
+#include "linalg/flops.hpp"
+#include "linalg/vec.hpp"
+
+namespace hprs::core::detail {
+
+PartitionView distribute_partitions(vmpi::Comm& comm,
+                                    const hsi::HsiCube& cube,
+                                    const WorkloadModel& model,
+                                    PartitionPolicy policy,
+                                    double memory_fraction,
+                                    std::size_t overlap,
+                                    std::size_t replication) {
+  std::vector<PartitionView> views;
+  std::vector<std::size_t> bytes;
+  if (comm.is_root()) {
+    const PartitionResult partition =
+        wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
+                      policy, memory_fraction, overlap, comm.root());
+    // The WEA itself is a handful of arithmetic per processor, performed by
+    // the master before any parallel work exists.
+    comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
+                 vmpi::Phase::kSequential);
+    views.reserve(partition.parts.size());
+    bytes.reserve(partition.parts.size());
+    for (const auto& part : partition.parts) {
+      PartitionView v{&cube, part};
+      // Default: data is pre-staged on the nodes (the only reading
+      // consistent with the paper's measured times; see DESIGN.md), so the
+      // scatter ships a small partition descriptor.  With scatter_input the
+      // full block crosses the wire.
+      bytes.push_back(model.scatter_input ? v.wire_bytes() * replication
+                                          : kPartitionDescriptorBytes);
+      views.push_back(v);
+    }
+  }
+  return comm.scatter(comm.root(), std::move(views), bytes);
+}
+
+double osp_score(const linalg::Matrix& targets,
+                 const linalg::Cholesky& gram_factor,
+                 std::span<const float> pixel) {
+  const std::size_t t = targets.rows();
+  std::vector<double> b(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    b[i] = linalg::dot<double, float>(targets.row(i), pixel);
+  }
+  const std::vector<double> z = gram_factor.solve(b);
+  const double xx = linalg::norm_sq(pixel);
+  const double bz = linalg::dot<double, double>(b, z);
+  return xx - bz;
+}
+
+linalg::Matrix ridged_row_gram(const linalg::Matrix& u) {
+  linalg::Matrix g = u.multiply(u.transposed());
+  double trace = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i) trace += g(i, i);
+  const double ridge = 1e-10 * trace / static_cast<double>(g.rows());
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += ridge;
+  return g;
+}
+
+std::vector<double> to_double(std::span<const float> pixel) {
+  return std::vector<double>(pixel.begin(), pixel.end());
+}
+
+UniqueSetSelection consolidate_unique_set(
+    std::span<const SpectralCandidate> pool, std::size_t c,
+    double sad_threshold) {
+  UniqueSetSelection out;
+
+  struct Cluster {
+    std::size_t exemplar;   // pool index of the first (best-quality) member
+    std::size_t support = 1;
+  };
+  std::vector<Cluster> clusters;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    bool merged = false;
+    for (auto& cl : clusters) {
+      ++out.sad_evals;
+      if (hsi::sad<float, float>(pool[cl.exemplar].spectrum,
+                                 pool[i].spectrum) <= sad_threshold) {
+        ++cl.support;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      clusters.push_back(Cluster{i, 1});
+    }
+  }
+
+  // Rank clusters by support, breaking ties by candidate quality and then
+  // pool order (all deterministic).
+  std::sort(clusters.begin(), clusters.end(),
+            [&](const Cluster& a, const Cluster& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (pool[a.exemplar].weight != pool[b.exemplar].weight) {
+                return pool[a.exemplar].weight > pool[b.exemplar].weight;
+              }
+              return a.exemplar < b.exemplar;
+            });
+  const std::size_t keep = std::min(c, clusters.size());
+  out.chosen.reserve(keep);
+  for (std::size_t k = 0; k < keep; ++k) {
+    out.chosen.push_back(clusters[k].exemplar);
+  }
+  return out;
+}
+
+}  // namespace hprs::core::detail

@@ -1,0 +1,92 @@
+// Building blocks shared by the SPMD algorithm implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "hsi/cube.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core::detail {
+
+/// Wire size of the partition descriptor scattered when image data is
+/// pre-staged on the nodes (row range, halo range, cube geometry).
+inline constexpr std::size_t kPartitionDescriptorBytes = 64;
+
+/// A worker's local argmax/argmin proposal sent back to the master.
+struct Candidate {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double score = 0.0;
+};
+/// Wire size of one candidate: two 32-bit coordinates plus the score (the
+/// real implementation would send exactly this struct).
+inline constexpr std::size_t kCandidateBytes = 2 * 4 + 8;
+
+/// Step 1 of every algorithm: the master runs the WEA over the platform and
+/// scatters one partition view per rank (wire-charging the full block
+/// transfer); every rank returns its own view.  `overlap` requests halo
+/// rows (MORPH).
+///
+/// `replication` is the virtual-scale knob shared by all algorithms: each
+/// physical pixel stands for `replication` identical scene pixels, so
+/// per-pixel virtual costs (compute charges, block wire sizes) are
+/// multiplied by it while the numerics run once.  Because every algorithm
+/// here does identical independent work per pixel, this linear
+/// extrapolation of virtual time to the paper's full 2133x512 scene is
+/// exact; DESIGN.md discusses the substitution.
+PartitionView distribute_partitions(vmpi::Comm& comm,
+                                    const hsi::HsiCube& cube,
+                                    const WorkloadModel& model,
+                                    PartitionPolicy policy,
+                                    double memory_fraction,
+                                    std::size_t overlap = 0,
+                                    std::size_t replication = 1);
+
+/// OSP score ||P_U_perp x||^2 = x.x - b . G^-1 b computed against the
+/// factored Gram of the current target matrix.  Cost:
+/// linalg::flops::osp_score(n, U.rows()).
+[[nodiscard]] double osp_score(const linalg::Matrix& targets,
+                               const linalg::Cholesky& gram_factor,
+                               std::span<const float> pixel);
+
+/// Gram matrix of the rows of U with a tiny relative ridge so the Cholesky
+/// factorization survives nearly collinear targets.
+[[nodiscard]] linalg::Matrix ridged_row_gram(const linalg::Matrix& u);
+
+/// Copies a float pixel spectrum into a double row for the target matrix.
+[[nodiscard]] std::vector<double> to_double(std::span<const float> pixel);
+
+/// A unique-set candidate as gathered from the workers: a pixel spectrum
+/// plus an optional quality weight (MORPH's MEI score; zero for PCT).
+struct SpectralCandidate {
+  PixelLocation loc;
+  std::vector<float> spectrum;
+  double weight = 0.0;
+};
+
+struct UniqueSetSelection {
+  /// Indices into the candidate pool of the chosen exemplars (at most c).
+  std::vector<std::size_t> chosen;
+  /// SAD evaluations performed (for virtual-time charging).
+  std::uint64_t sad_evals = 0;
+};
+
+/// Master-side consolidation of the workers' unique-set candidates (paper
+/// step "the P unique sets are combined"): an online clustering pass merges
+/// candidates within `sad_threshold` of a cluster exemplar (pool order,
+/// which the callers pre-sort by quality), then the exemplars of the `c`
+/// best-supported clusters are selected.  Ranking clusters by how many
+/// workers' candidates they absorbed keeps rare outliers (single fire
+/// pixels, odd mixtures) from displacing the scene's real constituents --
+/// the behaviour the paper's accuracy tables imply but whose mechanism it
+/// leaves unspecified.
+[[nodiscard]] UniqueSetSelection consolidate_unique_set(
+    std::span<const SpectralCandidate> pool, std::size_t c,
+    double sad_threshold);
+
+}  // namespace hprs::core::detail

@@ -1,0 +1,130 @@
+#include "core/ufcls.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/spmd_common.hpp"
+#include "linalg/fcls.hpp"
+#include "linalg/flops.hpp"
+#include "linalg/vec.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core {
+
+namespace {
+
+using detail::Candidate;
+using linalg::flops::Count;
+
+}  // namespace
+
+WorkloadModel ufcls_workload(std::size_t bands, std::size_t targets) {
+  // Brightness pass plus t-1 unmixing passes; assume a couple of active-set
+  // iterations per pixel on average.
+  Count flops = linalg::flops::dot(bands);
+  for (std::size_t t = 1; t < targets; ++t) {
+    flops += linalg::flops::fcls(bands, t, 2);
+  }
+  WorkloadModel model;
+  model.flops_per_pixel = static_cast<double>(flops);
+  model.bytes_per_pixel = bands * sizeof(float);
+  model.scatter_input = false;
+  model.sync_rounds = static_cast<double>(targets);
+  return model;
+}
+
+TargetDetectionResult run_ufcls(const simnet::Platform& platform,
+                                const hsi::HsiCube& cube,
+                                const UfclsConfig& config,
+                                vmpi::Options options) {
+  HPRS_REQUIRE(config.targets >= 1, "need at least one target");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  TargetDetectionResult result;
+  WorkloadModel model = ufcls_workload(cube.bands(), config.targets);
+  model.scatter_input = config.charge_data_staging;
+
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    const PartitionView view = detail::distribute_partitions(
+        comm, cube, model, config.policy, config.memory_fraction,
+        /*overlap=*/0, config.replication);
+
+    // Step 1: the brightest pixel seeds the target set.
+    Candidate local{0, 0, -1.0};
+    Count flops = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cube.cols(); ++c) {
+        const double score = linalg::norm_sq(cube.pixel(r, c));
+        flops += linalg::flops::dot(cube.bands());
+        if (score > local.score) local = Candidate{r, c, score};
+      }
+    }
+    comm.compute(flops * config.replication);
+    const auto seeds = comm.gather(comm.root(), local, detail::kCandidateBytes);
+
+    linalg::Matrix targets;
+    std::vector<PixelLocation> found;
+    if (comm.is_root()) {
+      Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+      for (const auto& c : seeds) {
+        if (c.score > best.score) best = c;
+      }
+      comm.compute(linalg::flops::dot(cube.bands()) * seeds.size(),
+                   vmpi::Phase::kSequential);
+      found.push_back({best.row, best.col});
+      targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
+    }
+
+    // Steps 2-5: grow the target set by maximum FCLS reconstruction error.
+    while (true) {
+      targets = comm.bcast(comm.root(), std::move(targets),
+                           targets.rows() * cube.bands() * sizeof(double));
+      const std::size_t t_cur = targets.rows();
+      if (t_cur >= config.targets) break;
+
+      const linalg::Unmixer unmixer(targets);
+      comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
+                   linalg::flops::cholesky(t_cur));
+
+      Candidate local_best{0, 0, -1.0};
+      Count round_flops = 0;
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        for (std::size_t c = 0; c < cube.cols(); ++c) {
+          const auto unmix = unmixer.fcls(cube.pixel(r, c));
+          round_flops += linalg::flops::fcls(
+              cube.bands(), t_cur,
+              static_cast<Count>(unmix.iterations) + 1);
+          if (unmix.error_sq > local_best.score) {
+            local_best = Candidate{r, c, unmix.error_sq};
+          }
+        }
+      }
+      comm.compute(round_flops * config.replication);
+
+      const auto round =
+          comm.gather(comm.root(), local_best, detail::kCandidateBytes);
+      if (comm.is_root()) {
+        Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+        for (const auto& c : round) {
+          if (c.score > best.score) best = c;
+        }
+        comm.compute(
+            linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
+            vmpi::Phase::kSequential);
+        found.push_back({best.row, best.col});
+        targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
+      } else {
+        targets = linalg::Matrix();
+      }
+    }
+
+    if (comm.is_root()) {
+      result.targets = std::move(found);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace hprs::core

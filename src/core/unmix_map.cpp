@@ -1,0 +1,144 @@
+#include "core/unmix_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/spmd_common.hpp"
+#include "linalg/fcls.hpp"
+#include "linalg/flops.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core {
+
+namespace {
+
+using linalg::flops::Count;
+
+/// A worker's slice of the abundance planes.
+struct AbundanceBlock {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  /// pixel-major: [local pixel][endmember], then rmse appended per pixel.
+  std::vector<float> abundances;
+  std::vector<float> rmse;
+};
+
+}  // namespace
+
+std::size_t AbundanceMaps::dominant(std::size_t row, std::size_t col) const {
+  HPRS_REQUIRE(row < rows && col < cols, "pixel out of range");
+  std::size_t best = 0;
+  float best_v = -1.0f;
+  for (std::size_t e = 0; e < endmembers; ++e) {
+    const float v = planes[e * rows * cols + row * cols + col];
+    if (v > best_v) {
+      best_v = v;
+      best = e;
+    }
+  }
+  return best;
+}
+
+WorkloadModel unmix_workload(std::size_t bands, std::size_t endmembers) {
+  WorkloadModel model;
+  model.flops_per_pixel =
+      static_cast<double>(linalg::flops::fcls(bands, endmembers, 2));
+  model.bytes_per_pixel = bands * sizeof(float);
+  model.scatter_input = false;
+  model.sync_rounds = 1.0;  // one unmixing pass, one gather
+  return model;
+}
+
+linalg::Matrix endmembers_at(const hsi::HsiCube& cube,
+                             std::span<const PixelLocation> locations) {
+  HPRS_REQUIRE(!locations.empty(), "need at least one endmember location");
+  linalg::Matrix m;
+  for (const auto& loc : locations) {
+    m.append_row(detail::to_double(cube.pixel(loc.row, loc.col)));
+  }
+  return m;
+}
+
+AbundanceMaps run_unmix_map(const simnet::Platform& platform,
+                            const hsi::HsiCube& cube,
+                            const linalg::Matrix& endmembers,
+                            const UnmixMapConfig& config,
+                            vmpi::Options options) {
+  HPRS_REQUIRE(endmembers.rows() >= 1, "need at least one endmember");
+  HPRS_REQUIRE(endmembers.cols() == cube.bands(),
+               "endmember band count does not match the cube");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  AbundanceMaps result;
+  result.endmembers = endmembers.rows();
+  result.rows = cube.rows();
+  result.cols = cube.cols();
+
+  WorkloadModel model = unmix_workload(cube.bands(), endmembers.rows());
+  model.scatter_input = config.charge_data_staging;
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+  const std::size_t t = endmembers.rows();
+
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    const PartitionView view = detail::distribute_partitions(
+        comm, cube, model, config.policy, config.memory_fraction,
+        /*overlap=*/0, config.replication);
+
+    // Broadcast the endmember matrix and factor it once per rank.
+    const linalg::Matrix sigs =
+        comm.bcast(comm.root(), endmembers, t * bands * sizeof(double));
+    const linalg::Unmixer unmixer(sigs);
+    comm.compute(linalg::flops::gram(bands, t) + linalg::flops::cholesky(t));
+
+    AbundanceBlock block;
+    block.row_begin = view.part.row_begin;
+    block.row_end = view.part.row_end;
+    block.abundances.reserve(view.part.owned_rows() * cols * t);
+    block.rmse.reserve(view.part.owned_rows() * cols);
+    Count flops = 0;
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const auto unmix = unmixer.fcls(cube.pixel(r, c));
+        flops += linalg::flops::fcls(
+            bands, t, static_cast<Count>(unmix.iterations) + 1);
+        for (const double a : unmix.abundances) {
+          block.abundances.push_back(static_cast<float>(a));
+        }
+        block.rmse.push_back(static_cast<float>(
+            std::sqrt(unmix.error_sq / static_cast<double>(bands))));
+      }
+    }
+    comm.compute(flops * config.replication);
+
+    const std::size_t block_bytes =
+        (block.abundances.size() + block.rmse.size()) * sizeof(float) *
+        config.replication;
+    auto blocks = comm.gather(comm.root(), std::move(block), block_bytes);
+
+    if (comm.is_root()) {
+      result.planes.assign(t * cube.pixel_count(), 0.0f);
+      result.rmse.assign(cube.pixel_count(), 0.0f);
+      for (const auto& blk : blocks) {
+        std::size_t k = 0;
+        for (std::size_t r = blk.row_begin; r < blk.row_end; ++r) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            for (std::size_t e = 0; e < t; ++e) {
+              result.planes[e * cube.pixel_count() + r * cols + c] =
+                  blk.abundances[k * t + e];
+            }
+            result.rmse[r * cols + c] = blk.rmse[k];
+            ++k;
+          }
+        }
+      }
+      comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace hprs::core

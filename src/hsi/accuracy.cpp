@@ -1,0 +1,81 @@
+#include "hsi/accuracy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+
+ClassificationScore score_classification(
+    std::span<const std::uint16_t> predicted_labels, std::size_t label_count,
+    const GroundTruth& truth, std::span<const Material> eval_classes) {
+  HPRS_REQUIRE(predicted_labels.size() == truth.labels.size(),
+               "label image size does not match ground truth");
+  HPRS_REQUIRE(label_count > 0, "label_count must be positive");
+
+  // Overlap counts: overlap[label][class index in eval_classes].
+  std::vector<std::vector<std::size_t>> overlap(
+      label_count, std::vector<std::size_t>(eval_classes.size(), 0));
+  std::vector<std::size_t> class_total(eval_classes.size(), 0);
+
+  const auto eval_index = [&](Material m) -> std::ptrdiff_t {
+    const auto it = std::find(eval_classes.begin(), eval_classes.end(), m);
+    return it == eval_classes.end() ? -1 : it - eval_classes.begin();
+  };
+
+  ClassificationScore score;
+  for (std::size_t i = 0; i < predicted_labels.size(); ++i) {
+    const auto truth_class = static_cast<Material>(truth.labels[i]);
+    const auto k = eval_index(truth_class);
+    if (k < 0) continue;
+    HPRS_REQUIRE(predicted_labels[i] < label_count,
+                 "predicted label out of range");
+    ++overlap[predicted_labels[i]][static_cast<std::size_t>(k)];
+    ++class_total[static_cast<std::size_t>(k)];
+    ++score.evaluated_pixels;
+  }
+
+  // Majority mapping: each predicted label adopts the truth class it covers
+  // most often on the evaluated pixels.
+  score.label_to_class.assign(label_count, 0xFF);
+  for (std::size_t l = 0; l < label_count; ++l) {
+    const auto& row = overlap[l];
+    const auto best = std::max_element(row.begin(), row.end());
+    if (best != row.end() && *best > 0) {
+      const auto k = static_cast<std::size_t>(best - row.begin());
+      score.label_to_class[l] =
+          static_cast<std::uint8_t>(eval_classes[k]);
+    }
+  }
+
+  // Per-class and overall accuracy under the mapping.
+  std::vector<std::size_t> correct(eval_classes.size(), 0);
+  std::size_t correct_total = 0;
+  for (std::size_t i = 0; i < predicted_labels.size(); ++i) {
+    const auto truth_class = static_cast<Material>(truth.labels[i]);
+    const auto k = eval_index(truth_class);
+    if (k < 0) continue;
+    if (score.label_to_class[predicted_labels[i]] ==
+        static_cast<std::uint8_t>(truth_class)) {
+      ++correct[static_cast<std::size_t>(k)];
+      ++correct_total;
+    }
+  }
+
+  score.per_class_pct.resize(eval_classes.size());
+  for (std::size_t k = 0; k < eval_classes.size(); ++k) {
+    score.per_class_pct[k] =
+        class_total[k] == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(correct[k]) /
+                  static_cast<double>(class_total[k]);
+  }
+  score.overall_pct =
+      score.evaluated_pixels == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(correct_total) /
+                static_cast<double>(score.evaluated_pixels);
+  return score;
+}
+
+}  // namespace hprs::hsi

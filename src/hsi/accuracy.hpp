@@ -1,0 +1,40 @@
+// Accuracy scoring for unsupervised classification against ground truth.
+//
+// The classifiers (Hetero-PCT, Hetero-MORPH) produce arbitrary cluster ids;
+// following standard practice for unsupervised accuracy we first map each
+// predicted label to the ground-truth class it most overlaps with (majority
+// assignment; several labels may map to the same class) and then compute
+// per-class and overall percentage accuracy over the evaluated classes --
+// the seven USGS dust/debris classes for the paper's Table 4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hsi/scene.hpp"
+
+namespace hprs::hsi {
+
+struct ClassificationScore {
+  /// Per evaluated class (same order as the `eval_classes` argument):
+  /// percentage of that class's truth pixels carrying a label mapped to it.
+  std::vector<double> per_class_pct;
+  /// Overall percentage over all evaluated pixels.
+  double overall_pct = 0.0;
+  /// For each predicted label id, the Material it was mapped to (or 0xFF if
+  /// the label never appears on an evaluated pixel).
+  std::vector<std::uint8_t> label_to_class;
+  /// Number of pixels participating in the evaluation.
+  std::size_t evaluated_pixels = 0;
+};
+
+/// Scores a predicted label image (row-major, values in [0, label_count))
+/// against ground truth, restricted to pixels whose true class is in
+/// `eval_classes`.
+[[nodiscard]] ClassificationScore score_classification(
+    std::span<const std::uint16_t> predicted_labels,
+    std::size_t label_count, const GroundTruth& truth,
+    std::span<const Material> eval_classes);
+
+}  // namespace hprs::hsi

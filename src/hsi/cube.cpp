@@ -1,0 +1,87 @@
+#include "hsi/cube.hpp"
+
+#include <algorithm>
+
+namespace hprs::hsi {
+
+const char* to_string(Interleave il) {
+  switch (il) {
+    case Interleave::kBip: return "bip";
+    case Interleave::kBil: return "bil";
+    case Interleave::kBsq: return "bsq";
+  }
+  return "?";
+}
+
+HsiCube::HsiCube(std::size_t rows, std::size_t cols, std::size_t bands)
+    : rows_(rows), cols_(cols), bands_(bands), data_(rows * cols * bands) {
+  HPRS_REQUIRE(rows > 0 && cols > 0 && bands > 0,
+               "cube dimensions must be positive");
+}
+
+HsiCube::HsiCube(std::size_t rows, std::size_t cols, std::size_t bands,
+                 std::vector<float> bip_samples)
+    : rows_(rows), cols_(cols), bands_(bands), data_(std::move(bip_samples)) {
+  HPRS_REQUIRE(rows > 0 && cols > 0 && bands > 0,
+               "cube dimensions must be positive");
+  HPRS_REQUIRE(data_.size() == rows * cols * bands,
+               "sample buffer does not match cube dimensions");
+}
+
+std::span<const float> HsiCube::row_block(std::size_t row_begin,
+                                          std::size_t row_end) const {
+  HPRS_REQUIRE(row_begin <= row_end && row_end <= rows_,
+               "row block out of range");
+  return {data_.data() + row_begin * cols_ * bands_,
+          (row_end - row_begin) * cols_ * bands_};
+}
+
+HsiCube HsiCube::copy_rows(std::size_t row_begin, std::size_t row_end) const {
+  const auto block = row_block(row_begin, row_end);
+  return HsiCube(row_end - row_begin, cols_, bands_,
+                 std::vector<float>(block.begin(), block.end()));
+}
+
+std::vector<float> HsiCube::to_interleave(Interleave il) const {
+  if (il == Interleave::kBip) return {data_.begin(), data_.end()};
+  std::vector<float> out(data_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const auto px = pixel(r, c);
+      for (std::size_t b = 0; b < bands_; ++b) {
+        const std::size_t idx =
+            il == Interleave::kBil
+                ? (r * bands_ + b) * cols_ + c
+                : (b * rows_ + r) * cols_ + c;  // BSQ
+        out[idx] = px[b];
+      }
+    }
+  }
+  return out;
+}
+
+HsiCube HsiCube::from_interleave(std::size_t rows, std::size_t cols,
+                                 std::size_t bands, Interleave il,
+                                 std::span<const float> samples) {
+  HPRS_REQUIRE(samples.size() == rows * cols * bands,
+               "sample buffer does not match cube dimensions");
+  if (il == Interleave::kBip) {
+    return HsiCube(rows, cols, bands,
+                   std::vector<float>(samples.begin(), samples.end()));
+  }
+  HsiCube cube(rows, cols, bands);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto px = cube.pixel(r, c);
+      for (std::size_t b = 0; b < bands; ++b) {
+        const std::size_t idx = il == Interleave::kBil
+                                    ? (r * bands + b) * cols + c
+                                    : (b * rows + r) * cols + c;  // BSQ
+        px[b] = samples[idx];
+      }
+    }
+  }
+  return cube;
+}
+
+}  // namespace hprs::hsi

@@ -1,0 +1,103 @@
+// Hyperspectral image cube container.
+//
+// A cube is `rows x cols` pixels with a full spectrum of `bands` samples per
+// pixel.  In-memory storage is always BIP (band-interleaved-by-pixel,
+// i.e. pixel-major): every algorithm in this library operates on whole
+// spectral signatures of spatially adjacent pixels, which is exactly the
+// hybrid partitioning argument of the paper (Sec. 2.1) -- spatial blocks
+// that retain full spectral content.  BSQ and BIL orderings are supported at
+// the I/O boundary (hsi/io.hpp) for interoperability with ENVI-style files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+
+/// File/interchange band orderings (the in-memory layout is always BIP).
+enum class Interleave : std::uint8_t {
+  kBip,  ///< band-interleaved by pixel: [row][col][band]
+  kBil,  ///< band-interleaved by line:  [row][band][col]
+  kBsq,  ///< band-sequential:           [band][row][col]
+};
+
+[[nodiscard]] const char* to_string(Interleave il);
+
+class HsiCube {
+ public:
+  HsiCube() = default;
+
+  /// Zero-filled cube.
+  HsiCube(std::size_t rows, std::size_t cols, std::size_t bands);
+
+  /// Adopts pixel-major (BIP) sample data; size must be rows*cols*bands.
+  HsiCube(std::size_t rows, std::size_t cols, std::size_t bands,
+          std::vector<float> bip_samples);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t bands() const { return bands_; }
+  [[nodiscard]] std::size_t pixel_count() const { return rows_ * cols_; }
+  [[nodiscard]] std::size_t sample_count() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Bytes of one full-spectrum pixel vector (the unit the WEA partitioner
+  /// reasons about).
+  [[nodiscard]] std::size_t bytes_per_pixel() const {
+    return bands_ * sizeof(float);
+  }
+
+  /// Full spectrum of the pixel at (row, col).
+  [[nodiscard]] std::span<float> pixel(std::size_t row, std::size_t col) {
+    HPRS_ASSERT(row < rows_ && col < cols_);
+    return {data_.data() + (row * cols_ + col) * bands_, bands_};
+  }
+  [[nodiscard]] std::span<const float> pixel(std::size_t row,
+                                             std::size_t col) const {
+    HPRS_ASSERT(row < rows_ && col < cols_);
+    return {data_.data() + (row * cols_ + col) * bands_, bands_};
+  }
+
+  /// Spectrum of the i-th pixel in row-major pixel order.
+  [[nodiscard]] std::span<const float> pixel(std::size_t index) const {
+    HPRS_ASSERT(index < pixel_count());
+    return {data_.data() + index * bands_, bands_};
+  }
+  [[nodiscard]] std::span<float> pixel(std::size_t index) {
+    HPRS_ASSERT(index < pixel_count());
+    return {data_.data() + index * bands_, bands_};
+  }
+
+  /// Contiguous samples of a block of whole image rows [row_begin,
+  /// row_end): the natural message payload for spatial-domain partitions.
+  [[nodiscard]] std::span<const float> row_block(std::size_t row_begin,
+                                                 std::size_t row_end) const;
+
+  /// Copies out a block of whole rows as a standalone cube (used for
+  /// overlap-border partitions, which must not alias the parent).
+  [[nodiscard]] HsiCube copy_rows(std::size_t row_begin,
+                                  std::size_t row_end) const;
+
+  [[nodiscard]] std::span<const float> samples() const { return data_; }
+  [[nodiscard]] std::span<float> samples() { return data_; }
+
+  /// Reorders the BIP samples into the requested interleave (for I/O).
+  [[nodiscard]] std::vector<float> to_interleave(Interleave il) const;
+
+  /// Builds a cube from samples stored in the given interleave.
+  static HsiCube from_interleave(std::size_t rows, std::size_t cols,
+                                 std::size_t bands, Interleave il,
+                                 std::span<const float> samples);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t bands_ = 0;
+  std::vector<float> data_;  // BIP
+};
+
+}  // namespace hprs::hsi

@@ -1,0 +1,97 @@
+#include "hsi/io.hpp"
+
+#include <bit>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "hsi::io assumes a little-endian host; add byte swapping "
+              "before porting to a big-endian target");
+
+Interleave parse_interleave(const std::string& s) {
+  if (s == "bip") return Interleave::kBip;
+  if (s == "bil") return Interleave::kBil;
+  if (s == "bsq") return Interleave::kBsq;
+  throw Error("unknown interleave '" + s + "' in ENVI header");
+}
+
+}  // namespace
+
+void write_envi(const HsiCube& cube, const std::string& path_stem,
+                Interleave il) {
+  HPRS_REQUIRE(!cube.empty(), "refusing to write an empty cube");
+  {
+    std::ofstream hdr(path_stem + ".hdr");
+    HPRS_REQUIRE(hdr.good(), "cannot open header for writing: " + path_stem);
+    hdr << "ENVI\n"
+        << "description = {hprs synthetic hyperspectral cube}\n"
+        << "samples = " << cube.cols() << "\n"
+        << "lines = " << cube.rows() << "\n"
+        << "bands = " << cube.bands() << "\n"
+        << "header offset = 0\n"
+        << "data type = 4\n"
+        << "interleave = " << to_string(il) << "\n"
+        << "byte order = 0\n";
+    HPRS_REQUIRE(hdr.good(), "failed writing header: " + path_stem);
+  }
+  {
+    std::ofstream raw(path_stem + ".raw", std::ios::binary);
+    HPRS_REQUIRE(raw.good(), "cannot open raw file for writing: " + path_stem);
+    const auto samples = cube.to_interleave(il);
+    raw.write(reinterpret_cast<const char*>(samples.data()),
+              static_cast<std::streamsize>(samples.size() * sizeof(float)));
+    HPRS_REQUIRE(raw.good(), "failed writing raw samples: " + path_stem);
+  }
+}
+
+HsiCube read_envi(const std::string& path_stem) {
+  std::ifstream hdr(path_stem + ".hdr");
+  HPRS_REQUIRE(hdr.good(), "cannot open header: " + path_stem + ".hdr");
+
+  std::map<std::string, std::string> keys;
+  std::string line;
+  while (std::getline(hdr, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      const auto e = s.find_last_not_of(" \t\r");
+      return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+    };
+    keys[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+  }
+
+  const auto need = [&](const std::string& k) {
+    const auto it = keys.find(k);
+    HPRS_REQUIRE(it != keys.end(), "ENVI header missing key '" + k + "'");
+    return it->second;
+  };
+  const auto rows = static_cast<std::size_t>(std::stoull(need("lines")));
+  const auto cols = static_cast<std::size_t>(std::stoull(need("samples")));
+  const auto bands = static_cast<std::size_t>(std::stoull(need("bands")));
+  HPRS_REQUIRE(need("data type") == "4",
+               "only float32 (ENVI data type 4) cubes are supported");
+  HPRS_REQUIRE(keys.count("byte order") == 0 || keys["byte order"] == "0",
+               "only little-endian (byte order 0) cubes are supported");
+  const Interleave il = parse_interleave(need("interleave"));
+
+  std::ifstream raw(path_stem + ".raw", std::ios::binary);
+  HPRS_REQUIRE(raw.good(), "cannot open raw file: " + path_stem + ".raw");
+  std::vector<float> samples(rows * cols * bands);
+  raw.read(reinterpret_cast<char*>(samples.data()),
+           static_cast<std::streamsize>(samples.size() * sizeof(float)));
+  HPRS_REQUIRE(raw.gcount() ==
+                   static_cast<std::streamsize>(samples.size() * sizeof(float)),
+               "raw file truncated: " + path_stem + ".raw");
+
+  return HsiCube::from_interleave(rows, cols, bands, il, samples);
+}
+
+}  // namespace hprs::hsi

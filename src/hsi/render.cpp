@@ -1,0 +1,93 @@
+#include "hsi/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+
+namespace {
+
+void check_geometry(std::size_t count, std::size_t rows, std::size_t cols) {
+  HPRS_REQUIRE(rows > 0 && cols > 0, "image dimensions must be positive");
+  HPRS_REQUIRE(count == rows * cols,
+               "pixel buffer does not match the requested geometry");
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, std::span<const float> values,
+               std::size_t rows, std::size_t cols) {
+  check_geometry(values.size(), rows, cols);
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const float lo = *lo_it;
+  const float hi = *hi_it;
+  const float span = hi - lo;
+
+  std::ofstream out(path, std::ios::binary);
+  HPRS_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << "P5\n" << cols << ' ' << rows << "\n255\n";
+  std::vector<std::uint8_t> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float v = values[r * cols + c];
+      row[c] = span > 0.0f
+                   ? static_cast<std::uint8_t>(255.0f * (v - lo) / span)
+                   : std::uint8_t{128};
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  HPRS_REQUIRE(out.good(), "failed writing " + path);
+}
+
+Rgb label_color(std::size_t label) {
+  // Golden-angle hue walk in a simple HSV->RGB conversion: adjacent label
+  // ids land on well-separated hues, deterministically.
+  const double hue = std::fmod(static_cast<double>(label) * 137.50776, 360.0);
+  const double s = 0.65;
+  const double v = 0.95;
+  const double c = v * s;
+  const double x = c * (1.0 - std::abs(std::fmod(hue / 60.0, 2.0) - 1.0));
+  const double m = v - c;
+  double rp = 0;
+  double gp = 0;
+  double bp = 0;
+  switch (static_cast<int>(hue / 60.0) % 6) {
+    case 0: rp = c; gp = x; break;
+    case 1: rp = x; gp = c; break;
+    case 2: gp = c; bp = x; break;
+    case 3: gp = x; bp = c; break;
+    case 4: rp = x; bp = c; break;
+    default: rp = c; bp = x; break;
+  }
+  return Rgb{static_cast<std::uint8_t>(255.0 * (rp + m)),
+             static_cast<std::uint8_t>(255.0 * (gp + m)),
+             static_cast<std::uint8_t>(255.0 * (bp + m))};
+}
+
+void write_label_ppm(const std::string& path,
+                     std::span<const std::uint16_t> labels, std::size_t rows,
+                     std::size_t cols) {
+  check_geometry(labels.size(), rows, cols);
+  std::ofstream out(path, std::ios::binary);
+  HPRS_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << "P6\n" << cols << ' ' << rows << "\n255\n";
+  std::vector<std::uint8_t> row(cols * 3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Rgb rgb = label_color(labels[r * cols + c]);
+      row[3 * c] = rgb.r;
+      row[3 * c + 1] = rgb.g;
+      row[3 * c + 2] = rgb.b;
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  HPRS_REQUIRE(out.good(), "failed writing " + path);
+}
+
+}  // namespace hprs::hsi

@@ -1,0 +1,32 @@
+// Map rendering: grayscale (PGM) and color (PPM) export of the products the
+// algorithms produce -- abundance planes, RMSE maps, classification label
+// images.  Plain NetPBM because it needs no dependencies and every image
+// tool reads it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hprs::hsi {
+
+/// Writes `values` (row-major, rows x cols) as an 8-bit PGM, linearly
+/// rescaled from [min, max] of the data (a constant image renders mid-gray).
+void write_pgm(const std::string& path, std::span<const float> values,
+               std::size_t rows, std::size_t cols);
+
+/// Writes a label image as an 8-bit PPM using a deterministic categorical
+/// palette (labels with the same id always get the same color).
+void write_label_ppm(const std::string& path,
+                     std::span<const std::uint16_t> labels, std::size_t rows,
+                     std::size_t cols);
+
+/// The palette color assigned to a label (r, g, b), exposed for legends.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+};
+[[nodiscard]] Rgb label_color(std::size_t label);
+
+}  // namespace hprs::hsi

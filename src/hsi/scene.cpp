@@ -1,0 +1,315 @@
+#include "hsi/scene.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hprs::hsi {
+
+namespace {
+
+constexpr std::array<char, 7> kHotSpotLabels = {'A', 'B', 'C', 'D',
+                                                'E', 'F', 'G'};
+/// Temperatures per label.  The paper pins 'F' = 700 F (coolest) and
+/// 'G' = 1300 F (hottest); intermediate assignments are ours.
+constexpr std::array<double, 7> kHotSpotTempsF = {1000.0, 1100.0, 900.0,
+                                                  1200.0, 800.0,  700.0,
+                                                  1300.0};
+
+/// Relative positions of the hot spots inside the plume ellipse, as
+/// fractions of the plume radii.
+constexpr std::array<std::pair<double, double>, 7> kHotSpotOffsets = {{
+    {-0.55, -0.30},
+    {-0.25, 0.45},
+    {0.05, -0.55},
+    {0.30, 0.25},
+    {0.55, -0.15},
+    {-0.05, 0.05},
+    {0.40, 0.60},
+}};
+
+struct Layout {
+  std::size_t rows;
+  std::size_t cols;
+  std::size_t water_cols;       // west edge
+  std::size_t park_row_end;     // vegetation block extents
+  std::size_t park_col_begin;
+  double plume_r_center, plume_c_center, plume_r_radius, plume_c_radius;
+
+  explicit Layout(const SceneConfig& cfg)
+      : rows(cfg.rows),
+        cols(cfg.cols),
+        water_cols(std::max<std::size_t>(1, cfg.cols / 8)),
+        park_row_end(std::max<std::size_t>(2, cfg.rows / 6)),
+        park_col_begin(cfg.cols - std::max<std::size_t>(2, cfg.cols / 5)),
+        plume_r_center(0.45 * static_cast<double>(cfg.rows)),
+        plume_c_center(0.55 * static_cast<double>(cfg.cols)),
+        plume_r_radius(0.22 * static_cast<double>(cfg.rows)),
+        plume_c_radius(0.20 * static_cast<double>(cfg.cols)) {}
+
+  [[nodiscard]] bool in_plume(std::size_t r, std::size_t c) const {
+    const double dr = (static_cast<double>(r) - plume_r_center) / plume_r_radius;
+    const double dc = (static_cast<double>(c) - plume_c_center) / plume_c_radius;
+    return dr * dr + dc * dc <= 1.0;
+  }
+};
+
+/// Assigns the base class map: water strip, park block, and a grid of city
+/// blocks carrying the seven debris classes; blocks inside the plume use a
+/// finer tiling restricted to dusts and gypsum.
+std::vector<std::uint8_t> build_class_map(const SceneConfig& cfg,
+                                          const Layout& lay,
+                                          Xoshiro256& rng) {
+  const auto debris = debris_materials();
+  const std::size_t block =
+      std::max<std::size_t>(4, std::min(cfg.rows, cfg.cols) / 12);
+  const std::size_t fine_block = std::max<std::size_t>(2, block / 2);
+
+  // Pre-draw a class per (coarse) city block and per fine plume tile so the
+  // map is deterministic in the seed and independent of traversal order.
+  const std::size_t coarse_r = (cfg.rows + block - 1) / block;
+  const std::size_t coarse_c = (cfg.cols + block - 1) / block;
+  std::vector<Material> block_class(coarse_r * coarse_c);
+  for (std::size_t i = 0; i < block_class.size(); ++i) {
+    // Weighted toward concretes/cement outside the plume (street debris).
+    static constexpr std::array<int, 7> kWeights = {4, 3, 3, 2, 2, 2, 1};
+    int total = 0;
+    for (int w : kWeights) total += w;
+    auto pick = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(total)));
+    std::size_t cls = 0;
+    for (; cls < kWeights.size(); ++cls) {
+      pick -= kWeights[cls];
+      if (pick < 0) break;
+    }
+    block_class[i] = debris[std::min(cls, debris.size() - 1)];
+  }
+
+  const std::size_t fine_r = (cfg.rows + fine_block - 1) / fine_block;
+  const std::size_t fine_c = (cfg.cols + fine_block - 1) / fine_block;
+  std::vector<Material> fine_class(fine_r * fine_c);
+  static constexpr std::array<Material, 4> kPlumeClasses = {
+      Material::kDust15, Material::kDust28, Material::kDust36,
+      Material::kGypsum};
+  for (auto& m : fine_class) {
+    m = kPlumeClasses[rng.uniform_int(kPlumeClasses.size())];
+  }
+
+  std::vector<std::uint8_t> labels(cfg.rows * cfg.cols);
+  for (std::size_t r = 0; r < cfg.rows; ++r) {
+    for (std::size_t c = 0; c < cfg.cols; ++c) {
+      Material m;
+      if (c < lay.water_cols) {
+        m = Material::kWater;
+      } else if (r < lay.park_row_end && c >= lay.park_col_begin) {
+        m = Material::kVegetation;
+      } else if (lay.in_plume(r, c)) {
+        m = fine_class[(r / fine_block) * fine_c + (c / fine_block)];
+      } else {
+        m = block_class[(r / block) * coarse_c + (c / block)];
+      }
+      labels[r * cfg.cols + c] = static_cast<std::uint8_t>(m);
+    }
+  }
+  return labels;
+}
+
+/// Fractional smoke opacity at (r, c): a streak from the plume center
+/// toward the southwest corner (Battery Park direction), with Gaussian
+/// cross-section.
+double smoke_alpha(const Layout& lay, std::size_t r, std::size_t c) {
+  const double x0 = lay.plume_c_center;
+  const double y0 = lay.plume_r_center;
+  // Drift ends at the Battery Park shoreline, staying over land so the
+  // river does not acquire a smoke gradient.
+  const double x1 = 0.20 * static_cast<double>(lay.cols);
+  const double y1 = 0.95 * static_cast<double>(lay.rows);
+  const double px = static_cast<double>(c) - x0;
+  const double py = static_cast<double>(r) - y0;
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len_sq = dx * dx + dy * dy;
+  const double t = std::clamp((px * dx + py * dy) / len_sq, 0.0, 1.0);
+  const double ex = px - t * dx;
+  const double ey = py - t * dy;
+  const double dist = std::sqrt(ex * ex + ey * ey);
+  const double width = 0.06 * static_cast<double>(std::min(lay.rows, lay.cols));
+  // The column rises over ground zero before fanning out, so opacity ramps
+  // up over the first quarter of the streak (keeping the debris deposits
+  // around the towers observable, as in the USGS mapping), then decays both
+  // along the streak and across it.
+  const double rise = std::min(t / 0.25, 1.0);
+  return 0.3 * rise * (1.0 - 0.6 * t) *
+         std::exp(-0.5 * (dist / width) * (dist / width));
+}
+
+}  // namespace
+
+Scene generate_wtc_scene(const SceneConfig& cfg) {
+  HPRS_REQUIRE(cfg.rows >= 16 && cfg.cols >= 16,
+               "scene must be at least 16x16 pixels");
+  HPRS_REQUIRE(cfg.bands >= 8, "scene needs at least 8 bands");
+  HPRS_REQUIRE(cfg.snr > 0.0, "snr must be positive");
+
+  const Layout lay(cfg);
+  Xoshiro256 rng(cfg.seed);
+
+  // Precompute the spectral library on this band grid.
+  const auto wl = wavelengths_um(cfg.bands);
+  std::array<std::vector<double>, kMaterialCount> lib;
+  for (std::size_t m = 0; m < kMaterialCount; ++m) {
+    lib[m] = reflectance(static_cast<Material>(m), wl);
+  }
+
+  Scene scene;
+  scene.truth.rows = cfg.rows;
+  scene.truth.cols = cfg.cols;
+  scene.truth.labels = build_class_map(cfg, lay, rng);
+  scene.cube = HsiCube(cfg.rows, cfg.cols, cfg.bands);
+
+  // Hot spots: place inside the plume, clamped to the scene.
+  for (std::size_t h = 0; h < kHotSpotLabels.size(); ++h) {
+    const auto [fr, fc] = kHotSpotOffsets[h];
+    auto r = static_cast<std::size_t>(std::clamp(
+        lay.plume_r_center + fr * lay.plume_r_radius, 1.0,
+        static_cast<double>(cfg.rows - 2)));
+    auto c = static_cast<std::size_t>(std::clamp(
+        lay.plume_c_center + fc * lay.plume_c_radius, 1.0,
+        static_cast<double>(cfg.cols - 2)));
+    scene.truth.hot_spots.push_back(
+        HotSpot{kHotSpotLabels[h], r, c, kHotSpotTempsF[h]});
+  }
+
+  // Render every pixel: base class + boundary mixing + contamination +
+  // smoke, then fires, then noise.
+  std::vector<double> spectrum(cfg.bands);
+  double signal_accum = 0.0;
+  for (std::size_t r = 0; r < cfg.rows; ++r) {
+    for (std::size_t c = 0; c < cfg.cols; ++c) {
+      const auto base = scene.truth.label_at(r, c);
+
+      // Abundance vector over all materials.
+      std::array<double, kMaterialCount> abundance{};
+      abundance[static_cast<std::size_t>(base)] = 1.0;
+
+      // Boundary mixing: blend with a differing 4-neighbor class.
+      static constexpr std::array<std::pair<int, int>, 4> kNeighbors = {
+          {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}};
+      for (const auto& [dr, dc] : kNeighbors) {
+        const auto nr = static_cast<std::ptrdiff_t>(r) + dr;
+        const auto nc = static_cast<std::ptrdiff_t>(c) + dc;
+        if (nr < 0 || nc < 0 || nr >= static_cast<std::ptrdiff_t>(cfg.rows) ||
+            nc >= static_cast<std::ptrdiff_t>(cfg.cols)) {
+          continue;
+        }
+        const auto neigh = scene.truth.label_at(static_cast<std::size_t>(nr),
+                                                static_cast<std::size_t>(nc));
+        if (neigh != base) {
+          const double w = 0.20 + 0.10 * rng.uniform();
+          abundance[static_cast<std::size_t>(base)] -= w / 4.0;
+          abundance[static_cast<std::size_t>(neigh)] += w / 4.0;
+        }
+      }
+
+      // Per-pixel contamination by one random other material.
+      const double eps = cfg.mixing_fraction * rng.uniform();
+      const auto other = rng.uniform_int(kMaterialCount);
+      abundance[static_cast<std::size_t>(base)] -= eps;
+      abundance[other] += eps;
+
+      // Smoke overlay (keeps the truth label of the surface underneath).
+      if (cfg.smoke_plume) {
+        const double alpha = smoke_alpha(lay, r, c);
+        if (alpha > 1e-3) {
+          for (auto& a : abundance) a *= (1.0 - alpha);
+          abundance[static_cast<std::size_t>(Material::kSmoke)] += alpha;
+        }
+      }
+
+      // Mix.
+      std::fill(spectrum.begin(), spectrum.end(), 0.0);
+      for (std::size_t m = 0; m < kMaterialCount; ++m) {
+        if (abundance[m] == 0.0) continue;
+        for (std::size_t b = 0; b < cfg.bands; ++b) {
+          spectrum[b] += abundance[m] * lib[m][b];
+        }
+      }
+
+      // Per-pixel brightness jitter (illumination / view geometry).  The
+      // spread matters for the detector comparison: the sum-to-one
+      // constraint makes FCLS pay quadratically for brightness outliers of
+      // already-known materials, while the OSP projector is invariant to
+      // them -- which is how the paper's UFCLS comes to miss weak thermal
+      // targets that ATDCA catches.
+      const double gain = 1.0 + 0.10 * rng.normal();
+      const auto px = scene.cube.pixel(r, c);
+      for (std::size_t b = 0; b < cfg.bands; ++b) {
+        px[b] = static_cast<float>(std::max(0.0, gain * spectrum[b]));
+        signal_accum += px[b];
+      }
+    }
+  }
+
+  // Fires: add blackbody emission at the hot-spot pixel and half-amplitude
+  // halos at the 4-neighbors (real fires are not single-pixel).  Each fire
+  // also carries a few narrow emission features of its own -- the WTC hot
+  // spots burned different material mixes, so their spectra are not pure
+  // scaled Planck curves, and this per-fire structure is what lets an
+  // orthogonal-projection detector separate fires at neighbouring
+  // temperatures.
+  for (const auto& hs : scene.truth.hot_spots) {
+    const double t_k = fahrenheit_to_kelvin(hs.temp_f);
+    // blackbody_radiance is normalized against the 1300 F peak, so bb
+    // already carries the relative brightness of cooler fires.
+    auto bb = blackbody_radiance(t_k, wl);
+    double bb_peak = 0.0;
+    for (double v : bb) bb_peak = std::max(bb_peak, v);
+    Xoshiro256 fire_rng(cfg.seed ^ (0x9e3779b97f4a7c15ULL *
+                                    static_cast<std::uint64_t>(hs.label)));
+    for (int feature = 0; feature < 3; ++feature) {
+      const double center = fire_rng.uniform(1.4, 2.5);
+      const double width = fire_rng.uniform(0.04, 0.12);
+      const double amp = bb_peak * fire_rng.uniform(0.4, 0.9);
+      for (std::size_t b = 0; b < cfg.bands; ++b) {
+        const double dx = (wl[b] - center) / width;
+        bb[b] += amp * std::exp(-0.5 * dx * dx);
+      }
+    }
+    const auto add_fire = [&](std::size_t r, std::size_t c, double scale) {
+      const auto px = scene.cube.pixel(r, c);
+      for (std::size_t b = 0; b < cfg.bands; ++b) {
+        px[b] += static_cast<float>(scale * cfg.fire_amplitude * bb[b]);
+      }
+    };
+    add_fire(hs.row, hs.col, 1.0);
+    add_fire(hs.row - 1, hs.col, 0.35);
+    add_fire(hs.row + 1, hs.col, 0.35);
+    add_fire(hs.row, hs.col - 1, 0.35);
+    add_fire(hs.row, hs.col + 1, 0.35);
+  }
+
+  // Additive Gaussian noise at the configured SNR, relative to the mean
+  // signal level.
+  const double mean_signal =
+      signal_accum / static_cast<double>(scene.cube.sample_count());
+  const double sigma = mean_signal / cfg.snr;
+  for (float& s : scene.cube.samples()) {
+    s = static_cast<float>(
+        std::max(0.0, static_cast<double>(s) + sigma * rng.normal()));
+  }
+
+  return scene;
+}
+
+std::span<const float> hot_spot_pixel(const Scene& scene, char label) {
+  for (const auto& hs : scene.truth.hot_spots) {
+    if (hs.label == label) {
+      return scene.cube.pixel(hs.row, hs.col);
+    }
+  }
+  throw Error(std::string("no hot spot labeled '") + label + "'");
+}
+
+}  // namespace hprs::hsi

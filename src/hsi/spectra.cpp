@@ -1,0 +1,189 @@
+#include "hsi/spectra.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+
+namespace {
+
+/// Gaussian spectral feature: amplitude (negative = absorption) centered at
+/// `center_um` with standard deviation `width_um`.
+struct Feature {
+  double center_um;
+  double width_um;
+  double amplitude;
+};
+
+double apply_features(double wl, double continuum, double slope,
+                      std::span<const Feature> features) {
+  double v = continuum + slope * (wl - 0.4);
+  for (const auto& f : features) {
+    const double d = (wl - f.center_um) / f.width_um;
+    v += f.amplitude * std::exp(-0.5 * d * d);
+  }
+  return std::max(0.0, std::min(1.0, v));
+}
+
+}  // namespace
+
+const char* to_string(Material m) {
+  switch (m) {
+    case Material::kWater: return "Water";
+    case Material::kVegetation: return "Vegetation";
+    case Material::kSmoke: return "Smoke plume";
+    case Material::kConcrete37B: return "Concrete (WTC01-37B)";
+    case Material::kConcrete37Am: return "Concrete (WTC01-37Am)";
+    case Material::kCement37A: return "Cement (WTC01-37A)";
+    case Material::kDust15: return "Dust (WTC01-15)";
+    case Material::kDust28: return "Dust (WTC01-28)";
+    case Material::kDust36: return "Dust (WTC01-36)";
+    case Material::kGypsum: return "Gypsum wall board";
+  }
+  return "?";
+}
+
+std::span<const Material> debris_materials() {
+  static constexpr std::array<Material, 7> kDebris = {
+      Material::kConcrete37B, Material::kConcrete37Am, Material::kCement37A,
+      Material::kDust15,      Material::kDust28,       Material::kDust36,
+      Material::kGypsum,
+  };
+  return kDebris;
+}
+
+std::vector<double> wavelengths_um(std::size_t bands) {
+  HPRS_REQUIRE(bands >= 2, "need at least two bands");
+  std::vector<double> wl(bands);
+  const double lo = 0.4;
+  const double hi = 2.5;
+  for (std::size_t b = 0; b < bands; ++b) {
+    wl[b] = lo + (hi - lo) * static_cast<double>(b) /
+                     static_cast<double>(bands - 1);
+  }
+  return wl;
+}
+
+std::vector<double> reflectance(Material m, std::span<const double> wl_um) {
+  // Continuum level, slope, and characteristic features per material.  The
+  // gypsum hydration triplet (1.45 / 1.94 / 2.21 um) appears with varying
+  // depth in the gypsum-bearing dusts; carbonate (2.33 um) marks the
+  // concretes; vegetation carries the chlorophyll well, red edge, and leaf
+  // water absorptions.
+  double continuum = 0.0;
+  double slope = 0.0;
+  std::vector<Feature> features;
+  switch (m) {
+    case Material::kWater:
+      // Turbid harbor water: dark but with a sediment/glint floor, so the
+      // SWIR tail stays above the noise and the class keeps a coherent
+      // spectral angle.
+      continuum = 0.11;
+      slope = -0.025;
+      features = {{0.45, 0.08, 0.04}, {0.55, 0.10, 0.03}};
+      break;
+    case Material::kVegetation:
+      continuum = 0.05;
+      slope = 0.0;
+      features = {{0.55, 0.04, 0.06},   // green peak
+                  {0.85, 0.18, 0.45},   // NIR plateau
+                  {1.25, 0.12, 0.25},
+                  {1.65, 0.10, 0.18},
+                  {2.2, 0.12, 0.10},
+                  {1.45, 0.03, -0.12},  // leaf water
+                  {1.94, 0.04, -0.10}};
+      break;
+    case Material::kSmoke:
+      continuum = 0.45;
+      slope = -0.12;
+      features = {{0.5, 0.15, 0.1}};
+      break;
+    case Material::kConcrete37B:
+      continuum = 0.30;
+      slope = 0.10;
+      features = {{2.33, 0.04, -0.16},   // strong carbonate
+                  {0.87, 0.10, 0.10},    // iron-oxide shoulder
+                  {1.45, 0.03, -0.04}};
+      break;
+    case Material::kConcrete37Am:
+      continuum = 0.26;
+      slope = -0.02;                     // flat gray
+      features = {{2.33, 0.04, -0.20},
+                  {0.70, 0.18, 0.16},    // reddish tint
+                  {1.94, 0.04, -0.08}};
+      break;
+    case Material::kCement37A:
+      continuum = 0.36;
+      slope = 0.02;
+      features = {{2.21, 0.04, -0.16},   // clay/portlandite
+                  {1.94, 0.05, -0.12},
+                  {0.45, 0.06, 0.10}};   // bluish rise
+      break;
+    case Material::kDust15:
+      continuum = 0.26;
+      slope = 0.16;                      // strongly red-sloped
+      features = {{1.45, 0.03, -0.10},
+                  {1.94, 0.04, -0.12}};
+      break;
+    case Material::kDust28:
+      continuum = 0.22;
+      slope = 0.04;
+      features = {{2.21, 0.04, -0.28},
+                  {2.33, 0.03, -0.14},
+                  {0.55, 0.07, 0.22},    // strong greenish cast
+                  {1.10, 0.12, 0.14},
+                  {1.45, 0.03, 0.06}};
+      break;
+    case Material::kDust36:
+      continuum = 0.42;
+      slope = -0.07;                     // bright, blue-sloped
+      features = {{1.45, 0.04, -0.16},
+                  {1.94, 0.05, -0.18},
+                  {1.20, 0.10, 0.10}};
+      break;
+    case Material::kGypsum:
+      continuum = 0.55;
+      slope = 0.02;
+      features = {{1.45, 0.035, -0.25},  // strong hydration triplet
+                  {1.94, 0.045, -0.35},
+                  {2.21, 0.035, -0.12},
+                  {1.75, 0.03, -0.08}};
+      break;
+  }
+
+  std::vector<double> out(wl_um.size());
+  for (std::size_t b = 0; b < wl_um.size(); ++b) {
+    out[b] = apply_features(wl_um[b], continuum, slope, features);
+  }
+  return out;
+}
+
+std::vector<double> blackbody_radiance(double temp_kelvin,
+                                       std::span<const double> wl_um) {
+  HPRS_REQUIRE(temp_kelvin > 0.0, "temperature must be positive kelvin");
+  // Planck's law in wavelength form; constants folded since we normalize.
+  //   B(l, T) ~ 1 / (l^5 (exp(c2 / (l T)) - 1)),  c2 = h c / k_B
+  constexpr double kC2UmK = 14387.77;  // micrometer * kelvin
+  const auto planck = [&](double wl, double t) {
+    return 1.0 / (std::pow(wl, 5.0) * (std::exp(kC2UmK / (wl * t)) - 1.0));
+  };
+
+  // Normalize against the 1300 F peak over the sensor window so relative
+  // brightness across hot-spot temperatures is preserved.
+  const double t_ref = fahrenheit_to_kelvin(1300.0);
+  double peak_ref = 0.0;
+  for (const double wl : wl_um) {
+    peak_ref = std::max(peak_ref, planck(wl, t_ref));
+  }
+  HPRS_ASSERT(peak_ref > 0.0);
+
+  std::vector<double> out(wl_um.size());
+  for (std::size_t b = 0; b < wl_um.size(); ++b) {
+    out[b] = planck(wl_um[b], temp_kelvin) / peak_ref;
+  }
+  return out;
+}
+
+}  // namespace hprs::hsi

@@ -1,0 +1,73 @@
+// Synthetic spectral library for the WTC scene surrogate.
+//
+// The paper's experiments use an AVIRIS scene (224 bands, 0.4-2.5 um) of
+// lower Manhattan together with USGS-measured spectra of the dust/debris
+// deposits (two concretes, one cement, three dusts, gypsum wall board) and
+// thermal hot spots at 700-1300 F.  The real scene is not redistributable,
+// so this library synthesizes physically-motivated surrogates:
+//
+//  * reflectance spectra are sums of broad Gaussian features on a sloped
+//    continuum, with the gypsum-bearing materials carrying the
+//    characteristic 1.45/1.94/2.21 um hydration features and the concretes
+//    a 2.33 um carbonate feature;
+//  * fire pixels add Planck blackbody emission at the hot-spot temperature,
+//    which for 640-980 K concentrates in the SWIR -- exactly why AVIRIS
+//    could see the WTC fires.
+//
+// What matters for reproducing the paper is *not* the absolute spectra but
+// their geometry: debris classes are mutually distinguishable but
+// correlated, hot spots are spectrally extreme in norm, and hotter fires
+// are more extreme.  DESIGN.md discusses this substitution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hprs::hsi {
+
+/// Materials present in the synthetic WTC scene.  The seven debris classes
+/// match the rows of the paper's Table 4.
+enum class Material : std::uint8_t {
+  kWater = 0,
+  kVegetation,
+  kSmoke,
+  kConcrete37B,   // "Concrete (WTC01-37B)"
+  kConcrete37Am,  // "Concrete (WTC01-37Am)"
+  kCement37A,     // "Cement (WTC01-37A)"
+  kDust15,        // "Dust (WTC01-15)"
+  kDust28,        // "Dust (WTC01-28)"
+  kDust36,        // "Dust (WTC01-36)"
+  kGypsum,        // "Gypsum wall board"
+};
+
+inline constexpr std::size_t kMaterialCount = 10;
+
+/// USGS-style display name ("Concrete (WTC01-37B)", ...).
+[[nodiscard]] const char* to_string(Material m);
+
+/// The seven dust/debris classes of Table 4, in row order.
+[[nodiscard]] std::span<const Material> debris_materials();
+
+/// Band-center wavelengths in micrometers, linearly spaced over the AVIRIS
+/// range 0.4-2.5 um.
+[[nodiscard]] std::vector<double> wavelengths_um(std::size_t bands);
+
+/// Deterministic reflectance spectrum of a material on the given band
+/// centers, in [0, 1].
+[[nodiscard]] std::vector<double> reflectance(Material m,
+                                              std::span<const double> wl_um);
+
+/// Planck spectral radiance B(lambda, T) evaluated on the band centers and
+/// normalized so that its peak over the 0.4-2.5 um window at 1300 F equals
+/// 1.  Using a common normalization across temperatures preserves the
+/// physical ordering (hotter => brighter and blue-shifted).
+[[nodiscard]] std::vector<double> blackbody_radiance(
+    double temp_kelvin, std::span<const double> wl_um);
+
+[[nodiscard]] constexpr double fahrenheit_to_kelvin(double f) {
+  return (f - 32.0) * 5.0 / 9.0 + 273.15;
+}
+
+}  // namespace hprs::hsi

@@ -1,0 +1,30 @@
+// Virtual dimensionality (intrinsic dimensionality) estimation.
+//
+// The paper sets the number of targets t = 18 "after calculating the
+// intrinsic dimensionality of the data".  The standard estimator for that
+// quantity in the hyperspectral literature is the Harsanyi-Farrand-Chang
+// (HFC) method: compare the eigenvalues of the sample correlation matrix
+// R against those of the sample covariance matrix K; bands where the
+// correlation eigenvalue significantly exceeds the covariance eigenvalue
+// indicate a signal source.  A Neyman-Pearson test at false-alarm
+// probability P_f decides "significantly".
+#pragma once
+
+#include <cstddef>
+
+#include "hsi/cube.hpp"
+
+namespace hprs::hsi {
+
+struct VdResult {
+  /// Estimated number of spectrally distinct signal sources.
+  std::size_t dimensionality = 0;
+  /// Number of eigenvalue pairs tested (== band count).
+  std::size_t bands = 0;
+};
+
+/// HFC virtual-dimensionality estimate of the cube at false-alarm
+/// probability `pf` (typical values 1e-3..1e-5).
+[[nodiscard]] VdResult estimate_vd(const HsiCube& cube, double pf = 1e-4);
+
+}  // namespace hprs::hsi

@@ -1,0 +1,97 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hprs::linalg {
+
+namespace {
+
+/// Sum of squares of strictly-off-diagonal entries.
+double off_diagonal_sq(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+EigenDecomposition jacobi_eigen(const Matrix& symmetric, double tol,
+                                int max_sweeps) {
+  HPRS_REQUIRE(symmetric.rows() == symmetric.cols(),
+               "eigendecomposition requires a square matrix");
+  const std::size_t n = symmetric.rows();
+  HPRS_REQUIRE(n > 0, "empty matrix");
+
+  Matrix a = symmetric;
+  Matrix v = Matrix::identity(n);
+
+  double diag_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) diag_sq += a(i, i) * a(i, i);
+  const double stop = tol * tol * std::max(diag_sq, 1e-300);
+
+  EigenDecomposition out;
+  while (out.sweeps < max_sweeps && off_diagonal_sq(a) > stop) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        // 2x2 symmetric Schur decomposition (Golub & Van Loan, Alg. 8.4.1).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the eigenvector rotation.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    ++out.sweeps;
+  }
+  HPRS_REQUIRE(off_diagonal_sq(a) <= stop || max_sweeps == 0,
+               "Jacobi eigensolver did not converge");
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i) > a(j, j);
+  });
+
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) {
+      out.vectors(k, r) = v(r, order[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hprs::linalg

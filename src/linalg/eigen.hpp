@@ -1,0 +1,33 @@
+// Symmetric eigensolver for the PCT covariance step.
+//
+// The principal component transform needs all eigenpairs of the bands x
+// bands covariance matrix (224 x 224 for AVIRIS), sorted by decreasing
+// eigenvalue.  A cyclic Jacobi iteration is simple, unconditionally stable
+// for symmetric input, and more than fast enough at this size; it also has a
+// clean analytic flop count (flops::jacobi_sweep) for the virtual-time model.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hprs::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in decreasing order.
+  std::vector<double> values;
+  /// Row k of `vectors` is the unit eigenvector for values[k].
+  Matrix vectors;
+  /// Number of full Jacobi sweeps performed (exposed so callers can charge
+  /// the exact virtual compute cost).
+  int sweeps = 0;
+};
+
+/// Computes the full eigendecomposition of a symmetric matrix by cyclic
+/// Jacobi rotations.  `tol` bounds the off-diagonal Frobenius norm relative
+/// to the diagonal; `max_sweeps` guards termination.
+[[nodiscard]] EigenDecomposition jacobi_eigen(const Matrix& symmetric,
+                                              double tol = 1e-12,
+                                              int max_sweeps = 64);
+
+}  // namespace hprs::linalg

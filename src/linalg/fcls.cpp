@@ -1,0 +1,154 @@
+#include "linalg/fcls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/vec.hpp"
+
+namespace hprs::linalg {
+
+namespace {
+
+/// Solves the sum-to-one constrained problem via the Lagrangian closed form
+///   a = a_u - G^-1 1 (1^T a_u - 1) / (1^T G^-1 1)
+/// where a_u is the unconstrained solution, given a ready factorization.
+std::vector<double> scls_with_factor(const Cholesky& chol,
+                                     std::span<const double> b) {
+  const std::size_t m = b.size();
+  const std::vector<double> au = chol.solve(b);
+  const std::vector<double> ones(m, 1.0);
+  const std::vector<double> ginv1 = chol.solve(ones);
+  const double sum_au = std::accumulate(au.begin(), au.end(), 0.0);
+  const double denom = std::accumulate(ginv1.begin(), ginv1.end(), 0.0);
+  HPRS_REQUIRE(std::abs(denom) > 1e-300, "degenerate sum-to-one system");
+  const double lambda = (sum_au - 1.0) / denom;
+  std::vector<double> a(m);
+  for (std::size_t i = 0; i < m; ++i) a[i] = au[i] - lambda * ginv1[i];
+  return a;
+}
+
+/// Sum-to-one solve restricted to `active` endmembers (fresh factorization
+/// of the Gram submatrix).
+std::vector<double> scls_on_subset(const Matrix& gram,
+                                   std::span<const double> corr,
+                                   const std::vector<std::size_t>& active) {
+  const std::size_t m = active.size();
+  Matrix g(m, m);
+  std::vector<double> b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    b[i] = corr[active[i]];
+    for (std::size_t j = 0; j < m; ++j) {
+      g(i, j) = gram(active[i], active[j]);
+    }
+  }
+  return scls_with_factor(Cholesky(g), b);
+}
+
+}  // namespace
+
+Unmixer::Unmixer(const Matrix& signatures)
+    : signatures_(signatures),
+      gram_(signatures.multiply(signatures.transposed())),
+      gram_factor_(gram_) {
+  HPRS_REQUIRE(signatures_.rows() > 0, "unmixer requires >= 1 endmember");
+}
+
+std::vector<double> Unmixer::correlation_vector(
+    std::span<const float> pixel) const {
+  HPRS_REQUIRE(pixel.size() == band_count(), "pixel band count mismatch");
+  std::vector<double> corr(endmember_count());
+  for (std::size_t i = 0; i < endmember_count(); ++i) {
+    corr[i] = dot<double, float>(signatures_.row(i), pixel);
+  }
+  return corr;
+}
+
+double Unmixer::explicit_error_sq(std::span<const float> pixel,
+                                  std::span<const double> abundances) const {
+  std::vector<double> recon(band_count(), 0.0);
+  for (std::size_t i = 0; i < endmember_count(); ++i) {
+    axpy<double>(abundances[i], signatures_.row(i), recon);
+  }
+  double err = 0.0;
+  for (std::size_t b = 0; b < band_count(); ++b) {
+    const double d = static_cast<double>(pixel[b]) - recon[b];
+    err += d * d;
+  }
+  return err;
+}
+
+double Unmixer::quadratic_error_sq(double pixel_norm_sq,
+                                   std::span<const double> corr,
+                                   std::span<const double> abundances) const {
+  // ||x - M a||^2 = x.x - 2 a.b + a^T G a with b = M^T x, G = M^T M.
+  double err = pixel_norm_sq - 2.0 * dot<double, double>(abundances, corr);
+  const std::size_t t = endmember_count();
+  for (std::size_t i = 0; i < t; ++i) {
+    err += abundances[i] * dot<double, double>(gram_.row(i), abundances);
+  }
+  return err > 0.0 ? err : 0.0;  // clamp FP cancellation noise
+}
+
+UnmixResult Unmixer::ucls(std::span<const float> pixel) const {
+  const std::vector<double> corr = correlation_vector(pixel);
+  UnmixResult r;
+  r.abundances = gram_factor_.solve(corr);
+  r.error_sq = quadratic_error_sq(norm_sq(pixel), corr, r.abundances);
+  return r;
+}
+
+UnmixResult Unmixer::scls(std::span<const float> pixel) const {
+  const std::vector<double> corr = correlation_vector(pixel);
+  UnmixResult r;
+  r.abundances = scls_with_factor(gram_factor_, corr);
+  r.error_sq = quadratic_error_sq(norm_sq(pixel), corr, r.abundances);
+  return r;
+}
+
+UnmixResult Unmixer::fcls(std::span<const float> pixel) const {
+  const std::vector<double> corr = correlation_vector(pixel);
+  std::vector<std::size_t> active(endmember_count());
+  std::iota(active.begin(), active.end(), std::size_t{0});
+
+  UnmixResult r;
+  // Active-set loop in the Heinz-Chang style: every endmember whose
+  // abundance goes negative is clamped out and the sum-to-one problem is
+  // re-solved on the survivors.  The active set shrinks every round, so at
+  // most t-1 rounds run; in practice two or three suffice.  The first
+  // round works on the full endmember set and reuses the factorization
+  // cached at construction, which is what makes per-pixel unmixing cheap.
+  while (true) {
+    const std::vector<double> a =
+        active.size() == endmember_count()
+            ? scls_with_factor(gram_factor_, corr)
+            : scls_on_subset(gram_, corr, active);
+    std::vector<std::size_t> survivors;
+    survivors.reserve(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (a[i] >= -1e-12) survivors.push_back(active[i]);
+    }
+    if (survivors.size() == active.size() || survivors.empty() ||
+        active.size() == 1) {
+      r.abundances.assign(endmember_count(), 0.0);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        r.abundances[active[i]] = std::max(a[i], 0.0);
+      }
+      break;
+    }
+    active = std::move(survivors);
+    ++r.iterations;
+  }
+  // Renormalize away the clamping residue so the sum-to-one constraint holds
+  // exactly.
+  const double s =
+      std::accumulate(r.abundances.begin(), r.abundances.end(), 0.0);
+  if (s > 0.0) {
+    for (auto& v : r.abundances) v /= s;
+  }
+  r.error_sq = quadratic_error_sq(norm_sq(pixel), corr, r.abundances);
+  return r;
+}
+
+}  // namespace hprs::linalg

@@ -1,0 +1,76 @@
+// Linear spectral unmixing: unconstrained, sum-to-one, and fully
+// constrained least squares (FCLS).
+//
+// The Hetero-UFCLS target-detection algorithm (paper Alg. 3) grows a target
+// set U and, at every iteration, unmixes each pixel against U under the two
+// abundance constraints (non-negativity, sum-to-one), keeping the pixel with
+// the largest reconstruction error as the next target.  This file implements
+// the unmixing kernel following Heinz & Chang (2001): start from the
+// sum-to-one constrained solution and iteratively clamp negative abundances
+// to zero, re-solving on the active set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+
+namespace hprs::linalg {
+
+struct UnmixResult {
+  /// Abundance per endmember (same order as the rows of the signature
+  /// matrix).  Non-negative and summing to one for fcls().
+  std::vector<double> abundances;
+  /// Squared Euclidean reconstruction error ||x - M a||^2.
+  double error_sq = 0.0;
+  /// Active-set iterations used (0 when no clamping was needed); exposed so
+  /// callers can charge the exact virtual compute cost.
+  int iterations = 0;
+};
+
+/// Unmixes pixels against a fixed endmember set.  Construction factors the
+/// endmember Gram matrix once; per-pixel solves then cost O(t*n + t^2).
+class Unmixer {
+ public:
+  /// `signatures` holds one endmember spectrum per row (t rows, n columns).
+  /// Throws if the signatures are linearly dependent (singular Gram).
+  explicit Unmixer(const Matrix& signatures);
+
+  [[nodiscard]] std::size_t endmember_count() const {
+    return signatures_.rows();
+  }
+  [[nodiscard]] std::size_t band_count() const { return signatures_.cols(); }
+
+  /// Unconstrained least squares.
+  [[nodiscard]] UnmixResult ucls(std::span<const float> pixel) const;
+
+  /// Sum-to-one constrained least squares (abundances may be negative).
+  [[nodiscard]] UnmixResult scls(std::span<const float> pixel) const;
+
+  /// Fully constrained least squares: non-negative abundances summing to
+  /// one, via active-set clamping.
+  [[nodiscard]] UnmixResult fcls(std::span<const float> pixel) const;
+
+  /// Explicit reconstruction error ||x - M a||^2 computed from first
+  /// principles.  The unmix methods use the algebraically identical (and
+  /// O(t) cheaper) quadratic form x.x - 2 a.b + a^T G a; this method exists
+  /// so tests can pin the two against each other.
+  [[nodiscard]] double explicit_error_sq(
+      std::span<const float> pixel, std::span<const double> abundances) const;
+
+ private:
+  [[nodiscard]] std::vector<double> correlation_vector(
+      std::span<const float> pixel) const;
+  /// Quadratic-form error given the cached Gram matrix.
+  [[nodiscard]] double quadratic_error_sq(
+      double pixel_norm_sq, std::span<const double> corr,
+      std::span<const double> abundances) const;
+
+  Matrix signatures_;      // t x n, one endmember per row
+  Matrix gram_;            // t x t
+  Cholesky gram_factor_;   // factor of gram_
+};
+
+}  // namespace hprs::linalg

@@ -1,0 +1,85 @@
+// Analytic floating-point operation counts for the library's kernels.
+//
+// The simulated cluster charges virtual compute time as
+//   seconds = flops * 1e-6 * cycle_time_secs_per_megaflop,
+// so every kernel in linalg/ and hsi/ has a companion cost formula here.
+// Formulas count multiply and add as one flop each (divides and square
+// roots as one flop as well -- the paper's cycle-time model is per-megaflop
+// and does not distinguish instruction classes).  Unit tests in
+// tests/linalg_flops_test.cpp pin these formulas against hand counts so the
+// timing model cannot silently drift from the implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace hprs::linalg::flops {
+
+using Count = std::uint64_t;
+
+/// Dot product / squared norm of n-vectors: n multiplies + n-1 adds ~ 2n.
+constexpr Count dot(Count n) { return 2 * n; }
+
+/// Euclidean norm: dot + sqrt.
+constexpr Count norm(Count n) { return dot(n) + 1; }
+
+/// axpy over n elements: n multiplies + n adds.
+constexpr Count axpy(Count n) { return 2 * n; }
+
+/// Elementwise subtract / add / scale.
+constexpr Count elementwise(Count n) { return n; }
+
+/// Dense matvec of an (r x c) matrix: r dot products.
+constexpr Count matvec(Count r, Count c) { return r * dot(c); }
+
+/// Dense matmul (r x k) * (k x c).
+constexpr Count matmul(Count r, Count k, Count c) { return r * c * dot(k); }
+
+/// Gram matrix U^T U for U of size (r x c): symmetric, c*(c+1)/2 dots of
+/// length r.
+constexpr Count gram(Count r, Count c) { return c * (c + 1) / 2 * dot(r); }
+
+/// Gauss-Jordan inverse of an n x n system: ~2n^3.
+constexpr Count gauss_jordan_inverse(Count n) { return 2 * n * n * n; }
+
+/// Cholesky factorization of an n x n SPD matrix: ~n^3/3.
+constexpr Count cholesky(Count n) { return n * n * n / 3 + 2 * n * n; }
+
+/// Triangular solve against a factored n x n system (two sweeps).
+constexpr Count cholesky_solve(Count n) { return 2 * n * n; }
+
+/// One cyclic Jacobi sweep on an n x n symmetric matrix: n(n-1)/2 rotations,
+/// each touching two rows and two columns (~8n flops) plus the 2x2
+/// eigenproblem (~12 flops).
+constexpr Count jacobi_sweep(Count n) {
+  return n * (n - 1) / 2 * (8 * n + 12);
+}
+
+/// Spectral angle distance between two n-band pixels: three dots, one
+/// divide, one sqrt-pair, one acos (counted as 4 bookkeeping flops).
+constexpr Count sad(Count n) { return 3 * dot(n) + 4; }
+
+/// Squared norm of the orthogonal-subspace projection of one n-vector
+/// against t targets, given a factored Gram matrix:
+///   score = x.x - b . G^-1 b  with  b = U x,
+/// i.e. t dots of length n, one t x t solve, the x.x dot, and the final
+/// b . z inner product.
+constexpr Count osp_score(Count n, Count t) {
+  return t * dot(n) + cholesky_solve(t) + dot(n) + dot(t);
+}
+
+/// One unconstrained least-squares unmixing of an n-band pixel against t
+/// endmembers given factored normal equations: U^T x + solve.
+constexpr Count ucls(Count n, Count t) { return t * dot(n) + cholesky_solve(t); }
+
+/// Fully constrained LS via active-set clamping: the correlation vector and
+/// pixel norm (t+1 dots of length n), a first sum-to-one round reusing the
+/// cached full-set factorization (two triangular solves), `rounds - 1`
+/// clamped re-solves with fresh subset factorizations, and the final
+/// quadratic-form reconstruction error.
+constexpr Count fcls(Count n, Count t, Count rounds) {
+  return t * dot(n) + dot(n) + 2 * cholesky_solve(t) + 6 * t +
+         (rounds - 1) * (cholesky(t) + 2 * cholesky_solve(t) + 6 * t) +
+         t * dot(t) + 2 * t;
+}
+
+}  // namespace hprs::linalg::flops

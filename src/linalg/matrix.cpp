@@ -1,0 +1,97 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vec.hpp"
+
+namespace hprs::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HPRS_REQUIRE(data_.size() == rows_ * cols_,
+               "matrix initializer size does not match dimensions");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::append_row(std::span<const double> row_values) {
+  if (empty()) {
+    cols_ = row_values.size();
+  }
+  HPRS_REQUIRE(row_values.size() == cols_,
+               "appended row length does not match matrix width");
+  data_.insert(data_.end(), row_values.begin(), row_values.end());
+  ++rows_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  HPRS_REQUIRE(cols_ == other.rows_, "matmul inner dimensions differ");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const auto brow = other.row(k);
+      const auto orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += a * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  HPRS_REQUIRE(x.size() == cols_, "matvec dimension mismatch");
+  std::vector<double> y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    y[r] = dot<double, double>(row(r), x);
+  }
+  return y;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto v = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      for (std::size_t j = i; j < cols_; ++j) {
+        g(i, j) += v[i] * v[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      g(i, j) = g(j, i);
+    }
+  }
+  return g;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  HPRS_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace hprs::linalg

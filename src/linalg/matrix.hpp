@@ -1,0 +1,83 @@
+// Small dense row-major matrix used for the spectral-domain linear algebra.
+//
+// Dimensions in this library are modest (at most bands x bands = 224 x 224
+// covariance matrices and t x t Gram systems with t <= ~30 targets), so a
+// straightforward cache-friendly row-major container with unblocked kernels
+// is both adequate and easy to verify.  All storage is double: these
+// matrices hold accumulated statistics, not raw pixels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hprs::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized r x c matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from row-major initializer data (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    HPRS_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    HPRS_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    HPRS_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    HPRS_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  /// Appends a row (used to grow the target matrix U one signature at a
+  /// time, as Hetero-ATDCA does).  The row length must equal cols(); an
+  /// empty matrix adopts the row's length.
+  void append_row(std::span<const double> row_values);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this * other.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// this * x for an n-vector x.
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// Gram matrix this^T * this (cols x cols, symmetric).
+  [[nodiscard]] Matrix gram() const;
+
+  /// Max-abs elementwise difference; matrices must have equal shape.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hprs::linalg

@@ -1,0 +1,41 @@
+// Direct solvers for the small symmetric systems arising in spectral
+// unmixing: Gram systems (U^T U) y = b with t <= ~30 and covariance-sized
+// SPD systems up to bands x bands.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hprs::linalg {
+
+/// Cholesky factorization L L^T of a symmetric positive-definite matrix.
+/// Throws hprs::Error if the matrix is not (numerically) SPD.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& spd);
+
+  /// Solves A x = b using the stored factor.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t dim() const { return l_.rows(); }
+
+  /// log(det A) -- occasionally useful for conditioning diagnostics.
+  [[nodiscard]] double log_det() const;
+
+ private:
+  Matrix l_;  // lower triangular factor
+};
+
+/// Gauss-Jordan inverse with partial pivoting.  Used where an explicit
+/// inverse is genuinely required (the paper writes the OSP projector as
+/// I - U (U^T U)^{-1} U^T); throws on singular input.
+[[nodiscard]] Matrix gauss_jordan_inverse(const Matrix& a);
+
+/// Solves the general square system A x = b by Gaussian elimination with
+/// partial pivoting; throws on singular input.
+[[nodiscard]] std::vector<double> solve_linear(const Matrix& a,
+                                               std::span<const double> b);
+
+}  // namespace hprs::linalg

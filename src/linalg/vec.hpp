@@ -1,0 +1,62 @@
+// Vector kernels over contiguous spans.
+//
+// Hyperspectral pixels are stored as float spectra (224 bands for AVIRIS);
+// all reductions accumulate in double to keep the iterative algorithms
+// (orthogonal projections, least-squares residuals) numerically stable over
+// hundreds of accumulated terms.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace hprs::linalg {
+
+/// Dot product with double accumulation.  Cost: flops::dot(n).
+template <typename T, typename U>
+[[nodiscard]] double dot(std::span<const T> a, std::span<const U> b) {
+  HPRS_ASSERT(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+/// Squared Euclidean norm.  Cost: flops::dot(n).
+template <typename T>
+[[nodiscard]] double norm_sq(std::span<const T> a) {
+  return dot<T, T>(a, a);
+}
+
+/// Euclidean norm.  Cost: flops::dot(n) + 1.
+template <typename T>
+[[nodiscard]] double norm(std::span<const T> a) {
+  return std::sqrt(norm_sq(a));
+}
+
+/// y += alpha * x.  Cost: flops::axpy(n).
+template <typename T>
+void axpy(double alpha, std::span<const T> x, std::span<double> y) {
+  HPRS_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * static_cast<double>(x[i]);
+  }
+}
+
+/// out = a - b.  Cost: n.
+template <typename T>
+void sub(std::span<const T> a, std::span<const T> b, std::span<double> out) {
+  HPRS_ASSERT(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+  }
+}
+
+/// Scales in place.  Cost: n.
+inline void scale(double alpha, std::span<double> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+}  // namespace hprs::linalg

@@ -1,0 +1,30 @@
+#include "simnet/equivalence.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace hprs::simnet {
+
+std::string EquivalenceReport::to_string() const {
+  std::ostringstream os;
+  os << "equivalent=" << (equivalent ? "yes" : "no")
+     << " same_P=" << (same_processor_count ? "yes" : "no")
+     << " speed_dev=" << speed_deviation << " link_dev=" << link_deviation;
+  return os.str();
+}
+
+EquivalenceReport check_equivalence(const Platform& a, const Platform& b,
+                                    double tolerance) {
+  EquivalenceReport r;
+  r.same_processor_count = a.size() == b.size();
+  r.speed_deviation =
+      std::abs(a.average_speed() - b.average_speed()) / a.average_speed();
+  r.link_deviation = std::abs(a.average_link_ms_per_mbit() -
+                              b.average_link_ms_per_mbit()) /
+                     a.average_link_ms_per_mbit();
+  r.equivalent = r.same_processor_count && r.speed_deviation <= tolerance &&
+                 r.link_deviation <= tolerance;
+  return r;
+}
+
+}  // namespace hprs::simnet

@@ -1,0 +1,39 @@
+// Lastovetsky-Reddy equivalence check between platforms.
+//
+// The paper evaluates heterogeneous algorithms by comparing their
+// efficiency on a heterogeneous network against the homogeneous version on
+// an "equivalent" homogeneous network, where equivalence means (Sec. 3.1):
+//   1. both environments have the same number of processors,
+//   2. the homogeneous processor speed equals the average heterogeneous
+//      speed,
+//   3. the aggregate communication characteristics match.
+// This checker quantifies how closely two platforms satisfy those
+// principles; the paper's own four networks only satisfy them
+// approximately, and the reported deviations document that.
+#pragma once
+
+#include <string>
+
+#include "simnet/platform.hpp"
+
+namespace hprs::simnet {
+
+struct EquivalenceReport {
+  bool same_processor_count = false;
+  /// |avg_speed_a - avg_speed_b| / avg_speed_a.
+  double speed_deviation = 0.0;
+  /// |avg_link_a - avg_link_b| / avg_link_a (ms-per-megabit averages).
+  double link_deviation = 0.0;
+  /// True when all three principles hold within `tolerance`.
+  bool equivalent = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks platforms a and b against the three equivalence principles with a
+/// relative tolerance on the averaged quantities.
+[[nodiscard]] EquivalenceReport check_equivalence(const Platform& a,
+                                                  const Platform& b,
+                                                  double tolerance = 0.05);
+
+}  // namespace hprs::simnet

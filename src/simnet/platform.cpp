@@ -1,0 +1,239 @@
+#include "simnet/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hprs::simnet {
+
+Platform::Platform(std::string name, std::vector<ProcessorSpec> processors,
+                   std::vector<std::vector<double>> segment_capacity_ms_per_mbit,
+                   bool switched_fabric)
+    : name_(std::move(name)),
+      processors_(std::move(processors)),
+      segment_capacity_(std::move(segment_capacity_ms_per_mbit)),
+      switched_fabric_(switched_fabric) {
+  HPRS_REQUIRE(!processors_.empty(), "platform requires >= 1 processor");
+  const std::size_t s = segment_capacity_.size();
+  HPRS_REQUIRE(s > 0, "platform requires >= 1 segment");
+  for (const auto& row : segment_capacity_) {
+    HPRS_REQUIRE(row.size() == s, "segment capacity matrix must be square");
+  }
+  for (std::size_t a = 0; a < s; ++a) {
+    for (std::size_t b = 0; b < s; ++b) {
+      HPRS_REQUIRE(segment_capacity_[a][b] > 0.0,
+                   "link capacities must be positive");
+      HPRS_REQUIRE(segment_capacity_[a][b] == segment_capacity_[b][a],
+                   "link capacities must be symmetric (c_ij = c_ji)");
+    }
+  }
+  for (const auto& p : processors_) {
+    HPRS_REQUIRE(p.cycle_time > 0.0, "cycle-time must be positive");
+    HPRS_REQUIRE(p.memory_mb > 0, "memory must be positive");
+    HPRS_REQUIRE(p.segment < s, "processor references unknown segment");
+  }
+}
+
+const ProcessorSpec& Platform::processor(std::size_t i) const {
+  HPRS_REQUIRE(i < processors_.size(), "processor index out of range");
+  return processors_[i];
+}
+
+double Platform::cycle_time(std::size_t i) const {
+  return processor(i).cycle_time;
+}
+
+double Platform::speed(std::size_t i) const { return 1.0 / cycle_time(i); }
+
+std::size_t Platform::segment_of(std::size_t i) const {
+  return processor(i).segment;
+}
+
+double Platform::link_ms_per_mbit(std::size_t i, std::size_t j) const {
+  return segment_capacity_[segment_of(i)][segment_of(j)];
+}
+
+double Platform::segment_capacity_ms_per_mbit(std::size_t a,
+                                              std::size_t b) const {
+  HPRS_REQUIRE(a < segment_count() && b < segment_count(),
+               "segment index out of range");
+  return segment_capacity_[a][b];
+}
+
+double Platform::average_speed() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += speed(i);
+  return s / static_cast<double>(size());
+}
+
+double Platform::average_link_ms_per_mbit() const {
+  if (size() < 2) return segment_capacity_[0][0];
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = 0; j < size(); ++j) {
+      if (i == j) continue;
+      s += link_ms_per_mbit(i, j);
+      ++n;
+    }
+  }
+  return s / static_cast<double>(n);
+}
+
+double Platform::speed_heterogeneity() const {
+  double lo = speed(0);
+  double hi = speed(0);
+  for (std::size_t i = 1; i < size(); ++i) {
+    lo = std::min(lo, speed(i));
+    hi = std::max(hi, speed(i));
+  }
+  return hi / lo;
+}
+
+double Platform::link_heterogeneity() const {
+  double lo = segment_capacity_[0][0];
+  double hi = lo;
+  for (const auto& row : segment_capacity_) {
+    for (double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return hi / lo;
+}
+
+namespace {
+
+/// Table 1 of the paper, verbatim.  Segments: p1-p4 on s1, p5-p8 on s2,
+/// p9-p10 on s3, p11-p16 on s4 (0-based below).
+std::vector<ProcessorSpec> table1_processors() {
+  std::vector<ProcessorSpec> p;
+  const auto add = [&](std::string name, std::string arch, double w,
+                       std::size_t mem, std::size_t cache, std::size_t seg) {
+    p.push_back(ProcessorSpec{std::move(name), std::move(arch), w, mem, cache,
+                              seg});
+  };
+  add("p1", "FreeBSD -- i386 Intel Pentium 4", 0.0058, 2048, 1024, 0);
+  add("p2", "Linux -- Intel Xeon", 0.0102, 1024, 512, 0);
+  add("p3", "Linux -- AMD Athlon", 0.0026, 7748, 512, 0);
+  add("p4", "Linux -- Intel Xeon", 0.0072, 1024, 1024, 0);
+  add("p5", "Linux -- Intel Xeon", 0.0102, 1024, 512, 1);
+  add("p6", "Linux -- Intel Xeon", 0.0072, 1024, 1024, 1);
+  add("p7", "Linux -- Intel Xeon", 0.0072, 1024, 1024, 1);
+  add("p8", "Linux -- Intel Xeon", 0.0102, 1024, 512, 1);
+  add("p9", "Linux -- Intel Xeon", 0.0072, 1024, 1024, 2);
+  add("p10", "SunOS -- SUNW UltraSparc-5", 0.0451, 512, 2048, 2);
+  for (int i = 11; i <= 16; ++i) {
+    add("p" + std::to_string(i), "Linux -- AMD Athlon", 0.0131, 2048, 1024, 3);
+  }
+  return p;
+}
+
+/// Table 2 of the paper: ms to transfer a one-megabit message between the
+/// four segments.
+std::vector<std::vector<double>> table2_capacities() {
+  return {
+      {19.26, 48.31, 96.62, 154.76},
+      {48.31, 17.65, 48.31, 106.45},
+      {96.62, 48.31, 16.38, 58.14},
+      {154.76, 106.45, 58.14, 14.05},
+  };
+}
+
+std::vector<ProcessorSpec> homogeneous_processors(std::size_t n, double w,
+                                                  std::size_t mem_mb,
+                                                  std::size_t cache_kb,
+                                                  const std::string& arch) {
+  std::vector<ProcessorSpec> p;
+  p.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(ProcessorSpec{"p" + std::to_string(i + 1), arch, w, mem_mb,
+                              cache_kb, 0});
+  }
+  return p;
+}
+
+constexpr double kHomogeneousCycleTime = 0.0131;   // s per megaflop
+constexpr double kHomogeneousLink = 26.64;         // ms per megabit
+
+}  // namespace
+
+Platform fully_heterogeneous() {
+  return Platform("fully-heterogeneous", table1_processors(),
+                  table2_capacities());
+}
+
+Platform fully_homogeneous() {
+  return Platform(
+      "fully-homogeneous",
+      homogeneous_processors(16, kHomogeneousCycleTime, 2048, 1024,
+                             "Linux -- AMD Athlon"),
+      {{kHomogeneousLink}});
+}
+
+Platform partially_heterogeneous() {
+  // Heterogeneous processors, homogeneous network: collapse everything onto
+  // one segment with the 26.64 ms/megabit capacity.
+  auto procs = table1_processors();
+  for (auto& p : procs) p.segment = 0;
+  return Platform("partially-heterogeneous", std::move(procs),
+                  {{kHomogeneousLink}});
+}
+
+Platform partially_homogeneous() {
+  // Homogeneous processors, heterogeneous (Table 2) network: keep the
+  // segment structure of the heterogeneous platform.
+  auto procs = homogeneous_processors(16, kHomogeneousCycleTime, 2048, 1024,
+                                      "Linux -- AMD Athlon");
+  const auto het = table1_processors();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    procs[i].segment = het[i].segment;
+  }
+  return Platform("partially-homogeneous", std::move(procs),
+                  table2_capacities());
+}
+
+Platform thunderhead(std::size_t nodes) {
+  HPRS_REQUIRE(nodes >= 1, "thunderhead requires >= 1 node");
+  // 2.4 GHz Xeon nodes: we adopt the Pentium-4-class cycle-time of Table 1
+  // (0.0058 s/Mflop); Myrinet 2 Gbit/s gives 0.5 ms per megabit.
+  return Platform(
+      "thunderhead-" + std::to_string(nodes),
+      homogeneous_processors(nodes, 0.0058, 1024, 512,
+                             "Linux -- dual Intel Xeon 2.4 GHz"),
+      {{0.5}}, /*switched_fabric=*/true);
+}
+
+Platform synthetic_heterogeneous(std::size_t nodes, double spread,
+                                 double mean_cycle_time,
+                                 double link_ms_per_mbit) {
+  HPRS_REQUIRE(nodes >= 1, "need >= 1 node");
+  HPRS_REQUIRE(spread >= 1.0, "spread must be >= 1");
+  HPRS_REQUIRE(mean_cycle_time > 0.0 && link_ms_per_mbit > 0.0,
+               "costs must be positive");
+  // Geometric spread of speeds around 1, then scaled to the requested mean
+  // cycle-time.
+  std::vector<double> w(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const double t = nodes == 1
+                         ? 0.5
+                         : static_cast<double>(i) /
+                               static_cast<double>(nodes - 1);
+    w[i] = std::pow(spread, t - 0.5);  // sqrt(1/spread) .. sqrt(spread)
+  }
+  double mean = 0.0;
+  for (double v : w) mean += v;
+  mean /= static_cast<double>(nodes);
+  std::vector<ProcessorSpec> procs;
+  procs.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    procs.push_back(ProcessorSpec{"p" + std::to_string(i + 1),
+                                  "synthetic", w[i] * mean_cycle_time / mean,
+                                  2048, 1024, 0});
+  }
+  return Platform("synthetic-spread-" + std::to_string(spread),
+                  std::move(procs), {{link_ms_per_mbit}});
+}
+
+}  // namespace hprs::simnet

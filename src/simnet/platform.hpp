@@ -1,0 +1,123 @@
+// Heterogeneous platform descriptions.
+//
+// A platform is the complete graph G = (P, E) of Section 2 of the paper:
+// each processor p_i carries a relative cycle-time w_i (seconds per
+// megaflop) and a memory capacity; each edge carries the capacity c_ij of
+// the slowest physical link between p_i and p_j, expressed as the paper's
+// Table 2 does -- milliseconds to transfer a one-megabit message.
+// Processors are grouped into communication segments: intra-segment links
+// are fast and independent, while the links *between* segments are serial
+// (one message at a time), which the simulator models as shared resources.
+//
+// Builders reproduce the paper's five experimental platforms exactly
+// (Tables 1 and 2 plus the three derived networks and Thunderhead).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hprs::simnet {
+
+struct ProcessorSpec {
+  std::string name;          ///< "p1" ... "p16", "n000" ... on clusters
+  std::string architecture;  ///< free-text, e.g. "Linux -- Intel Xeon"
+  double cycle_time;         ///< seconds per megaflop (w_i); smaller = faster
+  std::size_t memory_mb;     ///< main memory, megabytes
+  std::size_t cache_kb;      ///< cache, kilobytes (informational)
+  std::size_t segment;       ///< communication segment index
+};
+
+class Platform {
+ public:
+  Platform(std::string name, std::vector<ProcessorSpec> processors,
+           std::vector<std::vector<double>> segment_capacity_ms_per_mbit,
+           bool switched_fabric = false);
+
+  /// True for cluster interconnects (e.g. Thunderhead's Myrinet) where the
+  /// message-passing layer runs tree-based collectives; false for networks
+  /// of workstations, where broadcasts and gathers serialize through the
+  /// root's NIC.
+  [[nodiscard]] bool switched_fabric() const { return switched_fabric_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return processors_.size(); }
+  [[nodiscard]] std::size_t segment_count() const {
+    return segment_capacity_.size();
+  }
+
+  [[nodiscard]] const ProcessorSpec& processor(std::size_t i) const;
+  [[nodiscard]] const std::vector<ProcessorSpec>& processors() const {
+    return processors_;
+  }
+
+  /// w_i: seconds per megaflop.
+  [[nodiscard]] double cycle_time(std::size_t i) const;
+  /// Relative speed 1/w_i (megaflops per second).
+  [[nodiscard]] double speed(std::size_t i) const;
+  [[nodiscard]] std::size_t segment_of(std::size_t i) const;
+
+  /// c_ij in milliseconds per megabit (Table 2 units).  c_ii uses the
+  /// intra-segment capacity of i's segment (loopback transfers are charged
+  /// like any intra-segment transfer; ranks never message themselves in
+  /// the provided algorithms).
+  [[nodiscard]] double link_ms_per_mbit(std::size_t i, std::size_t j) const;
+
+  /// Raw segment-to-segment capacity (Table 2 units), independent of any
+  /// processor assignment.
+  [[nodiscard]] double segment_capacity_ms_per_mbit(std::size_t a,
+                                                    std::size_t b) const;
+
+  /// Whether a transfer i -> j crosses segments (and therefore contends for
+  /// the serial inter-segment link).
+  [[nodiscard]] bool crosses_segments(std::size_t i, std::size_t j) const {
+    return segment_of(i) != segment_of(j);
+  }
+
+  // --- Aggregate characteristics (used by the equivalence checker) ---
+
+  /// Mean speed over processors, in 1/w units.
+  [[nodiscard]] double average_speed() const;
+  /// Mean pairwise link capacity over ordered pairs i != j, ms per megabit.
+  [[nodiscard]] double average_link_ms_per_mbit() const;
+  /// Ratio of fastest to slowest processor speed (1 = homogeneous).
+  [[nodiscard]] double speed_heterogeneity() const;
+  /// Ratio of slowest to fastest link time (1 = homogeneous).
+  [[nodiscard]] double link_heterogeneity() const;
+
+ private:
+  std::string name_;
+  std::vector<ProcessorSpec> processors_;
+  /// segment_capacity_[a][b]: ms per megabit between segments a and b.
+  std::vector<std::vector<double>> segment_capacity_;
+  bool switched_fabric_ = false;
+};
+
+// --- The paper's experimental platforms -------------------------------
+
+/// Table 1 + Table 2: 16 heterogeneous workstations on four segments.
+[[nodiscard]] Platform fully_heterogeneous();
+
+/// 16 identical workstations (w = 0.0131 s/Mflop) on a homogeneous network
+/// with 26.64 ms/megabit links.
+[[nodiscard]] Platform fully_homogeneous();
+
+/// Table 1 processors on the homogeneous 26.64 ms/megabit network.
+[[nodiscard]] Platform partially_heterogeneous();
+
+/// 16 identical (w = 0.0131) workstations on the Table 2 network.
+[[nodiscard]] Platform partially_homogeneous();
+
+/// NASA GSFC Thunderhead Beowulf surrogate: `nodes` identical 2.4 GHz Xeon
+/// nodes (1 GB memory, 512 KB cache) on uniform Myrinet-class links.
+[[nodiscard]] Platform thunderhead(std::size_t nodes);
+
+/// Synthetic platform for ablations: `nodes` processors on one segment with
+/// speeds geometrically spread so that fastest/slowest == `spread`, mean
+/// cycle-time `mean_cycle_time`, uniform links of `link_ms_per_mbit`.
+[[nodiscard]] Platform synthetic_heterogeneous(std::size_t nodes,
+                                               double spread,
+                                               double mean_cycle_time,
+                                               double link_ms_per_mbit);
+
+}  // namespace hprs::simnet

@@ -1,0 +1,35 @@
+// Platform description file I/O.
+//
+// A small line-oriented text format so experiment platforms can be
+// versioned, edited, and exchanged without recompiling:
+//
+//   platform <name>
+//   fabric now|switched
+//   segments <K>
+//   capacity <K values per row, K rows>    # ms per one-megabit message
+//   processor <name> <cycle-time> <memory-mb> <cache-kb> <segment> <arch...>
+//
+// '#' starts a comment; blank lines are ignored.  save_platform writes a
+// file load_platform round-trips exactly.
+#pragma once
+
+#include <string>
+
+#include "simnet/platform.hpp"
+
+namespace hprs::simnet {
+
+/// Parses a platform description file.  Throws hprs::Error with a
+/// line-numbered message on malformed input.
+[[nodiscard]] Platform load_platform(const std::string& path);
+
+/// Writes the platform in the format load_platform reads.
+void save_platform(const Platform& platform, const std::string& path);
+
+/// Parses a platform from an in-memory string (same format).
+[[nodiscard]] Platform parse_platform(const std::string& text);
+
+/// Serializes to the same format.
+[[nodiscard]] std::string format_platform(const Platform& platform);
+
+}  // namespace hprs::simnet

@@ -1,0 +1,183 @@
+// Rank-facing communicator: the typed API algorithms program against.
+//
+// Mirrors the MPI operations the paper's algorithms need (compute charging
+// plus barrier / broadcast / gather / scatter / point-to-point), with
+// explicit wire sizes per payload -- see vmpi/packet.hpp for why sizes are
+// explicit.  One Comm instance exists per rank for the duration of
+// Engine::run and is only ever used by that rank's thread.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::vmpi {
+
+class Comm {
+ public:
+  Comm(Engine& engine, int rank) : engine_(&engine), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return engine_->size(); }
+  [[nodiscard]] bool is_root() const {
+    return rank_ == engine_->options_.root;
+  }
+  [[nodiscard]] int root() const { return engine_->options_.root; }
+  [[nodiscard]] const simnet::Platform& platform() const {
+    return engine_->platform();
+  }
+  /// Current virtual time of this rank, seconds.
+  [[nodiscard]] double now() const { return engine_->core_now(rank_); }
+
+  /// Advances this rank's virtual clock by flops * w_rank.  `phase` selects
+  /// the accounting bucket (mark master-only steps kSequential).
+  void compute(std::uint64_t flops, Phase phase = Phase::kParallel) {
+    engine_->core_compute(rank_, flops, phase);
+  }
+
+  void barrier() { engine_->core_barrier(rank_); }
+
+  /// Broadcast from `root`.  All ranks receive (a copy of) the root's
+  /// value; the root's own input is returned unchanged at the root.
+  template <typename T>
+  [[nodiscard]] T bcast(int root, T value, std::size_t bytes) {
+    Packet out = engine_->core_bcast(
+        rank_, root, Packet{std::move(value), bytes});
+    return std::any_cast<T>(std::move(out.value));
+  }
+
+  /// Gather to `root`: returns every rank's value, in rank order, at the
+  /// root; an empty vector elsewhere.
+  template <typename T>
+  [[nodiscard]] std::vector<T> gather(int root, T value, std::size_t bytes) {
+    std::vector<Packet> packets = engine_->core_gather(
+        rank_, root, Packet{std::move(value), bytes});
+    std::vector<T> out;
+    out.reserve(packets.size());
+    for (auto& p : packets) {
+      out.push_back(std::any_cast<T>(std::move(p.value)));
+    }
+    return out;
+  }
+
+  /// Scatter from `root`: the root supplies one part per rank (with wire
+  /// sizes); every rank returns its own part.  Non-root ranks pass empty
+  /// vectors.
+  template <typename T>
+  [[nodiscard]] T scatter(int root, std::vector<T> parts,
+                          const std::vector<std::size_t>& bytes) {
+    std::vector<Packet> packets;
+    if (rank_ == root) {
+      HPRS_REQUIRE(parts.size() == static_cast<std::size_t>(size()) &&
+                       bytes.size() == parts.size(),
+                   "scatter requires one part and size per rank");
+      packets.reserve(parts.size());
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        packets.push_back(Packet{std::move(parts[i]), bytes[i]});
+      }
+    }
+    Packet mine = engine_->core_scatter(rank_, root, std::move(packets));
+    return std::any_cast<T>(std::move(mine.value));
+  }
+
+  /// Reduction to the root followed by a broadcast of the combined value
+  /// (the classical NOW implementation of MPI_Allreduce; on switched
+  /// fabrics both legs use the binomial-tree schedules).  `combine` folds
+  /// two T into one; the root charges `combine_flops` per fold.
+  template <typename T, typename F>
+  [[nodiscard]] T allreduce(T value, std::size_t bytes, F combine,
+                            std::uint64_t combine_flops = 0) {
+    auto all = gather(root(), std::move(value), bytes);
+    T result{};
+    if (is_root()) {
+      result = std::move(all.front());
+      for (std::size_t i = 1; i < all.size(); ++i) {
+        result = combine(std::move(result), std::move(all[i]));
+      }
+      if (combine_flops > 0 && all.size() > 1) {
+        compute(combine_flops * (all.size() - 1));
+      }
+    }
+    return bcast(root(), std::move(result), bytes);
+  }
+
+  /// Every rank receives every rank's value, in rank order (gather +
+  /// broadcast of the concatenation).
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(T value, std::size_t bytes) {
+    auto all = gather(root(), std::move(value), bytes);
+    return bcast(root(), std::move(all),
+                 bytes * static_cast<std::size_t>(size()));
+  }
+
+  /// Deterministic generalized all-to-all (a collective: every rank must
+  /// call it, possibly with an empty send list).  Each send is
+  /// (destination, value, wire bytes); the return value holds the packets
+  /// addressed to this rank as (source, value) pairs in source order.
+  template <typename T>
+  [[nodiscard]] std::vector<std::pair<int, T>> exchange(
+      std::vector<std::tuple<int, T, std::size_t>> sends) {
+    std::vector<std::pair<int, Packet>> packets;
+    packets.reserve(sends.size());
+    for (auto& [dst, value, bytes] : sends) {
+      packets.emplace_back(dst, Packet{std::move(value), bytes});
+    }
+    auto received = engine_->core_exchange(rank_, std::move(packets));
+    std::vector<std::pair<int, T>> out;
+    out.reserve(received.size());
+    for (auto& [src, packet] : received) {
+      out.emplace_back(src, std::any_cast<T>(std::move(packet.value)));
+    }
+    return out;
+  }
+
+  /// Handle for a nonblocking send; pass to wait() exactly once.
+  class Request {
+   public:
+    Request() = default;
+
+   private:
+    friend class Comm;
+    explicit Request(std::uint64_t handle) : handle_(handle) {}
+    std::uint64_t handle_ = 0;
+  };
+
+  /// Nonblocking send: the message is posted immediately and this rank's
+  /// clock keeps running, so compute issued before the matching wait()
+  /// overlaps the transfer.  Every isend must be wait()ed exactly once.
+  template <typename T>
+  [[nodiscard]] Request isend(int dst, T value, std::size_t bytes,
+                              int tag = 0) {
+    return Request(engine_->core_isend(rank_, dst, tag,
+                                       Packet{std::move(value), bytes}));
+  }
+
+  /// Completes a nonblocking send: blocks until the receiver matched the
+  /// message, then advances this rank's clock to the transfer completion
+  /// (never backwards).
+  void wait(Request request) {
+    HPRS_REQUIRE(request.handle_ != 0, "wait on a default-constructed Request");
+    engine_->core_wait_send(rank_, request.handle_);
+  }
+
+  /// Blocking (rendezvous) point-to-point send.
+  template <typename T>
+  void send(int dst, T value, std::size_t bytes, int tag = 0) {
+    engine_->core_send(rank_, dst, tag, Packet{std::move(value), bytes});
+  }
+
+  /// Blocking point-to-point receive from a specific source and tag.
+  template <typename T>
+  [[nodiscard]] T recv(int src, int tag = 0) {
+    Packet p = engine_->core_recv(rank_, src, tag);
+    return std::any_cast<T>(std::move(p.value));
+  }
+
+ private:
+  Engine* engine_;
+  int rank_;
+};
+
+}  // namespace hprs::vmpi

@@ -1,0 +1,686 @@
+#include "vmpi/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::vmpi {
+
+namespace {
+
+/// Wire duration of a `bytes`-byte message on a c ms-per-megabit link.
+double transfer_seconds(std::size_t bytes, double c_ms_per_mbit,
+                        double latency_s) {
+  const double megabits = static_cast<double>(bytes) * 8.0 / 1e6;
+  return megabits * c_ms_per_mbit / 1000.0 + latency_s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+double RunReport::imbalance_all() const {
+  double lo = ranks[0].busy();
+  double hi = lo;
+  for (const auto& r : ranks) {
+    lo = std::min(lo, r.busy());
+    hi = std::max(hi, r.busy());
+  }
+  return lo > 0.0 ? hi / lo : 1.0;
+}
+
+double RunReport::imbalance_minus_root() const {
+  if (ranks.size() <= 1) return 1.0;
+  double lo = -1.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (static_cast<int>(i) == root) continue;
+    const double b = ranks[i].busy();
+    if (lo < 0.0 || b < lo) lo = b;
+    hi = std::max(hi, b);
+  }
+  return lo > 0.0 ? hi / lo : 1.0;
+}
+
+std::uint64_t RunReport::total_bytes_moved() const {
+  std::uint64_t b = 0;
+  for (const auto& r : ranks) b += r.bytes_sent;
+  return b;
+}
+
+std::uint64_t RunReport::total_flops() const {
+  std::uint64_t f = 0;
+  for (const auto& r : ranks) f += r.flops;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(simnet::Platform platform, Options options)
+    : platform_(std::move(platform)), options_(options) {
+  HPRS_REQUIRE(options_.root >= 0 && options_.root < size(),
+               "root rank out of range");
+  HPRS_REQUIRE(options_.per_message_latency_s >= 0.0,
+               "latency must be non-negative");
+}
+
+RunReport Engine::run(const std::function<void(Comm&)>& program) {
+  const int p = size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.assign(static_cast<std::size_t>(p), RankStats{});
+    trace_.assign(static_cast<std::size_t>(p), {});
+    nic_free_.assign(static_cast<std::size_t>(p), 0.0);
+    xlink_free_.clear();
+    mailbox_.clear();
+    coll_kind_ = CollectiveKind::kNone;
+    coll_root_ = -1;
+    coll_arrived_ = 0;
+    coll_generation_ = 0;
+    coll_inputs_.assign(static_cast<std::size_t>(p), Packet{});
+    coll_scatter_parts_.assign(static_cast<std::size_t>(p), {});
+    coll_exchange_in_.assign(static_cast<std::size_t>(p), {});
+    coll_single_out_.assign(static_cast<std::size_t>(p), Packet{});
+    coll_multi_out_.assign(static_cast<std::size_t>(p), {});
+    coll_exchange_out_.assign(static_cast<std::size_t>(p), {});
+    next_send_handle_ = 1;
+    poisoned_ = false;
+    poison_reason_.clear();
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        program(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!poisoned_) poison_locked("a rank threw an exception");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunReport report;
+  report.root = options_.root;
+  report.ranks = stats_;
+  for (const auto& s : stats_) {
+    report.total_time = std::max(report.total_time, s.clock);
+  }
+  if (options_.enable_trace) {
+    for (auto& per_rank : trace_) {
+      report.trace.insert(report.trace.end(), per_rank.begin(),
+                          per_rank.end());
+    }
+    std::sort(report.trace.begin(), report.trace.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.rank < b.rank;
+              });
+  }
+  return report;
+}
+
+double Engine::core_now(int rank) const {
+  // The rank only queries its own clock, which no other thread mutates
+  // while the rank is running; see the ownership note in the header.
+  return stats_[static_cast<std::size_t>(rank)].clock;
+}
+
+void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
+  auto& s = stats_[static_cast<std::size_t>(rank)];
+  const double seconds = static_cast<double>(flops) * 1e-6 *
+                         platform_.cycle_time(static_cast<std::size_t>(rank));
+  if (options_.enable_trace && seconds > 0.0) {
+    trace_[static_cast<std::size_t>(rank)].push_back(TraceEvent{
+        rank, TraceKind::kCompute, s.clock, s.clock + seconds, flops});
+  }
+  s.clock += seconds;
+  s.flops += flops;
+  if (phase == Phase::kSequential) {
+    s.compute_seq += seconds;
+  } else {
+    s.compute_par += seconds;
+  }
+}
+
+// --- collectives -----------------------------------------------------------
+
+void Engine::begin_collective(int rank, CollectiveKind kind, int root) {
+  check_poison_locked();
+  if (coll_arrived_ == 0) {
+    coll_kind_ = kind;
+    coll_root_ = root;
+  } else if (coll_kind_ != kind || coll_root_ != root) {
+    poison_locked("mismatched collective operations across ranks");
+    check_poison_locked();
+  }
+  const auto r = static_cast<std::size_t>(rank);
+  ++coll_arrived_;
+  (void)r;
+}
+
+void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock,
+                                 std::uint64_t generation) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  while (coll_generation_ == generation && !poisoned_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        coll_generation_ == generation && !poisoned_) {
+      poison_locked("collective operation timed out (virtual MPI deadlock?)");
+      break;
+    }
+  }
+  check_poison_locked();
+}
+
+void Engine::poison_locked(const std::string& reason) {
+  poisoned_ = true;
+  poison_reason_ = reason;
+  cv_.notify_all();
+}
+
+void Engine::check_poison_locked() const {
+  if (poisoned_) {
+    throw Error("virtual MPI engine aborted: " + poison_reason_);
+  }
+}
+
+double Engine::schedule_transfer_locked(int src, int dst, std::size_t bytes,
+                                        double ready) {
+  const auto s = static_cast<std::size_t>(src);
+  const auto d = static_cast<std::size_t>(dst);
+  const double dur = transfer_seconds(
+      bytes, platform_.link_ms_per_mbit(s, d), options_.per_message_latency_s);
+  double start = std::max({ready, nic_free_[s], nic_free_[d]});
+  const std::size_t seg_s = platform_.segment_of(s);
+  const std::size_t seg_d = platform_.segment_of(d);
+  const auto xkey = std::make_pair(std::min(seg_s, seg_d),
+                                   std::max(seg_s, seg_d));
+  if (seg_s != seg_d) {
+    const auto it = xlink_free_.find(xkey);
+    if (it != xlink_free_.end()) start = std::max(start, it->second);
+  }
+  const double end = start + dur;
+  nic_free_[s] = end;
+  nic_free_[d] = end;
+  if (seg_s != seg_d) xlink_free_[xkey] = end;
+  return end;
+}
+
+void Engine::account_transfer_locked(int rank, double ready, double end,
+                                     double active, std::uint64_t bytes_out,
+                                     std::uint64_t bytes_in) {
+  auto& s = stats_[static_cast<std::size_t>(rank)];
+  s.comm += active;
+  const double elapsed = end - ready;
+  if (elapsed > active) s.wait += elapsed - active;
+  s.bytes_sent += bytes_out;
+  s.bytes_received += bytes_in;
+  if (options_.enable_trace) {
+    auto& log = trace_[static_cast<std::size_t>(rank)];
+    if (elapsed > active) {
+      log.push_back(
+          TraceEvent{rank, TraceKind::kIdle, ready, end - active, 0});
+    }
+    if (active > 0.0) {
+      log.push_back(TraceEvent{
+          rank, bytes_out > 0 ? TraceKind::kTransmit : TraceKind::kReceive,
+          end - active, end, bytes_out > 0 ? bytes_out : bytes_in});
+    }
+  }
+  s.clock = std::max(s.clock, end);
+}
+
+void Engine::finish_collective_locked() {
+  const int p = size();
+  const int root = coll_root_;
+  const auto ru = static_cast<std::size_t>(root);
+  const double latency = options_.per_message_latency_s;
+
+  std::vector<double> arrival(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    arrival[static_cast<std::size_t>(r)] =
+        stats_[static_cast<std::size_t>(r)].clock;
+  }
+
+  switch (coll_kind_) {
+    case CollectiveKind::kBarrier: {
+      double t = 0.0;
+      for (double a : arrival) t = std::max(t, a);
+      for (int r = 0; r < p; ++r) {
+        auto& s = stats_[static_cast<std::size_t>(r)];
+        if (options_.enable_trace && t > s.clock) {
+          trace_[static_cast<std::size_t>(r)].push_back(
+              TraceEvent{r, TraceKind::kIdle, s.clock, t, 0});
+        }
+        s.wait += t - s.clock;
+        s.clock = t;
+      }
+      break;
+    }
+
+    case CollectiveKind::kBcast: {
+      const Packet& payload = coll_inputs_[ru];
+      const std::size_t bytes = payload.bytes;
+      if (platform_.switched_fabric()) {
+        // Binomial-tree broadcast (cluster message-passing layers).  vrank
+        // is the rank rotated so the root is 0; in step k every holder
+        // vsrc < 2^k forwards to vsrc + 2^k.
+        std::vector<double> known(static_cast<std::size_t>(p), 0.0);
+        known[0] = arrival[ru];
+        for (int step = 1; step < p; step <<= 1) {
+          for (int vsrc = 0; vsrc < step && vsrc + step < p; ++vsrc) {
+            const int vdst = vsrc + step;
+            const int src = (vsrc + root) % p;
+            const int dst = (vdst + root) % p;
+            const auto su = static_cast<std::size_t>(src);
+            const auto du = static_cast<std::size_t>(dst);
+            const double end = schedule_transfer_locked(
+                src, dst, bytes, known[static_cast<std::size_t>(vsrc)]);
+            const double active = transfer_seconds(
+                bytes, platform_.link_ms_per_mbit(su, du), latency);
+            account_transfer_locked(src, known[static_cast<std::size_t>(vsrc)],
+                                    end, active, bytes, 0);
+            account_transfer_locked(dst, arrival[du],
+                                    std::max(end, arrival[du]), active, 0,
+                                    bytes);
+            known[static_cast<std::size_t>(vdst)] = std::max(end, arrival[du]);
+            coll_single_out_[du] = Packet{payload.value, bytes};
+          }
+        }
+      } else {
+        // Linear broadcast: the root transmits to each worker in rank
+        // order; its NIC serializes the sends (network-of-workstations
+        // behavior).
+        double root_busy_from = arrival[ru];
+        for (int dst = 0; dst < p; ++dst) {
+          if (dst == root) continue;
+          const auto du = static_cast<std::size_t>(dst);
+          const double end =
+              schedule_transfer_locked(root, dst, bytes, arrival[ru]);
+          const double active = transfer_seconds(
+              bytes, platform_.link_ms_per_mbit(ru, du), latency);
+          account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
+                                  active, 0, bytes);
+          account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
+          root_busy_from = end;
+          coll_single_out_[du] = Packet{payload.value, bytes};
+        }
+      }
+      coll_single_out_[ru] = std::move(coll_inputs_[ru]);
+      break;
+    }
+
+    case CollectiveKind::kGather: {
+      auto& gathered = coll_multi_out_[ru];
+      gathered.resize(static_cast<std::size_t>(p));
+      if (platform_.switched_fabric()) {
+        // Binomial-tree gather: in step k, every vrank whose low k bits are
+        // zero and whose k-th bit is one forwards its accumulated buffer to
+        // vrank - 2^k.  Intermediate nodes concatenate, so transferred
+        // bytes grow with the subtree.
+        std::vector<double> ready(static_cast<std::size_t>(p));
+        std::vector<std::size_t> acc(static_cast<std::size_t>(p));
+        for (int v = 0; v < p; ++v) {
+          const int r = (v + root) % p;
+          ready[static_cast<std::size_t>(v)] =
+              arrival[static_cast<std::size_t>(r)];
+          acc[static_cast<std::size_t>(v)] =
+              coll_inputs_[static_cast<std::size_t>(r)].bytes;
+        }
+        for (int step = 1; step < p; step <<= 1) {
+          for (int vsrc = step; vsrc < p; vsrc += 2 * step) {
+            const int vdst = vsrc - step;
+            const int src = (vsrc + root) % p;
+            const int dst = (vdst + root) % p;
+            const auto su = static_cast<std::size_t>(src);
+            const auto du = static_cast<std::size_t>(dst);
+            const std::size_t bytes = acc[static_cast<std::size_t>(vsrc)];
+            const double end = schedule_transfer_locked(
+                src, dst, bytes, ready[static_cast<std::size_t>(vsrc)]);
+            const double active = transfer_seconds(
+                bytes, platform_.link_ms_per_mbit(su, du), latency);
+            account_transfer_locked(src, ready[static_cast<std::size_t>(vsrc)],
+                                    end, active, bytes, 0);
+            account_transfer_locked(dst, ready[static_cast<std::size_t>(vdst)],
+                                    end, active, 0, bytes);
+            ready[static_cast<std::size_t>(vdst)] =
+                std::max(ready[static_cast<std::size_t>(vdst)], end);
+            acc[static_cast<std::size_t>(vdst)] += bytes;
+          }
+        }
+        for (int src = 0; src < p; ++src) {
+          gathered[static_cast<std::size_t>(src)] =
+              std::move(coll_inputs_[static_cast<std::size_t>(src)]);
+        }
+      } else {
+        // Workers transmit to the root in rank order; the root's NIC is the
+        // serializing resource.
+        double root_busy_from = arrival[ru];
+        for (int src = 0; src < p; ++src) {
+          const auto su = static_cast<std::size_t>(src);
+          if (src == root) {
+            gathered[su] = std::move(coll_inputs_[su]);
+            continue;
+          }
+          const std::size_t bytes = coll_inputs_[su].bytes;
+          const double end =
+              schedule_transfer_locked(src, root, bytes, arrival[su]);
+          const double active = transfer_seconds(
+              bytes, platform_.link_ms_per_mbit(su, ru), latency);
+          account_transfer_locked(src, arrival[su], end, active, bytes, 0);
+          account_transfer_locked(root, root_busy_from, end, active, 0, bytes);
+          root_busy_from = end;
+          gathered[su] = std::move(coll_inputs_[su]);
+        }
+      }
+      break;
+    }
+
+    case CollectiveKind::kScatter: {
+      auto& parts = coll_scatter_parts_[ru];
+      HPRS_ASSERT(parts.size() == static_cast<std::size_t>(p));
+      if (platform_.switched_fabric()) {
+        // Binomial-tree scatter (mirror of the tree gather): holders pass
+        // the byte-sum of the destination subtree down in halving steps.
+        const auto vbytes = [&](int v) {
+          return parts[static_cast<std::size_t>((v + root) % p)].bytes;
+        };
+        std::vector<double> known(static_cast<std::size_t>(p), 0.0);
+        known[0] = arrival[ru];
+        int top = 1;
+        while (top < p) top <<= 1;
+        for (int step = top >> 1; step >= 1; step >>= 1) {
+          for (int vsrc = 0; vsrc < p; vsrc += 2 * step) {
+            const int vdst = vsrc + step;
+            if (vdst >= p) continue;
+            std::size_t bytes = 0;
+            for (int v = vdst; v < std::min(vdst + step, p); ++v) {
+              bytes += vbytes(v);
+            }
+            const int src = (vsrc + root) % p;
+            const int dst = (vdst + root) % p;
+            const auto su = static_cast<std::size_t>(src);
+            const auto du = static_cast<std::size_t>(dst);
+            const double end = schedule_transfer_locked(
+                src, dst, bytes, known[static_cast<std::size_t>(vsrc)]);
+            const double active = transfer_seconds(
+                bytes, platform_.link_ms_per_mbit(su, du), latency);
+            account_transfer_locked(src, known[static_cast<std::size_t>(vsrc)],
+                                    end, active, bytes, 0);
+            account_transfer_locked(dst, arrival[du],
+                                    std::max(end, arrival[du]), active, 0,
+                                    bytes);
+            known[static_cast<std::size_t>(vdst)] = std::max(end, arrival[du]);
+          }
+        }
+        for (int dst = 0; dst < p; ++dst) {
+          coll_single_out_[static_cast<std::size_t>(dst)] =
+              std::move(parts[static_cast<std::size_t>(dst)]);
+        }
+      } else {
+        double root_busy_from = arrival[ru];
+        for (int dst = 0; dst < p; ++dst) {
+          const auto du = static_cast<std::size_t>(dst);
+          if (dst == root) {
+            coll_single_out_[du] = std::move(parts[du]);
+            continue;
+          }
+          const std::size_t bytes = parts[du].bytes;
+          const double end =
+              schedule_transfer_locked(root, dst, bytes, arrival[ru]);
+          const double active = transfer_seconds(
+              bytes, platform_.link_ms_per_mbit(ru, du), latency);
+          account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
+                                  active, 0, bytes);
+          account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
+          root_busy_from = end;
+          coll_single_out_[du] = std::move(parts[du]);
+        }
+      }
+      break;
+    }
+
+    case CollectiveKind::kExchange: {
+      // All pairwise transfers scheduled in (src, dst) order; a rank's
+      // clock advances to the end of the last transfer it participates in.
+      for (int src = 0; src < p; ++src) {
+        const auto su = static_cast<std::size_t>(src);
+        for (auto& [dst, packet] : coll_exchange_in_[su]) {
+          HPRS_ASSERT(dst >= 0 && dst < p && dst != src);
+          const auto du = static_cast<std::size_t>(dst);
+          const std::size_t bytes = packet.bytes;
+          const double end =
+              schedule_transfer_locked(src, dst, bytes, arrival[su]);
+          const double active = transfer_seconds(
+              bytes, platform_.link_ms_per_mbit(su, du), latency);
+          account_transfer_locked(src, arrival[su], end, active, bytes, 0);
+          account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
+                                  active, 0, bytes);
+          coll_exchange_out_[du].emplace_back(src, std::move(packet));
+        }
+        coll_exchange_in_[su].clear();
+      }
+      break;
+    }
+
+    case CollectiveKind::kNone:
+      HPRS_ASSERT(false);
+  }
+
+  coll_kind_ = CollectiveKind::kNone;
+  coll_root_ = -1;
+  coll_arrived_ = 0;
+  ++coll_generation_;
+  cv_.notify_all();
+}
+
+void Engine::core_barrier(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  begin_collective(rank, CollectiveKind::kBarrier, options_.root);
+  if (coll_arrived_ == size()) {
+    finish_collective_locked();
+    return;
+  }
+  wait_for_generation(lock, coll_generation_);
+}
+
+Packet Engine::core_bcast(int rank, int root, Packet payload) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  begin_collective(rank, CollectiveKind::kBcast, root);
+  const auto r = static_cast<std::size_t>(rank);
+  if (rank == root) coll_inputs_[r] = std::move(payload);
+  if (coll_arrived_ == size()) {
+    finish_collective_locked();
+  } else {
+    wait_for_generation(lock, coll_generation_);
+  }
+  return std::move(coll_single_out_[r]);
+}
+
+std::vector<Packet> Engine::core_gather(int rank, int root, Packet payload) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  begin_collective(rank, CollectiveKind::kGather, root);
+  const auto r = static_cast<std::size_t>(rank);
+  coll_inputs_[r] = std::move(payload);
+  if (coll_arrived_ == size()) {
+    finish_collective_locked();
+  } else {
+    wait_for_generation(lock, coll_generation_);
+  }
+  return std::move(coll_multi_out_[r]);
+}
+
+Packet Engine::core_scatter(int rank, int root, std::vector<Packet> parts) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  begin_collective(rank, CollectiveKind::kScatter, root);
+  const auto r = static_cast<std::size_t>(rank);
+  if (rank == root) coll_scatter_parts_[r] = std::move(parts);
+  if (coll_arrived_ == size()) {
+    finish_collective_locked();
+  } else {
+    wait_for_generation(lock, coll_generation_);
+  }
+  return std::move(coll_single_out_[r]);
+}
+
+std::vector<std::pair<int, Packet>> Engine::core_exchange(
+    int rank, std::vector<std::pair<int, Packet>> sends) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  begin_collective(rank, CollectiveKind::kExchange, options_.root);
+  const auto r = static_cast<std::size_t>(rank);
+  coll_exchange_in_[r] = std::move(sends);
+  coll_exchange_out_[r].clear();
+  if (coll_arrived_ == size()) {
+    finish_collective_locked();
+  } else {
+    wait_for_generation(lock, coll_generation_);
+  }
+  return std::move(coll_exchange_out_[r]);
+}
+
+// --- point-to-point ---------------------------------------------------------
+
+void Engine::core_send(int rank, int dst, int tag, Packet payload) {
+  HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
+               "invalid destination rank");
+  std::unique_lock<std::mutex> lock(mutex_);
+  check_poison_locked();
+  auto& queue = mailbox_[{rank, dst, tag}];
+  queue.push_back(PendingSend{std::move(payload),
+                              stats_[static_cast<std::size_t>(rank)].clock,
+                              false, 0.0});
+  auto it = std::prev(queue.end());
+  cv_.notify_all();
+
+  // Rendezvous: block until the receiver matches and times the transfer.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  while (!it->matched && !poisoned_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !it->matched && !poisoned_) {
+      poison_locked("send never matched (virtual MPI deadlock?)");
+      break;
+    }
+  }
+  check_poison_locked();
+  stats_[static_cast<std::size_t>(rank)].clock = it->sender_end;
+  queue.erase(it);
+}
+
+std::uint64_t Engine::core_isend(int rank, int dst, int tag,
+                                 Packet payload) {
+  HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
+               "invalid destination rank");
+  std::unique_lock<std::mutex> lock(mutex_);
+  check_poison_locked();
+  const std::uint64_t handle = next_send_handle_++;
+  mailbox_[{rank, dst, tag}].push_back(
+      PendingSend{std::move(payload),
+                  stats_[static_cast<std::size_t>(rank)].clock, false, 0.0,
+                  handle});
+  cv_.notify_all();
+  return handle;
+}
+
+void Engine::core_wait_send(int rank, std::uint64_t handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Find the posting by handle (it is keyed by (rank, dst, tag), so scan
+  // this rank's outgoing queues; queues are short-lived).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  while (true) {
+    check_poison_locked();
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (std::get<0>(it->first) != rank) continue;
+      for (auto ps = it->second.begin(); ps != it->second.end(); ++ps) {
+        if (ps->handle != handle) continue;
+        if (!ps->matched) goto keep_waiting;
+        auto& s = stats_[static_cast<std::size_t>(rank)];
+        s.clock = std::max(s.clock, ps->sender_end);
+        it->second.erase(ps);
+        if (it->second.empty()) mailbox_.erase(it);
+        return;
+      }
+    }
+    // Handle not found at all: already waited (or never posted).
+    throw Error("wait on an unknown or already-completed send handle");
+  keep_waiting:
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      poison_locked("isend never matched (virtual MPI deadlock?)");
+      check_poison_locked();
+    }
+  }
+}
+
+Packet Engine::core_recv(int rank, int src, int tag) {
+  HPRS_REQUIRE(src >= 0 && src < size() && src != rank, "invalid source rank");
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto key = std::make_tuple(src, rank, tag);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  std::list<PendingSend>* queue = nullptr;
+  std::list<PendingSend>::iterator it;
+  while (true) {
+    check_poison_locked();
+    const auto q = mailbox_.find(key);
+    if (q != mailbox_.end()) {
+      it = std::find_if(q->second.begin(), q->second.end(),
+                        [](const PendingSend& ps) { return !ps.matched; });
+      if (it != q->second.end()) {
+        queue = &q->second;
+        break;
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      poison_locked("recv never matched (virtual MPI deadlock?)");
+      check_poison_locked();
+    }
+  }
+  (void)queue;
+
+  auto& me = stats_[static_cast<std::size_t>(rank)];
+  const double ready = std::max(it->ready, me.clock);
+  const std::size_t bytes = it->payload.bytes;
+  const double end = schedule_transfer_locked(src, rank, bytes, ready);
+  const double active =
+      transfer_seconds(bytes,
+                       platform_.link_ms_per_mbit(static_cast<std::size_t>(src),
+                                                  static_cast<std::size_t>(rank)),
+                       options_.per_message_latency_s);
+  account_transfer_locked(rank, me.clock, end, active, 0, bytes);
+  account_transfer_locked(src, it->ready, end, active, bytes, 0);
+
+  Packet out = std::move(it->payload);
+  it->matched = true;
+  it->sender_end = end;
+  cv_.notify_all();
+  return out;
+}
+
+}  // namespace hprs::vmpi

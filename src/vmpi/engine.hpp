@@ -1,0 +1,176 @@
+// Discrete-event virtual message-passing engine.
+//
+// Executes an SPMD program -- one callable invoked once per rank -- on a
+// simulated simnet::Platform.  Ranks run as host threads so the program's
+// *numerics* are real, while *time* is virtual:
+//
+//   compute  : seconds = flops * 1e-6 * w_rank        (w in s/megaflop)
+//   transfer : seconds = bytes*8/1e6 * c_ij / 1000    (c in ms/megabit)
+//              + a fixed per-message latency
+//
+// Transfers contend for two resource classes, each modeled as a
+// busy-until time: the per-processor NIC (a workstation transmits or
+// receives one message at a time, which makes broadcasts linear, as on a
+// network of workstations), and the serial links between communication
+// segments (the paper's fully heterogeneous network interconnects its four
+// segments with serial links).
+//
+// Determinism: collective operations are the only place concurrent ranks
+// touch shared resource state, and their cost model runs once -- executed
+// by the last-arriving rank under the engine lock -- scheduling member
+// transfers in rank order.  Virtual results are therefore bit-identical
+// across runs regardless of host scheduling.  Point-to-point send/recv is
+// provided for generality and is deterministic whenever, as in all the
+// shipped algorithms, concurrently outstanding matches do not share
+// resources.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "simnet/platform.hpp"
+#include "vmpi/packet.hpp"
+#include "vmpi/stats.hpp"
+
+namespace hprs::vmpi {
+
+class Comm;
+
+struct Options {
+  /// Fixed virtual latency added to every message.
+  double per_message_latency_s = 1e-4;
+  /// Wall-clock bound on how long a rank may block waiting for a peer
+  /// before the engine declares deadlock (host seconds, not virtual).
+  double deadlock_timeout_s = 120.0;
+  /// Rank that plays master in the report decomposition.
+  int root = 0;
+  /// Record a per-rank timeline of compute/transfer/idle intervals into
+  /// RunReport::trace (see vmpi/trace.hpp).
+  bool enable_trace = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(simnet::Platform platform, Options options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `program` once per rank on dedicated threads and returns the
+  /// timing report.  Rethrows the first exception thrown by any rank.
+  RunReport run(const std::function<void(Comm&)>& program);
+
+  [[nodiscard]] const simnet::Platform& platform() const { return platform_; }
+  [[nodiscard]] int size() const { return static_cast<int>(platform_.size()); }
+
+ private:
+  friend class Comm;
+
+  // --- type-erased operation core, called via Comm ---
+  void core_compute(int rank, std::uint64_t flops, Phase phase);
+  void core_barrier(int rank);
+  Packet core_bcast(int rank, int root, Packet payload);
+  std::vector<Packet> core_gather(int rank, int root, Packet payload);
+  Packet core_scatter(int rank, int root, std::vector<Packet> parts);
+  /// Deterministic generalized all-to-all: every rank contributes a list of
+  /// (destination, packet) sends; the coordinator schedules all transfers
+  /// in (src, dst) order and each rank receives its incoming packets tagged
+  /// with their source rank.  Used for halo exchanges.
+  std::vector<std::pair<int, Packet>> core_exchange(
+      int rank, std::vector<std::pair<int, Packet>> sends);
+  void core_send(int rank, int dst, int tag, Packet payload);
+  Packet core_recv(int rank, int src, int tag);
+  /// Nonblocking send: posts the message and returns a handle immediately;
+  /// the sender's clock does not advance until core_wait_send, which
+  /// blocks until the receiver has matched the message and then advances
+  /// the sender's clock to the transfer completion (never backwards, so
+  /// compute performed between isend and wait overlaps the transfer).
+  [[nodiscard]] std::uint64_t core_isend(int rank, int dst, int tag,
+                                         Packet payload);
+  void core_wait_send(int rank, std::uint64_t handle);
+  [[nodiscard]] double core_now(int rank) const;
+
+  // --- collective machinery (all called with mutex_ held) ---
+  enum class CollectiveKind : std::uint8_t {
+    kNone,
+    kBarrier,
+    kBcast,
+    kGather,
+    kScatter,
+    kExchange,
+  };
+  void begin_collective(int rank, CollectiveKind kind, int root);
+  void finish_collective_locked();
+  void wait_for_generation(std::unique_lock<std::mutex>& lock,
+                           std::uint64_t generation);
+
+  /// Schedules one transfer src -> dst: claims NIC and inter-segment
+  /// resources, advances them, and returns the completion time.  `ready` is
+  /// the earliest the sender-side data is available.
+  double schedule_transfer_locked(int src, int dst, std::size_t bytes,
+                                  double ready);
+
+  /// Charges comm/wait stats for a rank that participated in a transfer
+  /// finishing at `end`, having been ready at `ready`, with `active`
+  /// seconds of actual wire time.
+  void account_transfer_locked(int rank, double ready, double end,
+                               double active, std::uint64_t bytes_out,
+                               std::uint64_t bytes_in);
+
+  void poison_locked(const std::string& reason);
+  void check_poison_locked() const;
+
+  simnet::Platform platform_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+
+  // Virtual state.  A rank's clock/stats are mutated either by its own
+  // thread (while running) or by the collective coordinator (while the rank
+  // is blocked on cv_), never concurrently.
+  std::vector<RankStats> stats_;
+  /// Per-rank trace buffers (only filled when options_.enable_trace); a
+  /// rank's buffer is mutated by its own thread or by the collective
+  /// coordinator while the rank is blocked, like its clock.
+  std::vector<std::vector<TraceEvent>> trace_;
+  std::vector<double> nic_free_;  // per-processor NIC busy-until
+  std::map<std::pair<std::size_t, std::size_t>, double>
+      xlink_free_;  // inter-segment serial link busy-until (ordered pair)
+
+  // Collective rendezvous state.
+  CollectiveKind coll_kind_ = CollectiveKind::kNone;
+  int coll_root_ = -1;
+  int coll_arrived_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  std::vector<Packet> coll_inputs_;
+  std::vector<std::vector<Packet>> coll_scatter_parts_;
+  std::vector<std::vector<std::pair<int, Packet>>> coll_exchange_in_;
+  std::vector<Packet> coll_single_out_;
+  std::vector<std::vector<Packet>> coll_multi_out_;
+  std::vector<std::vector<std::pair<int, Packet>>> coll_exchange_out_;
+
+  // Point-to-point mailboxes keyed by (src, dst, tag).  std::list gives the
+  // sender a stable element to block on while the receiver matches it.
+  struct PendingSend {
+    Packet payload;
+    double ready = 0.0;
+    bool matched = false;    // receiver has taken the payload and timed it
+    double sender_end = 0.0; // sender's completion time once matched
+    std::uint64_t handle = 0;  // nonzero for isend postings
+  };
+  std::map<std::tuple<int, int, int>, std::list<PendingSend>> mailbox_;
+  std::uint64_t next_send_handle_ = 1;
+
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace hprs::vmpi

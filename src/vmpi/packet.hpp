@@ -1,0 +1,36 @@
+// Type-erased message payloads for the virtual message-passing runtime.
+//
+// Ranks live in one address space (they are threads of the simulator), so a
+// "message" is a moved std::any plus the number of bytes the transfer would
+// occupy on the wire.  The byte count is explicit rather than inferred:
+// algorithms frequently send *views* into shared data (e.g. a partition of
+// the image cube) whose in-memory footprint is a pointer but whose modeled
+// transfer is megabytes -- exactly the situation MPI derived datatypes
+// address on a real cluster (the paper uses them to scatter non-contiguous
+// hyperspectral structures in one communication step).
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hprs::vmpi {
+
+struct Packet {
+  std::any value;
+  std::size_t bytes = 0;
+};
+
+/// Wire size of a span of trivially copyable elements.
+template <typename T>
+[[nodiscard]] constexpr std::size_t byte_size(std::span<const T> s) {
+  return s.size() * sizeof(T);
+}
+
+template <typename T>
+[[nodiscard]] constexpr std::size_t byte_size(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+
+}  // namespace hprs::vmpi

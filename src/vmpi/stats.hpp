@@ -1,0 +1,80 @@
+// Per-rank accounting and the run report the benches consume.
+//
+// The paper decomposes each run into COM (communication), SEQ (computations
+// performed by the root with no other parallel task active) and PAR (all
+// other computation, including worker idle time), and reports the imbalance
+// D = R_max / R_min over processor run times, both over all processors
+// (D_all) and excluding the root (D_minus).  RunReport reproduces those
+// definitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hprs::vmpi {
+
+/// Accounting bucket for compute charges.  Algorithms mark master-only
+/// steps as kSequential; everything else is kParallel.
+enum class Phase : std::uint8_t { kParallel, kSequential };
+
+struct RankStats {
+  double clock = 0.0;        ///< virtual time at program end (seconds)
+  double compute_par = 0.0;  ///< compute charged in Phase::kParallel
+  double compute_seq = 0.0;  ///< compute charged in Phase::kSequential
+  double comm = 0.0;         ///< active transfer time (sending/receiving)
+  double wait = 0.0;         ///< idle time blocked at operations
+  std::uint64_t flops = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  /// Time the processor was doing useful work (the "run time" of the
+  /// paper's imbalance metric).
+  [[nodiscard]] double busy() const { return compute_par + compute_seq + comm; }
+};
+
+/// What a trace interval represents (see vmpi/trace.hpp for rendering).
+enum class TraceKind : std::uint8_t {
+  kCompute,   ///< flops charged (amount = flops)
+  kTransmit,  ///< active wire time sending (amount = bytes)
+  kReceive,   ///< active wire time receiving (amount = bytes)
+  kIdle,      ///< blocked at a collective or rendezvous
+};
+
+/// One recorded interval of a rank's virtual timeline (only collected when
+/// Options::enable_trace is set).
+struct TraceEvent {
+  int rank = 0;
+  TraceKind kind = TraceKind::kCompute;
+  double begin = 0.0;  ///< virtual seconds
+  double end = 0.0;
+  std::uint64_t amount = 0;  ///< flops or bytes
+};
+
+struct RunReport {
+  double total_time = 0.0;  ///< max final virtual clock over ranks
+  int root = 0;
+  std::vector<RankStats> ranks;
+  /// Chronological event log (empty unless tracing was enabled).
+  std::vector<TraceEvent> trace;
+
+  /// COM: the root's communication time.  In the master/worker algorithms
+  /// every transfer touches the root, so this is the communication span of
+  /// the run.
+  [[nodiscard]] double com() const { return ranks[size_t(root)].comm; }
+  /// SEQ: root-only computation.
+  [[nodiscard]] double seq() const { return ranks[size_t(root)].compute_seq; }
+  /// PAR: the rest of the timeline (includes worker idle time, as in the
+  /// paper).
+  [[nodiscard]] double par() const {
+    const double p = total_time - com() - seq();
+    return p > 0.0 ? p : 0.0;
+  }
+
+  [[nodiscard]] double imbalance_all() const;
+  [[nodiscard]] double imbalance_minus_root() const;
+
+  [[nodiscard]] std::uint64_t total_bytes_moved() const;
+  [[nodiscard]] std::uint64_t total_flops() const;
+};
+
+}  // namespace hprs::vmpi

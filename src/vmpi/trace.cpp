@@ -1,0 +1,76 @@
+#include "vmpi/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hprs::vmpi {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCompute: return "compute";
+    case TraceKind::kTransmit: return "transmit";
+    case TraceKind::kReceive: return "receive";
+    case TraceKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+std::string trace_csv(const RunReport& report) {
+  std::ostringstream out;
+  out << "rank,kind,begin,end,amount\n";
+  for (const auto& e : report.trace) {
+    out << e.rank << ',' << to_string(e.kind) << ',' << e.begin << ','
+        << e.end << ',' << e.amount << '\n';
+  }
+  return out.str();
+}
+
+std::string render_gantt(const RunReport& report, std::size_t width) {
+  HPRS_REQUIRE(width >= 8, "gantt width too small");
+  const double total = report.total_time;
+  std::ostringstream out;
+  out << "virtual timeline, 0 .. " << total
+      << " s (c=compute s=send r=receive .=idle)\n";
+  if (total <= 0.0) return out.str();
+
+  // Priority per glyph: compute paints over transfers over idle.
+  const auto glyph_rank = [](char g) {
+    switch (g) {
+      case 'c': return 3;
+      case 's': return 2;
+      case 'r': return 2;
+      case '.': return 1;
+      default: return 0;
+    }
+  };
+  std::vector<std::string> rows(report.ranks.size(),
+                                std::string(width, ' '));
+  for (const auto& e : report.trace) {
+    char g = ' ';
+    switch (e.kind) {
+      case TraceKind::kCompute: g = 'c'; break;
+      case TraceKind::kTransmit: g = 's'; break;
+      case TraceKind::kReceive: g = 'r'; break;
+      case TraceKind::kIdle: g = '.'; break;
+    }
+    const auto col = [&](double t) {
+      return std::min(width - 1, static_cast<std::size_t>(
+                                     t / total * static_cast<double>(width)));
+    };
+    auto& row = rows[static_cast<std::size_t>(e.rank)];
+    for (std::size_t c = col(e.begin); c <= col(e.end); ++c) {
+      if (glyph_rank(g) > glyph_rank(row[c])) row[c] = g;
+    }
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << (static_cast<int>(r) == report.root ? "root " : "     ");
+    out << 'r';
+    if (r < 10) out << '0';
+    out << r << " |" << rows[r] << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace hprs::vmpi

@@ -1,0 +1,30 @@
+// Execution tracing for the virtual message-passing engine.
+//
+// With Options::enable_trace the engine records every compute charge and
+// transfer participation as a timestamped interval per rank.  The helpers
+// here turn a traced RunReport into a CSV (for external tooling) or an
+// ASCII Gantt chart (for eyeballing load balance and communication phases
+// straight from a terminal -- the fastest way to *see* why Homo-ATDCA
+// stalls on processor p10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vmpi/stats.hpp"
+
+namespace hprs::vmpi {
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+/// One line per event: rank,kind,begin,end,amount.
+[[nodiscard]] std::string trace_csv(const RunReport& report);
+
+/// Fixed-width ASCII Gantt chart: one row per rank, `width` columns across
+/// [0, total_time]; c = compute, s = send, r = receive, . = idle.  When
+/// intervals of different kinds share a column, compute wins, then
+/// transfers, then idle.
+[[nodiscard]] std::string render_gantt(const RunReport& report,
+                                       std::size_t width = 72);
+
+}  // namespace hprs::vmpi

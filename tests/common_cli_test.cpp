@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hprs {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              const std::vector<std::string>& allowed) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), allowed);
+}
+
+TEST(CliArgsTest, ParsesSpaceSeparatedValues) {
+  const auto args = parse({"--rows", "128"}, {"rows"});
+  EXPECT_TRUE(args.has("rows"));
+  EXPECT_EQ(args.get_int("rows", 0), 128);
+}
+
+TEST(CliArgsTest, ParsesEqualsSeparatedValues) {
+  const auto args = parse({"--rows=64"}, {"rows"});
+  EXPECT_EQ(args.get_int("rows", 0), 64);
+}
+
+TEST(CliArgsTest, ReturnsFallbackWhenAbsent) {
+  const auto args = parse({}, {"rows"});
+  EXPECT_FALSE(args.has("rows"));
+  EXPECT_EQ(args.get_int("rows", 77), 77);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_TRUE(args.get_bool("flag", true));
+}
+
+TEST(CliArgsTest, RejectsUnknownOption) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"rows"}), Error);
+}
+
+TEST(CliArgsTest, RejectsNonNumericInteger) {
+  const auto args = parse({"--rows", "abc"}, {"rows"});
+  EXPECT_THROW((void)args.get_int("rows", 0), Error);
+}
+
+TEST(CliArgsTest, ParsesDoubles) {
+  const auto args = parse({"--snr=12.5"}, {"snr"});
+  EXPECT_DOUBLE_EQ(args.get_double("snr", 0.0), 12.5);
+}
+
+TEST(CliArgsTest, BareFlagIsTrue) {
+  const auto args = parse({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgsTest, ParsesBooleanSpellings) {
+  for (const char* yes : {"true", "1", "yes", "on"}) {
+    EXPECT_TRUE(parse({"--f", yes}, {"f"}).get_bool("f", false)) << yes;
+  }
+  for (const char* no : {"false", "0", "no", "off"}) {
+    EXPECT_FALSE(parse({"--f", no}, {"f"}).get_bool("f", true)) << no;
+  }
+  EXPECT_THROW((void)parse({"--f", "maybe"}, {"f"}).get_bool("f", true),
+               Error);
+}
+
+TEST(CliArgsTest, CollectsPositionalArguments) {
+  const auto args = parse({"input.raw", "--rows", "4", "output.raw"},
+                          {"rows"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.raw");
+  EXPECT_EQ(args.positional()[1], "output.raw");
+}
+
+TEST(CliArgsTest, LaterValueWins) {
+  const auto args = parse({"--rows", "1", "--rows", "2"}, {"rows"});
+  EXPECT_EQ(args.get_int("rows", 0), 2);
+}
+
+}  // namespace
+}  // namespace hprs

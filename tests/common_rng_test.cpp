@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hprs {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministicForEqualSeeds) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // Reference values for seed 1234567 from the published SplitMix64 code.
+  SplitMix64 g(1234567);
+  EXPECT_EQ(g.next(), 6457827717110365317ULL);
+  EXPECT_EQ(g.next(), 3203168211198807973ULL);
+}
+
+TEST(Xoshiro256Test, IsDeterministicForEqualSeeds) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256Test, UniformStaysInHalfOpenUnitInterval) {
+  Xoshiro256 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformRangeRespectsBounds) {
+  Xoshiro256 g(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform(-2.5, 7.5);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntStaysBelowBound) {
+  Xoshiro256 g(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = g.uniform_int(13);
+    ASSERT_LT(v, 13u);
+    seen.insert(v);
+  }
+  // All 13 residues should appear in 5000 draws.
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(Xoshiro256Test, UniformMeanIsNearOneHalf) {
+  Xoshiro256 g(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, NormalMomentsAreStandard) {
+  Xoshiro256 g(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256Test, NormalWithParametersShiftsAndScales) {
+  Xoshiro256 g(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += g.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Xoshiro256Test, ForkedStreamsAreDecorrelated) {
+  Xoshiro256 parent(123);
+  Xoshiro256 child = parent.fork();
+  // The two streams should not collide over a modest horizon.
+  std::set<std::uint64_t> a;
+  std::set<std::uint64_t> b;
+  for (int i = 0; i < 1000; ++i) {
+    a.insert(parent.next());
+    b.insert(child.next());
+  }
+  std::vector<std::uint64_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  EXPECT_TRUE(common.empty());
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 g(1);
+  EXPECT_NE(g(), g());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, CopiedGeneratorReplaysIdentically) {
+  Xoshiro256 g(GetParam());
+  for (int i = 0; i < 10; ++i) (void)g.next();
+  Xoshiro256 copy = g;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(g.next(), copy.next());
+  }
+}
+
+TEST_P(RngSeedSweep, UniformIntOfOneIsAlwaysZero) {
+  Xoshiro256 g(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(g.uniform_int(1), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1u << 20,
+                                           0xdeadbeefULL,
+                                           ~std::uint64_t{0}));
+
+}  // namespace
+}  // namespace hprs

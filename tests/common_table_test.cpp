@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hprs {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Algorithm", "Time"});
+  t.add_row({"ATDCA", "84"});
+  t.add_row({"MORPH", "171"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Algorithm"), std::string::npos);
+  EXPECT_NE(s.find("ATDCA"), std::string::npos);
+  EXPECT_NE(s.find("171"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t({"A", "B"});
+  t.add_row({"short", "x"});
+  t.add_row({"a-much-longer-cell", "y"});
+  const std::string s = t.to_string();
+  // Every rendered line must have equal length.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTableTest, RejectsMismatchedRowArity) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTableTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+}
+
+TEST(TextTableTest, CsvHasOneLinePerRowPlusHeader) {
+  TextTable t({"A", "B"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("A,B"), std::string::npos);
+  EXPECT_NE(csv.find("3,4"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvSanitizesEmbeddedCommas) {
+  TextTable t({"Name"});
+  t.add_row({"a,b"});
+  EXPECT_NE(t.to_csv().find("a;b"), std::string::npos);
+}
+
+TEST(TextTableTest, CountsReflectContents) {
+  TextTable t({"A", "B", "C"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTableTest, StreamsViaOperator) {
+  TextTable t({"X"});
+  t.add_row({"y"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace hprs

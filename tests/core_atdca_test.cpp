@@ -1,0 +1,146 @@
+#include "core/atdca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "simnet/platform.hpp"
+#include "test_scenes.hpp"
+
+namespace hprs::core {
+namespace {
+
+bool found(const TargetDetectionResult& result, const testing::Plant& plant) {
+  return std::any_of(result.targets.begin(), result.targets.end(),
+                     [&](const PixelLocation& t) {
+                       return t.row == plant.row && t.col == plant.col;
+                     });
+}
+
+TEST(AtdcaTest, FindsAllPlantedAnomalies) {
+  auto cube = testing::striped_cube(48, 32, 32, 3);
+  const auto plants = testing::plant_targets(cube, 4);
+  AtdcaConfig cfg;
+  cfg.targets = 8;
+  const auto result = run_atdca(simnet::fully_heterogeneous(), cube, cfg);
+  ASSERT_EQ(result.targets.size(), 8u);
+  for (const auto& plant : plants) {
+    EXPECT_TRUE(found(result, plant))
+        << "missed anomaly at " << plant.row << "," << plant.col;
+  }
+}
+
+TEST(AtdcaTest, FirstTargetIsTheBrightestPixel) {
+  auto cube = testing::striped_cube(32, 32, 16, 2);
+  // Make one pixel overwhelmingly bright.
+  const auto px = cube.pixel(11, 13);
+  for (auto& v : px) v = 50.0f;
+  AtdcaConfig cfg;
+  cfg.targets = 2;
+  const auto result = run_atdca(simnet::thunderhead(4), cube, cfg);
+  ASSERT_GE(result.targets.size(), 1u);
+  EXPECT_EQ(result.targets[0].row, 11u);
+  EXPECT_EQ(result.targets[0].col, 13u);
+}
+
+TEST(AtdcaTest, TargetsAreDistinctPixels) {
+  auto cube = testing::striped_cube(40, 24, 24, 4);
+  AtdcaConfig cfg;
+  cfg.targets = 6;
+  const auto result = run_atdca(simnet::fully_homogeneous(), cube, cfg);
+  for (std::size_t i = 0; i < result.targets.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.targets.size(); ++j) {
+      EXPECT_FALSE(result.targets[i] == result.targets[j])
+          << "duplicate target " << i << " and " << j;
+    }
+  }
+}
+
+TEST(AtdcaTest, ResultIsIndependentOfProcessorCount) {
+  auto cube = testing::striped_cube(64, 24, 24, 3);
+  const auto plants = testing::plant_targets(cube, 3);
+  (void)plants;
+  AtdcaConfig cfg;
+  cfg.targets = 5;
+  const auto r1 = run_atdca(simnet::thunderhead(1), cube, cfg);
+  const auto r4 = run_atdca(simnet::thunderhead(4), cube, cfg);
+  const auto r16 = run_atdca(simnet::thunderhead(16), cube, cfg);
+  EXPECT_EQ(r1.targets, r4.targets);
+  EXPECT_EQ(r1.targets, r16.targets);
+}
+
+TEST(AtdcaTest, PolicyDoesNotChangeTheAnswer) {
+  auto cube = testing::striped_cube(64, 24, 24, 3);
+  AtdcaConfig het;
+  het.targets = 5;
+  het.policy = PartitionPolicy::kHeterogeneous;
+  AtdcaConfig homo = het;
+  homo.policy = PartitionPolicy::kHomogeneous;
+  const auto platform = simnet::fully_heterogeneous();
+  EXPECT_EQ(run_atdca(platform, cube, het).targets,
+            run_atdca(platform, cube, homo).targets);
+}
+
+TEST(AtdcaTest, HeteroBeatsHomoOnHeterogeneousPlatform) {
+  auto cube = testing::striped_cube(64, 32, 32, 3);
+  AtdcaConfig het;
+  het.targets = 6;
+  het.replication = 64;
+  AtdcaConfig homo = het;
+  homo.policy = PartitionPolicy::kHomogeneous;
+  const auto platform = simnet::fully_heterogeneous();
+  const auto t_het = run_atdca(platform, cube, het).report.total_time;
+  const auto t_homo = run_atdca(platform, cube, homo).report.total_time;
+  EXPECT_LT(t_het, t_homo * 0.6);
+}
+
+TEST(AtdcaTest, ReportAccountsTheRun) {
+  auto cube = testing::striped_cube(48, 24, 24, 3);
+  AtdcaConfig cfg;
+  cfg.targets = 4;
+  const auto result = run_atdca(simnet::fully_heterogeneous(), cube, cfg);
+  EXPECT_GT(result.report.total_time, 0.0);
+  EXPECT_EQ(result.report.ranks.size(), 16u);
+  EXPECT_GT(result.report.total_flops(), 0u);
+  EXPECT_GT(result.report.com(), 0.0);
+  EXPECT_GE(result.report.imbalance_all(), 1.0);
+}
+
+TEST(AtdcaTest, ReplicationScalesComputeLinearly) {
+  auto cube = testing::striped_cube(48, 24, 24, 3);
+  AtdcaConfig cfg;
+  cfg.targets = 4;
+  const auto base = run_atdca(simnet::thunderhead(1), cube, cfg);
+  cfg.replication = 10;
+  const auto scaled = run_atdca(simnet::thunderhead(1), cube, cfg);
+  EXPECT_NEAR(scaled.report.total_time / base.report.total_time, 10.0, 0.5);
+}
+
+TEST(AtdcaTest, SingleTargetRequestsJustTheBrightest) {
+  auto cube = testing::striped_cube(32, 16, 16, 2);
+  AtdcaConfig cfg;
+  cfg.targets = 1;
+  const auto result = run_atdca(simnet::thunderhead(2), cube, cfg);
+  EXPECT_EQ(result.targets.size(), 1u);
+}
+
+TEST(AtdcaTest, ValidatesInputs) {
+  auto cube = testing::striped_cube(32, 16, 16, 2);
+  AtdcaConfig cfg;
+  cfg.targets = 0;
+  EXPECT_THROW((void)run_atdca(simnet::thunderhead(2), cube, cfg), Error);
+  cfg.targets = 2;
+  EXPECT_THROW((void)run_atdca(simnet::thunderhead(2), hsi::HsiCube(), cfg),
+               Error);
+}
+
+TEST(AtdcaTest, WorkloadModelGrowsWithTargets) {
+  const auto small = atdca_workload(224, 2);
+  const auto large = atdca_workload(224, 18);
+  EXPECT_LT(small.flops_per_pixel, large.flops_per_pixel);
+  EXPECT_EQ(small.bytes_per_pixel, 224u * sizeof(float));
+}
+
+}  // namespace
+}  // namespace hprs::core

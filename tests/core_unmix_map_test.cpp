@@ -1,0 +1,131 @@
+#include "core/unmix_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simnet/platform.hpp"
+#include "test_scenes.hpp"
+
+namespace hprs::core {
+namespace {
+
+/// A cube plus the locations of one pure pixel per stripe class.
+struct Fixture {
+  hsi::HsiCube cube;
+  std::vector<PixelLocation> pure;
+};
+
+Fixture make_fixture(std::size_t classes) {
+  Fixture f;
+  f.cube = testing::striped_cube(48, 24, 32, classes, /*noise=*/0.0005);
+  for (std::size_t k = 0; k < classes; ++k) {
+    // Center of each stripe.
+    f.pure.push_back({(2 * k + 1) * 48 / (2 * classes), 12});
+  }
+  return f;
+}
+
+TEST(UnmixMapTest, PurePixelsGetUnitAbundance) {
+  const auto f = make_fixture(3);
+  const auto endmembers = endmembers_at(f.cube, f.pure);
+  const auto maps = run_unmix_map(simnet::fully_heterogeneous(), f.cube,
+                                  endmembers, {});
+  ASSERT_EQ(maps.endmembers, 3u);
+  ASSERT_EQ(maps.planes.size(), 3u * f.cube.pixel_count());
+  for (std::size_t e = 0; e < 3; ++e) {
+    const auto& loc = f.pure[e];
+    EXPECT_NEAR(maps.plane(e)[loc.row * maps.cols + loc.col], 1.0, 0.02)
+        << "endmember " << e;
+  }
+}
+
+TEST(UnmixMapTest, AbundancesAreAValidSimplex) {
+  const auto f = make_fixture(3);
+  const auto maps = run_unmix_map(simnet::thunderhead(4), f.cube,
+                                  endmembers_at(f.cube, f.pure), {});
+  for (std::size_t p = 0; p < f.cube.pixel_count(); ++p) {
+    double sum = 0.0;
+    for (std::size_t e = 0; e < 3; ++e) {
+      const float a = maps.plane(e)[p];
+      ASSERT_GE(a, 0.0f);
+      ASSERT_LE(a, 1.0f + 1e-5f);
+      sum += a;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(UnmixMapTest, DominantEndmemberFollowsTheStripes) {
+  const auto f = make_fixture(3);
+  const auto maps = run_unmix_map(simnet::thunderhead(2), f.cube,
+                                  endmembers_at(f.cube, f.pure), {});
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < 48; ++r) {
+    const std::size_t expected = std::min<std::size_t>(2, r * 3 / 48);
+    for (std::size_t c = 0; c < 24; ++c) {
+      if (maps.dominant(r, c) == expected) ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / (48.0 * 24.0), 0.95);
+}
+
+TEST(UnmixMapTest, RmseIsSmallForInDictionaryPixels) {
+  const auto f = make_fixture(3);
+  const auto maps = run_unmix_map(simnet::thunderhead(2), f.cube,
+                                  endmembers_at(f.cube, f.pure), {});
+  double mean_rmse = 0.0;
+  for (const float v : maps.rmse) mean_rmse += v;
+  mean_rmse /= static_cast<double>(maps.rmse.size());
+  EXPECT_LT(mean_rmse, 0.05);
+}
+
+TEST(UnmixMapTest, ResultIsIndependentOfProcessorCount) {
+  const auto f = make_fixture(2);
+  const auto em = endmembers_at(f.cube, f.pure);
+  const auto a = run_unmix_map(simnet::thunderhead(1), f.cube, em, {});
+  const auto b = run_unmix_map(simnet::thunderhead(8), f.cube, em, {});
+  ASSERT_EQ(a.planes.size(), b.planes.size());
+  for (std::size_t i = 0; i < a.planes.size(); ++i) {
+    ASSERT_EQ(a.planes[i], b.planes[i]);
+  }
+}
+
+TEST(UnmixMapTest, HeteroBeatsHomoOnHeterogeneousPlatform) {
+  const auto f = make_fixture(3);
+  const auto em = endmembers_at(f.cube, f.pure);
+  UnmixMapConfig het;
+  het.replication = 64;
+  UnmixMapConfig homo = het;
+  homo.policy = PartitionPolicy::kHomogeneous;
+  // Unlike the detectors, unmixing returns full abundance planes, so the
+  // output gather dilutes the partitioning advantage; still a clear win.
+  const auto platform = simnet::fully_heterogeneous();
+  EXPECT_LT(run_unmix_map(platform, f.cube, em, het).report.total_time,
+            run_unmix_map(platform, f.cube, em, homo).report.total_time * 0.85);
+}
+
+TEST(UnmixMapTest, EndmembersAtCopiesSpectra) {
+  const auto f = make_fixture(2);
+  const auto em = endmembers_at(f.cube, f.pure);
+  EXPECT_EQ(em.rows(), 2u);
+  EXPECT_EQ(em.cols(), f.cube.bands());
+  const auto px = f.cube.pixel(f.pure[0].row, f.pure[0].col);
+  for (std::size_t b = 0; b < f.cube.bands(); ++b) {
+    EXPECT_DOUBLE_EQ(em(0, b), static_cast<double>(px[b]));
+  }
+}
+
+TEST(UnmixMapTest, ValidatesInputs) {
+  const auto f = make_fixture(2);
+  EXPECT_THROW(
+      (void)run_unmix_map(simnet::thunderhead(2), f.cube, linalg::Matrix(), {}),
+      Error);
+  const linalg::Matrix wrong_bands(2, 8);
+  EXPECT_THROW((void)run_unmix_map(simnet::thunderhead(2), f.cube,
+                                   wrong_bands, {}),
+               Error);
+  EXPECT_THROW((void)endmembers_at(f.cube, {}), Error);
+}
+
+}  // namespace
+}  // namespace hprs::core

@@ -1,0 +1,121 @@
+#include "hsi/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+/// A 4x4 truth map: two debris classes plus water.
+GroundTruth tiny_truth() {
+  GroundTruth t;
+  t.rows = 4;
+  t.cols = 4;
+  t.labels.assign(16, static_cast<std::uint8_t>(Material::kWater));
+  for (std::size_t i = 0; i < 8; ++i) {
+    t.labels[i] = static_cast<std::uint8_t>(Material::kGypsum);
+  }
+  for (std::size_t i = 8; i < 12; ++i) {
+    t.labels[i] = static_cast<std::uint8_t>(Material::kDust15);
+  }
+  return t;
+}
+
+constexpr Material kEval[] = {Material::kGypsum, Material::kDust15};
+
+TEST(AccuracyTest, PerfectLabelingScoresHundred) {
+  const GroundTruth t = tiny_truth();
+  std::vector<std::uint16_t> pred(16, 0);
+  for (std::size_t i = 0; i < 8; ++i) pred[i] = 1;
+  for (std::size_t i = 8; i < 12; ++i) pred[i] = 2;
+  const auto s = score_classification(pred, 3, t, kEval);
+  EXPECT_DOUBLE_EQ(s.overall_pct, 100.0);
+  EXPECT_DOUBLE_EQ(s.per_class_pct[0], 100.0);
+  EXPECT_DOUBLE_EQ(s.per_class_pct[1], 100.0);
+  EXPECT_EQ(s.evaluated_pixels, 12u);
+}
+
+TEST(AccuracyTest, LabelPermutationIsIrrelevant) {
+  // Unsupervised labels are arbitrary ids; any bijective relabeling scores
+  // the same.
+  const GroundTruth t = tiny_truth();
+  std::vector<std::uint16_t> pred(16, 7);
+  for (std::size_t i = 0; i < 8; ++i) pred[i] = 3;
+  for (std::size_t i = 8; i < 12; ++i) pred[i] = 5;
+  const auto s = score_classification(pred, 8, t, kEval);
+  EXPECT_DOUBLE_EQ(s.overall_pct, 100.0);
+}
+
+TEST(AccuracyTest, SplitClassStillScoresFullViaManyToOneMapping) {
+  // Two distinct predicted labels covering one truth class both map to it.
+  const GroundTruth t = tiny_truth();
+  std::vector<std::uint16_t> pred(16, 0);
+  for (std::size_t i = 0; i < 4; ++i) pred[i] = 1;
+  for (std::size_t i = 4; i < 8; ++i) pred[i] = 2;  // gypsum split in two
+  for (std::size_t i = 8; i < 12; ++i) pred[i] = 3;
+  const auto s = score_classification(pred, 4, t, kEval);
+  EXPECT_DOUBLE_EQ(s.overall_pct, 100.0);
+}
+
+TEST(AccuracyTest, MergedClassesLoseTheMinorityClass) {
+  // One predicted label covering both classes maps to the majority.
+  const GroundTruth t = tiny_truth();
+  std::vector<std::uint16_t> pred(16, 0);  // everything one label
+  const auto s = score_classification(pred, 1, t, kEval);
+  // Gypsum (8 pixels) wins the mapping; dust15 (4 pixels) scores zero.
+  EXPECT_DOUBLE_EQ(s.per_class_pct[0], 100.0);
+  EXPECT_DOUBLE_EQ(s.per_class_pct[1], 0.0);
+  EXPECT_NEAR(s.overall_pct, 100.0 * 8 / 12, 1e-9);
+}
+
+TEST(AccuracyTest, NonEvaluatedPixelsAreIgnored) {
+  const GroundTruth t = tiny_truth();
+  std::vector<std::uint16_t> pred(16, 0);
+  for (std::size_t i = 0; i < 8; ++i) pred[i] = 1;
+  for (std::size_t i = 8; i < 12; ++i) pred[i] = 2;
+  // Water pixels (not evaluated) carry a junk label; irrelevant.
+  for (std::size_t i = 12; i < 16; ++i) pred[i] = 1;
+  const auto s = score_classification(pred, 3, t, kEval);
+  EXPECT_DOUBLE_EQ(s.overall_pct, 100.0);
+}
+
+TEST(AccuracyTest, LabelToClassMapIsExposed) {
+  const GroundTruth t = tiny_truth();
+  std::vector<std::uint16_t> pred(16, 0);
+  for (std::size_t i = 0; i < 8; ++i) pred[i] = 1;
+  const auto s = score_classification(pred, 2, t, kEval);
+  EXPECT_EQ(s.label_to_class[1], static_cast<std::uint8_t>(Material::kGypsum));
+  EXPECT_EQ(s.label_to_class[0], static_cast<std::uint8_t>(Material::kDust15));
+}
+
+TEST(AccuracyTest, UnusedLabelMapsToSentinel) {
+  const GroundTruth t = tiny_truth();
+  const std::vector<std::uint16_t> pred(16, 0);
+  const auto s = score_classification(pred, 5, t, kEval);
+  EXPECT_EQ(s.label_to_class[4], 0xFF);
+}
+
+TEST(AccuracyTest, RejectsSizeMismatch) {
+  const GroundTruth t = tiny_truth();
+  const std::vector<std::uint16_t> pred(15, 0);
+  EXPECT_THROW((void)score_classification(pred, 1, t, kEval), Error);
+}
+
+TEST(AccuracyTest, RejectsOutOfRangeLabels) {
+  const GroundTruth t = tiny_truth();
+  const std::vector<std::uint16_t> pred(16, 9);
+  EXPECT_THROW((void)score_classification(pred, 3, t, kEval), Error);
+}
+
+TEST(AccuracyTest, EmptyEvaluationSetYieldsZero) {
+  const GroundTruth t = tiny_truth();
+  const std::vector<std::uint16_t> pred(16, 0);
+  const auto s = score_classification(
+      pred, 1, t, std::vector<Material>{Material::kSmoke});
+  EXPECT_EQ(s.evaluated_pixels, 0u);
+  EXPECT_DOUBLE_EQ(s.overall_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace hprs::hsi

@@ -1,0 +1,141 @@
+#include "hsi/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+/// Cube whose sample at (r, c, b) equals r*10000 + c*100 + b.
+HsiCube coded_cube(std::size_t rows, std::size_t cols, std::size_t bands) {
+  HsiCube cube(rows, cols, bands);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto px = cube.pixel(r, c);
+      for (std::size_t b = 0; b < bands; ++b) {
+        px[b] = static_cast<float>(r * 10000 + c * 100 + b);
+      }
+    }
+  }
+  return cube;
+}
+
+TEST(HsiCubeTest, DimensionsAndCounts) {
+  const HsiCube cube(4, 5, 6);
+  EXPECT_EQ(cube.rows(), 4u);
+  EXPECT_EQ(cube.cols(), 5u);
+  EXPECT_EQ(cube.bands(), 6u);
+  EXPECT_EQ(cube.pixel_count(), 20u);
+  EXPECT_EQ(cube.sample_count(), 120u);
+  EXPECT_EQ(cube.bytes_per_pixel(), 24u);
+  EXPECT_FALSE(cube.empty());
+}
+
+TEST(HsiCubeTest, DefaultConstructedIsEmpty) {
+  const HsiCube cube;
+  EXPECT_TRUE(cube.empty());
+  EXPECT_EQ(cube.pixel_count(), 0u);
+}
+
+TEST(HsiCubeTest, RejectsZeroDimensions) {
+  EXPECT_THROW(HsiCube(0, 1, 1), Error);
+  EXPECT_THROW(HsiCube(1, 0, 1), Error);
+  EXPECT_THROW(HsiCube(1, 1, 0), Error);
+}
+
+TEST(HsiCubeTest, RejectsMismatchedSampleBuffer) {
+  EXPECT_THROW(HsiCube(2, 2, 2, std::vector<float>(7)), Error);
+}
+
+TEST(HsiCubeTest, PixelAccessIsBipContiguous) {
+  const HsiCube cube = coded_cube(3, 4, 5);
+  const auto px = cube.pixel(2, 3);
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(px[b], 2 * 10000 + 3 * 100 + static_cast<float>(b));
+  }
+  // Linear pixel indexing agrees with (row, col) indexing.
+  const auto flat = cube.pixel(2 * 4 + 3);
+  EXPECT_EQ(flat.data(), px.data());
+}
+
+TEST(HsiCubeTest, RowBlockCoversWholeRows) {
+  const HsiCube cube = coded_cube(4, 3, 2);
+  const auto block = cube.row_block(1, 3);
+  EXPECT_EQ(block.size(), 2u * 3u * 2u);
+  EXPECT_EQ(block[0], cube.pixel(1, 0)[0]);
+  EXPECT_THROW((void)cube.row_block(3, 2), Error);
+  EXPECT_THROW((void)cube.row_block(0, 5), Error);
+}
+
+TEST(HsiCubeTest, CopyRowsIsDeepAndOffset) {
+  const HsiCube cube = coded_cube(5, 2, 3);
+  const HsiCube sub = cube.copy_rows(2, 4);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.cols(), 2u);
+  EXPECT_EQ(sub.bands(), 3u);
+  EXPECT_EQ(sub.pixel(0, 0)[0], cube.pixel(2, 0)[0]);
+  EXPECT_EQ(sub.pixel(1, 1)[2], cube.pixel(3, 1)[2]);
+}
+
+class InterleaveSweep : public ::testing::TestWithParam<Interleave> {};
+
+TEST_P(InterleaveSweep, RoundTripsThroughInterleave) {
+  const HsiCube cube = coded_cube(3, 5, 4);
+  const auto samples = cube.to_interleave(GetParam());
+  const HsiCube back =
+      HsiCube::from_interleave(3, 5, 4, GetParam(), samples);
+  ASSERT_EQ(back.sample_count(), cube.sample_count());
+  for (std::size_t i = 0; i < cube.pixel_count(); ++i) {
+    const auto a = cube.pixel(i);
+    const auto b = back.pixel(i);
+    for (std::size_t k = 0; k < cube.bands(); ++k) {
+      ASSERT_EQ(a[k], b[k]);
+    }
+  }
+}
+
+TEST_P(InterleaveSweep, FromInterleaveRejectsWrongSize) {
+  EXPECT_THROW(HsiCube::from_interleave(2, 2, 2, GetParam(),
+                                        std::vector<float>(7)),
+               Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, InterleaveSweep,
+                         ::testing::Values(Interleave::kBip, Interleave::kBil,
+                                           Interleave::kBsq),
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
+
+TEST(HsiCubeTest, BsqOrderingIsBandMajor) {
+  const HsiCube cube = coded_cube(2, 2, 2);
+  const auto bsq = cube.to_interleave(Interleave::kBsq);
+  // First plane = band 0 of all pixels in row-major order.
+  EXPECT_EQ(bsq[0], cube.pixel(0, 0)[0]);
+  EXPECT_EQ(bsq[1], cube.pixel(0, 1)[0]);
+  EXPECT_EQ(bsq[2], cube.pixel(1, 0)[0]);
+  EXPECT_EQ(bsq[3], cube.pixel(1, 1)[0]);
+  EXPECT_EQ(bsq[4], cube.pixel(0, 0)[1]);
+}
+
+TEST(HsiCubeTest, BilOrderingIsLineMajor) {
+  const HsiCube cube = coded_cube(2, 3, 2);
+  const auto bil = cube.to_interleave(Interleave::kBil);
+  // Row 0: band 0 of cols 0..2, then band 1 of cols 0..2.
+  EXPECT_EQ(bil[0], cube.pixel(0, 0)[0]);
+  EXPECT_EQ(bil[1], cube.pixel(0, 1)[0]);
+  EXPECT_EQ(bil[2], cube.pixel(0, 2)[0]);
+  EXPECT_EQ(bil[3], cube.pixel(0, 0)[1]);
+}
+
+TEST(HsiCubeTest, InterleaveNamesAreStable) {
+  EXPECT_STREQ(to_string(Interleave::kBip), "bip");
+  EXPECT_STREQ(to_string(Interleave::kBil), "bil");
+  EXPECT_STREQ(to_string(Interleave::kBsq), "bsq");
+}
+
+}  // namespace
+}  // namespace hprs::hsi

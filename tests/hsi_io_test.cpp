@@ -1,0 +1,130 @@
+#include "hsi/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+class HsiIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hprs_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string stem(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static HsiCube random_cube(std::size_t rows, std::size_t cols,
+                             std::size_t bands, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    HsiCube cube(rows, cols, bands);
+    for (auto& v : cube.samples()) {
+      v = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    return cube;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(HsiIoTest, WritesHeaderAndRawPair) {
+  write_envi(random_cube(4, 5, 6, 1), stem("cube"));
+  EXPECT_TRUE(std::filesystem::exists(stem("cube") + ".hdr"));
+  EXPECT_TRUE(std::filesystem::exists(stem("cube") + ".raw"));
+  EXPECT_EQ(std::filesystem::file_size(stem("cube") + ".raw"),
+            4u * 5u * 6u * sizeof(float));
+}
+
+TEST_F(HsiIoTest, HeaderCarriesEnviKeys) {
+  write_envi(random_cube(4, 5, 6, 1), stem("cube"), Interleave::kBil);
+  std::ifstream hdr(stem("cube") + ".hdr");
+  std::string text((std::istreambuf_iterator<char>(hdr)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("samples = 5"), std::string::npos);
+  EXPECT_NE(text.find("lines = 4"), std::string::npos);
+  EXPECT_NE(text.find("bands = 6"), std::string::npos);
+  EXPECT_NE(text.find("interleave = bil"), std::string::npos);
+  EXPECT_NE(text.find("data type = 4"), std::string::npos);
+}
+
+TEST_F(HsiIoTest, RefusesToWriteEmptyCube) {
+  EXPECT_THROW(write_envi(HsiCube(), stem("empty")), Error);
+}
+
+TEST_F(HsiIoTest, MissingHeaderThrows) {
+  EXPECT_THROW((void)read_envi(stem("nonexistent")), Error);
+}
+
+TEST_F(HsiIoTest, TruncatedRawThrows) {
+  write_envi(random_cube(4, 4, 4, 2), stem("trunc"));
+  std::filesystem::resize_file(stem("trunc") + ".raw", 10);
+  EXPECT_THROW((void)read_envi(stem("trunc")), Error);
+}
+
+TEST_F(HsiIoTest, CorruptHeaderThrows) {
+  {
+    std::ofstream hdr(stem("bad") + ".hdr");
+    hdr << "ENVI\nsamples = 4\n";  // missing lines/bands/type
+  }
+  EXPECT_THROW((void)read_envi(stem("bad")), Error);
+}
+
+TEST_F(HsiIoTest, RejectsUnsupportedDataType) {
+  {
+    std::ofstream hdr(stem("dt") + ".hdr");
+    hdr << "ENVI\nsamples = 2\nlines = 2\nbands = 2\ndata type = 2\n"
+        << "interleave = bip\nbyte order = 0\n";
+  }
+  {
+    std::ofstream raw(stem("dt") + ".raw", std::ios::binary);
+    raw << "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  EXPECT_THROW((void)read_envi(stem("dt")), Error);
+}
+
+class IoInterleaveSweep : public ::testing::TestWithParam<Interleave> {};
+
+TEST_P(IoInterleaveSweep, RoundTripsExactly) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("hprs_io_sweep_" + std::string(to_string(GetParam())));
+  std::filesystem::create_directories(dir);
+  const std::string stem = (dir / "cube").string();
+
+  Xoshiro256 rng(42);
+  HsiCube cube(7, 5, 9);
+  for (auto& v : cube.samples()) v = static_cast<float>(rng.uniform(0, 2));
+
+  write_envi(cube, stem, GetParam());
+  const HsiCube back = read_envi(stem);
+  ASSERT_EQ(back.rows(), cube.rows());
+  ASSERT_EQ(back.cols(), cube.cols());
+  ASSERT_EQ(back.bands(), cube.bands());
+  for (std::size_t i = 0; i < cube.sample_count(); ++i) {
+    ASSERT_EQ(back.samples()[i], cube.samples()[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, IoInterleaveSweep,
+                         ::testing::Values(Interleave::kBip, Interleave::kBil,
+                                           Interleave::kBsq),
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace hprs::hsi

@@ -1,0 +1,133 @@
+#include "hsi/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+std::vector<float> random_spectrum(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.05, 1.0));
+  return v;
+}
+
+TEST(SadTest, IdenticalSpectraHaveZeroAngle) {
+  const auto a = random_spectrum(64, 1);
+  EXPECT_NEAR((sad<float, float>(a, a)), 0.0, 1e-6);
+}
+
+TEST(SadTest, IsSymmetric) {
+  const auto a = random_spectrum(64, 2);
+  const auto b = random_spectrum(64, 3);
+  EXPECT_DOUBLE_EQ((sad<float, float>(a, b)), (sad<float, float>(b, a)));
+}
+
+TEST(SadTest, IsScaleInvariant) {
+  const auto a = random_spectrum(64, 4);
+  std::vector<float> scaled(a);
+  for (auto& v : scaled) v *= 7.5f;
+  EXPECT_NEAR((sad<float, float>(a, scaled)), 0.0, 1e-5);
+}
+
+TEST(SadTest, OrthogonalSpectraAreHalfPi) {
+  std::vector<float> a = {1, 0, 0, 0};
+  std::vector<float> b = {0, 1, 0, 0};
+  EXPECT_NEAR((sad<float, float>(a, b)), std::numbers::pi / 2, 1e-9);
+}
+
+TEST(SadTest, OppositeSpectraArePi) {
+  std::vector<float> a = {1, 1};
+  std::vector<float> b = {-1, -1};
+  EXPECT_NEAR((sad<float, float>(a, b)), std::numbers::pi, 1e-6);
+}
+
+TEST(SadTest, ZeroSpectrumConventions) {
+  std::vector<float> zero(8, 0.0f);
+  const auto a = random_spectrum(8, 5);
+  EXPECT_EQ((sad<float, float>(zero, zero)), 0.0);
+  EXPECT_NEAR((sad<float, float>(zero, a)), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(SadTest, SatisfiesTriangleInequalityOnSamples) {
+  // SAD is a metric on the unit sphere; spot-check the triangle inequality
+  // on random triples.
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    const auto a = random_spectrum(32, 3 * s + 1);
+    const auto b = random_spectrum(32, 3 * s + 2);
+    const auto c = random_spectrum(32, 3 * s + 3);
+    const double ab = sad<float, float>(a, b);
+    const double bc = sad<float, float>(b, c);
+    const double ac = sad<float, float>(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(SadTest, MixedPrecisionOverloadAgrees) {
+  const auto a = random_spectrum(16, 9);
+  std::vector<double> ad(a.begin(), a.end());
+  EXPECT_NEAR((sad<double, float>(ad, a)), 0.0, 1e-7);
+}
+
+TEST(EuclideanTest, MatchesHandComputation) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {2, 0, 3};
+  EXPECT_DOUBLE_EQ(euclidean_sq<float>(a, b), 5.0);
+}
+
+TEST(EuclideanTest, ZeroForIdentical) {
+  const auto a = random_spectrum(32, 11);
+  EXPECT_DOUBLE_EQ(euclidean_sq<float>(a, a), 0.0);
+}
+
+TEST(SidTest, ZeroForIdenticalSpectra) {
+  const auto a = random_spectrum(64, 13);
+  EXPECT_NEAR(sid<float>(a, a), 0.0, 1e-12);
+}
+
+TEST(SidTest, PositiveForDistinctAndSymmetric) {
+  const auto a = random_spectrum(64, 14);
+  const auto b = random_spectrum(64, 15);
+  const double ab = sid<float>(a, b);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_NEAR(ab, sid<float>(b, a), 1e-12);
+}
+
+TEST(SidTest, ScaleInvariantLikeAllProbabilityDivergences) {
+  const auto a = random_spectrum(64, 16);
+  std::vector<float> scaled(a);
+  for (auto& v : scaled) v *= 3.0f;
+  EXPECT_NEAR(sid<float>(a, scaled), 0.0, 1e-9);
+}
+
+TEST(SidTest, ToleratesZeroBands) {
+  std::vector<float> a = {0.0f, 0.5f, 0.5f};
+  std::vector<float> b = {0.5f, 0.5f, 0.0f};
+  const double d = sid<float>(a, b);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+}
+
+class MetricBandSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MetricBandSweep, SadStaysInRange) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    const auto a = random_spectrum(n, 100 + s);
+    const auto b = random_spectrum(n, 200 + s);
+    const double d = sad<float, float>(a, b);
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, std::numbers::pi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, MetricBandSweep,
+                         ::testing::Values(2, 8, 64, 224));
+
+}  // namespace
+}  // namespace hprs::hsi

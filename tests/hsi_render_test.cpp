@@ -1,0 +1,104 @@
+#include "hsi/render.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+class RenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hprs_render_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string read_all(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RenderTest, PgmHasCorrectHeaderAndSize) {
+  const std::vector<float> values = {0.0f, 0.5f, 1.0f, 0.25f, 0.75f, 0.1f};
+  write_pgm(path("map.pgm"), values, 2, 3);
+  const std::string data = read_all(path("map.pgm"));
+  EXPECT_EQ(data.rfind("P5\n3 2\n255\n", 0), 0u);
+  EXPECT_EQ(data.size(), std::string("P5\n3 2\n255\n").size() + 6);
+}
+
+TEST_F(RenderTest, PgmRescalesToFullRange) {
+  const std::vector<float> values = {10.0f, 20.0f};
+  write_pgm(path("scale.pgm"), values, 1, 2);
+  const std::string data = read_all(path("scale.pgm"));
+  const auto px = data.substr(data.size() - 2);
+  EXPECT_EQ(static_cast<unsigned char>(px[0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(px[1]), 255u);
+}
+
+TEST_F(RenderTest, ConstantImageRendersMidGray) {
+  const std::vector<float> values(4, 3.14f);
+  write_pgm(path("flat.pgm"), values, 2, 2);
+  const std::string data = read_all(path("flat.pgm"));
+  for (std::size_t i = data.size() - 4; i < data.size(); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(data[i]), 128u);
+  }
+}
+
+TEST_F(RenderTest, PpmCarriesThreeBytesPerPixel) {
+  const std::vector<std::uint16_t> labels = {0, 1, 2, 3};
+  write_label_ppm(path("labels.ppm"), labels, 2, 2);
+  const std::string data = read_all(path("labels.ppm"));
+  EXPECT_EQ(data.rfind("P6\n2 2\n255\n", 0), 0u);
+  EXPECT_EQ(data.size(), std::string("P6\n2 2\n255\n").size() + 12);
+}
+
+TEST_F(RenderTest, SameLabelSameColor) {
+  const Rgb a = label_color(5);
+  const Rgb b = label_color(5);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.g, b.g);
+  EXPECT_EQ(a.b, b.b);
+}
+
+TEST_F(RenderTest, NearbyLabelsGetDistinctColors) {
+  std::set<std::tuple<int, int, int>> seen;
+  for (std::size_t l = 0; l < 16; ++l) {
+    const Rgb c = label_color(l);
+    seen.insert({c.r, c.g, c.b});
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST_F(RenderTest, RejectsGeometryMismatch) {
+  const std::vector<float> values(5, 0.0f);
+  EXPECT_THROW(write_pgm(path("bad.pgm"), values, 2, 3), Error);
+  const std::vector<std::uint16_t> labels(5, 0);
+  EXPECT_THROW(write_label_ppm(path("bad.ppm"), labels, 2, 3), Error);
+  EXPECT_THROW(write_pgm(path("bad.pgm"), values, 0, 5), Error);
+}
+
+TEST_F(RenderTest, RejectsUnwritablePath) {
+  const std::vector<float> values(4, 0.0f);
+  EXPECT_THROW(write_pgm("/nonexistent-dir/x.pgm", values, 2, 2), Error);
+}
+
+}  // namespace
+}  // namespace hprs::hsi

@@ -1,0 +1,200 @@
+#include "hsi/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "linalg/vec.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+SceneConfig small_config() {
+  SceneConfig cfg;
+  cfg.rows = 48;
+  cfg.cols = 48;
+  cfg.bands = 64;
+  return cfg;
+}
+
+TEST(SceneTest, DimensionsMatchConfig) {
+  const Scene s = generate_wtc_scene(small_config());
+  EXPECT_EQ(s.cube.rows(), 48u);
+  EXPECT_EQ(s.cube.cols(), 48u);
+  EXPECT_EQ(s.cube.bands(), 64u);
+  EXPECT_EQ(s.truth.rows, 48u);
+  EXPECT_EQ(s.truth.cols, 48u);
+  EXPECT_EQ(s.truth.labels.size(), 48u * 48u);
+}
+
+TEST(SceneTest, IsDeterministicInTheSeed) {
+  const Scene a = generate_wtc_scene(small_config());
+  const Scene b = generate_wtc_scene(small_config());
+  ASSERT_EQ(a.cube.sample_count(), b.cube.sample_count());
+  for (std::size_t i = 0; i < a.cube.sample_count(); ++i) {
+    ASSERT_EQ(a.cube.samples()[i], b.cube.samples()[i]);
+  }
+  EXPECT_EQ(a.truth.labels, b.truth.labels);
+}
+
+TEST(SceneTest, DifferentSeedsProduceDifferentScenes) {
+  SceneConfig cfg = small_config();
+  const Scene a = generate_wtc_scene(cfg);
+  cfg.seed += 1;
+  const Scene b = generate_wtc_scene(cfg);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.cube.sample_count(); ++i) {
+    if (a.cube.samples()[i] != b.cube.samples()[i]) ++differing;
+  }
+  EXPECT_GT(differing, a.cube.sample_count() / 2);
+}
+
+TEST(SceneTest, HasSevenLabeledHotSpots) {
+  const Scene s = generate_wtc_scene(small_config());
+  ASSERT_EQ(s.truth.hot_spots.size(), 7u);
+  std::set<char> labels;
+  for (const auto& hs : s.truth.hot_spots) {
+    labels.insert(hs.label);
+    EXPECT_LT(hs.row, s.truth.rows);
+    EXPECT_LT(hs.col, s.truth.cols);
+    EXPECT_GE(hs.temp_f, 700.0);
+    EXPECT_LE(hs.temp_f, 1300.0);
+  }
+  EXPECT_EQ(labels, (std::set<char>{'A', 'B', 'C', 'D', 'E', 'F', 'G'}));
+}
+
+TEST(SceneTest, PaperPinsTheExtremeTemperatures) {
+  const Scene s = generate_wtc_scene(small_config());
+  for (const auto& hs : s.truth.hot_spots) {
+    if (hs.label == 'F') {
+      EXPECT_DOUBLE_EQ(hs.temp_f, 700.0);
+    }
+    if (hs.label == 'G') {
+      EXPECT_DOUBLE_EQ(hs.temp_f, 1300.0);
+    }
+  }
+}
+
+TEST(SceneTest, HotSpotPixelsOutshineTheirFirelessTwins) {
+  // Fire injection happens after the surface rendering, so two scenes
+  // differing only in fire amplitude share identical base pixels; every
+  // hot-spot pixel must gain energy from its fire.
+  const Scene lit = generate_wtc_scene(small_config());
+  SceneConfig dark_cfg = small_config();
+  dark_cfg.fire_amplitude = 1e-6;
+  const Scene dark = generate_wtc_scene(dark_cfg);
+  for (const auto& hs : lit.truth.hot_spots) {
+    const double fire = linalg::norm_sq(lit.cube.pixel(hs.row, hs.col));
+    const double base = linalg::norm_sq(dark.cube.pixel(hs.row, hs.col));
+    EXPECT_GT(fire, base * 1.02) << "hot spot " << hs.label;
+  }
+}
+
+TEST(SceneTest, HotSpotPixelLookupWorks) {
+  const Scene s = generate_wtc_scene(small_config());
+  const auto px = hot_spot_pixel(s, 'G');
+  EXPECT_EQ(px.size(), s.cube.bands());
+  EXPECT_THROW((void)hot_spot_pixel(s, 'Z'), Error);
+}
+
+TEST(SceneTest, GroundTruthContainsAllDebrisClasses) {
+  const Scene s = generate_wtc_scene(small_config());
+  std::set<std::uint8_t> classes(s.truth.labels.begin(),
+                                 s.truth.labels.end());
+  for (const Material m : debris_materials()) {
+    EXPECT_TRUE(classes.count(static_cast<std::uint8_t>(m)))
+        << "missing " << to_string(m);
+  }
+  EXPECT_TRUE(classes.count(static_cast<std::uint8_t>(Material::kWater)));
+  EXPECT_TRUE(
+      classes.count(static_cast<std::uint8_t>(Material::kVegetation)));
+}
+
+TEST(SceneTest, WestEdgeIsWater) {
+  const Scene s = generate_wtc_scene(small_config());
+  for (std::size_t r = 0; r < s.truth.rows; ++r) {
+    EXPECT_EQ(s.truth.label_at(r, 0), Material::kWater);
+  }
+}
+
+TEST(SceneTest, AllSamplesAreFiniteAndNonNegative) {
+  const Scene s = generate_wtc_scene(small_config());
+  for (float v : s.cube.samples()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 0.0f);
+  }
+}
+
+TEST(SceneTest, RejectsDegenerateConfigs) {
+  SceneConfig cfg = small_config();
+  cfg.rows = 8;
+  EXPECT_THROW((void)generate_wtc_scene(cfg), Error);
+  cfg = small_config();
+  cfg.bands = 4;
+  EXPECT_THROW((void)generate_wtc_scene(cfg), Error);
+  cfg = small_config();
+  cfg.snr = 0.0;
+  EXPECT_THROW((void)generate_wtc_scene(cfg), Error);
+}
+
+TEST(SceneTest, SnrControlsNoiseLevel) {
+  SceneConfig noisy = small_config();
+  noisy.snr = 20.0;
+  SceneConfig clean = small_config();
+  clean.snr = 2000.0;
+  const Scene a = generate_wtc_scene(noisy);
+  const Scene b = generate_wtc_scene(clean);
+  // Estimate pixel-to-pixel roughness inside the water body (uniform
+  // region): the noisy scene must be rougher.
+  const auto roughness = [](const Scene& s) {
+    double acc = 0.0;
+    for (std::size_t r = 1; r < 20; ++r) {
+      const auto p = s.cube.pixel(r, 0);
+      const auto q = s.cube.pixel(r + 1, 0);
+      for (std::size_t b2 = 0; b2 < p.size(); ++b2) {
+        acc += std::abs(static_cast<double>(p[b2]) - q[b2]);
+      }
+    }
+    return acc;
+  };
+  EXPECT_GT(roughness(a), roughness(b));
+}
+
+TEST(SceneTest, FireAmplitudeScalesHotSpotBrightness) {
+  SceneConfig weak = small_config();
+  weak.fire_amplitude = 0.5;
+  SceneConfig strong = small_config();
+  strong.fire_amplitude = 4.0;
+  const Scene a = generate_wtc_scene(weak);
+  const Scene b = generate_wtc_scene(strong);
+  const auto g_a = hot_spot_pixel(a, 'G');
+  const auto g_b = hot_spot_pixel(b, 'G');
+  EXPECT_GT(linalg::norm_sq(g_b), linalg::norm_sq(g_a));
+}
+
+class SceneSizeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SceneSizeSweep, GeneratesConsistentTruthAtAnySize) {
+  SceneConfig cfg = small_config();
+  cfg.rows = GetParam().first;
+  cfg.cols = GetParam().second;
+  const Scene s = generate_wtc_scene(cfg);
+  EXPECT_EQ(s.truth.labels.size(), cfg.rows * cfg.cols);
+  EXPECT_EQ(s.truth.hot_spots.size(), 7u);
+  for (const auto& hs : s.truth.hot_spots) {
+    EXPECT_LT(hs.row, cfg.rows);
+    EXPECT_LT(hs.col, cfg.cols);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SceneSizeSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{16, 96},
+                      std::pair<std::size_t, std::size_t>{96, 16},
+                      std::pair<std::size_t, std::size_t>{64, 64}));
+
+}  // namespace
+}  // namespace hprs::hsi

@@ -1,0 +1,117 @@
+#include "hsi/spectra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "hsi/metrics.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+TEST(WavelengthsTest, SpansAvirisRange) {
+  const auto wl = wavelengths_um(224);
+  ASSERT_EQ(wl.size(), 224u);
+  EXPECT_DOUBLE_EQ(wl.front(), 0.4);
+  EXPECT_DOUBLE_EQ(wl.back(), 2.5);
+  EXPECT_TRUE(std::is_sorted(wl.begin(), wl.end()));
+}
+
+TEST(WavelengthsTest, RejectsDegenerateGrids) {
+  EXPECT_THROW((void)wavelengths_um(1), Error);
+}
+
+TEST(MaterialTest, DebrisListMatchesTable4Rows) {
+  const auto debris = debris_materials();
+  ASSERT_EQ(debris.size(), 7u);
+  EXPECT_STREQ(to_string(debris[0]), "Concrete (WTC01-37B)");
+  EXPECT_STREQ(to_string(debris[1]), "Concrete (WTC01-37Am)");
+  EXPECT_STREQ(to_string(debris[2]), "Cement (WTC01-37A)");
+  EXPECT_STREQ(to_string(debris[3]), "Dust (WTC01-15)");
+  EXPECT_STREQ(to_string(debris[4]), "Dust (WTC01-28)");
+  EXPECT_STREQ(to_string(debris[5]), "Dust (WTC01-36)");
+  EXPECT_STREQ(to_string(debris[6]), "Gypsum wall board");
+}
+
+class MaterialSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MaterialSweep, ReflectanceStaysPhysical) {
+  const auto wl = wavelengths_um(224);
+  const auto r = reflectance(static_cast<Material>(GetParam()), wl);
+  ASSERT_EQ(r.size(), wl.size());
+  for (double v : r) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+}
+
+TEST_P(MaterialSweep, ReflectanceIsDeterministic) {
+  const auto wl = wavelengths_um(64);
+  const auto m = static_cast<Material>(GetParam());
+  EXPECT_EQ(reflectance(m, wl), reflectance(m, wl));
+}
+
+TEST_P(MaterialSweep, HasNonTrivialSpectralStructure) {
+  const auto wl = wavelengths_um(224);
+  const auto r = reflectance(static_cast<Material>(GetParam()), wl);
+  const auto [lo, hi] = std::minmax_element(r.begin(), r.end());
+  EXPECT_GT(*hi - *lo, 0.01);  // not a flat line
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMaterials, MaterialSweep,
+                         ::testing::Range<std::size_t>(0, kMaterialCount));
+
+TEST(MaterialTest, DebrisClassesAreMutuallyDistinguishable) {
+  // The unique-set machinery needs every debris pair to exceed the default
+  // SAD dedup threshold; this is the property the classification tables
+  // depend on.
+  const auto wl = wavelengths_um(224);
+  const auto debris = debris_materials();
+  for (std::size_t i = 0; i < debris.size(); ++i) {
+    for (std::size_t j = i + 1; j < debris.size(); ++j) {
+      const auto a = reflectance(debris[i], wl);
+      const auto b = reflectance(debris[j], wl);
+      EXPECT_GT((sad<double, double>(a, b)), 0.08)
+          << to_string(debris[i]) << " vs " << to_string(debris[j]);
+    }
+  }
+}
+
+TEST(BlackbodyTest, HotterIsBrighterEverywhereInWindow) {
+  const auto wl = wavelengths_um(128);
+  const auto cool = blackbody_radiance(fahrenheit_to_kelvin(700), wl);
+  const auto hot = blackbody_radiance(fahrenheit_to_kelvin(1300), wl);
+  for (std::size_t b = 0; b < wl.size(); ++b) {
+    ASSERT_GT(hot[b], cool[b]);
+  }
+}
+
+TEST(BlackbodyTest, PeaksAtLongWavelengthEnd) {
+  // For 640-980 K the Planck peak lies beyond 2.5 um, so radiance must be
+  // monotonically increasing across the AVIRIS window.
+  const auto wl = wavelengths_um(64);
+  const auto bb = blackbody_radiance(fahrenheit_to_kelvin(1000), wl);
+  EXPECT_TRUE(std::is_sorted(bb.begin(), bb.end()));
+}
+
+TEST(BlackbodyTest, ReferenceTemperatureNormalizesToUnitPeak) {
+  const auto wl = wavelengths_um(224);
+  const auto bb = blackbody_radiance(fahrenheit_to_kelvin(1300), wl);
+  EXPECT_NEAR(*std::max_element(bb.begin(), bb.end()), 1.0, 1e-12);
+}
+
+TEST(BlackbodyTest, RejectsNonPositiveTemperature) {
+  const auto wl = wavelengths_um(16);
+  EXPECT_THROW((void)blackbody_radiance(0.0, wl), Error);
+  EXPECT_THROW((void)blackbody_radiance(-10.0, wl), Error);
+}
+
+TEST(TemperatureTest, FahrenheitConversionsAreExact) {
+  EXPECT_DOUBLE_EQ(fahrenheit_to_kelvin(32.0), 273.15);
+  EXPECT_NEAR(fahrenheit_to_kelvin(700.0), 644.26, 0.01);
+  EXPECT_NEAR(fahrenheit_to_kelvin(1300.0), 977.59, 0.01);
+}
+
+}  // namespace
+}  // namespace hprs::hsi

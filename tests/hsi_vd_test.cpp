@@ -1,0 +1,95 @@
+#include "hsi/vd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hsi/scene.hpp"
+
+namespace hprs::hsi {
+namespace {
+
+/// Cube of pure Gaussian noise: no signal sources.
+HsiCube noise_cube(std::size_t pixels_side, std::size_t bands,
+                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  HsiCube cube(pixels_side, pixels_side, bands);
+  for (auto& v : cube.samples()) {
+    v = static_cast<float>(1.0 + 0.01 * rng.normal());
+  }
+  return cube;
+}
+
+/// Cube mixing k strong deterministic signatures plus noise.
+HsiCube mixture_cube(std::size_t side, std::size_t bands, std::size_t k,
+                     std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> sigs(k, std::vector<double>(bands));
+  for (std::size_t s = 0; s < k; ++s) {
+    for (std::size_t b = 0; b < bands; ++b) {
+      // Orthogonal-ish bump signatures.
+      sigs[s][b] =
+          0.2 + ((b * k / bands) == s ? 0.8 : 0.0) + 0.05 * rng.uniform();
+    }
+  }
+  HsiCube cube(side, side, bands);
+  for (std::size_t p = 0; p < cube.pixel_count(); ++p) {
+    const std::size_t cls = p % k;
+    const auto px = cube.pixel(p);
+    for (std::size_t b = 0; b < bands; ++b) {
+      px[b] = static_cast<float>(sigs[cls][b] + 0.005 * rng.normal());
+    }
+  }
+  return cube;
+}
+
+TEST(VdTest, RejectsEmptyCube) {
+  EXPECT_THROW((void)estimate_vd(HsiCube()), Error);
+}
+
+TEST(VdTest, PureNoiseHasLowDimensionality) {
+  const auto vd = estimate_vd(noise_cube(24, 32, 7));
+  // A constant-mean noise cube carries at most the mean as signal.
+  EXPECT_LE(vd.dimensionality, 2u);
+  EXPECT_EQ(vd.bands, 32u);
+}
+
+class VdSourceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VdSourceSweep, DetectsSignalWithoutOverestimating) {
+  // The HFC correlation/covariance comparison is conservative for
+  // zero-mean-balanced class mixtures (it keys on mean-carrying sources),
+  // so the requirement is: clearly more than the noise floor, never more
+  // than the planted structure allows.
+  const std::size_t k = GetParam();
+  const auto vd = estimate_vd(mixture_cube(32, 48, k, 11 * k + 1));
+  EXPECT_GE(vd.dimensionality, 2u) << "planted " << k << " sources";
+  EXPECT_LE(vd.dimensionality, k + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantedSources, VdSourceSweep,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(VdTest, LowerFalseAlarmRateIsMoreConservative) {
+  const HsiCube cube = mixture_cube(32, 48, 6, 3);
+  const auto loose = estimate_vd(cube, 1e-2);
+  const auto tight = estimate_vd(cube, 1e-6);
+  EXPECT_GE(loose.dimensionality, tight.dimensionality);
+}
+
+TEST(VdTest, WtcSceneHasPlausibleIntrinsicDimensionality) {
+  // The paper sets t = 18 from the intrinsic dimensionality of the real
+  // scene; the synthetic surrogate carries 10 materials plus 7 fire
+  // signatures, so the estimate should land in the low tens.
+  SceneConfig cfg;
+  cfg.rows = 48;
+  cfg.cols = 48;
+  cfg.bands = 64;
+  const Scene scene = generate_wtc_scene(cfg);
+  const auto vd = estimate_vd(scene.cube, 1e-4);
+  EXPECT_GE(vd.dimensionality, 5u);
+  EXPECT_LE(vd.dimensionality, 40u);
+}
+
+}  // namespace
+}  // namespace hprs::hsi

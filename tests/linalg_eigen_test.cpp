@@ -1,0 +1,140 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/vec.hpp"
+
+namespace hprs::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.uniform(-2, 2);
+      a(j, i) = a(i, j);
+    }
+  }
+  return a;
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const auto eig = jacobi_eigen(a);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, Known2x2Eigenvalues) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix a(2, 2, {2, 1, 1, 2});
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 1)), inv_sqrt2, 1e-10);
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  EXPECT_THROW((void)jacobi_eigen(Matrix(2, 3)), Error);
+}
+
+TEST(JacobiEigenTest, ValuesAreSortedDescending) {
+  const Matrix a = random_symmetric(12, 99);
+  const auto eig = jacobi_eigen(a);
+  for (std::size_t i = 1; i < eig.values.size(); ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i]);
+  }
+}
+
+TEST(JacobiEigenTest, TraceEqualsEigenvalueSum) {
+  const Matrix a = random_symmetric(9, 17);
+  const auto eig = jacobi_eigen(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 9; ++i) trace += a(i, i);
+  double sum = 0.0;
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+class EigenSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSizeSweep, EigenvectorsAreOrthonormal) {
+  const std::size_t n = GetParam();
+  const auto eig = jacobi_eigen(random_symmetric(n, n * 5 + 3));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d =
+          dot<double, double>(eig.vectors.row(i), eig.vectors.row(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(EigenSizeSweep, SatisfiesEigenEquation) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, n * 11 + 7);
+  const auto eig = jacobi_eigen(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto av = a.multiply(eig.vectors.row(k));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], eig.values[k] * eig.vectors(k, i), 1e-8)
+          << "pair " << k << " component " << i;
+    }
+  }
+}
+
+TEST_P(EigenSizeSweep, ReconstructsOriginalMatrix) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, n * 13 + 1);
+  const auto eig = jacobi_eigen(a);
+  // A = sum_k lambda_k v_k v_k^T
+  Matrix recon(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto v = eig.vectors.row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        recon(i, j) += eig.values[k] * v[i] * v[j];
+      }
+    }
+  }
+  EXPECT_LE(recon.max_abs_diff(a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(JacobiEigenTest, HandlesAvirisSizedCovariance) {
+  // The PCT path decomposes 224 x 224 covariance matrices; verify the
+  // solver converges and stays orthonormal at that size.
+  const std::size_t n = 224;
+  Xoshiro256 rng(2006);
+  Matrix b(64, n);  // rank-64 covariance plus a ridge, like real image stats
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  Matrix cov = b.gram();
+  for (std::size_t i = 0; i < n; ++i) cov(i, i) += 1e-3;
+  const auto eig = jacobi_eigen(cov);
+  EXPECT_GT(eig.values.front(), eig.values.back());
+  EXPECT_GT(eig.values.back(), 0.0);
+  EXPECT_GT(eig.sweeps, 0);
+  double sum = 0.0;
+  for (double v : eig.values) sum += v;
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += cov(i, i);
+  EXPECT_NEAR(sum, trace, 1e-6 * trace);
+}
+
+}  // namespace
+}  // namespace hprs::linalg

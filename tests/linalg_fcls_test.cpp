@@ -1,0 +1,191 @@
+#include "linalg/fcls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hprs::linalg {
+namespace {
+
+/// Three well-separated synthetic endmembers on `bands` channels.
+Matrix test_endmembers(std::size_t bands) {
+  Matrix m(3, bands);
+  for (std::size_t b = 0; b < bands; ++b) {
+    const double x = static_cast<double>(b) / static_cast<double>(bands - 1);
+    m(0, b) = 0.2 + 0.6 * x;                    // upward slope
+    m(1, b) = 0.8 - 0.6 * x;                    // downward slope
+    m(2, b) = 0.5 + 0.4 * std::sin(6.28 * x);   // oscillating
+  }
+  return m;
+}
+
+std::vector<float> mix(const Matrix& endmembers,
+                       std::span<const double> abundances) {
+  std::vector<float> px(endmembers.cols(), 0.0f);
+  for (std::size_t e = 0; e < endmembers.rows(); ++e) {
+    for (std::size_t b = 0; b < endmembers.cols(); ++b) {
+      px[b] += static_cast<float>(abundances[e] * endmembers(e, b));
+    }
+  }
+  return px;
+}
+
+TEST(UnmixerTest, ConstructionRequiresEndmembers) {
+  EXPECT_THROW(Unmixer{Matrix()}, Error);
+}
+
+TEST(UnmixerTest, RejectsPixelOfWrongLength) {
+  const Unmixer u(test_endmembers(16));
+  EXPECT_THROW((void)u.fcls(std::vector<float>(8, 0.0f)), Error);
+}
+
+TEST(UnmixerTest, UclsRecoversExactMixture) {
+  const Matrix em = test_endmembers(32);
+  const Unmixer u(em);
+  const std::vector<double> truth = {0.5, 0.3, 0.2};
+  const auto r = u.ucls(mix(em, truth));
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_NEAR(r.abundances[e], truth[e], 1e-5);
+  }
+  EXPECT_NEAR(r.error_sq, 0.0, 1e-8);
+}
+
+TEST(UnmixerTest, SclsEnforcesSumToOne) {
+  const Matrix em = test_endmembers(32);
+  const Unmixer u(em);
+  Xoshiro256 rng(4);
+  std::vector<float> px(32);
+  for (auto& v : px) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const auto r = u.scls(px);
+  const double sum =
+      std::accumulate(r.abundances.begin(), r.abundances.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(UnmixerTest, FclsEnforcesBothConstraints) {
+  const Matrix em = test_endmembers(32);
+  const Unmixer u(em);
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> px(32);
+    for (auto& v : px) v = static_cast<float>(rng.uniform(0.0, 1.2));
+    const auto r = u.fcls(px);
+    double sum = 0.0;
+    for (double a : r.abundances) {
+      EXPECT_GE(a, 0.0);
+      sum += a;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(UnmixerTest, FclsRecoversFeasibleMixtures) {
+  const Matrix em = test_endmembers(48);
+  const Unmixer u(em);
+  const std::vector<double> truth = {0.7, 0.1, 0.2};
+  const auto r = u.fcls(mix(em, truth));
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_NEAR(r.abundances[e], truth[e], 1e-5);
+  }
+  EXPECT_NEAR(r.error_sq, 0.0, 1e-8);
+}
+
+TEST(UnmixerTest, FclsClampsInfeasiblePixel) {
+  const Matrix em = test_endmembers(32);
+  const Unmixer u(em);
+  // A pixel equal to endmember 0 scaled by 2 plus the negative of
+  // endmember 1 is far outside the simplex; FCLS must still return a
+  // feasible abundance vector.
+  std::vector<float> px(32);
+  for (std::size_t b = 0; b < 32; ++b) {
+    px[b] = static_cast<float>(2.0 * em(0, b) - 0.5 * em(1, b));
+  }
+  const auto r = u.fcls(px);
+  double sum = 0.0;
+  for (double a : r.abundances) {
+    EXPECT_GE(a, 0.0);
+    sum += a;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(r.error_sq, 0.0);
+}
+
+TEST(UnmixerTest, QuadraticErrorMatchesExplicitReconstruction) {
+  const Matrix em = test_endmembers(40);
+  const Unmixer u(em);
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<float> px(40);
+    for (auto& v : px) v = static_cast<float>(rng.uniform(0.0, 1.5));
+    const auto r = u.fcls(px);
+    const double explicit_err = u.explicit_error_sq(px, r.abundances);
+    EXPECT_NEAR(r.error_sq, explicit_err,
+                1e-8 * std::max(1.0, explicit_err));
+  }
+}
+
+TEST(UnmixerTest, SingleEndmemberFclsIsFullAbundance) {
+  Matrix em(1, 16);
+  for (std::size_t b = 0; b < 16; ++b) em(0, b) = 0.5;
+  const Unmixer u(em);
+  std::vector<float> px(16, 0.25f);
+  const auto r = u.fcls(px);
+  ASSERT_EQ(r.abundances.size(), 1u);
+  EXPECT_NEAR(r.abundances[0], 1.0, 1e-12);
+  // error = ||0.25 - 0.5||^2 over 16 bands = 16 * 0.0625
+  EXPECT_NEAR(r.error_sq, 1.0, 1e-6);
+}
+
+TEST(UnmixerTest, DependentSignaturesThrow) {
+  // Identical rows give an exactly singular Gram matrix.
+  Matrix em(2, 4);
+  for (std::size_t b = 0; b < 4; ++b) {
+    em(0, b) = 1.0;
+    em(1, b) = 1.0;
+  }
+  EXPECT_THROW(Unmixer{em}, Error);
+}
+
+struct FclsCase {
+  double a0, a1, a2;
+};
+
+class FclsAbundanceSweep : public ::testing::TestWithParam<FclsCase> {};
+
+TEST_P(FclsAbundanceSweep, RecoversSimplexPoint) {
+  const auto [a0, a1, a2] = GetParam();
+  const Matrix em = test_endmembers(64);
+  const Unmixer u(em);
+  const std::vector<double> truth = {a0, a1, a2};
+  const auto r = u.fcls(mix(em, truth));
+  EXPECT_NEAR(r.abundances[0], a0, 1e-5);
+  EXPECT_NEAR(r.abundances[1], a1, 1e-5);
+  EXPECT_NEAR(r.abundances[2], a2, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SimplexPoints, FclsAbundanceSweep,
+    ::testing::Values(FclsCase{1.0, 0.0, 0.0}, FclsCase{0.0, 1.0, 0.0},
+                      FclsCase{0.0, 0.0, 1.0}, FclsCase{0.5, 0.5, 0.0},
+                      FclsCase{0.34, 0.33, 0.33}, FclsCase{0.9, 0.05, 0.05},
+                      FclsCase{0.05, 0.9, 0.05}, FclsCase{0.2, 0.0, 0.8}));
+
+TEST(UnmixerTest, NoisyMixtureErrorScalesWithNoise) {
+  const Matrix em = test_endmembers(64);
+  const Unmixer u(em);
+  const std::vector<double> truth = {0.4, 0.4, 0.2};
+  Xoshiro256 rng(21);
+  auto px = mix(em, truth);
+  double err_clean = u.fcls(px).error_sq;
+  for (auto& v : px) v += static_cast<float>(0.01 * rng.normal());
+  const double err_noisy = u.fcls(px).error_sq;
+  EXPECT_LT(err_clean, err_noisy);
+}
+
+}  // namespace
+}  // namespace hprs::linalg

@@ -1,0 +1,89 @@
+// Pins the analytic flop-cost formulas to hand counts.  The virtual-time
+// model multiplies these by processor cycle-times, so a silent drift here
+// would skew every simulated table.
+#include "linalg/flops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hsi/metrics.hpp"
+
+namespace hprs::linalg::flops {
+namespace {
+
+TEST(FlopsTest, DotIsTwoPerElement) {
+  EXPECT_EQ(dot(1), 2u);
+  EXPECT_EQ(dot(224), 448u);
+}
+
+TEST(FlopsTest, NormAddsTheSquareRoot) {
+  EXPECT_EQ(norm(10), dot(10) + 1);
+}
+
+TEST(FlopsTest, AxpyIsTwoPerElement) { EXPECT_EQ(axpy(100), 200u); }
+
+TEST(FlopsTest, MatvecIsRowsTimesDot) {
+  EXPECT_EQ(matvec(3, 7), 3 * dot(7));
+  EXPECT_EQ(matvec(1, 1), 2u);
+}
+
+TEST(FlopsTest, MatmulCountsEveryOutputDot) {
+  EXPECT_EQ(matmul(2, 3, 4), 2 * 4 * dot(3));
+}
+
+TEST(FlopsTest, GramCountsUpperTriangleOnly) {
+  // 4 columns -> 10 unique entries, each a dot of the row count.
+  EXPECT_EQ(gram(16, 4), 10 * dot(16));
+}
+
+TEST(FlopsTest, CubicSolversScale) {
+  EXPECT_EQ(gauss_jordan_inverse(10), 2000u);
+  EXPECT_EQ(cholesky(3), 9u + 18u);
+  EXPECT_EQ(cholesky_solve(5), 50u);
+}
+
+TEST(FlopsTest, JacobiSweepMatchesFormula) {
+  // n=4: 6 rotations * (8*4 + 12) = 264.
+  EXPECT_EQ(jacobi_sweep(4), 264u);
+  EXPECT_EQ(jacobi_sweep(1), 0u);
+}
+
+TEST(FlopsTest, SadIsThreeDotsPlusScalarTail) {
+  EXPECT_EQ(sad(224), 3 * dot(224) + 4);
+  EXPECT_EQ(hsi::flops::sad(224), sad(224));
+}
+
+TEST(FlopsTest, OspScoreComposition) {
+  const Count n = 224;
+  const Count t = 5;
+  EXPECT_EQ(osp_score(n, t), t * dot(n) + cholesky_solve(t) + dot(n) + dot(t));
+}
+
+TEST(FlopsTest, OspScoreGrowsWithTargets) {
+  EXPECT_LT(osp_score(224, 1), osp_score(224, 2));
+  EXPECT_LT(osp_score(224, 8), osp_score(224, 16));
+}
+
+TEST(FlopsTest, UclsComposition) {
+  EXPECT_EQ(ucls(100, 4), 4 * dot(100) + cholesky_solve(4));
+}
+
+TEST(FlopsTest, FclsGrowsWithActiveSetRounds) {
+  EXPECT_LT(fcls(224, 6, 1), fcls(224, 6, 2));
+  EXPECT_LT(fcls(224, 6, 2), fcls(224, 6, 5));
+}
+
+TEST(FlopsTest, FclsComposition) {
+  const Count n = 64;
+  const Count t = 3;
+  const Count rounds = 2;
+  EXPECT_EQ(fcls(n, t, rounds),
+            t * dot(n) + dot(n) + 2 * cholesky_solve(t) + 6 * t +
+                (rounds - 1) *
+                    (cholesky(t) + 2 * cholesky_solve(t) + 6 * t) +
+                t * dot(t) + 2 * t);
+}
+
+TEST(FlopsTest, SidIsSixPerBand) { EXPECT_EQ(hsi::flops::sid(224), 1344u); }
+
+}  // namespace
+}  // namespace hprs::linalg::flops

@@ -1,0 +1,173 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/vec.hpp"
+
+namespace hprs::linalg {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m(r, c), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, InitializerDataIsRowMajor) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 3);
+  EXPECT_EQ(m(1, 1), 4);
+}
+
+TEST(MatrixTest, InitializerSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), Error);
+}
+
+TEST(MatrixTest, IdentityHasUnitDiagonal) {
+  const Matrix i = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m(r, c), t(c, r));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)a.multiply(b), Error);
+}
+
+TEST(MatrixTest, IdentityIsMultiplicativeNeutral) {
+  Xoshiro256 rng(5);
+  Matrix m(4, 4);
+  for (auto& v : m.data()) v = rng.uniform(-1, 1);
+  const Matrix i = Matrix::identity(4);
+  EXPECT_LE(m.multiply(i).max_abs_diff(m), 1e-15);
+  EXPECT_LE(i.multiply(m).max_abs_diff(m), 1e-15);
+}
+
+TEST(MatrixTest, MatvecMatchesHandComputation) {
+  const Matrix a(2, 3, {1, 0, 2, -1, 3, 1});
+  const std::vector<double> x = {3, -2, 1};
+  const auto y = a.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], 5);
+  EXPECT_EQ(y[1], -8);
+}
+
+TEST(MatrixTest, GramIsSymmetricPositiveSemiDefinite) {
+  Xoshiro256 rng(9);
+  Matrix m(5, 3);
+  for (auto& v : m.data()) v = rng.uniform(-2, 2);
+  const Matrix g = m.gram();
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(g(i, i), 0.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+  // Cross-check against A^T * A.
+  const Matrix ref = m.transposed().multiply(m);
+  EXPECT_LE(g.max_abs_diff(ref), 1e-12);
+}
+
+TEST(MatrixTest, AppendRowGrowsMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  const std::vector<double> r0 = {1, 2, 3};
+  const std::vector<double> r1 = {4, 5, 6};
+  m.append_row(r0);
+  m.append_row(r1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, AppendRowRejectsWrongLength) {
+  Matrix m;
+  const std::vector<double> r0 = {1, 2, 3};
+  m.append_row(r0);
+  const std::vector<double> bad = {1, 2};
+  EXPECT_THROW(m.append_row(bad), Error);
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  m.row(1)[0] = 99;
+  EXPECT_EQ(m(1, 0), 99);
+}
+
+TEST(MatrixTest, MaxAbsDiffDetectsChanges) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b = a;
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+  b(1, 1) = 4.5;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+  EXPECT_THROW((void)a.max_abs_diff(Matrix(2, 3)), Error);
+}
+
+class MatrixSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatrixSizeSweep, TransposeIsInvolution) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n);
+  Matrix m(n, n + 1);
+  for (auto& v : m.data()) v = rng.uniform(-1, 1);
+  EXPECT_LE(m.transposed().transposed().max_abs_diff(m), 0.0);
+}
+
+TEST_P(MatrixSizeSweep, MultiplicationIsAssociative) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n * 31 + 1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  Matrix c(n, n);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  for (auto& v : c.data()) v = rng.uniform(-1, 1);
+  const Matrix left = a.multiply(b).multiply(c);
+  const Matrix right = a.multiply(b.multiply(c));
+  EXPECT_LE(left.max_abs_diff(right), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33));
+
+}  // namespace
+}  // namespace hprs::linalg

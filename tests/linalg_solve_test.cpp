@@ -1,0 +1,153 @@
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hprs::linalg {
+namespace {
+
+/// Random SPD matrix A = B^T B + n*I.
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  Matrix a = b.transposed().multiply(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-3, 3);
+  return v;
+}
+
+double residual_norm(const Matrix& a, std::span<const double> x,
+                     std::span<const double> b) {
+  const auto ax = a.multiply(x);
+  double s = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    s += (ax[i] - b[i]) * (ax[i] - b[i]);
+  }
+  return std::sqrt(s);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  const Matrix a(2, 2, {4, 2, 2, 3});
+  const Cholesky chol(a);
+  const auto x = chol.solve(std::vector<double>{10, 9});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, Error);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  const Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3 and -1
+  EXPECT_THROW(Cholesky{a}, Error);
+}
+
+TEST(CholeskyTest, RejectsRhsOfWrongSize) {
+  const Cholesky chol(Matrix::identity(3));
+  EXPECT_THROW((void)chol.solve(std::vector<double>{1, 2}), Error);
+}
+
+TEST(CholeskyTest, LogDetOfIdentityIsZero) {
+  const Cholesky chol(Matrix::identity(5));
+  EXPECT_NEAR(chol.log_det(), 0.0, 1e-14);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownDeterminant) {
+  const Matrix a(2, 2, {4, 0, 0, 9});  // det = 36
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(GaussJordanTest, InverseOfIdentityIsIdentity) {
+  const Matrix inv = gauss_jordan_inverse(Matrix::identity(4));
+  EXPECT_LE(inv.max_abs_diff(Matrix::identity(4)), 1e-14);
+}
+
+TEST(GaussJordanTest, InverseOfKnownMatrix) {
+  const Matrix a(2, 2, {4, 7, 2, 6});  // det 10
+  const Matrix inv = gauss_jordan_inverse(a);
+  EXPECT_NEAR(inv(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(inv(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(inv(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.4, 1e-12);
+}
+
+TEST(GaussJordanTest, SingularMatrixThrows) {
+  const Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW((void)gauss_jordan_inverse(a), Error);
+}
+
+TEST(GaussJordanTest, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a(2, 2, {0, 1, 1, 0});
+  const Matrix inv = gauss_jordan_inverse(a);
+  EXPECT_LE(inv.max_abs_diff(a), 1e-14);  // permutation is its own inverse
+}
+
+TEST(SolveLinearTest, MatchesKnownSolution) {
+  const Matrix a(3, 3, {2, 1, -1, -3, -1, 2, -2, 1, 2});
+  const auto x = solve_linear(a, std::vector<double>{8, -11, -3});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(SolveLinearTest, SingularThrows) {
+  const Matrix a(2, 2, {1, 1, 1, 1});
+  EXPECT_THROW((void)solve_linear(a, std::vector<double>{1, 2}), Error);
+}
+
+TEST(SolveLinearTest, RequiresSquareAndMatchingRhs) {
+  EXPECT_THROW((void)solve_linear(Matrix(2, 3), std::vector<double>{1, 2}),
+               Error);
+  EXPECT_THROW(
+      (void)solve_linear(Matrix::identity(3), std::vector<double>{1, 2}),
+      Error);
+}
+
+class SolverSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolverSizeSweep, CholeskySolveHasSmallResidual) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, n * 7 + 1);
+  const auto b = random_vector(n, n * 13 + 5);
+  const auto x = Cholesky(a).solve(b);
+  EXPECT_LE(residual_norm(a, x, b), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(SolverSizeSweep, GaussJordanInverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, n * 3 + 11);
+  const Matrix prod = a.multiply(gauss_jordan_inverse(a));
+  EXPECT_LE(prod.max_abs_diff(Matrix::identity(n)),
+            1e-10 * static_cast<double>(n));
+}
+
+TEST_P(SolverSizeSweep, CholeskyAndGaussianEliminationAgree) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, n + 23);
+  const auto b = random_vector(n, n + 29);
+  const auto x1 = Cholesky(a).solve(b);
+  const auto x2 = solve_linear(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace hprs::linalg

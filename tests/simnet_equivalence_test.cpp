@@ -1,0 +1,57 @@
+#include "simnet/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hprs::simnet {
+namespace {
+
+TEST(EquivalenceTest, PlatformIsEquivalentToItself) {
+  const Platform p = fully_heterogeneous();
+  const auto rep = check_equivalence(p, p);
+  EXPECT_TRUE(rep.equivalent);
+  EXPECT_TRUE(rep.same_processor_count);
+  EXPECT_DOUBLE_EQ(rep.speed_deviation, 0.0);
+  EXPECT_DOUBLE_EQ(rep.link_deviation, 0.0);
+}
+
+TEST(EquivalenceTest, DifferentProcessorCountsAreNotEquivalent) {
+  const auto rep = check_equivalence(thunderhead(4), thunderhead(8));
+  EXPECT_FALSE(rep.same_processor_count);
+  EXPECT_FALSE(rep.equivalent);
+}
+
+TEST(EquivalenceTest, PaperNetworksAreOnlyApproximatelyEquivalent) {
+  // The paper calls its four networks "approximately equivalent"; the
+  // Table 1 average speed actually deviates ~35% from the homogeneous
+  // w = 0.0131, which the checker quantifies.
+  const auto rep =
+      check_equivalence(fully_heterogeneous(), fully_homogeneous());
+  EXPECT_TRUE(rep.same_processor_count);
+  EXPECT_GT(rep.speed_deviation, 0.2);
+  EXPECT_LT(rep.speed_deviation, 0.5);
+  EXPECT_FALSE(rep.equivalent);  // at the default 5% tolerance
+}
+
+TEST(EquivalenceTest, ToleranceControlsTheVerdict) {
+  const auto loose =
+      check_equivalence(fully_heterogeneous(), fully_homogeneous(), 0.99);
+  EXPECT_TRUE(loose.equivalent);
+}
+
+TEST(EquivalenceTest, MatchedSpeedMismatchedNetworkDetected) {
+  const auto rep =
+      check_equivalence(fully_heterogeneous(), partially_heterogeneous());
+  EXPECT_DOUBLE_EQ(rep.speed_deviation, 0.0);  // same processors
+  EXPECT_GT(rep.link_deviation, 0.1);
+}
+
+TEST(EquivalenceTest, ReportRendersReadably) {
+  const auto rep =
+      check_equivalence(fully_homogeneous(), fully_homogeneous());
+  const std::string s = rep.to_string();
+  EXPECT_NE(s.find("equivalent=yes"), std::string::npos);
+  EXPECT_NE(s.find("speed_dev=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hprs::simnet

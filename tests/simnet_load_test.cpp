@@ -1,0 +1,78 @@
+#include "simnet/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hprs::simnet {
+namespace {
+
+TEST(BackgroundLoadTest, StretchesCycleTimes) {
+  const Platform base = fully_homogeneous();
+  std::vector<double> load(base.size(), 0.0);
+  load[3] = 0.5;   // half the machine busy -> twice the cycle-time
+  load[7] = 0.75;  // quarter left -> 4x
+  const Platform loaded = with_background_load(base, load);
+  EXPECT_DOUBLE_EQ(loaded.cycle_time(0), base.cycle_time(0));
+  EXPECT_DOUBLE_EQ(loaded.cycle_time(3), 2.0 * base.cycle_time(3));
+  EXPECT_DOUBLE_EQ(loaded.cycle_time(7), 4.0 * base.cycle_time(7));
+}
+
+TEST(BackgroundLoadTest, PreservesNetworkAndFabric) {
+  const Platform base = thunderhead(4);
+  const Platform loaded =
+      with_background_load(base, std::vector<double>(4, 0.3));
+  EXPECT_TRUE(loaded.switched_fabric());
+  EXPECT_DOUBLE_EQ(loaded.link_ms_per_mbit(0, 1),
+                   base.link_ms_per_mbit(0, 1));
+  EXPECT_EQ(loaded.size(), base.size());
+}
+
+TEST(BackgroundLoadTest, ZeroLoadIsIdentityOnSpeeds) {
+  const Platform base = fully_heterogeneous();
+  const Platform loaded =
+      with_background_load(base, std::vector<double>(base.size(), 0.0));
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.cycle_time(i), base.cycle_time(i));
+  }
+}
+
+TEST(BackgroundLoadTest, ValidatesArguments) {
+  const Platform base = fully_homogeneous();
+  EXPECT_THROW((void)with_background_load(base, std::vector<double>(3, 0.1)),
+               Error);
+  std::vector<double> full(base.size(), 0.0);
+  full[0] = 1.0;  // would divide by zero
+  EXPECT_THROW((void)with_background_load(base, full), Error);
+  full[0] = -0.1;
+  EXPECT_THROW((void)with_background_load(base, full), Error);
+}
+
+TEST(LoadEpochsTest, ShapeAndRangeAreRespected) {
+  const auto epochs = load_epochs(16, 5, 0.7, 9);
+  ASSERT_EQ(epochs.size(), 5u);
+  for (const auto& epoch : epochs) {
+    ASSERT_EQ(epoch.size(), 16u);
+    for (const double l : epoch) {
+      ASSERT_GE(l, 0.0);
+      ASSERT_LT(l, 0.7);
+    }
+  }
+}
+
+TEST(LoadEpochsTest, DeterministicInSeedAndVariedAcrossEpochs) {
+  const auto a = load_epochs(8, 3, 0.5, 1);
+  const auto b = load_epochs(8, 3, 0.5, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a[0], a[1]);
+  const auto c = load_epochs(8, 3, 0.5, 2);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(LoadEpochsTest, RejectsInvalidMaxLoad) {
+  EXPECT_THROW((void)load_epochs(4, 2, 1.0, 1), Error);
+  EXPECT_THROW((void)load_epochs(4, 2, -0.5, 1), Error);
+}
+
+}  // namespace
+}  // namespace hprs::simnet

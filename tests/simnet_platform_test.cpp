@@ -1,0 +1,159 @@
+#include "simnet/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hprs::simnet {
+namespace {
+
+TEST(FullyHeterogeneousTest, MatchesPaperTable1) {
+  const Platform p = fully_heterogeneous();
+  ASSERT_EQ(p.size(), 16u);
+  EXPECT_EQ(p.segment_count(), 4u);
+  EXPECT_FALSE(p.switched_fabric());
+
+  // Spot-check the published cycle-times (secs/megaflop).
+  EXPECT_DOUBLE_EQ(p.cycle_time(0), 0.0058);   // p1
+  EXPECT_DOUBLE_EQ(p.cycle_time(1), 0.0102);   // p2
+  EXPECT_DOUBLE_EQ(p.cycle_time(2), 0.0026);   // p3 (fastest)
+  EXPECT_DOUBLE_EQ(p.cycle_time(9), 0.0451);   // p10 (slowest)
+  EXPECT_DOUBLE_EQ(p.cycle_time(15), 0.0131);  // p16
+
+  // Memory and cache columns.
+  EXPECT_EQ(p.processor(2).memory_mb, 7748u);
+  EXPECT_EQ(p.processor(9).memory_mb, 512u);
+  EXPECT_EQ(p.processor(9).cache_kb, 2048u);
+
+  // Segment structure: p1-p4 -> s1, p5-p8 -> s2, p9-p10 -> s3, rest -> s4.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(p.segment_of(i), 0u);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(p.segment_of(i), 1u);
+  for (std::size_t i = 8; i < 10; ++i) EXPECT_EQ(p.segment_of(i), 2u);
+  for (std::size_t i = 10; i < 16; ++i) EXPECT_EQ(p.segment_of(i), 3u);
+}
+
+TEST(FullyHeterogeneousTest, MatchesPaperTable2) {
+  const Platform p = fully_heterogeneous();
+  // Intra-segment capacities (diagonal of Table 2).
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 1), 19.26);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(4, 5), 17.65);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(8, 9), 16.38);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(10, 11), 14.05);
+  // Cross-segment capacities.
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 4), 48.31);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 8), 96.62);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 15), 154.76);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(4, 15), 106.45);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(8, 15), 58.14);
+}
+
+TEST(PlatformTest, LinksAreSymmetric) {
+  const Platform p = fully_heterogeneous();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(i, j), p.link_ms_per_mbit(j, i));
+    }
+  }
+}
+
+TEST(FullyHomogeneousTest, IsUniform) {
+  const Platform p = fully_homogeneous();
+  ASSERT_EQ(p.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(p.cycle_time(i), 0.0131);
+  }
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 15), 26.64);
+  EXPECT_DOUBLE_EQ(p.speed_heterogeneity(), 1.0);
+  EXPECT_DOUBLE_EQ(p.link_heterogeneity(), 1.0);
+}
+
+TEST(PartiallyHeterogeneousTest, HetProcessorsHomoNetwork) {
+  const Platform p = partially_heterogeneous();
+  EXPECT_DOUBLE_EQ(p.cycle_time(9), 0.0451);
+  EXPECT_GT(p.speed_heterogeneity(), 10.0);
+  EXPECT_DOUBLE_EQ(p.link_heterogeneity(), 1.0);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 9), 26.64);
+}
+
+TEST(PartiallyHomogeneousTest, HomoProcessorsHetNetwork) {
+  const Platform p = partially_homogeneous();
+  EXPECT_DOUBLE_EQ(p.speed_heterogeneity(), 1.0);
+  EXPECT_GT(p.link_heterogeneity(), 10.0);
+  // Keeps the fully heterogeneous segment structure.
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 15), 154.76);
+  EXPECT_FALSE(p.crosses_segments(0, 3));
+  EXPECT_TRUE(p.crosses_segments(0, 15));
+}
+
+TEST(ThunderheadTest, ScalesToRequestedNodeCount) {
+  for (const std::size_t n : {1u, 4u, 64u, 256u}) {
+    const Platform p = thunderhead(n);
+    EXPECT_EQ(p.size(), n);
+    EXPECT_TRUE(p.switched_fabric());
+    EXPECT_DOUBLE_EQ(p.cycle_time(0), 0.0058);
+    EXPECT_EQ(p.processor(0).memory_mb, 1024u);
+    EXPECT_EQ(p.processor(0).cache_kb, 512u);
+  }
+  EXPECT_THROW((void)thunderhead(0), Error);
+}
+
+TEST(PlatformTest, AverageSpeedMatchesHandComputation) {
+  const Platform p = fully_homogeneous();
+  EXPECT_NEAR(p.average_speed(), 1.0 / 0.0131, 1e-9);
+}
+
+TEST(PlatformTest, AverageLinkOfUniformNetworkIsTheLink) {
+  const Platform p = fully_homogeneous();
+  EXPECT_NEAR(p.average_link_ms_per_mbit(), 26.64, 1e-9);
+}
+
+TEST(PlatformTest, SpeedHeterogeneityOfTable1) {
+  const Platform p = fully_heterogeneous();
+  EXPECT_NEAR(p.speed_heterogeneity(), 0.0451 / 0.0026, 1e-9);
+}
+
+TEST(SyntheticPlatformTest, RespectsSpreadAndMean) {
+  const Platform p = synthetic_heterogeneous(8, 4.0, 0.01, 20.0);
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_NEAR(p.speed_heterogeneity(), 4.0, 1e-9);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) mean += p.cycle_time(i);
+  EXPECT_NEAR(mean / 8, 0.01, 1e-12);
+}
+
+TEST(SyntheticPlatformTest, SpreadOneIsHomogeneous) {
+  const Platform p = synthetic_heterogeneous(4, 1.0, 0.01, 20.0);
+  EXPECT_NEAR(p.speed_heterogeneity(), 1.0, 1e-12);
+}
+
+TEST(SyntheticPlatformTest, ValidatesArguments) {
+  EXPECT_THROW((void)synthetic_heterogeneous(0, 2.0, 0.01, 1.0), Error);
+  EXPECT_THROW((void)synthetic_heterogeneous(4, 0.5, 0.01, 1.0), Error);
+  EXPECT_THROW((void)synthetic_heterogeneous(4, 2.0, -1.0, 1.0), Error);
+}
+
+TEST(PlatformValidationTest, RejectsMalformedDescriptions) {
+  const ProcessorSpec ok{"p1", "x", 0.01, 128, 64, 0};
+  // Empty processor list.
+  EXPECT_THROW(Platform("x", {}, {{1.0}}), Error);
+  // Asymmetric capacities.
+  EXPECT_THROW(Platform("x", {ok}, {{1.0, 2.0}, {3.0, 1.0}}), Error);
+  // Non-square capacity matrix.
+  EXPECT_THROW(Platform("x", {ok}, {{1.0, 2.0}}), Error);
+  // Processor referencing unknown segment.
+  ProcessorSpec bad_seg = ok;
+  bad_seg.segment = 5;
+  EXPECT_THROW(Platform("x", {bad_seg}, {{1.0}}), Error);
+  // Non-positive cycle time.
+  ProcessorSpec bad_w = ok;
+  bad_w.cycle_time = 0.0;
+  EXPECT_THROW(Platform("x", {bad_w}, {{1.0}}), Error);
+}
+
+TEST(PlatformTest, ProcessorIndexOutOfRangeThrows) {
+  const Platform p = fully_homogeneous();
+  EXPECT_THROW((void)p.processor(16), Error);
+}
+
+}  // namespace
+}  // namespace hprs::simnet

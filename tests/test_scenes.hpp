@@ -1,0 +1,64 @@
+// Small deterministic cubes shared by the algorithm tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hsi/cube.hpp"
+
+namespace hprs::testing {
+
+/// A blocky cube: `classes` horizontal stripes of distinct smooth spectra
+/// plus mild noise.  Stripe k occupies rows [k*rows/classes, ...).
+inline hsi::HsiCube striped_cube(std::size_t rows, std::size_t cols,
+                                 std::size_t bands, std::size_t classes,
+                                 double noise = 0.002,
+                                 std::uint64_t seed = 7) {
+  Xoshiro256 rng(seed);
+  hsi::HsiCube cube(rows, cols, bands);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t cls = std::min(classes - 1, r * classes / rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto px = cube.pixel(r, c);
+      for (std::size_t b = 0; b < bands; ++b) {
+        const double x = static_cast<double>(b) / static_cast<double>(bands);
+        // Distinct bump per class: shifted raised cosine.
+        const double center =
+            (static_cast<double>(cls) + 0.5) / static_cast<double>(classes);
+        const double bump = 0.5 + 0.45 * std::cos(3.0 * (x - center));
+        px[b] = static_cast<float>(bump + noise * rng.normal());
+      }
+    }
+  }
+  return cube;
+}
+
+/// Location of a planted anomaly.
+struct Plant {
+  std::size_t row;
+  std::size_t col;
+};
+
+/// Injects spectrally unique, bright anomalies into a cube (each anomaly
+/// gets its own narrow spike band plus a brightness boost, so an OSP or
+/// error-ranking detector must find all of them).
+inline std::vector<Plant> plant_targets(hsi::HsiCube& cube,
+                                        std::size_t count) {
+  std::vector<Plant> plants;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t r = (k * 2 + 1) * cube.rows() / (2 * count);
+    const std::size_t c = (k * 2 + 1) * cube.cols() / (2 * count);
+    const auto px = cube.pixel(r, c);
+    const std::size_t spike = (k + 1) * cube.bands() / (count + 2);
+    for (std::size_t b = 0; b < cube.bands(); ++b) {
+      px[b] = static_cast<float>(px[b] * 1.5);
+    }
+    px[spike] += 3.0f;
+    plants.push_back({r, c});
+  }
+  return plants;
+}
+
+}  // namespace hprs::testing

@@ -1,0 +1,289 @@
+// Hand-verified timing of the collective cost models: linear (network of
+// workstations) and binomial-tree (switched cluster fabric) schedules, NIC
+// serialization, inter-segment serial links, and the exchange collective.
+#include <gtest/gtest.h>
+
+#include "vmpi/comm.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::vmpi {
+namespace {
+
+/// 1 megabit at 10 ms/megabit = 10 ms of wire time; compute is negligible.
+constexpr std::size_t kMegabit = 125'000;
+constexpr double kD = 0.010;
+
+simnet::Platform now_platform(std::size_t n) {
+  std::vector<simnet::ProcessorSpec> procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(
+        simnet::ProcessorSpec{"p" + std::to_string(i), "t", 0.001, 1024, 512, 0});
+  }
+  return simnet::Platform("now", std::move(procs), {{10.0}});
+}
+
+simnet::Platform cluster_platform(std::size_t n) {
+  std::vector<simnet::ProcessorSpec> procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(
+        simnet::ProcessorSpec{"n" + std::to_string(i), "t", 0.001, 1024, 512, 0});
+  }
+  return simnet::Platform("cluster", std::move(procs), {{10.0}},
+                          /*switched_fabric=*/true);
+}
+
+/// Two segments of two processors; 10 ms/megabit inside, 100 between.
+simnet::Platform segmented_platform() {
+  std::vector<simnet::ProcessorSpec> procs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    procs.push_back(simnet::ProcessorSpec{"p" + std::to_string(i), "t", 0.001,
+                                          1024, 512, i / 2});
+  }
+  return simnet::Platform("segmented", std::move(procs),
+                          {{10.0, 100.0}, {100.0, 10.0}});
+}
+
+Options zero_latency() {
+  Options o;
+  o.per_message_latency_s = 0.0;
+  o.deadlock_timeout_s = 5.0;
+  return o;
+}
+
+TEST(LinearCollectivesTest, BcastSerializesThroughRootNic) {
+  Engine engine(now_platform(3), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.bcast(0, comm.is_root() ? 42 : 0, kMegabit);
+  });
+  // Root sends to rank 1 (ends at d), then rank 2 (ends at 2d).
+  EXPECT_NEAR(report.ranks[1].clock, kD, 1e-12);
+  EXPECT_NEAR(report.ranks[2].clock, 2 * kD, 1e-12);
+  EXPECT_NEAR(report.ranks[0].clock, 2 * kD, 1e-12);
+  EXPECT_EQ(report.ranks[0].bytes_sent, 2 * kMegabit);
+  EXPECT_EQ(report.ranks[2].bytes_received, kMegabit);
+}
+
+TEST(LinearCollectivesTest, GatherSerializesThroughRootNic) {
+  Engine engine(now_platform(3), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.gather(0, comm.rank(), kMegabit);
+  });
+  // Rank 1 delivers first (d), rank 2 queues behind it (2d).
+  EXPECT_NEAR(report.ranks[1].clock, kD, 1e-12);
+  EXPECT_NEAR(report.ranks[2].clock, 2 * kD, 1e-12);
+  EXPECT_NEAR(report.ranks[0].clock, 2 * kD, 1e-12);
+  EXPECT_EQ(report.ranks[0].bytes_received, 2 * kMegabit);
+}
+
+TEST(LinearCollectivesTest, ScatterChargesPerPartSizes) {
+  Engine engine(now_platform(3), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    std::vector<int> parts;
+    std::vector<std::size_t> bytes = {0, kMegabit, 3 * kMegabit};
+    if (comm.is_root()) parts = {0, 1, 2};
+    (void)comm.scatter(0, std::move(parts), bytes);
+  });
+  // Rank 1 receives 1 megabit (d), rank 2 then 3 megabits (d + 3d = 4d).
+  EXPECT_NEAR(report.ranks[1].clock, kD, 1e-12);
+  EXPECT_NEAR(report.ranks[2].clock, 4 * kD, 1e-12);
+  EXPECT_NEAR(report.ranks[0].clock, 4 * kD, 1e-12);
+}
+
+TEST(LinearCollectivesTest, LateRootDelaysEveryTransfer) {
+  Engine engine(now_platform(2), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    if (comm.is_root()) comm.compute(50'000'000);  // busy until 50 ms
+    (void)comm.bcast(0, comm.is_root() ? 1 : 0, kMegabit);
+  });
+  EXPECT_NEAR(report.ranks[1].clock, 0.050 + kD, 1e-9);
+}
+
+TEST(TreeCollectivesTest, BcastCompletesInLogDepth) {
+  Engine engine(cluster_platform(4), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.bcast(0, comm.is_root() ? 42 : 0, kMegabit);
+  });
+  // Binomial: step 1: 0->1 (d).  Step 2: 0->2 and 1->3 (both end 2d).
+  // Rank 1 receives at d but then forwards to rank 3, so every rank's
+  // clock ends at 2d -- two rounds instead of the linear schedule's three.
+  EXPECT_NEAR(report.ranks[1].clock, 2 * kD, 1e-12);
+  EXPECT_NEAR(report.ranks[2].clock, 2 * kD, 1e-12);
+  EXPECT_NEAR(report.ranks[3].clock, 2 * kD, 1e-12);
+  EXPECT_NEAR(report.total_time, 2 * kD, 1e-12);
+}
+
+TEST(TreeCollectivesTest, TreeBeatsLinearBroadcastAtScale) {
+  constexpr std::size_t kN = 16;
+  Engine linear(now_platform(kN), zero_latency());
+  Engine tree(cluster_platform(kN), zero_latency());
+  const auto program = [](Comm& comm) {
+    (void)comm.bcast(0, comm.is_root() ? 1 : 0, kMegabit);
+  };
+  const auto rl = linear.run(program);
+  const auto rt = tree.run(program);
+  EXPECT_NEAR(rl.total_time, 15 * kD, 1e-9);
+  EXPECT_NEAR(rt.total_time, 4 * kD, 1e-9);  // ceil(log2 16) rounds
+}
+
+TEST(TreeCollectivesTest, GatherAggregatesSubtreeBytes) {
+  Engine engine(cluster_platform(4), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.gather(0, comm.rank(), kMegabit);
+  });
+  // Step 1: 1->0 and 3->2 in parallel (each d).  Step 2: 2 forwards its
+  // accumulated 2 megabits to 0, ending at d + 2d = 3d.
+  EXPECT_NEAR(report.total_time, 3 * kD, 1e-12);
+  EXPECT_EQ(report.ranks[2].bytes_sent, 2 * kMegabit);
+  EXPECT_EQ(report.ranks[2].bytes_received, kMegabit);
+}
+
+TEST(TreeCollectivesTest, ScatterShipsSubtreeBytesDown) {
+  Engine engine(cluster_platform(4), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    std::vector<int> parts;
+    if (comm.is_root()) parts = {0, 1, 2, 3};
+    (void)comm.scatter(0, std::move(parts),
+                       std::vector<std::size_t>(4, kMegabit));
+  });
+  // Step 1: 0 ships ranks {2,3}'s 2 megabits to 2 (ends 2d).
+  // Step 2: 0->1 (1 megabit, ends 3d because the root NIC was busy);
+  //         2->3 (1 megabit, ends 3d, so rank 2 also finishes at 3d).
+  EXPECT_NEAR(report.ranks[1].clock, 3 * kD, 1e-12);
+  EXPECT_NEAR(report.ranks[3].clock, 3 * kD, 1e-12);
+  EXPECT_EQ(report.ranks[2].bytes_received, 2 * kMegabit);
+  EXPECT_NEAR(report.total_time, 3 * kD, 1e-9);
+}
+
+TEST(SegmentedNetworkTest, CrossSegmentLinksAreSlower) {
+  Engine engine(segmented_platform(), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 1, kMegabit);   // intra: 10 ms
+    if (comm.rank() == 1) (void)comm.recv<int>(0);
+    if (comm.rank() == 2) comm.send(3, 1, kMegabit);   // intra: 10 ms
+    if (comm.rank() == 3) (void)comm.recv<int>(2);
+  });
+  EXPECT_NEAR(report.ranks[1].clock, 0.010, 1e-12);
+  EXPECT_NEAR(report.ranks[3].clock, 0.010, 1e-12);
+}
+
+TEST(SegmentedNetworkTest, InterSegmentSerialLinkSerializesTransfers) {
+  Engine engine(segmented_platform(), zero_latency());
+  // Two simultaneous cross-segment transfers (0->2 and 1->3) must share
+  // the single serial link between segments 0 and 1: 100 ms each, back to
+  // back.
+  const auto report = engine.run([](Comm& comm) {
+    std::vector<std::tuple<int, int, std::size_t>> sends;
+    if (comm.rank() == 0) sends.emplace_back(2, 1, kMegabit);
+    if (comm.rank() == 1) sends.emplace_back(3, 1, kMegabit);
+    (void)comm.exchange(std::move(sends));
+  });
+  EXPECT_NEAR(report.total_time, 0.200, 1e-9);
+}
+
+TEST(ExchangeTest, DisjointPairsRunInParallel) {
+  Engine engine(now_platform(4), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    std::vector<std::tuple<int, int, std::size_t>> sends;
+    if (comm.rank() == 0) sends.emplace_back(1, 10, kMegabit);
+    if (comm.rank() == 2) sends.emplace_back(3, 30, kMegabit);
+    const auto recv = comm.exchange(std::move(sends));
+    if (comm.rank() == 1) {
+      ASSERT_EQ(recv.size(), 1u);
+      EXPECT_EQ(recv[0].first, 0);
+      EXPECT_EQ(recv[0].second, 10);
+    }
+    if (comm.rank() == 3) {
+      ASSERT_EQ(recv.size(), 1u);
+      EXPECT_EQ(recv[0].second, 30);
+    }
+    if (comm.rank() == 0 || comm.rank() == 2) {
+      EXPECT_TRUE(recv.empty());
+    }
+  });
+  // Disjoint NIC pairs on one segment: both finish after one wire time.
+  EXPECT_NEAR(report.total_time, kD, 1e-12);
+}
+
+TEST(ExchangeTest, BidirectionalPairSerializesOnNics) {
+  Engine engine(now_platform(2), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    std::vector<std::tuple<int, int, std::size_t>> sends;
+    sends.emplace_back(1 - comm.rank(), comm.rank(), kMegabit);
+    const auto recv = comm.exchange(std::move(sends));
+    ASSERT_EQ(recv.size(), 1u);
+    EXPECT_EQ(recv[0].second, 1 - comm.rank());
+  });
+  // The two messages share both NICs, so they go back to back.
+  EXPECT_NEAR(report.total_time, 2 * kD, 1e-12);
+}
+
+TEST(ExchangeTest, EmptyExchangeIsAVirtuallyFreeBarrier) {
+  Engine engine(now_platform(3), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.exchange(std::vector<std::tuple<int, int, std::size_t>>{});
+  });
+  EXPECT_DOUBLE_EQ(report.total_time, 0.0);
+}
+
+TEST(LatencyTest, PerMessageLatencyIsAdded) {
+  Options opts;
+  opts.per_message_latency_s = 0.5;
+  Engine engine(now_platform(2), opts);
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.bcast(0, comm.is_root() ? 1 : 0, kMegabit);
+  });
+  EXPECT_NEAR(report.total_time, 0.5 + kD, 1e-9);
+}
+
+
+TEST(AllreduceTest, CombinesAcrossRanksAndBroadcasts) {
+  Engine engine(now_platform(4), zero_latency());
+  engine.run([](Comm& comm) {
+    const int total = comm.allreduce(
+        comm.rank() + 1, 16, [](int a, int b) { return a + b; }, 1);
+    EXPECT_EQ(total, 1 + 2 + 3 + 4);
+  });
+}
+
+TEST(AllreduceTest, CostsAGatherPlusABroadcast) {
+  Engine engine(now_platform(3), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.allreduce(1, kMegabit, [](int a, int b) { return a + b; });
+  });
+  // Gather: workers deliver at d and 2d.  Bcast: root sends at 2d+d and
+  // 2d+2d.  Total 4d.
+  EXPECT_NEAR(report.total_time, 4 * kD, 1e-9);
+}
+
+TEST(AllreduceTest, ChargesCombineFlopsSequentiallyAtRoot) {
+  Engine engine(now_platform(3), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.allreduce(
+        1, 8, [](int a, int b) { return a + b; }, 1'000'000);
+  });
+  // Two folds of 1 Mflop each at w = 0.001 s/Mflop.
+  EXPECT_EQ(report.ranks[0].flops, 2'000'000u);
+}
+
+TEST(AllgatherTest, EveryRankSeesEveryValueInOrder) {
+  Engine engine(now_platform(4), zero_latency());
+  engine.run([](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 7, 16);
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)], i * 7);
+    }
+  });
+}
+
+TEST(AllgatherTest, BroadcastLegCarriesTheConcatenation) {
+  Engine engine(now_platform(2), zero_latency());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.allgather(comm.rank(), kMegabit);
+  });
+  // Gather: 1 megabit at d.  Bcast back: 2 megabits -> 2d more.
+  EXPECT_NEAR(report.total_time, 3 * kD, 1e-9);
+}
+
+}  // namespace
+}  // namespace hprs::vmpi

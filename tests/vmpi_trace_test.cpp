@@ -1,0 +1,143 @@
+#include "vmpi/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vmpi/comm.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::vmpi {
+namespace {
+
+simnet::Platform tiny_platform(std::size_t n) {
+  std::vector<simnet::ProcessorSpec> procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(
+        simnet::ProcessorSpec{"p" + std::to_string(i), "t", 0.001, 64, 64, 0});
+  }
+  return simnet::Platform("tiny", std::move(procs), {{10.0}});
+}
+
+Options traced() {
+  Options o;
+  o.per_message_latency_s = 0.0;
+  o.enable_trace = true;
+  return o;
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  Engine engine(tiny_platform(2));
+  const auto report =
+      engine.run([](Comm& comm) { comm.compute(1'000'000); });
+  EXPECT_TRUE(report.trace.empty());
+}
+
+TEST(TraceTest, RecordsComputeIntervals) {
+  Engine engine(tiny_platform(1), traced());
+  const auto report = engine.run([](Comm& comm) {
+    comm.compute(1'000'000);
+    comm.compute(2'000'000);
+  });
+  ASSERT_EQ(report.trace.size(), 2u);
+  EXPECT_EQ(report.trace[0].kind, TraceKind::kCompute);
+  EXPECT_DOUBLE_EQ(report.trace[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(report.trace[0].end, 0.001);
+  EXPECT_EQ(report.trace[0].amount, 1'000'000u);
+  EXPECT_DOUBLE_EQ(report.trace[1].begin, 0.001);
+  EXPECT_DOUBLE_EQ(report.trace[1].end, 0.003);
+}
+
+TEST(TraceTest, RecordsTransfersAndIdle) {
+  Engine engine(tiny_platform(3), traced());
+  const auto report = engine.run([](Comm& comm) {
+    (void)comm.gather(0, comm.rank(), 125'000);  // 1 megabit each
+  });
+  bool saw_transmit = false;
+  bool saw_receive = false;
+  for (const auto& e : report.trace) {
+    if (e.kind == TraceKind::kTransmit) {
+      saw_transmit = true;
+      EXPECT_NE(e.rank, 0);
+      EXPECT_EQ(e.amount, 125'000u);
+      EXPECT_NEAR(e.end - e.begin, 0.010, 1e-12);
+    }
+    if (e.kind == TraceKind::kReceive) {
+      saw_receive = true;
+      EXPECT_EQ(e.rank, 0);
+    }
+  }
+  EXPECT_TRUE(saw_transmit);
+  EXPECT_TRUE(saw_receive);
+}
+
+TEST(TraceTest, RecordsBarrierIdle) {
+  Engine engine(tiny_platform(2), traced());
+  const auto report = engine.run([](Comm& comm) {
+    if (comm.rank() == 1) comm.compute(5'000'000);
+    comm.barrier();
+  });
+  bool rank0_idled = false;
+  for (const auto& e : report.trace) {
+    if (e.rank == 0 && e.kind == TraceKind::kIdle) {
+      rank0_idled = true;
+      EXPECT_NEAR(e.end - e.begin, 0.005, 1e-12);
+    }
+  }
+  EXPECT_TRUE(rank0_idled);
+}
+
+TEST(TraceTest, EventsAreChronological) {
+  Engine engine(tiny_platform(4), traced());
+  const auto report = engine.run([](Comm& comm) {
+    comm.compute(static_cast<std::uint64_t>(comm.rank() + 1) * 500'000);
+    (void)comm.gather(0, comm.rank(), 4'000);
+    (void)comm.bcast(0, comm.rank(), 4'000);
+  });
+  for (std::size_t i = 1; i < report.trace.size(); ++i) {
+    EXPECT_LE(report.trace[i - 1].begin, report.trace[i].begin);
+  }
+  for (const auto& e : report.trace) {
+    EXPECT_LE(e.begin, e.end);
+    EXPECT_GE(e.begin, 0.0);
+  }
+}
+
+TEST(TraceTest, CsvHasHeaderAndOneLinePerEvent) {
+  Engine engine(tiny_platform(2), traced());
+  const auto report = engine.run([](Comm& comm) { comm.compute(1'000'000); });
+  const std::string csv = trace_csv(report);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            report.trace.size() + 1);
+  EXPECT_EQ(csv.rfind("rank,kind,begin,end,amount\n", 0), 0u);
+  EXPECT_NE(csv.find("compute"), std::string::npos);
+}
+
+TEST(TraceTest, GanttRendersOneRowPerRank) {
+  Engine engine(tiny_platform(3), traced());
+  const auto report = engine.run([](Comm& comm) {
+    comm.compute(1'000'000);
+    comm.barrier();
+  });
+  const std::string gantt = render_gantt(report, 40);
+  EXPECT_NE(gantt.find("root r00"), std::string::npos);
+  EXPECT_NE(gantt.find("r01"), std::string::npos);
+  EXPECT_NE(gantt.find("r02"), std::string::npos);
+  EXPECT_NE(gantt.find('c'), std::string::npos);
+}
+
+TEST(TraceTest, GanttHandlesEmptyRuns) {
+  Engine engine(tiny_platform(2), traced());
+  const auto report = engine.run([](Comm&) {});
+  const std::string gantt = render_gantt(report);
+  EXPECT_NE(gantt.find("virtual timeline"), std::string::npos);
+}
+
+TEST(TraceTest, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(TraceKind::kCompute), "compute");
+  EXPECT_STREQ(to_string(TraceKind::kTransmit), "transmit");
+  EXPECT_STREQ(to_string(TraceKind::kReceive), "receive");
+  EXPECT_STREQ(to_string(TraceKind::kIdle), "idle");
+}
+
+}  // namespace
+}  // namespace hprs::vmpi

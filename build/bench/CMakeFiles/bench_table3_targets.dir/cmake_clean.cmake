@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_targets.dir/bench_table3_targets.cpp.o"
+  "CMakeFiles/bench_table3_targets.dir/bench_table3_targets.cpp.o.d"
+  "bench_table3_targets"
+  "bench_table3_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

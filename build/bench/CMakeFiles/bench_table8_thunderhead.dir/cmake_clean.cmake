@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_thunderhead.dir/bench_table8_thunderhead.cpp.o"
+  "CMakeFiles/bench_table8_thunderhead.dir/bench_table8_thunderhead.cpp.o.d"
+  "bench_table8_thunderhead"
+  "bench_table8_thunderhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_thunderhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abundance_mapping.dir/abundance_mapping.cpp.o"
+  "CMakeFiles/abundance_mapping.dir/abundance_mapping.cpp.o.d"
+  "abundance_mapping"
+  "abundance_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abundance_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

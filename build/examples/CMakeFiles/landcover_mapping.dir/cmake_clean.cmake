@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landcover_mapping.dir/landcover_mapping.cpp.o"
+  "CMakeFiles/landcover_mapping.dir/landcover_mapping.cpp.o.d"
+  "landcover_mapping"
+  "landcover_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landcover_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

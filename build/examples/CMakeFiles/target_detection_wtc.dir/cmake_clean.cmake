@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_detection_wtc.dir/target_detection_wtc.cpp.o"
+  "CMakeFiles/target_detection_wtc.dir/target_detection_wtc.cpp.o.d"
+  "target_detection_wtc"
+  "target_detection_wtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_detection_wtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for target_detection_wtc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for target_detection_wtc.
+# This may be replaced when dependencies are built.

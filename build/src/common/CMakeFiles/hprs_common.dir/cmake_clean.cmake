@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprs_common.dir/cli.cpp.o"
+  "CMakeFiles/hprs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hprs_common.dir/error.cpp.o"
+  "CMakeFiles/hprs_common.dir/error.cpp.o.d"
+  "CMakeFiles/hprs_common.dir/table.cpp.o"
+  "CMakeFiles/hprs_common.dir/table.cpp.o.d"
+  "libhprs_common.a"
+  "libhprs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

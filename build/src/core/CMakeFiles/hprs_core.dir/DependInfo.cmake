@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atdca.cpp" "src/core/CMakeFiles/hprs_core.dir/atdca.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/atdca.cpp.o.d"
+  "/root/repo/src/core/morph.cpp" "src/core/CMakeFiles/hprs_core.dir/morph.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/morph.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/hprs_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/pct.cpp" "src/core/CMakeFiles/hprs_core.dir/pct.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/pct.cpp.o.d"
+  "/root/repo/src/core/ppi.cpp" "src/core/CMakeFiles/hprs_core.dir/ppi.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/ppi.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/hprs_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/spmd_common.cpp" "src/core/CMakeFiles/hprs_core.dir/spmd_common.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/spmd_common.cpp.o.d"
+  "/root/repo/src/core/ufcls.cpp" "src/core/CMakeFiles/hprs_core.dir/ufcls.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/ufcls.cpp.o.d"
+  "/root/repo/src/core/unmix_map.cpp" "src/core/CMakeFiles/hprs_core.dir/unmix_map.cpp.o" "gcc" "src/core/CMakeFiles/hprs_core.dir/unmix_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hprs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hprs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsi/CMakeFiles/hprs_hsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/hprs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/hprs_vmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprs_core.dir/atdca.cpp.o"
+  "CMakeFiles/hprs_core.dir/atdca.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/morph.cpp.o"
+  "CMakeFiles/hprs_core.dir/morph.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/partition.cpp.o"
+  "CMakeFiles/hprs_core.dir/partition.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/pct.cpp.o"
+  "CMakeFiles/hprs_core.dir/pct.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/ppi.cpp.o"
+  "CMakeFiles/hprs_core.dir/ppi.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/runner.cpp.o"
+  "CMakeFiles/hprs_core.dir/runner.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/spmd_common.cpp.o"
+  "CMakeFiles/hprs_core.dir/spmd_common.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/ufcls.cpp.o"
+  "CMakeFiles/hprs_core.dir/ufcls.cpp.o.d"
+  "CMakeFiles/hprs_core.dir/unmix_map.cpp.o"
+  "CMakeFiles/hprs_core.dir/unmix_map.cpp.o.d"
+  "libhprs_core.a"
+  "libhprs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

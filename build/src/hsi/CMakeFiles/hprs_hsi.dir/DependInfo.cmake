@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsi/accuracy.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/accuracy.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/accuracy.cpp.o.d"
+  "/root/repo/src/hsi/cube.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/cube.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/cube.cpp.o.d"
+  "/root/repo/src/hsi/io.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/io.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/io.cpp.o.d"
+  "/root/repo/src/hsi/render.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/render.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/render.cpp.o.d"
+  "/root/repo/src/hsi/scene.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/scene.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/scene.cpp.o.d"
+  "/root/repo/src/hsi/spectra.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/spectra.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/spectra.cpp.o.d"
+  "/root/repo/src/hsi/vd.cpp" "src/hsi/CMakeFiles/hprs_hsi.dir/vd.cpp.o" "gcc" "src/hsi/CMakeFiles/hprs_hsi.dir/vd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hprs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hprs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

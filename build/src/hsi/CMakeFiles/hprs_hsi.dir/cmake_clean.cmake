@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprs_hsi.dir/accuracy.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/accuracy.cpp.o.d"
+  "CMakeFiles/hprs_hsi.dir/cube.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/cube.cpp.o.d"
+  "CMakeFiles/hprs_hsi.dir/io.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/io.cpp.o.d"
+  "CMakeFiles/hprs_hsi.dir/render.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/render.cpp.o.d"
+  "CMakeFiles/hprs_hsi.dir/scene.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/scene.cpp.o.d"
+  "CMakeFiles/hprs_hsi.dir/spectra.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/spectra.cpp.o.d"
+  "CMakeFiles/hprs_hsi.dir/vd.cpp.o"
+  "CMakeFiles/hprs_hsi.dir/vd.cpp.o.d"
+  "libhprs_hsi.a"
+  "libhprs_hsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprs_hsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

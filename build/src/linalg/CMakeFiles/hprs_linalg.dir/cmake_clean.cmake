@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprs_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/hprs_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/hprs_linalg.dir/fcls.cpp.o"
+  "CMakeFiles/hprs_linalg.dir/fcls.cpp.o.d"
+  "CMakeFiles/hprs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hprs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/hprs_linalg.dir/solve.cpp.o"
+  "CMakeFiles/hprs_linalg.dir/solve.cpp.o.d"
+  "libhprs_linalg.a"
+  "libhprs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/equivalence.cpp" "src/simnet/CMakeFiles/hprs_simnet.dir/equivalence.cpp.o" "gcc" "src/simnet/CMakeFiles/hprs_simnet.dir/equivalence.cpp.o.d"
+  "/root/repo/src/simnet/load.cpp" "src/simnet/CMakeFiles/hprs_simnet.dir/load.cpp.o" "gcc" "src/simnet/CMakeFiles/hprs_simnet.dir/load.cpp.o.d"
+  "/root/repo/src/simnet/platform.cpp" "src/simnet/CMakeFiles/hprs_simnet.dir/platform.cpp.o" "gcc" "src/simnet/CMakeFiles/hprs_simnet.dir/platform.cpp.o.d"
+  "/root/repo/src/simnet/platform_io.cpp" "src/simnet/CMakeFiles/hprs_simnet.dir/platform_io.cpp.o" "gcc" "src/simnet/CMakeFiles/hprs_simnet.dir/platform_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hprs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprs_simnet.dir/equivalence.cpp.o"
+  "CMakeFiles/hprs_simnet.dir/equivalence.cpp.o.d"
+  "CMakeFiles/hprs_simnet.dir/load.cpp.o"
+  "CMakeFiles/hprs_simnet.dir/load.cpp.o.d"
+  "CMakeFiles/hprs_simnet.dir/platform.cpp.o"
+  "CMakeFiles/hprs_simnet.dir/platform.cpp.o.d"
+  "CMakeFiles/hprs_simnet.dir/platform_io.cpp.o"
+  "CMakeFiles/hprs_simnet.dir/platform_io.cpp.o.d"
+  "libhprs_simnet.a"
+  "libhprs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprs_vmpi.dir/engine.cpp.o"
+  "CMakeFiles/hprs_vmpi.dir/engine.cpp.o.d"
+  "CMakeFiles/hprs_vmpi.dir/trace.cpp.o"
+  "CMakeFiles/hprs_vmpi.dir/trace.cpp.o.d"
+  "libhprs_vmpi.a"
+  "libhprs_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprs_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

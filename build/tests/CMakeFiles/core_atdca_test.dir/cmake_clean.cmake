@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_atdca_test.dir/core_atdca_test.cpp.o"
+  "CMakeFiles/core_atdca_test.dir/core_atdca_test.cpp.o.d"
+  "core_atdca_test"
+  "core_atdca_test.pdb"
+  "core_atdca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_atdca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

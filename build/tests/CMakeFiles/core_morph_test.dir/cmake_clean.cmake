@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_morph_test.dir/core_morph_test.cpp.o"
+  "CMakeFiles/core_morph_test.dir/core_morph_test.cpp.o.d"
+  "core_morph_test"
+  "core_morph_test.pdb"
+  "core_morph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_morph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pct_test.dir/core_pct_test.cpp.o"
+  "CMakeFiles/core_pct_test.dir/core_pct_test.cpp.o.d"
+  "core_pct_test"
+  "core_pct_test.pdb"
+  "core_pct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

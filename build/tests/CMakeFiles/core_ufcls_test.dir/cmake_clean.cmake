@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ufcls_test.dir/core_ufcls_test.cpp.o"
+  "CMakeFiles/core_ufcls_test.dir/core_ufcls_test.cpp.o.d"
+  "core_ufcls_test"
+  "core_ufcls_test.pdb"
+  "core_ufcls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ufcls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

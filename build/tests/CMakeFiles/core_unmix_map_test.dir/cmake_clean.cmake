@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unmix_map_test.dir/core_unmix_map_test.cpp.o"
+  "CMakeFiles/core_unmix_map_test.dir/core_unmix_map_test.cpp.o.d"
+  "core_unmix_map_test"
+  "core_unmix_map_test.pdb"
+  "core_unmix_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unmix_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_accuracy_test.dir/hsi_accuracy_test.cpp.o"
+  "CMakeFiles/hsi_accuracy_test.dir/hsi_accuracy_test.cpp.o.d"
+  "hsi_accuracy_test"
+  "hsi_accuracy_test.pdb"
+  "hsi_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

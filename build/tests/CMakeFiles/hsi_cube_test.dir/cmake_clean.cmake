@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_cube_test.dir/hsi_cube_test.cpp.o"
+  "CMakeFiles/hsi_cube_test.dir/hsi_cube_test.cpp.o.d"
+  "hsi_cube_test"
+  "hsi_cube_test.pdb"
+  "hsi_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_io_test.dir/hsi_io_test.cpp.o"
+  "CMakeFiles/hsi_io_test.dir/hsi_io_test.cpp.o.d"
+  "hsi_io_test"
+  "hsi_io_test.pdb"
+  "hsi_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

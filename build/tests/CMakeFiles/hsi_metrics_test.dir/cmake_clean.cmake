@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_metrics_test.dir/hsi_metrics_test.cpp.o"
+  "CMakeFiles/hsi_metrics_test.dir/hsi_metrics_test.cpp.o.d"
+  "hsi_metrics_test"
+  "hsi_metrics_test.pdb"
+  "hsi_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_render_test.dir/hsi_render_test.cpp.o"
+  "CMakeFiles/hsi_render_test.dir/hsi_render_test.cpp.o.d"
+  "hsi_render_test"
+  "hsi_render_test.pdb"
+  "hsi_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

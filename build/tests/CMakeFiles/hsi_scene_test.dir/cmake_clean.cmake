@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_scene_test.dir/hsi_scene_test.cpp.o"
+  "CMakeFiles/hsi_scene_test.dir/hsi_scene_test.cpp.o.d"
+  "hsi_scene_test"
+  "hsi_scene_test.pdb"
+  "hsi_scene_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_scene_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_spectra_test.dir/hsi_spectra_test.cpp.o"
+  "CMakeFiles/hsi_spectra_test.dir/hsi_spectra_test.cpp.o.d"
+  "hsi_spectra_test"
+  "hsi_spectra_test.pdb"
+  "hsi_spectra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_spectra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hsi_vd_test.cpp" "tests/CMakeFiles/hsi_vd_test.dir/hsi_vd_test.cpp.o" "gcc" "tests/CMakeFiles/hsi_vd_test.dir/hsi_vd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hprs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsi/CMakeFiles/hprs_hsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/hprs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/hprs_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hprs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hprs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_vd_test.dir/hsi_vd_test.cpp.o"
+  "CMakeFiles/hsi_vd_test.dir/hsi_vd_test.cpp.o.d"
+  "hsi_vd_test"
+  "hsi_vd_test.pdb"
+  "hsi_vd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_vd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

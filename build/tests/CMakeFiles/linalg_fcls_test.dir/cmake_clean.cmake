@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_fcls_test.dir/linalg_fcls_test.cpp.o"
+  "CMakeFiles/linalg_fcls_test.dir/linalg_fcls_test.cpp.o.d"
+  "linalg_fcls_test"
+  "linalg_fcls_test.pdb"
+  "linalg_fcls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_fcls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_flops_test.dir/linalg_flops_test.cpp.o"
+  "CMakeFiles/linalg_flops_test.dir/linalg_flops_test.cpp.o.d"
+  "linalg_flops_test"
+  "linalg_flops_test.pdb"
+  "linalg_flops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_flops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

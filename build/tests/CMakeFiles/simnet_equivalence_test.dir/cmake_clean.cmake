@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_equivalence_test.dir/simnet_equivalence_test.cpp.o"
+  "CMakeFiles/simnet_equivalence_test.dir/simnet_equivalence_test.cpp.o.d"
+  "simnet_equivalence_test"
+  "simnet_equivalence_test.pdb"
+  "simnet_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_platform_test.dir/simnet_platform_test.cpp.o"
+  "CMakeFiles/simnet_platform_test.dir/simnet_platform_test.cpp.o.d"
+  "simnet_platform_test"
+  "simnet_platform_test.pdb"
+  "simnet_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

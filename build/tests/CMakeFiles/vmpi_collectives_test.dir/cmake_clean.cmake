@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmpi_collectives_test.dir/vmpi_collectives_test.cpp.o"
+  "CMakeFiles/vmpi_collectives_test.dir/vmpi_collectives_test.cpp.o.d"
+  "vmpi_collectives_test"
+  "vmpi_collectives_test.pdb"
+  "vmpi_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmpi_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmpi_engine_test.dir/vmpi_engine_test.cpp.o"
+  "CMakeFiles/vmpi_engine_test.dir/vmpi_engine_test.cpp.o.d"
+  "vmpi_engine_test"
+  "vmpi_engine_test.pdb"
+  "vmpi_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmpi_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

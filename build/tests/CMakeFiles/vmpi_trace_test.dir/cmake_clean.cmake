@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmpi_trace_test.dir/vmpi_trace_test.cpp.o"
+  "CMakeFiles/vmpi_trace_test.dir/vmpi_trace_test.cpp.o.d"
+  "vmpi_trace_test"
+  "vmpi_trace_test.pdb"
+  "vmpi_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmpi_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -116,6 +116,51 @@ inline std::vector<SweepRecord> network_sweep(const BenchSetup& setup) {
   return records;
 }
 
+/// One row of the machine-readable kernel-bench summary.  bench_kernels
+/// collects one record per benchmark and serializes them with
+/// write_kernel_json (--json <path>, conventionally BENCH_kernels.json) so
+/// speedup tracking does not have to scrape console output.
+struct KernelRecord {
+  std::string name;
+  double ns_per_op = 0.0;
+  double bytes_per_op = 0.0;
+};
+
+/// Writes the records as a flat JSON object keyed by benchmark name.  No
+/// third-party JSON dependency: names are benchmark identifiers (no
+/// characters needing escapes) and values are plain numbers.
+inline bool write_kernel_json(const std::string& path,
+                              const std::vector<KernelRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.3f, \"bytes_per_op\": %.1f}%s\n",
+                 records[i].name.c_str(), records[i].ns_per_op,
+                 records[i].bytes_per_op, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Peels "--json <path>" out of argv before benchmark::Initialize sees it
+/// (google-benchmark aborts on unrecognized flags).  Returns the path, or
+/// an empty string when the flag is absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
 inline void emit(const TextTable& table, bool csv, const char* title) {
   std::printf("%s\n", title);
   if (csv) {

@@ -2,14 +2,26 @@
 // algorithms' inner loops.  These measure *real* wall time on the host --
 // they calibrate how expensive a simulated experiment is to run, and guard
 // against performance regressions in the kernels themselves.
+//
+// The *_Reference / *_Fast pairs pin the scalar loops against the blocked
+// kernels (linalg/kernels.hpp) on the dominant sweeps: the MORPH windowed
+// eccentricity pass, the PCT covariance accumulation, and the ATDCA OSP
+// sweep.  Pass --json <path> (conventionally BENCH_kernels.json) for a
+// machine-readable ns/op + bytes/op summary.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "core/morph_kernel.hpp"
+#include "core/spmd_common.hpp"
+#include "hsi/cube.hpp"
 #include "hsi/metrics.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/fcls.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
 #include "linalg/vec.hpp"
@@ -140,6 +152,167 @@ void BM_CholeskyFactorization(benchmark::State& state) {
 }
 BENCHMARK(BM_CholeskyFactorization)->Arg(18)->Arg(64);
 
+// --- Paired reference/fast benchmarks of the dominant sweeps --------------
+
+hsi::HsiCube random_cube(std::size_t rows, std::size_t cols,
+                         std::size_t bands, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> samples(rows * cols * bands);
+  for (auto& v : samples) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  return hsi::HsiCube(rows, cols, bands, std::move(samples));
+}
+
+void BM_MatrixMultiply(benchmark::State& state, bool reference) {
+  const linalg::ScopedKernelPath path(reference);
+  const std::size_t n = 96;
+  const std::size_t k = 224;
+  Xoshiro256 rng(12);
+  linalg::Matrix a(n, k);
+  linalg::Matrix b(k, n);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.multiply(b));
+  }
+  state.counters["bytes_per_op"] = static_cast<double>(
+      (n * k + k * n + n * n) * sizeof(double));
+}
+void BM_MatrixMultiply_Reference(benchmark::State& state) {
+  BM_MatrixMultiply(state, true);
+}
+void BM_MatrixMultiply_Fast(benchmark::State& state) {
+  BM_MatrixMultiply(state, false);
+}
+BENCHMARK(BM_MatrixMultiply_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatrixMultiply_Fast)->Unit(benchmark::kMillisecond);
+
+void BM_MorphWindow(benchmark::State& state, bool reference) {
+  // One full MORPH erosion/dilation/MEI iteration on a worker-sized block:
+  // the windowed SAD pass this pair measures is the paper's dominant kernel.
+  const linalg::ScopedKernelPath path(reference);
+  const std::size_t rows = 16;
+  const std::size_t cols = 16;
+  const std::size_t bands = 224;
+  const std::size_t radius = 2;
+  core::MorphBlockEngine engine(random_cube(rows, cols, bands, 13), radius);
+  for (auto _ : state) {
+    engine.iterate(/*last=*/false);
+    benchmark::DoNotOptimize(engine.mei().data());
+  }
+  const double window = static_cast<double>((2 * radius + 1) * (2 * radius + 1));
+  state.counters["bytes_per_op"] = static_cast<double>(rows * cols * bands) *
+                                   sizeof(float) * (window + 1.0);
+}
+void BM_MorphWindow_Reference(benchmark::State& state) {
+  BM_MorphWindow(state, true);
+}
+void BM_MorphWindow_Fast(benchmark::State& state) {
+  BM_MorphWindow(state, false);
+}
+BENCHMARK(BM_MorphWindow_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MorphWindow_Fast)->Unit(benchmark::kMillisecond);
+
+void BM_PctCovariance(benchmark::State& state, bool reference) {
+  // A 64-pixel strip of PCT's centered covariance accumulation: per-pixel
+  // rank-1 updates against one rank-64 syrk update of the packed triangle.
+  const std::size_t bands = 224;
+  const std::size_t strip = 64;
+  const std::size_t tri_n = bands * (bands + 1) / 2;
+  Xoshiro256 rng(14);
+  std::vector<double> centered(strip * bands);
+  for (auto& v : centered) v = rng.uniform(-0.5, 0.5);
+  std::vector<double> tri(tri_n, 0.0);
+  for (auto _ : state) {
+    if (reference) {
+      for (std::size_t p = 0; p < strip; ++p) {
+        const double* cp = centered.data() + p * bands;
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < bands; ++i) {
+          const double di = cp[i];
+          for (std::size_t j = i; j < bands; ++j) {
+            tri[k++] += di * cp[j];
+          }
+        }
+      }
+    } else {
+      linalg::syrk_tri_update(centered.data(), strip, bands, tri.data());
+    }
+    benchmark::DoNotOptimize(tri.data());
+  }
+  state.counters["bytes_per_op"] = static_cast<double>(
+      (strip * bands + 2 * tri_n) * sizeof(double));
+}
+void BM_PctCovariance_Reference(benchmark::State& state) {
+  BM_PctCovariance(state, true);
+}
+void BM_PctCovariance_Fast(benchmark::State& state) {
+  BM_PctCovariance(state, false);
+}
+BENCHMARK(BM_PctCovariance_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PctCovariance_Fast)->Unit(benchmark::kMillisecond);
+
+void BM_OspSweep(benchmark::State& state, bool reference) {
+  // ATDCA's per-round argmax of the OSP score over a 32x32 block with nine
+  // current targets.
+  const linalg::ScopedKernelPath path(reference);
+  const std::size_t t = 9;
+  const std::size_t bands = 224;
+  const hsi::HsiCube cube = random_cube(32, 32, bands, 15);
+  const linalg::Matrix targets = random_targets(t, bands, 16);
+  const linalg::Cholesky gram(core::detail::ridged_row_gram(targets));
+  linalg::ScratchArena arena;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detail::osp_argmax_sweep(
+        targets, gram, cube, 0, cube.rows(), arena));
+  }
+  state.counters["bytes_per_op"] =
+      static_cast<double>(cube.pixel_count() * bands) * sizeof(float) +
+      static_cast<double>(t * bands) * sizeof(double);
+}
+void BM_OspSweep_Reference(benchmark::State& state) {
+  BM_OspSweep(state, true);
+}
+void BM_OspSweep_Fast(benchmark::State& state) { BM_OspSweep(state, false); }
+BENCHMARK(BM_OspSweep_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OspSweep_Fast)->Unit(benchmark::kMillisecond);
+
+/// Console reporter that additionally collects ns/op + bytes/op per run for
+/// the --json summary.
+class KernelJsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      bench::KernelRecord rec;
+      rec.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        rec.ns_per_op = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      }
+      const auto it = run.counters.find("bytes_per_op");
+      if (it != run.counters.end()) {
+        rec.bytes_per_op = static_cast<double>(it->second);
+      }
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<bench::KernelRecord> records;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = bench::take_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  KernelJsonCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() &&
+      !bench::write_kernel_json(json_path, reporter.records)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper: configure, build, run the full test suite,
+# then rebuild the kernel-equivalence tests under ASan/UBSan and run them
+# once.  This is the gate a change must pass before merging.
+#
+# Usage: scripts/check.sh [--no-sanitizers]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_sanitizers=1
+if [[ "${1:-}" == "--no-sanitizers" ]]; then
+  run_sanitizers=0
+fi
+
+echo "== tier 1: build + full test suite =="
+cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$run_sanitizers" == "1" ]]; then
+  echo "== tier 1b: fast-path equivalence under ASan/UBSan =="
+  cmake -S "$repo" -B "$repo/build-asan" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DHPRS_ENABLE_SANITIZERS=ON \
+    -DHPRS_BUILD_BENCH=OFF \
+    -DHPRS_BUILD_EXAMPLES=OFF
+  cmake --build "$repo/build-asan" -j "$jobs" --target \
+    linalg_blocked_test morph_sad_cache_test fastpath_equivalence_test
+  for t in linalg_blocked_test morph_sad_cache_test fastpath_equivalence_test; do
+    "$repo/build-asan/tests/$t"
+  done
+fi
+
+echo "check.sh: all green"

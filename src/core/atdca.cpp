@@ -94,6 +94,7 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
     }
 
     // Steps 4-6: grow U one orthogonal target at a time.
+    linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
     while (true) {
       targets = comm.bcast(comm.root(), std::move(targets),
                            targets.rows() * cube.bands() * sizeof(double));
@@ -106,16 +107,11 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
       comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
                    linalg::flops::cholesky(t_cur));
 
-      Candidate local_best{0, 0, -1.0};
-      Count flops = 0;
-      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-        for (std::size_t c = 0; c < cube.cols(); ++c) {
-          const double score =
-              detail::osp_score(targets, gram, cube.pixel(r, c));
-          flops += linalg::flops::osp_score(cube.bands(), t_cur);
-          if (score > local_best.score) local_best = Candidate{r, c, score};
-        }
-      }
+      const Candidate local_best = detail::osp_argmax_sweep(
+          targets, gram, cube, view.part.row_begin, view.part.row_end, arena);
+      const Count flops =
+          static_cast<Count>(view.part.owned_rows()) * cube.cols() *
+          linalg::flops::osp_score(cube.bands(), t_cur);
       comm.compute(flops * config.replication);
 
       const auto round =

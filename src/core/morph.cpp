@@ -4,9 +4,12 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "core/morph_kernel.hpp"
 #include "core/spmd_common.hpp"
 #include "hsi/metrics.hpp"
 #include "linalg/flops.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/vec.hpp"
 #include "vmpi/comm.hpp"
 
 namespace hprs::core {
@@ -46,9 +49,10 @@ struct SplitFlops {
   }
 };
 
-/// The per-worker morphological engine.  Operates on a standalone copy of
-/// the block rows [halo_begin, halo_end) of the global cube; `owned` marks
-/// the sub-range this worker is responsible for.
+/// The per-worker morphological driver.  The numeric passes live in
+/// MorphBlockEngine (core/morph_kernel.hpp); this wrapper owns the
+/// ownership bookkeeping, halo exchange, candidate selection, and the
+/// virtual-time charges.
 ///
 /// Windows are clamped to the local block, so pixels near a partition
 /// boundary see a truncated neighborhood exactly as pixels at the image
@@ -68,8 +72,8 @@ class MorphWorker {
         block_begin_(part.halo_begin),
         owned_begin_(part.row_begin),
         owned_end_(part.row_end),
-        f_(cube.copy_rows(part.halo_begin, part.halo_end)),
-        mei_(f_.rows() * f_.cols(), 0.0) {}
+        engine_(cube.copy_rows(part.halo_begin, part.halo_end),
+                config.kernel_radius) {}
 
   /// Runs one MEI-update pass (and, unless `last`, the dilation) over the
   /// whole block.  Returns the flop charges of the pass.
@@ -83,8 +87,10 @@ class MorphWorker {
   [[nodiscard]] std::vector<MorphRep> top_candidates() const;
 
  private:
-  [[nodiscard]] std::size_t block_rows() const { return f_.rows(); }
-  [[nodiscard]] std::size_t cols() const { return f_.cols(); }
+  [[nodiscard]] std::size_t block_rows() const {
+    return engine_.image().rows();
+  }
+  [[nodiscard]] std::size_t cols() const { return engine_.image().cols(); }
   /// Whether block row br corresponds to a row this worker owns.
   [[nodiscard]] bool is_owned(std::size_t br) const {
     const std::size_t global = block_begin_ + br;
@@ -96,92 +102,33 @@ class MorphWorker {
   std::size_t block_begin_;
   std::size_t owned_begin_;
   std::size_t owned_end_;
-  hsi::HsiCube f_;           // working image (dilated per iteration)
-  std::vector<double> mei_;  // per block pixel, running max
+  MorphBlockEngine engine_;
 };
 
 SplitFlops MorphWorker::iterate(bool last) {
+  engine_.iterate(last);
+
+  // The charge of a pass is purely geometric: one SAD per (pixel, window
+  // element) in the D pass, two compares per window element plus one SAD in
+  // the MEI/dilation pass.  Charging it analytically keeps the virtual-time
+  // model identical whichever kernel path executed the pass.
   const std::size_t r = config_.kernel_radius;
   const std::size_t rows = block_rows();
   const std::size_t n_cols = cols();
-  const std::size_t bands = f_.bands();
+  const std::size_t bands = engine_.image().bands();
   SplitFlops flops;
-
-  const auto row_window = [&](std::size_t x) {
-    return std::pair<std::size_t, std::size_t>{x >= r ? x - r : 0,
-                                               std::min(x + r + 1, rows)};
-  };
-  const auto col_window = [&](std::size_t y) {
-    return std::pair<std::size_t, std::size_t>{y >= r ? y - r : 0,
-                                               std::min(y + r + 1, n_cols)};
-  };
-
-  // --- D pass: D(x, y) = sum over the structuring element of
-  //     SAD(F(x, y), F(neighbor)), windows clamped to the block.
-  std::vector<double> d(rows * n_cols, 0.0);
   for (std::size_t x = 0; x < rows; ++x) {
     const bool owned = is_owned(x);
-    const auto [i_lo, i_hi] = row_window(x);
+    const std::size_t i_lo = x >= r ? x - r : 0;
+    const std::size_t i_hi = std::min(x + r + 1, rows);
     for (std::size_t y = 0; y < n_cols; ++y) {
-      const auto [j_lo, j_hi] = col_window(y);
-      const auto center = f_.pixel(x, y);
-      double acc = 0.0;
-      for (std::size_t i = i_lo; i < i_hi; ++i) {
-        for (std::size_t j = j_lo; j < j_hi; ++j) {
-          acc += hsi::sad<float, float>(center, f_.pixel(i, j));
-          flops.add(owned, hsi::flops::sad(bands));
-        }
-      }
-      d[x * n_cols + y] = acc;
+      const std::size_t j_lo = y >= r ? y - r : 0;
+      const std::size_t j_hi = std::min(y + r + 1, n_cols);
+      const Count window = (i_hi - i_lo) * (j_hi - j_lo);
+      flops.add(owned, window * hsi::flops::sad(bands));  // D pass
+      flops.add(owned, window * 2);                       // argmin/argmax
+      flops.add(owned, hsi::flops::sad(bands));           // MEI score
     }
-  }
-
-  // --- MEI + dilation pass: erosion picks the window's argmin of D, the
-  //     dilation its argmax; MEI accumulates the SAD between the two picks.
-  hsi::HsiCube next = last ? hsi::HsiCube() : f_;
-  for (std::size_t x = 0; x < rows; ++x) {
-    const bool owned = is_owned(x);
-    const auto [i_lo, i_hi] = row_window(x);
-    for (std::size_t y = 0; y < n_cols; ++y) {
-      const auto [j_lo, j_hi] = col_window(y);
-      double d_min = std::numeric_limits<double>::infinity();
-      double d_max = -d_min;
-      std::size_t min_x = x, min_y = y, max_x = x, max_y = y;
-      for (std::size_t i = i_lo; i < i_hi; ++i) {
-        for (std::size_t j = j_lo; j < j_hi; ++j) {
-          const double v = d[i * n_cols + j];
-          if (v < d_min) {
-            d_min = v;
-            min_x = i;
-            min_y = j;
-          }
-          if (v > d_max) {
-            d_max = v;
-            max_x = i;
-            max_y = j;
-          }
-        }
-      }
-      flops.add(owned, (i_hi - i_lo) * (j_hi - j_lo) * 2);
-
-      const double score = hsi::sad<float, float>(f_.pixel(min_x, min_y),
-                                                  f_.pixel(max_x, max_y));
-      flops.add(owned, hsi::flops::sad(bands));
-      // AMEE convention: the eccentricity score is associated with the
-      // spectrally purest pixel of the window (the dilation pick), which is
-      // what makes high-MEI pixels good class representatives.
-      auto& best = mei_[max_x * n_cols + max_y];
-      best = std::max(best, score);
-
-      if (!last) {
-        const auto src = f_.pixel(max_x, max_y);
-        std::copy(src.begin(), src.end(), next.pixel(x, y).begin());
-      }
-    }
-  }
-
-  if (!last) {
-    f_ = std::move(next);
   }
   return flops;
 }
@@ -189,8 +136,9 @@ SplitFlops MorphWorker::iterate(bool last) {
 void MorphWorker::exchange_halo(vmpi::Comm& comm, std::size_t width) {
   // Ship our updated boundary rows to the vertical neighbours and splice
   // the received rows into our halo.  Row payloads are raw samples.
+  hsi::HsiCube& f = engine_.image();
   const std::size_t n_cols = cols();
-  const std::size_t bands = f_.bands();
+  const std::size_t bands = f.bands();
   const std::size_t row_bytes = n_cols * bands * sizeof(float);
 
   std::vector<std::tuple<int, std::vector<float>, std::size_t>> sends;
@@ -199,7 +147,7 @@ void MorphWorker::exchange_halo(vmpi::Comm& comm, std::size_t width) {
     std::vector<float> buf;
     buf.reserve((hi - lo) * n_cols * bands);
     for (std::size_t x = lo; x < hi; ++x) {
-      const auto row = f_.pixel(x, 0);
+      const auto row = f.pixel(x, 0);
       const auto* begin = row.data();
       buf.insert(buf.end(), begin, begin + n_cols * bands);
     }
@@ -224,7 +172,7 @@ void MorphWorker::exchange_halo(vmpi::Comm& comm, std::size_t width) {
     // rows just above our owned range); rows from above fill the bottom.
     const std::size_t dst_begin = src < rank ? ob - count : oe;
     for (std::size_t k = 0; k < count; ++k) {
-      auto dst = f_.pixel(dst_begin + k, 0);
+      auto dst = f.pixel(dst_begin + k, 0);
       std::copy(rows.begin() + static_cast<std::ptrdiff_t>(k * n_cols * bands),
                 rows.begin() +
                     static_cast<std::ptrdiff_t>((k + 1) * n_cols * bands),
@@ -235,6 +183,7 @@ void MorphWorker::exchange_halo(vmpi::Comm& comm, std::size_t width) {
 
 std::vector<MorphRep> MorphWorker::top_candidates() const {
   std::vector<MorphRep> all;
+  const std::vector<double>& mei = engine_.mei();
   const std::size_t n_cols = cols();
   for (std::size_t x = 0; x < block_rows(); ++x) {
     if (!is_owned(x)) continue;
@@ -242,7 +191,7 @@ std::vector<MorphRep> MorphWorker::top_candidates() const {
       const auto px = cube_.pixel(block_begin_ + x, y);
       all.push_back(MorphRep{{block_begin_ + x, y},
                              std::vector<float>(px.begin(), px.end()),
-                             mei_[x * n_cols + y]});
+                             mei[x * n_cols + y]});
     }
   }
   const std::size_t keep = std::min(config_.classes, all.size());
@@ -355,14 +304,29 @@ ClassificationResult run_morph(const simnet::Platform& platform,
     block.row_begin = view.part.row_begin;
     block.row_end = view.part.row_end;
     block.labels.reserve(view.part.owned_rows() * cols);
+    // Representative norms hoisted out of the pixel loop (fast path); with
+    // the pixel norm computed once per pixel this removes two of the three
+    // dot products per SAD.  The charge stays the full sad() cost: the
+    // virtual model prices the algorithm, not the host shortcuts.
+    const bool fast = !linalg::use_reference_kernels();
+    std::vector<double> rep_norms(reps);
+    if (fast) {
+      for (std::size_t u = 0; u < reps; ++u) {
+        rep_norms[u] = linalg::norm<float>(unique[u].spectrum);
+      }
+    }
     Count label_flops = 0;
     for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
       for (std::size_t c = 0; c < cols; ++c) {
         const auto px = cube.pixel(r, c);
+        const double px_norm = fast ? linalg::norm(px) : 0.0;
         std::uint16_t best = 0;
         double best_d = std::numeric_limits<double>::infinity();
         for (std::size_t u = 0; u < reps; ++u) {
-          const double dist = hsi::sad<float, float>(unique[u].spectrum, px);
+          const double dist =
+              fast ? hsi::sad_with_norms<float, float>(
+                         unique[u].spectrum, px, rep_norms[u], px_norm)
+                   : hsi::sad<float, float>(unique[u].spectrum, px);
           if (dist < best_d) {
             best_d = dist;
             best = static_cast<std::uint16_t>(u);

@@ -87,17 +87,23 @@ ClassificationResult run_pct(const simnet::Platform& platform,
     struct LocalCluster {
       Rep exemplar;
       std::size_t support = 1;
+      double norm = 0.0;  // ||exemplar|| (fast path: hoisted out of sad)
     };
+    const bool fast = !linalg::use_reference_kernels();
     std::vector<LocalCluster> local_clusters;
     Count sad_evals = 0;
     for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
       for (std::size_t c = 0; c < cols; ++c) {
         const auto px = cube.pixel(r, c);
+        const double px_norm = fast ? linalg::norm(px) : 0.0;
         bool merged = false;
         for (auto& cl : local_clusters) {
           ++sad_evals;
-          if (hsi::sad<float, float>(cl.exemplar.spectrum, px) <=
-              config.sad_threshold) {
+          const double dist =
+              fast ? hsi::sad_with_norms<float, float>(cl.exemplar.spectrum,
+                                                       px, cl.norm, px_norm)
+                   : hsi::sad<float, float>(cl.exemplar.spectrum, px);
+          if (dist <= config.sad_threshold) {
             ++cl.support;
             merged = true;
             break;
@@ -105,7 +111,8 @@ ClassificationResult run_pct(const simnet::Platform& platform,
         }
         if (!merged) {
           local_clusters.push_back(LocalCluster{
-              Rep{{r, c}, std::vector<float>(px.begin(), px.end())}, 1});
+              Rep{{r, c}, std::vector<float>(px.begin(), px.end())}, 1,
+              px_norm});
         }
       }
     }
@@ -181,20 +188,44 @@ ClassificationResult run_pct(const simnet::Platform& platform,
     std::vector<double> local_cov(tri, 0.0);
     std::vector<double> centered(bands);
     Count cov_flops = 0;
-    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-      for (std::size_t c = 0; c < cols; ++c) {
-        const auto px = cube.pixel(r, c);
-        for (std::size_t b = 0; b < bands; ++b) {
-          centered[b] = static_cast<double>(px[b]) - mean[b];
-        }
-        std::size_t k = 0;
-        for (std::size_t i = 0; i < bands; ++i) {
-          const double di = centered[i];
-          for (std::size_t j = i; j < bands; ++j) {
-            local_cov[k++] += di * centered[j];
+    if (!fast) {
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const auto px = cube.pixel(r, c);
+          for (std::size_t b = 0; b < bands; ++b) {
+            centered[b] = static_cast<double>(px[b]) - mean[b];
           }
+          std::size_t k = 0;
+          for (std::size_t i = 0; i < bands; ++i) {
+            const double di = centered[i];
+            for (std::size_t j = i; j < bands; ++j) {
+              local_cov[k++] += di * centered[j];
+            }
+          }
+          cov_flops += bands + 2 * tri;
         }
-        cov_flops += bands + 2 * tri;
+      }
+    } else {
+      // Strip fast path: center a strip of pixels once, then apply one
+      // rank-m syrk update to the packed triangle.  The per-element p-chain
+      // extends the running value in local_cov, so the sums are
+      // bit-identical to the per-pixel rank-1 loop above.
+      constexpr std::size_t kStrip = 64;
+      std::vector<double> cstrip(kStrip * bands);
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        const float* row = cube.pixel(r, 0).data();
+        for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+          const std::size_t m = std::min(kStrip, cols - c0);
+          const float* x = row + c0 * bands;
+          for (std::size_t p = 0; p < m; ++p) {
+            for (std::size_t b = 0; b < bands; ++b) {
+              cstrip[p * bands + b] =
+                  static_cast<double>(x[p * bands + b]) - mean[b];
+            }
+          }
+          linalg::syrk_tri_update(cstrip.data(), m, bands, local_cov.data());
+          cov_flops += static_cast<Count>(m) * (bands + 2 * tri);
+        }
       }
     }
     comm.compute(cov_flops * config.replication);
@@ -263,36 +294,70 @@ ClassificationResult run_pct(const simnet::Platform& platform,
     block.row_begin = view.part.row_begin;
     block.row_end = view.part.row_end;
     block.labels.reserve(view.part.owned_rows() * cols);
-    std::vector<double> reduced(config.classes);
     Count label_flops = 0;
-    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-      for (std::size_t c = 0; c < cols; ++c) {
-        const auto px = cube.pixel(r, c);
-        for (std::size_t b = 0; b < bands; ++b) {
-          centered[b] = static_cast<double>(px[b]) - bundle.mean[b];
+    const auto classify = [&](std::span<const double> y) {
+      std::uint16_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t u = 0; u < reps; ++u) {
+        // Minimum Euclidean distance in the reduced space: the PCT
+        // projection is mean-centered, so distances (not angles) are the
+        // meaningful similarity there.
+        double dist = 0.0;
+        const auto rep = bundle.reduced_reps.row(u);
+        for (std::size_t k = 0; k < config.classes; ++k) {
+          const double diff = rep[k] - y[k];
+          dist += diff * diff;
         }
-        const auto y = bundle.transform.multiply(centered);
-        std::uint16_t best = 0;
-        double best_d = std::numeric_limits<double>::infinity();
-        for (std::size_t u = 0; u < reps; ++u) {
-          // Minimum Euclidean distance in the reduced space: the PCT
-          // projection is mean-centered, so distances (not angles) are the
-          // meaningful similarity there.
-          double dist = 0.0;
-          const auto rep = bundle.reduced_reps.row(u);
-          for (std::size_t k = 0; k < config.classes; ++k) {
-            const double diff = rep[k] - y[k];
-            dist += diff * diff;
+        if (dist < best_d) {
+          best_d = dist;
+          best = static_cast<std::uint16_t>(u);
+        }
+      }
+      return best;
+    };
+    if (!fast) {
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const auto px = cube.pixel(r, c);
+          for (std::size_t b = 0; b < bands; ++b) {
+            centered[b] = static_cast<double>(px[b]) - bundle.mean[b];
           }
-          if (dist < best_d) {
-            best_d = dist;
-            best = static_cast<std::uint16_t>(u);
+          const auto y = bundle.transform.multiply(centered);
+          block.labels.push_back(classify(y));
+          label_flops += bands +
+                         linalg::flops::matvec(config.classes, bands) +
+                         reps * 3 * config.classes;
+        }
+      }
+    } else {
+      // Strip fast path: center a strip once, project all its pixels with
+      // one BLAS3 dot_strip call, and classify from the projection buffer.
+      // dot_strip reproduces the matvec's per-row dot chains exactly, so
+      // the labels match the reference pass bit for bit.
+      constexpr std::size_t kStrip = 64;
+      std::vector<double> cstrip(kStrip * bands);
+      std::vector<double> ystrip(kStrip * config.classes);
+      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+        const float* row = cube.pixel(r, 0).data();
+        for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+          const std::size_t m = std::min(kStrip, cols - c0);
+          const float* x = row + c0 * bands;
+          for (std::size_t p = 0; p < m; ++p) {
+            for (std::size_t b = 0; b < bands; ++b) {
+              cstrip[p * bands + b] =
+                  static_cast<double>(x[p * bands + b]) - bundle.mean[b];
+            }
+          }
+          linalg::dot_strip(bundle.transform, cstrip.data(), m,
+                            std::span<double>(ystrip));
+          for (std::size_t p = 0; p < m; ++p) {
+            block.labels.push_back(classify(std::span<const double>(
+                ystrip.data() + p * config.classes, config.classes)));
+            label_flops += bands +
+                           linalg::flops::matvec(config.classes, bands) +
+                           reps * 3 * config.classes;
           }
         }
-        block.labels.push_back(best);
-        label_flops += bands +
-                       linalg::flops::matvec(config.classes, bands) +
-                       reps * 3 * config.classes;
       }
     }
     comm.compute(label_flops * config.replication);

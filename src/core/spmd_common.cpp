@@ -55,6 +55,49 @@ double osp_score(const linalg::Matrix& targets,
   return xx - bz;
 }
 
+Candidate osp_argmax_sweep(const linalg::Matrix& targets,
+                           const linalg::Cholesky& gram_factor,
+                           const hsi::HsiCube& cube, std::size_t row_begin,
+                           std::size_t row_end,
+                           linalg::ScratchArena& arena) {
+  Candidate best{0, 0, -1.0};
+  const std::size_t cols = cube.cols();
+  if (linalg::use_reference_kernels()) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double score = osp_score(targets, gram_factor, cube.pixel(r, c));
+        if (score > best.score) best = Candidate{r, c, score};
+      }
+    }
+    return best;
+  }
+
+  constexpr std::size_t kStrip = 64;
+  const std::size_t t = targets.rows();
+  const std::size_t bands = cube.bands();
+  arena.reset();
+  const std::span<double> b = arena.take(kStrip * t);
+  const std::span<double> xx = arena.take(kStrip);
+  const std::span<double> z = arena.take(t);
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const float* row = cube.pixel(r, 0).data();
+    for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+      const std::size_t m = std::min(kStrip, cols - c0);
+      const float* x = row + c0 * bands;
+      linalg::dot_strip(targets, x, m, b);
+      linalg::norm_sq_strip(x, m, bands, xx);
+      for (std::size_t p = 0; p < m; ++p) {
+        const std::span<const double> bp = b.subspan(p * t, t);
+        gram_factor.solve_into(bp, z);
+        const double score =
+            xx[p] - linalg::dot<double, double>(bp, z);
+        if (score > best.score) best = Candidate{r, c0 + p, score};
+      }
+    }
+  }
+  return best;
+}
+
 linalg::Matrix ridged_row_gram(const linalg::Matrix& u) {
   linalg::Matrix g = u.multiply(u.transposed());
   double trace = 0.0;

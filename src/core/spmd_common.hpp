@@ -7,6 +7,7 @@
 #include "core/partition.hpp"
 #include "core/types.hpp"
 #include "hsi/cube.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
 #include "vmpi/comm.hpp"
@@ -53,6 +54,21 @@ PartitionView distribute_partitions(vmpi::Comm& comm,
 [[nodiscard]] double osp_score(const linalg::Matrix& targets,
                                const linalg::Cholesky& gram_factor,
                                std::span<const float> pixel);
+
+/// Argmax of the OSP score over whole rows [row_begin, row_end) of the
+/// cube, scanning pixels in row-major order with strictly-greater updates.
+/// Dispatches between the per-pixel reference loop (osp_score per pixel)
+/// and the strip-blocked fast path, which forms U^T X over 64-pixel strips
+/// as one BLAS3 product (linalg::dot_strip), back-solves each column into a
+/// reusable scratch buffer, and never touches the heap per pixel.  Both
+/// paths return bit-identical candidates.  The caller charges
+/// linalg::flops::osp_score(bands, U.rows()) per pixel as before.
+[[nodiscard]] Candidate osp_argmax_sweep(const linalg::Matrix& targets,
+                                         const linalg::Cholesky& gram_factor,
+                                         const hsi::HsiCube& cube,
+                                         std::size_t row_begin,
+                                         std::size_t row_end,
+                                         linalg::ScratchArena& arena);
 
 /// Gram matrix of the rows of U with a tiny relative ridge so the Cholesky
 /// factorization survives nearly collinear targets.

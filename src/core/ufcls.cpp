@@ -1,5 +1,6 @@
 #include "core/ufcls.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/error.hpp"
@@ -77,6 +78,7 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
     }
 
     // Steps 2-5: grow the target set by maximum FCLS reconstruction error.
+    linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
     while (true) {
       targets = comm.bcast(comm.root(), std::move(targets),
                            targets.rows() * cube.bands() * sizeof(double));
@@ -89,14 +91,47 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
 
       Candidate local_best{0, 0, -1.0};
       Count round_flops = 0;
-      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-        for (std::size_t c = 0; c < cube.cols(); ++c) {
-          const auto unmix = unmixer.fcls(cube.pixel(r, c));
-          round_flops += linalg::flops::fcls(
-              cube.bands(), t_cur,
-              static_cast<Count>(unmix.iterations) + 1);
-          if (unmix.error_sq > local_best.score) {
-            local_best = Candidate{r, c, unmix.error_sq};
+      if (linalg::use_reference_kernels()) {
+        for (std::size_t r = view.part.row_begin; r < view.part.row_end;
+             ++r) {
+          for (std::size_t c = 0; c < cube.cols(); ++c) {
+            const auto unmix = unmixer.fcls(cube.pixel(r, c));
+            round_flops += linalg::flops::fcls(
+                cube.bands(), t_cur,
+                static_cast<Count>(unmix.iterations) + 1);
+            if (unmix.error_sq > local_best.score) {
+              local_best = Candidate{r, c, unmix.error_sq};
+            }
+          }
+        }
+      } else {
+        // Strip fast path: the correlation vectors U^T x and pixel norms of
+        // a whole strip are one BLAS3 product; the active-set solves then
+        // run per pixel on the precomputed columns, bit-identical to
+        // fcls(pixel).
+        constexpr std::size_t kStrip = 64;
+        const std::size_t bands = cube.bands();
+        const std::size_t cols = cube.cols();
+        arena.reset();
+        const std::span<double> corr = arena.take(kStrip * t_cur);
+        const std::span<double> xx = arena.take(kStrip);
+        for (std::size_t r = view.part.row_begin; r < view.part.row_end;
+             ++r) {
+          const float* row = cube.pixel(r, 0).data();
+          for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+            const std::size_t m = std::min(kStrip, cols - c0);
+            const float* x = row + c0 * bands;
+            linalg::dot_strip(targets, x, m, corr);
+            linalg::norm_sq_strip(x, m, bands, xx);
+            for (std::size_t p = 0; p < m; ++p) {
+              const auto unmix = unmixer.fcls_with_corr(
+                  corr.subspan(p * t_cur, t_cur), xx[p]);
+              round_flops += linalg::flops::fcls(
+                  bands, t_cur, static_cast<Count>(unmix.iterations) + 1);
+              if (unmix.error_sq > local_best.score) {
+                local_best = Candidate{r, c0 + p, unmix.error_sq};
+              }
+            }
           }
         }
       }

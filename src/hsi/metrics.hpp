@@ -29,6 +29,22 @@ template <typename T, typename U>
   return std::acos(std::clamp(c, -1.0, 1.0));
 }
 
+/// sad() with the operand norms precomputed by the caller.  The hot sweeps
+/// (MORPH's windowed eccentricity passes, nearest-representative labeling)
+/// evaluate SAD against the same spectra many times; hoisting the two norm
+/// reductions out of the pair loop removes two of the three dot products per
+/// evaluation.  `na`/`nb` must equal linalg::norm of the operands, which
+/// makes the result bit-identical to sad().
+template <typename T, typename U>
+[[nodiscard]] double sad_with_norms(std::span<const T> a, std::span<const U> b,
+                                    double na, double nb) {
+  if (na == 0.0 || nb == 0.0) {
+    return (na == 0.0 && nb == 0.0) ? 0.0 : std::acos(0.0);
+  }
+  const double c = linalg::dot(a, b) / (na * nb);
+  return std::acos(std::clamp(c, -1.0, 1.0));
+}
+
 /// Squared Euclidean distance between spectra.
 template <typename T>
 [[nodiscard]] double euclidean_sq(std::span<const T> a, std::span<const T> b) {

@@ -13,20 +13,29 @@ namespace {
 
 /// Solves the sum-to-one constrained problem via the Lagrangian closed form
 ///   a = a_u - G^-1 1 (1^T a_u - 1) / (1^T G^-1 1)
-/// where a_u is the unconstrained solution, given a ready factorization.
-std::vector<double> scls_with_factor(const Cholesky& chol,
-                                     std::span<const double> b) {
+/// given the unconstrained factorization plus a precomputed G^-1 1 and its
+/// sum (pixel-independent, so callers working against a fixed endmember set
+/// compute them once).
+std::vector<double> scls_with_ginv1(const Cholesky& chol,
+                                    std::span<const double> b,
+                                    std::span<const double> ginv1,
+                                    double denom) {
   const std::size_t m = b.size();
   const std::vector<double> au = chol.solve(b);
-  const std::vector<double> ones(m, 1.0);
-  const std::vector<double> ginv1 = chol.solve(ones);
   const double sum_au = std::accumulate(au.begin(), au.end(), 0.0);
-  const double denom = std::accumulate(ginv1.begin(), ginv1.end(), 0.0);
   HPRS_REQUIRE(std::abs(denom) > 1e-300, "degenerate sum-to-one system");
   const double lambda = (sum_au - 1.0) / denom;
   std::vector<double> a(m);
   for (std::size_t i = 0; i < m; ++i) a[i] = au[i] - lambda * ginv1[i];
   return a;
+}
+
+std::vector<double> scls_with_factor(const Cholesky& chol,
+                                     std::span<const double> b) {
+  const std::vector<double> ones(b.size(), 1.0);
+  const std::vector<double> ginv1 = chol.solve(ones);
+  const double denom = std::accumulate(ginv1.begin(), ginv1.end(), 0.0);
+  return scls_with_ginv1(chol, b, ginv1, denom);
 }
 
 /// Sum-to-one solve restricted to `active` endmembers (fresh factorization
@@ -53,6 +62,10 @@ Unmixer::Unmixer(const Matrix& signatures)
       gram_(signatures.multiply(signatures.transposed())),
       gram_factor_(gram_) {
   HPRS_REQUIRE(signatures_.rows() > 0, "unmixer requires >= 1 endmember");
+  const std::vector<double> ones(endmember_count(), 1.0);
+  ginv_ones_ = gram_factor_.solve(ones);
+  ginv_ones_sum_ =
+      std::accumulate(ginv_ones_.begin(), ginv_ones_.end(), 0.0);
 }
 
 std::vector<double> Unmixer::correlation_vector(
@@ -102,13 +115,18 @@ UnmixResult Unmixer::ucls(std::span<const float> pixel) const {
 UnmixResult Unmixer::scls(std::span<const float> pixel) const {
   const std::vector<double> corr = correlation_vector(pixel);
   UnmixResult r;
-  r.abundances = scls_with_factor(gram_factor_, corr);
+  r.abundances =
+      scls_with_ginv1(gram_factor_, corr, ginv_ones_, ginv_ones_sum_);
   r.error_sq = quadratic_error_sq(norm_sq(pixel), corr, r.abundances);
   return r;
 }
 
 UnmixResult Unmixer::fcls(std::span<const float> pixel) const {
-  const std::vector<double> corr = correlation_vector(pixel);
+  return fcls_with_corr(correlation_vector(pixel), norm_sq(pixel));
+}
+
+UnmixResult Unmixer::fcls_with_corr(std::span<const double> corr,
+                                    double pixel_norm_sq) const {
   std::vector<std::size_t> active(endmember_count());
   std::iota(active.begin(), active.end(), std::size_t{0});
 
@@ -117,12 +135,13 @@ UnmixResult Unmixer::fcls(std::span<const float> pixel) const {
   // abundance goes negative is clamped out and the sum-to-one problem is
   // re-solved on the survivors.  The active set shrinks every round, so at
   // most t-1 rounds run; in practice two or three suffice.  The first
-  // round works on the full endmember set and reuses the factorization
-  // cached at construction, which is what makes per-pixel unmixing cheap.
+  // round works on the full endmember set and reuses the factorization and
+  // G^-1 1 vector cached at construction, which is what makes per-pixel
+  // unmixing cheap.
   while (true) {
     const std::vector<double> a =
         active.size() == endmember_count()
-            ? scls_with_factor(gram_factor_, corr)
+            ? scls_with_ginv1(gram_factor_, corr, ginv_ones_, ginv_ones_sum_)
             : scls_on_subset(gram_, corr, active);
     std::vector<std::size_t> survivors;
     survivors.reserve(active.size());
@@ -147,7 +166,7 @@ UnmixResult Unmixer::fcls(std::span<const float> pixel) const {
   if (s > 0.0) {
     for (auto& v : r.abundances) v /= s;
   }
-  r.error_sq = quadratic_error_sq(norm_sq(pixel), corr, r.abundances);
+  r.error_sq = quadratic_error_sq(pixel_norm_sq, corr, r.abundances);
   return r;
 }
 

@@ -53,6 +53,14 @@ class Unmixer {
   /// one, via active-set clamping.
   [[nodiscard]] UnmixResult fcls(std::span<const float> pixel) const;
 
+  /// FCLS given a precomputed correlation vector b = M^T x and pixel norm
+  /// ||x||^2.  This is the strip-sweep entry point: Hetero-UFCLS computes
+  /// the correlation vectors of a whole pixel strip as one BLAS3 product
+  /// (linalg::dot_strip) and hands each pixel's column here.  Bit-identical
+  /// to fcls() on the same pixel.
+  [[nodiscard]] UnmixResult fcls_with_corr(std::span<const double> corr,
+                                           double pixel_norm_sq) const;
+
   /// Explicit reconstruction error ||x - M a||^2 computed from first
   /// principles.  The unmix methods use the algebraically identical (and
   /// O(t) cheaper) quadratic form x.x - 2 a.b + a^T G a; this method exists
@@ -71,6 +79,11 @@ class Unmixer {
   Matrix signatures_;      // t x n, one endmember per row
   Matrix gram_;            // t x t
   Cholesky gram_factor_;   // factor of gram_
+  /// G^-1 1 and 1^T G^-1 1 for the full endmember set: pixel-independent,
+  /// so the sum-to-one solve of every first active-set round reuses them
+  /// instead of re-solving per pixel.
+  std::vector<double> ginv_ones_;
+  double ginv_ones_sum_ = 0.0;
 };
 
 }  // namespace hprs::linalg

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "linalg/kernels.hpp"
 #include "linalg/vec.hpp"
 
 namespace hprs::linalg {
@@ -42,15 +44,70 @@ Matrix Matrix::transposed() const {
 Matrix Matrix::multiply(const Matrix& other) const {
   HPRS_REQUIRE(cols_ == other.rows_, "matmul inner dimensions differ");
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const auto brow = other.row(k);
-      const auto orow = out.row(i);
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        orow[j] += a * brow[j];
+  if (use_reference_kernels()) {
+    // i-k-j loop order keeps the inner loop contiguous in both operands.
+    // No zero-skipping: a data-dependent branch in the inner loop is a
+    // misprediction tax on dense HSI spectra and makes the executed flop
+    // count diverge from the analytic flops::matmul model on sparse inputs.
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = (*this)(i, k);
+        const auto brow = other.row(k);
+        const auto orow = out.row(i);
+        for (std::size_t j = 0; j < other.cols_; ++j) {
+          orow[j] += a * brow[j];
+        }
+      }
+    }
+    return out;
+  }
+  // Blocked fast path: 4x4 register tiles, k ascending inside every
+  // accumulator, so each out(i, j) is the same addition chain as the
+  // reference i-k-j loop.
+  const std::size_t n = other.cols_;
+  const std::size_t kk = cols_;
+  constexpr std::size_t kTi = 4;
+  constexpr std::size_t kTj = 4;
+  for (std::size_t i0 = 0; i0 < rows_; i0 += kTi) {
+    const std::size_t i1 = std::min(i0 + kTi, rows_);
+    for (std::size_t j0 = 0; j0 < n; j0 += kTj) {
+      const std::size_t j1 = std::min(j0 + kTj, n);
+      if (i1 - i0 == kTi && j1 - j0 == kTj) {
+        double acc[kTi][kTj] = {};
+        const double* a0 = data_.data() + (i0 + 0) * kk;
+        const double* a1 = data_.data() + (i0 + 1) * kk;
+        const double* a2 = data_.data() + (i0 + 2) * kk;
+        const double* a3 = data_.data() + (i0 + 3) * kk;
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double* brow = other.data_.data() + k * n + j0;
+          const double v0 = a0[k];
+          const double v1 = a1[k];
+          const double v2 = a2[k];
+          const double v3 = a3[k];
+          for (std::size_t b = 0; b < kTj; ++b) {
+            const double e = brow[b];
+            acc[0][b] += v0 * e;
+            acc[1][b] += v1 * e;
+            acc[2][b] += v2 * e;
+            acc[3][b] += v3 * e;
+          }
+        }
+        for (std::size_t a = 0; a < kTi; ++a) {
+          for (std::size_t b = 0; b < kTj; ++b) {
+            out(i0 + a, j0 + b) = acc[a][b];
+          }
+        }
+      } else {
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            const double* arow = data_.data() + i * kk;
+            double acc = 0.0;
+            for (std::size_t k = 0; k < kk; ++k) {
+              acc += arow[k] * other.data_[k * n + j];
+            }
+            out(i, j) = acc;
+          }
+        }
       }
     }
   }
@@ -68,11 +125,25 @@ std::vector<double> Matrix::multiply(std::span<const double> x) const {
 
 Matrix Matrix::gram() const {
   Matrix g(cols_, cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto v = row(r);
+  if (use_reference_kernels()) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const auto v = row(r);
+      for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = i; j < cols_; ++j) {
+          g(i, j) += v[i] * v[j];
+        }
+      }
+    }
+  } else {
+    // syrk fast path: accumulate the packed upper triangle with register
+    // tiling (row index ascending inside each accumulator, matching the
+    // reference rank-1 loop's chains), then unpack.
+    std::vector<double> tri(cols_ * (cols_ + 1) / 2, 0.0);
+    syrk_tri_update(data_.data(), rows_, cols_, tri.data());
+    std::size_t k = 0;
     for (std::size_t i = 0; i < cols_; ++i) {
       for (std::size_t j = i; j < cols_; ++j) {
-        g(i, j) += v[i] * v[j];
+        g(i, j) = tri[k++];
       }
     }
   }

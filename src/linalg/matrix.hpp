@@ -1,10 +1,12 @@
 // Small dense row-major matrix used for the spectral-domain linear algebra.
 //
 // Dimensions in this library are modest (at most bands x bands = 224 x 224
-// covariance matrices and t x t Gram systems with t <= ~30 targets), so a
-// straightforward cache-friendly row-major container with unblocked kernels
-// is both adequate and easy to verify.  All storage is double: these
-// matrices hold accumulated statistics, not raw pixels.
+// covariance matrices and t x t Gram systems with t <= ~30 targets).  The
+// container is a straightforward cache-friendly row-major layout; multiply()
+// and gram() dispatch between scalar reference loops and register-blocked
+// fast paths (linalg/kernels.hpp) that produce bit-identical results.  All
+// storage is double: these matrices hold accumulated statistics, not raw
+// pixels.
 #pragma once
 
 #include <cstddef>

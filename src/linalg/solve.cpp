@@ -23,22 +23,28 @@ Cholesky::Cholesky(const Matrix& spd) : l_(spd.rows(), spd.cols()) {
 }
 
 std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  std::vector<double> y(dim());
+  solve_into(b, y);
+  return y;
+}
+
+void Cholesky::solve_into(std::span<const double> b,
+                          std::span<double> y) const {
   const std::size_t n = dim();
   HPRS_REQUIRE(b.size() == n, "rhs dimension mismatch");
-  std::vector<double> y(n);
+  HPRS_REQUIRE(y.size() == n, "solution buffer dimension mismatch");
   // Forward substitution L y = b.
   for (std::size_t i = 0; i < n; ++i) {
     double s = b[i];
     for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
     y[i] = s / l_(i, i);
   }
-  // Back substitution L^T x = y.
+  // Back substitution L^T x = y (in place).
   for (std::size_t ii = n; ii-- > 0;) {
     double s = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * y[k];
     y[ii] = s / l_(ii, ii);
   }
-  return y;
 }
 
 double Cholesky::log_det() const {

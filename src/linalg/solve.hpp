@@ -19,6 +19,11 @@ class Cholesky {
   /// Solves A x = b using the stored factor.
   [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
 
+  /// Allocation-free solve into a caller-provided buffer (b and x may not
+  /// alias).  Arithmetic is identical to solve(); the hot per-pixel sweeps
+  /// use this with a reusable scratch span.
+  void solve_into(std::span<const double> b, std::span<double> x) const;
+
   [[nodiscard]] std::size_t dim() const { return l_.rows(); }
 
   /// log(det A) -- occasionally useful for conditioning diagnostics.

@@ -1,0 +1,124 @@
+// End-to-end equivalence of the kernel fast paths: every algorithm is run
+// twice on the same scene and platform -- once forcing the scalar reference
+// kernels, once on the blocked fast paths -- and must produce identical
+// scientific outputs AND an identical virtual-time report.  The virtual
+// clock is the repo's headline product (the paper's tables), so this is the
+// test that guarantees the host-side optimization cannot perturb it, even
+// through data-dependent charges (UFCLS active-set iteration counts, PCT
+// Jacobi sweeps).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/runner.hpp"
+#include "hsi/scene.hpp"
+#include "linalg/kernels.hpp"
+#include "simnet/platform.hpp"
+
+namespace hprs {
+namespace {
+
+hsi::Scene small_scene() {
+  hsi::SceneConfig cfg;
+  cfg.rows = 24;
+  cfg.cols = 24;
+  cfg.bands = 48;
+  cfg.seed = 20010916;
+  return hsi::generate_wtc_scene(cfg);
+}
+
+core::RunnerConfig config_for(core::Algorithm alg) {
+  core::RunnerConfig cfg;
+  cfg.algorithm = alg;
+  cfg.targets = 6;
+  cfg.classes = 5;
+  cfg.morph_iterations = 3;
+  cfg.kernel_radius = 2;
+  return cfg;
+}
+
+class FastPathEquivalenceTest
+    : public ::testing::TestWithParam<core::Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, FastPathEquivalenceTest,
+                         ::testing::Values(core::Algorithm::kAtdca,
+                                           core::Algorithm::kUfcls,
+                                           core::Algorithm::kPct,
+                                           core::Algorithm::kMorph),
+                         [](const auto& info) {
+                           return core::to_string(info.param);
+                         });
+
+TEST_P(FastPathEquivalenceTest, OutputsAndVirtualTimeIdentical) {
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::fully_heterogeneous();
+  const core::RunnerConfig cfg = config_for(GetParam());
+
+  core::RunnerOutput ref;
+  core::RunnerOutput fast;
+  {
+    const linalg::ScopedKernelPath path(true);
+    ref = core::run_algorithm(platform, scene.cube, cfg);
+  }
+  {
+    const linalg::ScopedKernelPath path(false);
+    fast = core::run_algorithm(platform, scene.cube, cfg);
+  }
+
+  // Scientific outputs: identical target lists / label images.
+  ASSERT_EQ(ref.targets.size(), fast.targets.size());
+  for (std::size_t i = 0; i < ref.targets.size(); ++i) {
+    EXPECT_EQ(ref.targets[i].row, fast.targets[i].row) << "target " << i;
+    EXPECT_EQ(ref.targets[i].col, fast.targets[i].col) << "target " << i;
+  }
+  ASSERT_EQ(ref.labels.size(), fast.labels.size());
+  for (std::size_t i = 0; i < ref.labels.size(); ++i) {
+    ASSERT_EQ(ref.labels[i], fast.labels[i]) << "label " << i;
+  }
+  EXPECT_EQ(ref.label_count, fast.label_count);
+
+  // Virtual-time model: the fast path must charge exactly what the
+  // reference charges, down to the last bit of every rank's clocks.
+  EXPECT_EQ(ref.report.total_time, fast.report.total_time);
+  ASSERT_EQ(ref.report.ranks.size(), fast.report.ranks.size());
+  for (std::size_t r = 0; r < ref.report.ranks.size(); ++r) {
+    const auto& a = ref.report.ranks[r];
+    const auto& b = fast.report.ranks[r];
+    EXPECT_EQ(a.clock, b.clock) << "rank " << r;
+    EXPECT_EQ(a.compute_par, b.compute_par) << "rank " << r;
+    EXPECT_EQ(a.compute_seq, b.compute_seq) << "rank " << r;
+    EXPECT_EQ(a.comm, b.comm) << "rank " << r;
+    EXPECT_EQ(a.wait, b.wait) << "rank " << r;
+    EXPECT_EQ(a.flops, b.flops) << "rank " << r;
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent) << "rank " << r;
+    EXPECT_EQ(a.bytes_received, b.bytes_received) << "rank " << r;
+  }
+}
+
+TEST(FastPathEquivalenceTest, HomogeneousPolicyAlsoIdentical) {
+  // One homogeneous-partition run to cover the other WEA branch.
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::fully_homogeneous();
+  core::RunnerConfig cfg = config_for(core::Algorithm::kUfcls);
+  cfg.policy = core::PartitionPolicy::kHomogeneous;
+
+  core::RunnerOutput ref;
+  core::RunnerOutput fast;
+  {
+    const linalg::ScopedKernelPath path(true);
+    ref = core::run_algorithm(platform, scene.cube, cfg);
+  }
+  {
+    const linalg::ScopedKernelPath path(false);
+    fast = core::run_algorithm(platform, scene.cube, cfg);
+  }
+  EXPECT_EQ(ref.report.total_time, fast.report.total_time);
+  ASSERT_EQ(ref.targets.size(), fast.targets.size());
+  for (std::size_t i = 0; i < ref.targets.size(); ++i) {
+    EXPECT_EQ(ref.targets[i].row, fast.targets[i].row);
+    EXPECT_EQ(ref.targets[i].col, fast.targets[i].col);
+  }
+}
+
+}  // namespace
+}  // namespace hprs

@@ -144,6 +144,38 @@ inline bool write_kernel_json(const std::string& path,
   return true;
 }
 
+/// One cell of the engine host-runtime summary: how long the host took to
+/// simulate one (algorithm, processor count) Thunderhead run, next to the
+/// virtual time the run reported.  bench_table8_thunderhead collects one
+/// record per cell and serializes them with write_engine_json
+/// (--json <path>, conventionally BENCH_engine.json) so engine-scaling
+/// regressions are machine-checkable.
+struct EngineRecord {
+  std::string algorithm;
+  std::size_t cpus = 0;
+  double host_seconds = 0.0;
+  double virtual_seconds = 0.0;
+};
+
+/// Writes the records as a flat JSON object keyed "<ALG>_p<cpus>".  Same
+/// no-dependency format rationale as write_kernel_json.
+inline bool write_engine_json(const std::string& path,
+                              const std::vector<EngineRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(
+        f, "  \"%s_p%zu\": {\"host_seconds\": %.4f, \"virtual_seconds\": %.3f}%s\n",
+        records[i].algorithm.c_str(), records[i].cpus,
+        records[i].host_seconds, records[i].virtual_seconds,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Peels "--json <path>" out of argv before benchmark::Initialize sees it
 /// (google-benchmark aborts on unrecognized flags).  Returns the path, or
 /// an empty string when the flag is absent.

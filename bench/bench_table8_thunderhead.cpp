@@ -7,10 +7,19 @@
 //
 // The default scene is taller than the other benches' (the 256-way
 // partition needs at least 256 image rows).
+//
+// With --json <path>, also records the *host* wall time of each
+// (algorithm, CPUs) cell -- the cost of simulating the run, as opposed to
+// the virtual time the run reports -- which is how engine-scaling changes
+// are tracked (large p exercises the engine's scheduling/wakeup paths far
+// more than its numerics).
+#include <chrono>
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace hprs;
+  const std::string json_path = bench::take_json_flag(argc, argv);
   const auto setup = bench::make_setup(argc, argv, /*default_rows=*/1067,
                                        /*default_cols=*/32,
                                        /*default_replication=*/32);
@@ -21,20 +30,31 @@ int main(int argc, char** argv) {
   }
   TextTable table(std::move(header));
 
+  std::vector<bench::EngineRecord> records;
   for (const std::size_t cpus : bench::thunderhead_cpus()) {
     std::vector<std::string> row = {
         TextTable::num(static_cast<long long>(cpus))};
     for (const auto alg : bench::all_algorithms()) {
       auto cfg = setup.config;
       cfg.algorithm = alg;
+      const auto host_start = std::chrono::steady_clock::now();
       const auto out = core::run_algorithm(simnet::thunderhead(cpus),
                                            setup.scene.cube, cfg);
+      const std::chrono::duration<double> host_elapsed =
+          std::chrono::steady_clock::now() - host_start;
       row.push_back(TextTable::num(out.report.total_time, 0));
+      records.push_back(bench::EngineRecord{core::to_string(alg), cpus,
+                                            host_elapsed.count(),
+                                            out.report.total_time});
     }
     table.add_row(std::move(row));
   }
   bench::emit(table, setup.csv,
               "Table 8. Execution times (seconds) of the heterogeneous "
               "algorithms on Thunderhead.");
+  if (!json_path.empty() && !bench::write_engine_json(json_path, records)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification wrapper: configure, build, run the full test suite,
 # then rebuild the kernel-equivalence tests under ASan/UBSan and run them
-# once.  This is the gate a change must pass before merging.
+# once, and finally rebuild the vmpi engine tests under ThreadSanitizer and
+# run them in both host execution modes (bounded executor and
+# HPRS_THREAD_PER_RANK).  This is the gate a change must pass before
+# merging.
 #
 # Usage: scripts/check.sh [--no-sanitizers]
 set -euo pipefail
@@ -29,6 +32,21 @@ if [[ "$run_sanitizers" == "1" ]]; then
     linalg_blocked_test morph_sad_cache_test fastpath_equivalence_test
   for t in linalg_blocked_test morph_sad_cache_test fastpath_equivalence_test; do
     "$repo/build-asan/tests/$t"
+  done
+
+  echo "== tier 1c: vmpi engine under TSan, both execution modes =="
+  vmpi_tests=(vmpi_engine_test vmpi_collectives_test vmpi_engine_stress_test)
+  cmake -S "$repo" -B "$repo/build-tsan" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DHPRS_ENABLE_TSAN=ON \
+    -DHPRS_BUILD_BENCH=OFF \
+    -DHPRS_BUILD_EXAMPLES=OFF
+  cmake --build "$repo/build-tsan" -j "$jobs" --target "${vmpi_tests[@]}"
+  for t in "${vmpi_tests[@]}"; do
+    # Smaller stress world under TSan: thread-per-rank mode instruments
+    # every rank thread, so full 192-rank runs are disproportionately slow.
+    HPRS_STRESS_RANKS=64 "$repo/build-tsan/tests/$t"
+    HPRS_STRESS_RANKS=64 HPRS_THREAD_PER_RANK=1 "$repo/build-tsan/tests/$t"
   done
 fi
 

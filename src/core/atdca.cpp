@@ -93,22 +93,27 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
       targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
     }
 
-    // Steps 4-6: grow U one orthogonal target at a time.
+    // Steps 4-6: grow U one orthogonal target at a time.  The broadcast is
+    // shared: all ranks sweep against one immutable copy of U; only the
+    // master re-materializes an owned matrix to grow it.
     linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
     while (true) {
-      targets = comm.bcast(comm.root(), std::move(targets),
-                           targets.rows() * cube.bands() * sizeof(double));
-      const std::size_t t_cur = targets.rows();
+      // Only the root's payload (and wire size) reaches the engine.
+      const std::size_t u_bytes =
+          comm.is_root() ? targets.rows() * cube.bands() * sizeof(double) : 0;
+      const auto u_view =
+          comm.bcast_shared(comm.root(), std::move(targets), u_bytes);
+      const std::size_t t_cur = u_view->rows();
       if (t_cur >= config.targets) break;
 
       // Factor the Gram of U once per iteration (every rank; the master's
       // copy is reused for candidate re-evaluation).
-      const linalg::Cholesky gram(detail::ridged_row_gram(targets));
+      const linalg::Cholesky gram(detail::ridged_row_gram(*u_view));
       comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
                    linalg::flops::cholesky(t_cur));
 
       const Candidate local_best = detail::osp_argmax_sweep(
-          targets, gram, cube, view.part.row_begin, view.part.row_end, arena);
+          *u_view, gram, cube, view.part.row_begin, view.part.row_end, arena);
       const Count flops =
           static_cast<Count>(view.part.owned_rows()) * cube.cols() *
           linalg::flops::osp_score(cube.bands(), t_cur);
@@ -120,10 +125,10 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
         const Candidate next = select_best(
             comm, round, linalg::flops::osp_score(cube.bands(), t_cur));
         found.push_back({next.row, next.col});
+        targets = *u_view;  // re-own the shared U to grow it
         targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
-      } else {
-        targets = linalg::Matrix();  // will be refreshed by the next bcast
       }
+      // Non-root ranks leave `targets` empty; the next bcast refreshes it.
     }
 
     if (comm.is_root()) {

@@ -296,9 +296,12 @@ ClassificationResult run_morph(const simnet::Platform& platform,
     }
 
     // --- Step 4: broadcast the unique set, label locally -----------------
-    unique = comm.bcast(comm.root(), std::move(unique),
-                        rep_bytes(bands, unique.size()));
-    const std::size_t reps = unique.size();
+    // Shared broadcast: all ranks label against one immutable unique set.
+    const std::size_t unique_bytes = rep_bytes(bands, unique.size());
+    const auto unique_view =
+        comm.bcast_shared(comm.root(), std::move(unique), unique_bytes);
+    const std::vector<MorphRep>& shared_unique = *unique_view;
+    const std::size_t reps = shared_unique.size();
 
     LabelBlock block;
     block.row_begin = view.part.row_begin;
@@ -312,7 +315,7 @@ ClassificationResult run_morph(const simnet::Platform& platform,
     std::vector<double> rep_norms(reps);
     if (fast) {
       for (std::size_t u = 0; u < reps; ++u) {
-        rep_norms[u] = linalg::norm<float>(unique[u].spectrum);
+        rep_norms[u] = linalg::norm<float>(shared_unique[u].spectrum);
       }
     }
     Count label_flops = 0;
@@ -325,8 +328,8 @@ ClassificationResult run_morph(const simnet::Platform& platform,
         for (std::size_t u = 0; u < reps; ++u) {
           const double dist =
               fast ? hsi::sad_with_norms<float, float>(
-                         unique[u].spectrum, px, rep_norms[u], px_norm)
-                   : hsi::sad<float, float>(unique[u].spectrum, px);
+                         shared_unique[u].spectrum, px, rep_norms[u], px_norm)
+                   : hsi::sad<float, float>(shared_unique[u].spectrum, px);
           if (dist < best_d) {
             best_d = dist;
             best = static_cast<std::uint16_t>(u);

@@ -171,17 +171,20 @@ ClassificationResult run_pct(const simnet::Platform& platform,
     comm.compute(mean_flops * config.replication);
     auto mean_parts = comm.gather(comm.root(), std::move(local_mean),
                                   bands * sizeof(double));
-    std::vector<double> mean(bands, 0.0);
+    std::vector<double> mean_acc(bands, 0.0);
     if (comm.is_root()) {
       for (const auto& part : mean_parts) {
-        for (std::size_t b = 0; b < bands; ++b) mean[b] += part[b];
+        for (std::size_t b = 0; b < bands; ++b) mean_acc[b] += part[b];
       }
       const double n = static_cast<double>(cube.pixel_count());
-      for (auto& m : mean) m /= n;
+      for (auto& m : mean_acc) m /= n;
       comm.compute(mean_parts.size() * bands + bands,
                    vmpi::Phase::kSequential);
     }
-    mean = comm.bcast(comm.root(), std::move(mean), bands * sizeof(double));
+    // Shared broadcast: every rank centers against the same immutable mean.
+    const auto mean_view = comm.bcast_shared(comm.root(), std::move(mean_acc),
+                                             bands * sizeof(double));
+    const std::vector<double>& mean = *mean_view;
 
     // Upper-triangle covariance accumulation over owned pixels.
     const std::size_t tri = bands * (bands + 1) / 2;
@@ -284,11 +287,14 @@ ClassificationResult run_pct(const simnet::Platform& platform,
     }
 
     // --- Steps 8-9: parallel transform + reduced-space labeling ---------
-    bundle = comm.bcast(
-        comm.root(), std::move(bundle),
+    // Shared broadcast: all ranks label against one immutable bundle.
+    const std::size_t bundle_bytes =
         config.classes * bands * sizeof(double) + bands * sizeof(double) +
-            config.classes * config.classes * sizeof(double));
-    const std::size_t reps = bundle.reduced_reps.rows();
+        config.classes * config.classes * sizeof(double);
+    const auto bundle_view =
+        comm.bcast_shared(comm.root(), std::move(bundle), bundle_bytes);
+    const PctBundle& shared_bundle = *bundle_view;
+    const std::size_t reps = shared_bundle.reduced_reps.rows();
 
     LabelBlock block;
     block.row_begin = view.part.row_begin;
@@ -303,7 +309,7 @@ ClassificationResult run_pct(const simnet::Platform& platform,
         // projection is mean-centered, so distances (not angles) are the
         // meaningful similarity there.
         double dist = 0.0;
-        const auto rep = bundle.reduced_reps.row(u);
+        const auto rep = shared_bundle.reduced_reps.row(u);
         for (std::size_t k = 0; k < config.classes; ++k) {
           const double diff = rep[k] - y[k];
           dist += diff * diff;
@@ -320,9 +326,9 @@ ClassificationResult run_pct(const simnet::Platform& platform,
         for (std::size_t c = 0; c < cols; ++c) {
           const auto px = cube.pixel(r, c);
           for (std::size_t b = 0; b < bands; ++b) {
-            centered[b] = static_cast<double>(px[b]) - bundle.mean[b];
+            centered[b] = static_cast<double>(px[b]) - shared_bundle.mean[b];
           }
-          const auto y = bundle.transform.multiply(centered);
+          const auto y = shared_bundle.transform.multiply(centered);
           block.labels.push_back(classify(y));
           label_flops += bands +
                          linalg::flops::matvec(config.classes, bands) +
@@ -345,10 +351,10 @@ ClassificationResult run_pct(const simnet::Platform& platform,
           for (std::size_t p = 0; p < m; ++p) {
             for (std::size_t b = 0; b < bands; ++b) {
               cstrip[p * bands + b] =
-                  static_cast<double>(x[p * bands + b]) - bundle.mean[b];
+                  static_cast<double>(x[p * bands + b]) - shared_bundle.mean[b];
             }
           }
-          linalg::dot_strip(bundle.transform, cstrip.data(), m,
+          linalg::dot_strip(shared_bundle.transform, cstrip.data(), m,
                             std::span<double>(ystrip));
           for (std::size_t p = 0; p < m; ++p) {
             block.labels.push_back(classify(std::span<const double>(

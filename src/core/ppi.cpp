@@ -84,15 +84,18 @@ PpiResult run_ppi(const simnet::Platform& platform, const hsi::HsiCube& cube,
         comm, cube, model, config.policy, config.memory_fraction,
         /*overlap=*/0, config.replication);
 
-    // Master draws the skewers and broadcasts them.
-    linalg::Matrix skewers;
+    // Master draws the skewers and broadcasts them; every rank projects
+    // against the same shared immutable copy (zero fan-out copies).
+    linalg::Matrix drawn;
     if (comm.is_root()) {
-      skewers = make_skewers(config.skewers, bands, config.seed);
+      drawn = make_skewers(config.skewers, bands, config.seed);
       comm.compute(config.skewers * (3 * bands + 1),
                    vmpi::Phase::kSequential);
     }
-    skewers = comm.bcast(comm.root(), std::move(skewers),
-                         config.skewers * bands * sizeof(double));
+    const auto skewers_view =
+        comm.bcast_shared(comm.root(), std::move(drawn),
+                          config.skewers * bands * sizeof(double));
+    const linalg::Matrix& skewers = *skewers_view;
 
     // Projection pass: per skewer, the local extremes and their locations.
     // The global extremes are selected at the master, so the purity counts

@@ -78,14 +78,19 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
     }
 
     // Steps 2-5: grow the target set by maximum FCLS reconstruction error.
+    // The broadcast is shared: every rank unmixes against one immutable
+    // copy of the target matrix; only the master re-owns it to grow it.
     linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
     while (true) {
-      targets = comm.bcast(comm.root(), std::move(targets),
-                           targets.rows() * cube.bands() * sizeof(double));
-      const std::size_t t_cur = targets.rows();
+      // Only the root's payload (and wire size) reaches the engine.
+      const std::size_t u_bytes =
+          comm.is_root() ? targets.rows() * cube.bands() * sizeof(double) : 0;
+      const auto u_view =
+          comm.bcast_shared(comm.root(), std::move(targets), u_bytes);
+      const std::size_t t_cur = u_view->rows();
       if (t_cur >= config.targets) break;
 
-      const linalg::Unmixer unmixer(targets);
+      const linalg::Unmixer unmixer(*u_view);
       comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
                    linalg::flops::cholesky(t_cur));
 
@@ -121,7 +126,7 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
           for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
             const std::size_t m = std::min(kStrip, cols - c0);
             const float* x = row + c0 * bands;
-            linalg::dot_strip(targets, x, m, corr);
+            linalg::dot_strip(*u_view, x, m, corr);
             linalg::norm_sq_strip(x, m, bands, xx);
             for (std::size_t p = 0; p < m; ++p) {
               const auto unmix = unmixer.fcls_with_corr(
@@ -148,10 +153,10 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
             linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
             vmpi::Phase::kSequential);
         found.push_back({best.row, best.col});
+        targets = *u_view;  // re-own the shared target set to grow it
         targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
-      } else {
-        targets = linalg::Matrix();
       }
+      // Non-root ranks leave `targets` empty; the next bcast refreshes it.
     }
 
     if (comm.is_root()) {

@@ -87,10 +87,12 @@ AbundanceMaps run_unmix_map(const simnet::Platform& platform,
         comm, cube, model, config.policy, config.memory_fraction,
         /*overlap=*/0, config.replication);
 
-    // Broadcast the endmember matrix and factor it once per rank.
-    const linalg::Matrix sigs =
-        comm.bcast(comm.root(), endmembers, t * bands * sizeof(double));
-    const linalg::Unmixer unmixer(sigs);
+    // Broadcast the endmember matrix and factor it once per rank.  Shared
+    // broadcast: only the root stages a copy; the others alias it.
+    const auto sigs = comm.bcast_shared(
+        comm.root(), comm.is_root() ? endmembers : linalg::Matrix(),
+        t * bands * sizeof(double));
+    const linalg::Unmixer unmixer(*sigs);
     comm.compute(linalg::flops::gram(bands, t) + linalg::flops::cholesky(t));
 
     AbundanceBlock block;

@@ -4,9 +4,11 @@
 // plus barrier / broadcast / gather / scatter / point-to-point), with
 // explicit wire sizes per payload -- see vmpi/packet.hpp for why sizes are
 // explicit.  One Comm instance exists per rank for the duration of
-// Engine::run and is only ever used by that rank's thread.
+// Engine::run and is only ever used by that rank's execution context; its
+// staging buffers give repeated collectives allocation-free steady state.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -39,13 +41,35 @@ class Comm {
 
   void barrier() { engine_->core_barrier(rank_); }
 
-  /// Broadcast from `root`.  All ranks receive (a copy of) the root's
-  /// value; the root's own input is returned unchanged at the root.
+  /// Broadcast from `root`.  All ranks receive (a value equal to) the
+  /// root's value.  The engine fans the payload out by reference; each
+  /// rank materializes its own copy here, outside the engine lock.  Prefer
+  /// bcast_shared for large read-only payloads -- it skips the copy
+  /// entirely.
   template <typename T>
   [[nodiscard]] T bcast(int root, T value, std::size_t bytes) {
     Packet out = engine_->core_bcast(
         rank_, root, Packet{std::move(value), bytes});
-    return std::any_cast<T>(std::move(out.value));
+    return out.take<T>();
+  }
+
+  /// Broadcast from `root`, returning a shared handle to one immutable
+  /// payload instead of a per-rank copy: the virtual transfers are charged
+  /// exactly as bcast, but on the host all p ranks alias the root's value
+  /// (zero deep copies).  Use for large payloads that downstream code only
+  /// reads.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<const T> bcast_shared(int root, T value,
+                                                      std::size_t bytes) {
+    Packet out = engine_->core_bcast(
+        rank_, root, Packet{std::move(value), bytes});
+    if (out.shared) {
+      const T* typed = std::any_cast<T>(out.shared.get());
+      HPRS_ASSERT(typed != nullptr);
+      return std::shared_ptr<const T>(std::move(out.shared), typed);
+    }
+    // Exclusive payload (p == 1): promote by move.
+    return std::make_shared<const T>(std::any_cast<T>(std::move(out.value)));
   }
 
   /// Gather to `root`: returns every rank's value, in rank order, at the
@@ -57,8 +81,9 @@ class Comm {
     std::vector<T> out;
     out.reserve(packets.size());
     for (auto& p : packets) {
-      out.push_back(std::any_cast<T>(std::move(p.value)));
+      out.push_back(p.take<T>());
     }
+    engine_->core_recycle_gather(rank_, std::move(packets));
     return out;
   }
 
@@ -68,18 +93,19 @@ class Comm {
   template <typename T>
   [[nodiscard]] T scatter(int root, std::vector<T> parts,
                           const std::vector<std::size_t>& bytes) {
-    std::vector<Packet> packets;
+    scatter_stage_.clear();
     if (rank_ == root) {
       HPRS_REQUIRE(parts.size() == static_cast<std::size_t>(size()) &&
                        bytes.size() == parts.size(),
                    "scatter requires one part and size per rank");
-      packets.reserve(parts.size());
+      scatter_stage_.reserve(parts.size());
       for (std::size_t i = 0; i < parts.size(); ++i) {
-        packets.push_back(Packet{std::move(parts[i]), bytes[i]});
+        scatter_stage_.push_back(Packet{std::move(parts[i]), bytes[i]});
       }
     }
-    Packet mine = engine_->core_scatter(rank_, root, std::move(packets));
-    return std::any_cast<T>(std::move(mine.value));
+    Packet mine = engine_->core_scatter(rank_, root, scatter_stage_);
+    scatter_stage_.clear();
+    return mine.take<T>();
   }
 
   /// Reduction to the root followed by a broadcast of the combined value
@@ -119,17 +145,19 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::pair<int, T>> exchange(
       std::vector<std::tuple<int, T, std::size_t>> sends) {
-    std::vector<std::pair<int, Packet>> packets;
-    packets.reserve(sends.size());
+    exchange_stage_.clear();
+    exchange_stage_.reserve(sends.size());
     for (auto& [dst, value, bytes] : sends) {
-      packets.emplace_back(dst, Packet{std::move(value), bytes});
+      exchange_stage_.emplace_back(dst, Packet{std::move(value), bytes});
     }
-    auto received = engine_->core_exchange(rank_, std::move(packets));
+    auto received = engine_->core_exchange(rank_, exchange_stage_);
+    exchange_stage_.clear();
     std::vector<std::pair<int, T>> out;
     out.reserve(received.size());
     for (auto& [src, packet] : received) {
-      out.emplace_back(src, std::any_cast<T>(std::move(packet.value)));
+      out.emplace_back(src, packet.template take<T>());
     }
+    engine_->core_recycle_exchange(rank_, std::move(received));
     return out;
   }
 
@@ -172,12 +200,17 @@ class Comm {
   template <typename T>
   [[nodiscard]] T recv(int src, int tag = 0) {
     Packet p = engine_->core_recv(rank_, src, tag);
-    return std::any_cast<T>(std::move(p.value));
+    return p.take<T>();
   }
 
  private:
   Engine* engine_;
   int rank_;
+  // Reused staging buffers (this Comm is single-context, see the class
+  // comment): collective inputs are moved through these instead of a fresh
+  // vector per call.
+  std::vector<Packet> scatter_stage_;
+  std::vector<std::pair<int, Packet>> exchange_stage_;
 };
 
 }  // namespace hprs::vmpi

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <thread>
 
 #include "common/error.hpp"
 #include "vmpi/comm.hpp"
+#include "vmpi/executor.hpp"
 
 namespace hprs::vmpi {
 
@@ -17,6 +19,37 @@ double transfer_seconds(std::size_t bytes, double c_ms_per_mbit,
                         double latency_s) {
   const double megabits = static_cast<double>(bytes) * 8.0 / 1e6;
   return megabits * c_ms_per_mbit / 1000.0 + latency_s;
+}
+
+std::chrono::steady_clock::time_point deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+/// HPRS_THREAD_PER_RANK (non-empty, non-"0") forces the legacy
+/// thread-per-rank mode, e.g. for differential testing of the executor.
+bool env_thread_per_rank() {
+  const char* v = std::getenv("HPRS_THREAD_PER_RANK");
+  if (v == nullptr || *v == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+std::size_t resolve_fiber_stack_bytes(std::size_t option_bytes) {
+  if (const char* v = std::getenv("HPRS_FIBER_STACK_KB");
+      v != nullptr && *v != '\0') {
+    const long kb = std::strtol(v, nullptr, 10);
+    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+  }
+  return option_bytes != 0 ? option_bytes : (std::size_t{1} << 20);
+}
+
+/// resize-without-deallocating: keeps each element's capacity so collective
+/// scratch survives across runs as well as across generations.
+template <typename Vec>
+void resize_and_clear(Vec& v, std::size_t n) {
+  v.resize(n);
+  for (auto& e : v) e.clear();
 }
 
 }  // namespace
@@ -74,49 +107,83 @@ Engine::Engine(simnet::Platform platform, Options options)
 
 RunReport Engine::run(const std::function<void(Comm&)>& program) {
   const int p = size();
+  const auto pu = static_cast<std::size_t>(p);
+  const bool thread_per_rank =
+      options_.exec_mode == ExecMode::kThreadPerRank || env_thread_per_rank();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.assign(static_cast<std::size_t>(p), RankStats{});
-    trace_.assign(static_cast<std::size_t>(p), {});
-    nic_free_.assign(static_cast<std::size_t>(p), 0.0);
+    stats_.assign(pu, RankStats{});
+    trace_.assign(pu, {});
+    nic_free_.assign(pu, 0.0);
     xlink_free_.clear();
     mailbox_.clear();
     coll_kind_ = CollectiveKind::kNone;
     coll_root_ = -1;
     coll_arrived_ = 0;
     coll_generation_ = 0;
-    coll_inputs_.assign(static_cast<std::size_t>(p), Packet{});
-    coll_scatter_parts_.assign(static_cast<std::size_t>(p), {});
-    coll_exchange_in_.assign(static_cast<std::size_t>(p), {});
-    coll_single_out_.assign(static_cast<std::size_t>(p), Packet{});
-    coll_multi_out_.assign(static_cast<std::size_t>(p), {});
-    coll_exchange_out_.assign(static_cast<std::size_t>(p), {});
+    coll_inputs_.assign(pu, Packet{});
+    coll_single_out_.assign(pu, Packet{});
+    resize_and_clear(coll_scatter_parts_, pu);
+    resize_and_clear(coll_exchange_in_, pu);
+    resize_and_clear(coll_multi_out_, pu);
+    resize_and_clear(coll_exchange_out_, pu);
+    resize_and_clear(gather_pool_, pu);
+    resize_and_clear(exchange_pool_, pu);
     next_send_handle_ = 1;
     poisoned_ = false;
     poison_reason_.clear();
+    if (thread_per_rank && !rank_cvs_) {
+      rank_cvs_ = std::make_unique<std::condition_variable[]>(pu);
+    }
   }
 
   std::exception_ptr first_error;
   std::mutex error_mutex;
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    threads.emplace_back([&, r] {
-      Comm comm(*this, r);
-      try {
-        program(comm);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!poisoned_) poison_locked("a rank threw an exception");
+  const auto rank_body = [&](int r) {
+    Comm comm(*this, r);
+    try {
+      program(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
       }
-    });
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!poisoned_) poison_locked("a rank threw an exception");
+    }
+  };
+
+  if (thread_per_rank) {
+    std::vector<std::thread> threads;
+    threads.reserve(pu);
+    for (int r = 0; r < p; ++r) {
+      threads.emplace_back([&rank_body, r] { rank_body(r); });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    Executor exec;
+    Executor::Config cfg;
+    cfg.workers = options_.executor_workers;
+    cfg.stack_bytes = resolve_fiber_stack_bytes(options_.fiber_stack_bytes);
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(pu);
+    for (int r = 0; r < p; ++r) {
+      bodies.emplace_back([&rank_body, r] { rank_body(r); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      executor_ = &exec;
+    }
+    try {
+      exec.run(std::move(bodies), cfg);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      executor_ = nullptr;
+      throw;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    executor_ = nullptr;
   }
-  for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
 
@@ -141,7 +208,7 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
 }
 
 double Engine::core_now(int rank) const {
-  // The rank only queries its own clock, which no other thread mutates
+  // The rank only queries its own clock, which no other context mutates
   // while the rank is running; see the ownership note in the header.
   return stats_[static_cast<std::size_t>(rank)].clock;
 }
@@ -163,6 +230,32 @@ void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
   }
 }
 
+// --- host-side blocking layer ----------------------------------------------
+
+bool Engine::wait_rank(std::unique_lock<std::mutex>& lock, int rank,
+                       std::chrono::steady_clock::time_point deadline) {
+  if (executor_ != nullptr) return executor_->park(lock, deadline);
+  return rank_cvs_[static_cast<std::size_t>(rank)].wait_until(lock, deadline) ==
+         std::cv_status::timeout;
+}
+
+void Engine::wake_rank_locked(int rank) {
+  if (executor_ != nullptr) {
+    executor_->notify(static_cast<std::size_t>(rank));
+  } else if (rank_cvs_) {
+    rank_cvs_[static_cast<std::size_t>(rank)].notify_one();
+  }
+}
+
+void Engine::wake_all_locked() {
+  if (executor_ != nullptr) {
+    executor_->notify_all();
+  } else if (rank_cvs_) {
+    const auto pu = static_cast<std::size_t>(size());
+    for (std::size_t r = 0; r < pu; ++r) rank_cvs_[r].notify_all();
+  }
+}
+
 // --- collectives -----------------------------------------------------------
 
 void Engine::begin_collective(int rank, CollectiveKind kind, int root) {
@@ -179,17 +272,18 @@ void Engine::begin_collective(int rank, CollectiveKind kind, int root) {
   (void)r;
 }
 
-void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock,
+void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock, int rank,
                                  std::uint64_t generation) {
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  const auto deadline = deadline_after(options_.deadlock_timeout_s);
+  bool deadline_expired = false;
   while (coll_generation_ == generation && !poisoned_) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        coll_generation_ == generation && !poisoned_) {
+    if (deadline_expired) {
+      // The deadline passed *and* a fresh predicate check still failed:
+      // only now is it a deadlock (a wakeup racing the deadline is not).
       poison_locked("collective operation timed out (virtual MPI deadlock?)");
       break;
     }
+    deadline_expired = wait_rank(lock, rank, deadline);
   }
   check_poison_locked();
 }
@@ -197,7 +291,7 @@ void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock,
 void Engine::poison_locked(const std::string& reason) {
   poisoned_ = true;
   poison_reason_ = reason;
-  cv_.notify_all();
+  wake_all_locked();
 }
 
 void Engine::check_poison_locked() const {
@@ -281,8 +375,14 @@ void Engine::finish_collective_locked() {
     }
 
     case CollectiveKind::kBcast: {
-      const Packet& payload = coll_inputs_[ru];
+      Packet& payload = coll_inputs_[ru];
       const std::size_t bytes = payload.bytes;
+      // Freeze the root's payload once (a move, not a copy); every
+      // destination below takes a refcounted view, so the fan-out performs
+      // zero deep copies regardless of p.  With p == 1 there is no fan-out
+      // and the root's value passes through exclusively (pure move).
+      std::shared_ptr<const std::any> shared;
+      if (p > 1) shared = payload.share();
       if (platform_.switched_fabric()) {
         // Binomial-tree broadcast (cluster message-passing layers).  vrank
         // is the rank rotated so the root is 0; in step k every holder
@@ -306,7 +406,7 @@ void Engine::finish_collective_locked() {
                                     std::max(end, arrival[du]), active, 0,
                                     bytes);
             known[static_cast<std::size_t>(vdst)] = std::max(end, arrival[du]);
-            coll_single_out_[du] = Packet{payload.value, bytes};
+            coll_single_out_[du] = Packet::shared_view(shared, bytes);
           }
         }
       } else {
@@ -325,7 +425,7 @@ void Engine::finish_collective_locked() {
                                   active, 0, bytes);
           account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
           root_busy_from = end;
-          coll_single_out_[du] = Packet{payload.value, bytes};
+          coll_single_out_[du] = Packet::shared_view(shared, bytes);
         }
       }
       coll_single_out_[ru] = std::move(coll_inputs_[ru]);
@@ -493,7 +593,7 @@ void Engine::finish_collective_locked() {
   coll_root_ = -1;
   coll_arrived_ = 0;
   ++coll_generation_;
-  cv_.notify_all();
+  wake_all_locked();
 }
 
 void Engine::core_barrier(int rank) {
@@ -503,7 +603,7 @@ void Engine::core_barrier(int rank) {
     finish_collective_locked();
     return;
   }
-  wait_for_generation(lock, coll_generation_);
+  wait_for_generation(lock, rank, coll_generation_);
 }
 
 Packet Engine::core_bcast(int rank, int root, Packet payload) {
@@ -514,7 +614,7 @@ Packet Engine::core_bcast(int rank, int root, Packet payload) {
   if (coll_arrived_ == size()) {
     finish_collective_locked();
   } else {
-    wait_for_generation(lock, coll_generation_);
+    wait_for_generation(lock, rank, coll_generation_);
   }
   return std::move(coll_single_out_[r]);
 }
@@ -523,41 +623,81 @@ std::vector<Packet> Engine::core_gather(int rank, int root, Packet payload) {
   std::unique_lock<std::mutex> lock(mutex_);
   begin_collective(rank, CollectiveKind::kGather, root);
   const auto r = static_cast<std::size_t>(rank);
+  // Adopt this rank's recycled result buffer so the coordinator's resize
+  // reuses capacity from a previous generation instead of allocating.
+  auto& out_slot = coll_multi_out_[r];
+  out_slot.clear();
+  if (gather_pool_[r].capacity() > out_slot.capacity()) {
+    out_slot.swap(gather_pool_[r]);
+  }
   coll_inputs_[r] = std::move(payload);
   if (coll_arrived_ == size()) {
     finish_collective_locked();
   } else {
-    wait_for_generation(lock, coll_generation_);
+    wait_for_generation(lock, rank, coll_generation_);
   }
   return std::move(coll_multi_out_[r]);
 }
 
-Packet Engine::core_scatter(int rank, int root, std::vector<Packet> parts) {
+Packet Engine::core_scatter(int rank, int root, std::vector<Packet>& parts) {
   std::unique_lock<std::mutex> lock(mutex_);
   begin_collective(rank, CollectiveKind::kScatter, root);
   const auto r = static_cast<std::size_t>(rank);
-  if (rank == root) coll_scatter_parts_[r] = std::move(parts);
+  if (rank == root) {
+    // Move element contents into the (capacity-retaining) staging slot;
+    // the caller keeps its vector's capacity for the next scatter.
+    auto& staged = coll_scatter_parts_[r];
+    staged.resize(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      staged[i] = std::move(parts[i]);
+    }
+  }
   if (coll_arrived_ == size()) {
     finish_collective_locked();
   } else {
-    wait_for_generation(lock, coll_generation_);
+    wait_for_generation(lock, rank, coll_generation_);
   }
   return std::move(coll_single_out_[r]);
 }
 
 std::vector<std::pair<int, Packet>> Engine::core_exchange(
-    int rank, std::vector<std::pair<int, Packet>> sends) {
+    int rank, std::vector<std::pair<int, Packet>>& sends) {
   std::unique_lock<std::mutex> lock(mutex_);
   begin_collective(rank, CollectiveKind::kExchange, options_.root);
   const auto r = static_cast<std::size_t>(rank);
-  coll_exchange_in_[r] = std::move(sends);
-  coll_exchange_out_[r].clear();
+  auto& in_slot = coll_exchange_in_[r];
+  in_slot.resize(sends.size());
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    in_slot[i] = std::move(sends[i]);
+  }
+  auto& out_slot = coll_exchange_out_[r];
+  out_slot.clear();
+  if (exchange_pool_[r].capacity() > out_slot.capacity()) {
+    out_slot.swap(exchange_pool_[r]);
+  }
   if (coll_arrived_ == size()) {
     finish_collective_locked();
   } else {
-    wait_for_generation(lock, coll_generation_);
+    wait_for_generation(lock, rank, coll_generation_);
   }
   return std::move(coll_exchange_out_[r]);
+}
+
+// --- scratch recycling ------------------------------------------------------
+// The pool slots are rank-confined (slot r is only touched from rank r's
+// execution context), so these run without the engine lock.
+
+void Engine::core_recycle_gather(int rank, std::vector<Packet> buffer) {
+  buffer.clear();
+  auto& slot = gather_pool_[static_cast<std::size_t>(rank)];
+  if (buffer.capacity() > slot.capacity()) slot = std::move(buffer);
+}
+
+void Engine::core_recycle_exchange(
+    int rank, std::vector<std::pair<int, Packet>> buffer) {
+  buffer.clear();
+  auto& slot = exchange_pool_[static_cast<std::size_t>(rank)];
+  if (buffer.capacity() > slot.capacity()) slot = std::move(buffer);
 }
 
 // --- point-to-point ---------------------------------------------------------
@@ -568,25 +708,28 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
   std::unique_lock<std::mutex> lock(mutex_);
   check_poison_locked();
   auto& queue = mailbox_[{rank, dst, tag}];
-  queue.push_back(PendingSend{std::move(payload),
-                              stats_[static_cast<std::size_t>(rank)].clock,
-                              false, 0.0});
+  PendingSend ps;
+  ps.payload = std::move(payload);
+  ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
+  queue.push_back(std::move(ps));
   auto it = std::prev(queue.end());
-  cv_.notify_all();
+  wake_rank_locked(dst);
 
   // Rendezvous: block until the receiver matches and times the transfer.
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  const auto deadline = deadline_after(options_.deadlock_timeout_s);
+  bool deadline_expired = false;
   while (!it->matched && !poisoned_) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        !it->matched && !poisoned_) {
+    if (deadline_expired) {
       poison_locked("send never matched (virtual MPI deadlock?)");
       break;
     }
+    deadline_expired = wait_rank(lock, rank, deadline);
   }
   check_poison_locked();
-  stats_[static_cast<std::size_t>(rank)].clock = it->sender_end;
+  // Apply this side of the transfer (the receiver computed it at match
+  // time but deliberately left the sender's stats to the sender).
+  account_transfer_locked(rank, it->ready, it->sender_end, it->active,
+                          it->bytes, 0);
   queue.erase(it);
 }
 
@@ -597,11 +740,12 @@ std::uint64_t Engine::core_isend(int rank, int dst, int tag,
   std::unique_lock<std::mutex> lock(mutex_);
   check_poison_locked();
   const std::uint64_t handle = next_send_handle_++;
-  mailbox_[{rank, dst, tag}].push_back(
-      PendingSend{std::move(payload),
-                  stats_[static_cast<std::size_t>(rank)].clock, false, 0.0,
-                  handle});
-  cv_.notify_all();
+  PendingSend ps;
+  ps.payload = std::move(payload);
+  ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
+  ps.handle = handle;
+  mailbox_[{rank, dst, tag}].push_back(std::move(ps));
+  wake_rank_locked(dst);
   return handle;
 }
 
@@ -609,30 +753,38 @@ void Engine::core_wait_send(int rank, std::uint64_t handle) {
   std::unique_lock<std::mutex> lock(mutex_);
   // Find the posting by handle (it is keyed by (rank, dst, tag), so scan
   // this rank's outgoing queues; queues are short-lived).
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration<double>(options_.deadlock_timeout_s);
+  const auto deadline = deadline_after(options_.deadlock_timeout_s);
+  bool deadline_expired = false;
   while (true) {
     check_poison_locked();
+    bool found = false;
     for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
       if (std::get<0>(it->first) != rank) continue;
       for (auto ps = it->second.begin(); ps != it->second.end(); ++ps) {
         if (ps->handle != handle) continue;
-        if (!ps->matched) goto keep_waiting;
-        auto& s = stats_[static_cast<std::size_t>(rank)];
-        s.clock = std::max(s.clock, ps->sender_end);
+        found = true;
+        if (!ps->matched) break;
+        // The receiver matched: apply the sender's half of the transfer.
+        // The clock can only move forward, so compute performed between
+        // isend and wait overlaps the wire time.
+        account_transfer_locked(rank, ps->ready, ps->sender_end, ps->active,
+                                ps->bytes, 0);
         it->second.erase(ps);
         if (it->second.empty()) mailbox_.erase(it);
         return;
       }
+      if (found) break;
     }
-    // Handle not found at all: already waited (or never posted).
-    throw Error("wait on an unknown or already-completed send handle");
-  keep_waiting:
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (!found) {
+      // Handle not found at all: already waited (or never posted).
+      throw Error("wait on an unknown or already-completed send handle");
+    }
+    if (deadline_expired) {
+      // Deadline passed and the re-scan above still found no match.
       poison_locked("isend never matched (virtual MPI deadlock?)");
       check_poison_locked();
     }
+    deadline_expired = wait_rank(lock, rank, deadline);
   }
 }
 
@@ -641,10 +793,8 @@ Packet Engine::core_recv(int rank, int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto key = std::make_tuple(src, rank, tag);
 
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration<double>(options_.deadlock_timeout_s);
-  std::list<PendingSend>* queue = nullptr;
+  const auto deadline = deadline_after(options_.deadlock_timeout_s);
+  bool deadline_expired = false;
   std::list<PendingSend>::iterator it;
   while (true) {
     check_poison_locked();
@@ -652,17 +802,15 @@ Packet Engine::core_recv(int rank, int src, int tag) {
     if (q != mailbox_.end()) {
       it = std::find_if(q->second.begin(), q->second.end(),
                         [](const PendingSend& ps) { return !ps.matched; });
-      if (it != q->second.end()) {
-        queue = &q->second;
-        break;
-      }
+      if (it != q->second.end()) break;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (deadline_expired) {
+      // Deadline passed and the re-check above still found no posting.
       poison_locked("recv never matched (virtual MPI deadlock?)");
       check_poison_locked();
     }
+    deadline_expired = wait_rank(lock, rank, deadline);
   }
-  (void)queue;
 
   auto& me = stats_[static_cast<std::size_t>(rank)];
   const double ready = std::max(it->ready, me.clock);
@@ -674,12 +822,16 @@ Packet Engine::core_recv(int rank, int src, int tag) {
                                                   static_cast<std::size_t>(rank)),
                        options_.per_message_latency_s);
   account_transfer_locked(rank, me.clock, end, active, 0, bytes);
-  account_transfer_locked(src, it->ready, end, active, bytes, 0);
 
+  // Record the sender's half for it to apply itself (core_send /
+  // core_wait_send); writing stats_[src] here would race with a sender
+  // that is still computing after an isend.
   Packet out = std::move(it->payload);
   it->matched = true;
   it->sender_end = end;
-  cv_.notify_all();
+  it->active = active;
+  it->bytes = bytes;
+  wake_rank_locked(src);
   return out;
 }
 

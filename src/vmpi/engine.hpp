@@ -1,8 +1,8 @@
 // Discrete-event virtual message-passing engine.
 //
 // Executes an SPMD program -- one callable invoked once per rank -- on a
-// simulated simnet::Platform.  Ranks run as host threads so the program's
-// *numerics* are real, while *time* is virtual:
+// simulated simnet::Platform.  Ranks run as host execution contexts so the
+// program's *numerics* are real, while *time* is virtual:
 //
 //   compute  : seconds = flops * 1e-6 * w_rank        (w in s/megaflop)
 //   transfer : seconds = bytes*8/1e6 * c_ij / 1000    (c in ms/megabit)
@@ -15,21 +15,36 @@
 // segments (the paper's fully heterogeneous network interconnects its four
 // segments with serial links).
 //
-// Determinism: collective operations are the only place concurrent ranks
-// touch shared resource state, and their cost model runs once -- executed
-// by the last-arriving rank under the engine lock -- scheduling member
-// transfers in rank order.  Virtual results are therefore bit-identical
-// across runs regardless of host scheduling.  Point-to-point send/recv is
-// provided for generality and is deterministic whenever, as in all the
+// Host execution comes in two modes with bit-identical virtual results
+// (DESIGN.md §8):
+//
+//  - kBoundedExecutor (default): ranks are fibers multiplexed on at most
+//    min(p, hardware_concurrency) worker threads by vmpi::Executor, so a
+//    256-rank Thunderhead run does not spawn 256 kernel threads;
+//  - kThreadPerRank: one OS thread per rank (the original scheme), kept
+//    for differential testing and selectable at runtime with the
+//    HPRS_THREAD_PER_RANK environment variable.
+//
+// Determinism: collective cost models run once -- executed by the
+// last-arriving rank under the engine lock -- scheduling member transfers
+// in rank order, so the coordinator's identity never affects results.  For
+// point-to-point transfers the receiver computes the schedule and the
+// sender applies its own half of the accounting when it completes the
+// send, which keeps every rank's stats, clock, and trace owned by exactly
+// one execution context at a time.  Virtual results are therefore
+// bit-identical across runs, host schedules, and execution modes.
+// Point-to-point send/recv is deterministic whenever, as in all the
 // shipped algorithms, concurrently outstanding matches do not share
 // resources.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <tuple>
@@ -42,18 +57,37 @@
 namespace hprs::vmpi {
 
 class Comm;
+class Executor;
+
+/// How rank bodies are mapped onto host threads.  Virtual results are
+/// bit-identical across modes; only host cost differs.
+enum class ExecMode : std::uint8_t {
+  kBoundedExecutor,  ///< fibers on <= min(p, hardware_concurrency) threads
+  kThreadPerRank,    ///< one OS thread per rank
+};
 
 struct Options {
   /// Fixed virtual latency added to every message.
   double per_message_latency_s = 1e-4;
   /// Wall-clock bound on how long a rank may block waiting for a peer
-  /// before the engine declares deadlock (host seconds, not virtual).
+  /// before the engine declares deadlock (host seconds, not virtual).  The
+  /// bounded executor additionally proves deadlocks instantly when every
+  /// rank is blocked.
   double deadlock_timeout_s = 120.0;
   /// Rank that plays master in the report decomposition.
   int root = 0;
   /// Record a per-rank timeline of compute/transfer/idle intervals into
   /// RunReport::trace (see vmpi/trace.hpp).
   bool enable_trace = false;
+  /// Host execution mode; HPRS_THREAD_PER_RANK (non-empty, non-"0")
+  /// overrides to kThreadPerRank.
+  ExecMode exec_mode = ExecMode::kBoundedExecutor;
+  /// Worker-thread cap for kBoundedExecutor; 0 means
+  /// min(p, hardware_concurrency).
+  std::size_t executor_workers = 0;
+  /// Per-rank fiber stack for kBoundedExecutor; 0 means 1 MiB.  The
+  /// HPRS_FIBER_STACK_KB environment variable overrides.
+  std::size_t fiber_stack_bytes = 0;
 };
 
 class Engine {
@@ -63,8 +97,8 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Runs `program` once per rank on dedicated threads and returns the
-  /// timing report.  Rethrows the first exception thrown by any rank.
+  /// Runs `program` once per rank and returns the timing report.  Rethrows
+  /// the first exception thrown by any rank.
   RunReport run(const std::function<void(Comm&)>& program);
 
   [[nodiscard]] const simnet::Platform& platform() const { return platform_; }
@@ -78,13 +112,17 @@ class Engine {
   void core_barrier(int rank);
   Packet core_bcast(int rank, int root, Packet payload);
   std::vector<Packet> core_gather(int rank, int root, Packet payload);
-  Packet core_scatter(int rank, int root, std::vector<Packet> parts);
+  /// Scatter: the root fills `parts` (one per rank); the engine moves the
+  /// elements out and leaves the vector's capacity with the caller for
+  /// reuse.
+  Packet core_scatter(int rank, int root, std::vector<Packet>& parts);
   /// Deterministic generalized all-to-all: every rank contributes a list of
   /// (destination, packet) sends; the coordinator schedules all transfers
   /// in (src, dst) order and each rank receives its incoming packets tagged
-  /// with their source rank.  Used for halo exchanges.
+  /// with their source rank.  Used for halo exchanges.  Element contents
+  /// are moved out of `sends`; its capacity stays with the caller.
   std::vector<std::pair<int, Packet>> core_exchange(
-      int rank, std::vector<std::pair<int, Packet>> sends);
+      int rank, std::vector<std::pair<int, Packet>>& sends);
   void core_send(int rank, int dst, int tag, Packet payload);
   Packet core_recv(int rank, int src, int tag);
   /// Nonblocking send: posts the message and returns a handle immediately;
@@ -97,6 +135,11 @@ class Engine {
   void core_wait_send(int rank, std::uint64_t handle);
   [[nodiscard]] double core_now(int rank) const;
 
+  // --- scratch recycling (rank-confined; see the pool comments below) ---
+  void core_recycle_gather(int rank, std::vector<Packet> buffer);
+  void core_recycle_exchange(int rank,
+                             std::vector<std::pair<int, Packet>> buffer);
+
   // --- collective machinery (all called with mutex_ held) ---
   enum class CollectiveKind : std::uint8_t {
     kNone,
@@ -108,8 +151,17 @@ class Engine {
   };
   void begin_collective(int rank, CollectiveKind kind, int root);
   void finish_collective_locked();
-  void wait_for_generation(std::unique_lock<std::mutex>& lock,
+  void wait_for_generation(std::unique_lock<std::mutex>& lock, int rank,
                            std::uint64_t generation);
+
+  // --- host-side blocking layer (two implementations, one protocol) ---
+  /// Blocks `rank` until woken or the deadline expires; returns true on
+  /// expiry (which, like a spurious wakeup, obliges the caller to re-check
+  /// its predicate before concluding deadlock).
+  bool wait_rank(std::unique_lock<std::mutex>& lock, int rank,
+                 std::chrono::steady_clock::time_point deadline);
+  void wake_rank_locked(int rank);
+  void wake_all_locked();
 
   /// Schedules one transfer src -> dst: claims NIC and inter-segment
   /// resources, advances them, and returns the completion time.  `ready` is
@@ -131,21 +183,28 @@ class Engine {
   Options options_;
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  /// Thread-per-rank mode: one condition slot per rank, so a wakeup
+  /// targets exactly the rank it is for.  Unused in executor mode.
+  std::unique_ptr<std::condition_variable[]> rank_cvs_;
+  /// Bounded-executor mode: set for the duration of run(); park/notify
+  /// replace the condition variables.
+  Executor* executor_ = nullptr;
 
   // Virtual state.  A rank's clock/stats are mutated either by its own
-  // thread (while running) or by the collective coordinator (while the rank
-  // is blocked on cv_), never concurrently.
+  // execution context (while running) or by the collective coordinator
+  // (while the rank is blocked), never concurrently.
   std::vector<RankStats> stats_;
   /// Per-rank trace buffers (only filled when options_.enable_trace); a
-  /// rank's buffer is mutated by its own thread or by the collective
+  /// rank's buffer is mutated by its own context or by the collective
   /// coordinator while the rank is blocked, like its clock.
   std::vector<std::vector<TraceEvent>> trace_;
   std::vector<double> nic_free_;  // per-processor NIC busy-until
   std::map<std::pair<std::size_t, std::size_t>, double>
       xlink_free_;  // inter-segment serial link busy-until (ordered pair)
 
-  // Collective rendezvous state.
+  // Collective rendezvous state.  The out/in vectors persist across
+  // generations (only elements are moved through them), so a long run's
+  // collectives stop allocating once warm.
   CollectiveKind coll_kind_ = CollectiveKind::kNone;
   int coll_root_ = -1;
   int coll_arrived_ = 0;
@@ -157,13 +216,25 @@ class Engine {
   std::vector<std::vector<Packet>> coll_multi_out_;
   std::vector<std::vector<std::pair<int, Packet>>> coll_exchange_out_;
 
+  // Recycled gather-result / exchange-result buffers.  Slot r is only ever
+  // touched by rank r (its Comm returns a drained vector here; its next
+  // core_gather/core_exchange adopts the capacity), so the slots are
+  // rank-confined and need no locking of their own.
+  std::vector<std::vector<Packet>> gather_pool_;
+  std::vector<std::vector<std::pair<int, Packet>>> exchange_pool_;
+
   // Point-to-point mailboxes keyed by (src, dst, tag).  std::list gives the
-  // sender a stable element to block on while the receiver matches it.
+  // sender a stable element to block on while the receiver matches it.  The
+  // receiver computes the transfer schedule and records the sender's half
+  // (end/active/bytes); the sender applies it to its own stats when it
+  // completes the send, so no context ever touches a running rank's stats.
   struct PendingSend {
     Packet payload;
     double ready = 0.0;
-    bool matched = false;    // receiver has taken the payload and timed it
-    double sender_end = 0.0; // sender's completion time once matched
+    bool matched = false;     // receiver has taken the payload and timed it
+    double sender_end = 0.0;  // sender's completion time once matched
+    double active = 0.0;      // wire seconds, for the sender's accounting
+    std::uint64_t bytes = 0;  // wire bytes, for the sender's accounting
     std::uint64_t handle = 0;  // nonzero for isend postings
   };
   std::map<std::tuple<int, int, int>, std::list<PendingSend>> mailbox_;

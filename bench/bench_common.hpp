@@ -176,6 +176,50 @@ inline bool write_engine_json(const std::string& path,
   return true;
 }
 
+/// One cell of the fault-recovery summary: how one {algorithm, network,
+/// fault scenario} run survived its injected crashes.  bench_fault_recovery
+/// collects one record per cell and serializes them with write_fault_json
+/// (--json <path>, conventionally BENCH_fault.json) so recovery-overhead
+/// regressions are machine-checkable.
+struct FaultRecord {
+  std::string algorithm;
+  std::string network;
+  std::string scenario;
+  double virtual_seconds = 0.0;
+  vmpi::RecoveryStats recovery;
+  /// Whether the run's outputs (targets/labels) matched the fault-free
+  /// reference bit for bit -- the fault-tolerance contract.
+  bool outputs_match = false;
+};
+
+/// Writes the records as a flat JSON object keyed
+/// "<ALG>_<network>_<scenario>".  Same no-dependency format rationale as
+/// write_kernel_json.
+inline bool write_fault_json(const std::string& path,
+                             const std::vector<FaultRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "  \"%s_%s_%s\": {\"virtual_seconds\": %.3f, \"detection_s\": %.3f, "
+        "\"redistribution_s\": %.3f, \"recomputed_s\": %.3f, "
+        "\"recomputed_mflops\": %.3f, \"crashes\": %d, \"detections\": %d, "
+        "\"outputs_match\": %s}%s\n",
+        r.algorithm.c_str(), r.network.c_str(), r.scenario.c_str(),
+        r.virtual_seconds, r.recovery.detection_s, r.recovery.redistribution_s,
+        r.recovery.recomputed_s, r.recovery.recomputed_megaflops(),
+        r.recovery.crashes, r.recovery.detections,
+        r.outputs_match ? "true" : "false",
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Peels "--json <path>" out of argv before benchmark::Initialize sees it
 /// (google-benchmark aborts on unrecognized flags).  Returns the path, or
 /// an empty string when the flag is absent.

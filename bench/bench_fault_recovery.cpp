@@ -1,0 +1,125 @@
+// Fault-tolerant recovery overhead (paper Sect. 6 outlook: fault tolerance
+// on networks of workstations).
+//
+// For every algorithm on the fully heterogeneous and fully homogeneous
+// 16-node networks, runs the fault-tolerant master/worker schedule
+// (core/ft.hpp) under escalating deterministic fault plans and reports the
+// recovery-overhead decomposition next to the fault-free run time:
+//
+//   none      -- empty fault plan (the protocol's baseline cost)
+//   crash1    -- rank 5 fail-stops a quarter into the fault-free run
+//   crash2    -- ranks 5 and 11 fail-stop at 25% / 50% of the run
+//   crash+net -- crash1 plus every inter-segment link at 4x capacity
+//                (ms per megabit) for the middle half of the run
+//
+// Every scenario's outputs are compared bit for bit against the fault-free
+// collective outputs; `match` must read "yes" everywhere -- recovery must
+// never change the science.  The JSON twin (--json BENCH_fault.json) makes
+// the overheads machine-checkable.
+#include "bench_common.hpp"
+
+namespace {
+
+using hprs::vmpi::FaultPlan;
+
+struct Scenario {
+  std::string name;
+  /// Builds the plan from the fault-free virtual run time and the
+  /// platform's segment count.
+  FaultPlan (*plan)(double fault_free_s, std::size_t segments);
+};
+
+FaultPlan plan_none(double, std::size_t) { return {}; }
+
+FaultPlan plan_crash1(double t, std::size_t) {
+  FaultPlan plan;
+  plan.crashes.push_back({5, 0.25 * t});
+  return plan;
+}
+
+FaultPlan plan_crash2(double t, std::size_t) {
+  FaultPlan plan;
+  plan.crashes.push_back({5, 0.25 * t});
+  plan.crashes.push_back({11, 0.50 * t});
+  return plan;
+}
+
+FaultPlan plan_crash_net(double t, std::size_t segments) {
+  FaultPlan plan = plan_crash1(t, segments);
+  // Saturate every segment pair for the middle half of the run.
+  for (std::size_t a = 0; a < segments; ++a) {
+    for (std::size_t b = a; b < segments; ++b) {
+      plan.degradations.push_back({a, b, 4.0, 0.25 * t, 0.75 * t});
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hprs;
+  const std::string json_path = bench::take_json_flag(argc, argv);
+  const auto setup = bench::make_setup(argc, argv);
+
+  const std::vector<Scenario> scenarios = {
+      {"none", plan_none},
+      {"crash1", plan_crash1},
+      {"crash2", plan_crash2},
+      {"crash+net", plan_crash_net},
+  };
+  const std::vector<simnet::Platform> networks = {
+      simnet::fully_heterogeneous(), simnet::fully_homogeneous()};
+
+  std::vector<bench::FaultRecord> records;
+  TextTable table({"Algorithm", "Network", "Scenario", "Time (s)",
+                   "Detect (s)", "Redist (s)", "Recompute (s)", "Match"});
+  for (const auto alg : bench::all_algorithms()) {
+    for (const auto& net : networks) {
+      auto cfg = setup.config;
+      cfg.algorithm = alg;
+      cfg.policy = core::PartitionPolicy::kHeterogeneous;
+
+      // Fault-free collective reference: the outputs every fault-tolerant
+      // run must reproduce, and the run time the fault plans key off.
+      const auto reference = core::run_algorithm(net, setup.scene.cube, cfg);
+      const double fault_free_s = reference.report.total_time;
+
+      cfg.fault_tolerant = true;
+      for (const auto& scenario : scenarios) {
+        vmpi::Options options;
+        options.fault_plan =
+            scenario.plan(fault_free_s, net.segment_count());
+        const auto run =
+            core::run_algorithm(net, setup.scene.cube, cfg, options);
+        const bool match = run.targets == reference.targets &&
+                           run.labels == reference.labels;
+
+        bench::FaultRecord rec;
+        rec.algorithm = core::to_string(alg);
+        rec.network = net.name();
+        rec.scenario = scenario.name;
+        rec.virtual_seconds = run.report.total_time;
+        rec.recovery = run.report.recovery;
+        rec.outputs_match = match;
+        records.push_back(rec);
+
+        table.add_row({core::to_string(alg), net.name(), scenario.name,
+                       TextTable::num(rec.virtual_seconds, 3),
+                       TextTable::num(rec.recovery.detection_s, 3),
+                       TextTable::num(rec.recovery.redistribution_s, 3),
+                       TextTable::num(rec.recovery.recomputed_s, 3),
+                       match ? "yes" : "NO"});
+      }
+    }
+  }
+
+  bench::emit(table, setup.csv,
+              "Fault recovery. Overhead decomposition of the fault-tolerant "
+              "schedule under deterministic fault plans.");
+  if (!json_path.empty() && !bench::write_fault_json(json_path, records)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

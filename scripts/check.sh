@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification wrapper: configure, build, run the full test suite,
 # then rebuild the kernel-equivalence tests under ASan/UBSan and run them
-# once, and finally rebuild the vmpi engine tests under ThreadSanitizer and
-# run them in both host execution modes (bounded executor and
-# HPRS_THREAD_PER_RANK).  This is the gate a change must pass before
-# merging.
+# once, and finally rebuild the vmpi engine and fault-injection tests under
+# ThreadSanitizer and run them in both host execution modes (bounded
+# executor and HPRS_THREAD_PER_RANK).  This is the gate a change must pass
+# before merging.
 #
 # Usage: scripts/check.sh [--no-sanitizers]
 set -euo pipefail
@@ -35,7 +35,8 @@ if [[ "$run_sanitizers" == "1" ]]; then
   done
 
   echo "== tier 1c: vmpi engine under TSan, both execution modes =="
-  vmpi_tests=(vmpi_engine_test vmpi_collectives_test vmpi_engine_stress_test)
+  vmpi_tests=(vmpi_engine_test vmpi_collectives_test vmpi_engine_stress_test
+              vmpi_fault_test)
   cmake -S "$repo" -B "$repo/build-tsan" \
     -DCMAKE_BUILD_TYPE=Release \
     -DHPRS_ENABLE_TSAN=ON \

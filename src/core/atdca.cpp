@@ -1,8 +1,11 @@
 #include "core/atdca.hpp"
 
+#include <any>
 #include <limits>
+#include <memory>
 
 #include "common/error.hpp"
+#include "core/ft.hpp"
 #include "core/spmd_common.hpp"
 #include "linalg/flops.hpp"
 #include "linalg/vec.hpp"
@@ -46,6 +49,85 @@ Candidate select_best(vmpi::Comm& comm, const std::vector<Candidate>& cands,
   return best;
 }
 
+/// The fault-tolerant schedule (core/ft.hpp): the same chunk kernels as the
+/// collective path (brightest_pixel, osp_argmax_sweep), driven by the
+/// master over point-to-point operations so worker crashes are survivable.
+/// Folding candidates in chunk order reproduces the gather's rank-order
+/// fold, so the extracted targets equal the fault-free ones exactly.
+void run_atdca_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                  const AtdcaConfig& config, const WorkloadModel& model,
+                  TargetDetectionResult& result) {
+  std::vector<ft::Handler> handlers;
+  // Phase 0: the chunk's brightest pixel.
+  handlers.push_back(
+      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+        const PartitionView view{&cube, chunk.part};
+        return ft::ChunkOutcome{brightest_pixel(c, view, config.replication),
+                                detail::kCandidateBytes};
+      });
+  // Phase 1: the chunk's OSP argmax against the shipped target matrix U.
+  handlers.push_back(
+      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+        const auto& u = std::any_cast<const linalg::Matrix&>(*payload);
+        const linalg::Cholesky gram(detail::ridged_row_gram(u));
+        c.compute(linalg::flops::gram(cube.bands(), u.rows()) +
+                  linalg::flops::cholesky(u.rows()));
+        linalg::ScratchArena arena;
+        const Candidate best = detail::osp_argmax_sweep(
+            u, gram, cube, chunk.part.row_begin, chunk.part.row_end, arena);
+        c.compute(static_cast<Count>(chunk.part.owned_rows()) * cube.cols() *
+                  linalg::flops::osp_score(cube.bands(), u.rows()) *
+                  config.replication);
+        return ft::ChunkOutcome{best, detail::kCandidateBytes};
+      });
+
+  if (!comm.is_root()) {
+    ft::worker_loop(comm, handlers);
+    return;
+  }
+
+  const PartitionResult partition =
+      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
+                    config.policy, config.memory_fraction, /*overlap=*/0,
+                    comm.root());
+  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
+               vmpi::Phase::kSequential);
+  ft::Master master(comm, partition.parts, config.policy,
+                    config.memory_fraction, cube.cols(),
+                    cube.bytes_per_pixel(), config.replication,
+                    model.scatter_input);
+
+  const auto as_candidates = [](const std::vector<std::any>& results) {
+    std::vector<Candidate> cands;
+    cands.reserve(results.size());
+    for (const auto& r : results) cands.push_back(std::any_cast<Candidate>(r));
+    return cands;
+  };
+
+  // Steps 2-3: global brightest pixel, folded in chunk (== rank) order.
+  const Candidate t1 = select_best(comm, as_candidates(master.phase(0, handlers[0])),
+                                   linalg::flops::dot(cube.bands()));
+  std::vector<PixelLocation> found{{t1.row, t1.col}};
+  linalg::Matrix targets;
+  targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
+
+  // Steps 4-6: grow U one orthogonal target at a time; U ships with each
+  // phase command instead of the collective broadcast.
+  while (found.size() < config.targets) {
+    const std::size_t u_bytes =
+        targets.rows() * cube.bands() * sizeof(double);
+    auto payload = std::make_shared<const std::any>(targets);
+    const auto round =
+        as_candidates(master.phase(1, handlers[1], payload, u_bytes));
+    const Candidate next = select_best(
+        comm, round, linalg::flops::osp_score(cube.bands(), targets.rows()));
+    found.push_back({next.row, next.col});
+    targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
+  }
+  master.finish();
+  result.targets = std::move(found);
+}
+
 }  // namespace
 
 WorkloadModel atdca_workload(std::size_t bands, std::size_t targets) {
@@ -74,7 +156,12 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
 
   WorkloadModel model = atdca_workload(cube.bands(), config.targets);
   model.scatter_input = config.charge_data_staging;
+  if (config.fault_tolerant) ft::require_immortal_root(options);
   result.report = engine.run([&](vmpi::Comm& comm) {
+    if (config.fault_tolerant) {
+      run_atdca_ft(comm, cube, config, model, result);
+      return;
+    }
     const PartitionView view = detail::distribute_partitions(
         comm, cube, model, config.policy, config.memory_fraction,
         /*overlap=*/0, config.replication);

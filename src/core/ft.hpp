@@ -1,0 +1,169 @@
+// Fault-tolerant master/worker execution framework (paper Sect. 6 outlook:
+// "fault tolerance ... on networks of workstations").
+//
+// The SPMD algorithm implementations assume every processor survives the
+// run: they synchronize with full-world collectives, which can never
+// complete once a rank fail-stops (vmpi/fault.hpp).  This framework
+// restructures the same numeric work as a master/worker protocol that only
+// ever uses point-to-point operations between the (immortal) root and the
+// workers, so the master can outlive worker crashes:
+//
+//  * The master runs the WEA once and freezes the result as `Chunk`s --
+//    the original full-world partitions, including MORPH halo rows.  Chunks
+//    are atomic: they are reassigned whole, never split, so the per-chunk
+//    floating-point accumulation order is independent of which rank
+//    computes the chunk.
+//
+//  * Each algorithm phase is a `Handler`: chunk (+ an optional shared
+//    payload such as the current target matrix) -> result blob.  The same
+//    closure runs on the master and on every worker, so a recomputed chunk
+//    reproduces the lost result bit for bit.
+//
+//  * The master drives each phase: it issues a `Command` to every live
+//    worker (Comm::try_send, ascending rank order), computes its own
+//    chunks, and collects a `PhaseResult` from each commanded worker
+//    (Comm::try_recv, ascending rank order).  A false/nullopt marks the
+//    worker dead (the engine charges the detection heartbeat); the master
+//    then re-runs the WEA over the survivors -- respecting each node's
+//    memory bound -- adopts the orphaned chunks, and re-issues them with
+//    Command::recovery set so the recomputation is tagged as recovery
+//    overhead (Comm::RecoveryScope).
+//
+//  * Folding phase results in ascending chunk id reproduces the rank-order
+//    folds of the collective implementations, so a fault-tolerant run's
+//    outputs (targets, labels) equal the fault-free outputs exactly, with
+//    or without crashes.
+//
+// Determinism: every transfer has the root as one endpoint, and the master
+// holds at most one operation in flight (try_send blocks until matched or
+// the peer's death is detected), so the virtual transfer schedule is
+// serialized by the master's program order regardless of host scheduling
+// or execution mode.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::core::ft {
+
+/// One atomic unit of work: an original WEA partition, identified by its
+/// position in the full-world partition (== the rank that would own it in
+/// the collective implementation).
+struct Chunk {
+  int id = -1;
+  RowPartition part;
+};
+
+/// Wire size of one chunk descriptor inside a Command (row range, halo
+/// range, phase id -- mirrors detail::kPartitionDescriptorBytes).
+inline constexpr std::size_t kChunkDescriptorBytes = 64;
+/// Wire overhead per chunk result in a PhaseResult (chunk id + framing).
+inline constexpr std::size_t kResultHeaderBytes = 8;
+
+/// Reserved tags of the master/worker protocol.
+inline constexpr int kCommandTag = 7001;
+inline constexpr int kResultTag = 7002;
+
+/// What a handler returns for one chunk: the result blob plus its wire size
+/// (the bytes the worker charges when shipping it back to the master).
+struct ChunkOutcome {
+  std::any value;
+  std::size_t bytes = 0;
+};
+
+/// A phase kernel, run identically on master and workers.  `payload` is the
+/// phase's shared state (null when the phase has none); handlers charge
+/// their own virtual compute via `comm`.
+using Handler =
+    std::function<ChunkOutcome(vmpi::Comm& comm, const Chunk& chunk,
+                               const std::any* payload)>;
+
+/// A master -> worker message: run `phase` over `chunks`, or exit when
+/// `phase` is negative.  The payload is shared (never mutated) across all
+/// ranks of the host process; its wire size is charged per worker.
+struct Command {
+  int phase = -1;
+  bool recovery = false;
+  std::shared_ptr<const std::any> payload;
+  std::vector<Chunk> chunks;
+};
+
+struct ChunkResult {
+  int chunk = -1;
+  std::any value;
+};
+
+/// A worker -> master message: the results of one Command, in the order the
+/// chunks were listed.
+struct PhaseResult {
+  std::vector<ChunkResult> results;
+};
+
+/// The generic worker side: executes Commands from the root until told to
+/// finish.  `handlers[k]` serves phase k.  Workers talk to the root with
+/// plain (non-try) operations: the root never crashes (run_* validate the
+/// fault plan), and a posted message is always delivered, so a worker
+/// blocked toward the root can always make progress.
+void worker_loop(vmpi::Comm& comm, const std::vector<Handler>& handlers);
+
+/// The master side of the protocol.  Constructed with the frozen full-world
+/// partition; `phase()` runs one handler over every chunk, surviving any
+/// worker crashes; `finish()` releases the surviving workers.
+class Master {
+ public:
+  /// `bytes_per_pixel` and `replication` size the staging transfer charged
+  /// the first time a chunk lands on a rank (only when `charge_staging`;
+  /// otherwise descriptors are charged, matching distribute_partitions).
+  Master(vmpi::Comm& comm, std::vector<RowPartition> parts,
+         PartitionPolicy policy, double memory_fraction, std::size_t cols,
+         std::size_t bytes_per_pixel, std::size_t replication,
+         bool charge_staging);
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  /// Runs one phase over all chunks and returns the per-chunk results,
+  /// indexed by chunk id.  Blocks (in virtual time) until every chunk has a
+  /// result, adopting orphans of crashed workers as needed.  Throws
+  /// hprs::Error when the surviving memory cannot hold the orphans.
+  [[nodiscard]] std::vector<std::any> phase(
+      int phase_id, const Handler& handler,
+      std::shared_ptr<const std::any> payload = nullptr,
+      std::size_t payload_bytes = 0);
+
+  /// Sends the exit command to every surviving worker.
+  void finish();
+
+  /// Workers currently believed alive (excludes the root).
+  [[nodiscard]] int live_workers() const;
+
+ private:
+  [[nodiscard]] std::size_t chunk_block_bytes(const Chunk& chunk) const;
+  /// Re-runs the WEA over the survivors and adopts the chunks in `missing`
+  /// whose assigned rank died.  Charges the master's re-partitioning work.
+  void reassign_lost(const std::vector<bool>& have);
+
+  vmpi::Comm* comm_;
+  PartitionPolicy policy_;
+  double memory_fraction_;
+  std::size_t cols_;
+  std::size_t bytes_per_pixel_;
+  std::size_t replication_;
+  bool charge_staging_;
+  std::vector<Chunk> chunks_;
+  std::vector<int> assignment_;             // chunk id -> rank
+  std::vector<bool> alive_;                 // rank -> believed alive
+  std::vector<std::vector<bool>> staged_;   // chunk id -> rank -> data present
+};
+
+/// Validates that a fault plan never kills `root` (the protocol's single
+/// point of control).  Throws hprs::Error otherwise.
+void require_immortal_root(const vmpi::Options& options);
+
+}  // namespace hprs::core::ft

@@ -1,9 +1,12 @@
 #include "core/morph.hpp"
 
 #include <algorithm>
+#include <any>
 #include <limits>
+#include <memory>
 
 #include "common/error.hpp"
+#include "core/ft.hpp"
 #include "core/morph_kernel.hpp"
 #include "core/spmd_common.hpp"
 #include "hsi/metrics.hpp"
@@ -206,6 +209,199 @@ std::vector<MorphRep> MorphWorker::top_candidates() const {
   return all;
 }
 
+// --- kernels shared by the collective and fault-tolerant schedules ------
+
+/// Step 2 + candidate selection for one partition: runs all I_max
+/// morphology iterations (charging each pass) and returns the c
+/// highest-MEI owned pixels.  Overlap-border mode only: no worker-to-worker
+/// halo traffic, so the result depends on the chunk alone.
+std::vector<MorphRep> morph_candidates(vmpi::Comm& comm,
+                                       const hsi::HsiCube& cube,
+                                       const RowPartition& part,
+                                       const MorphConfig& config) {
+  MorphWorker worker(cube, part, config);
+  for (std::size_t j = 1; j <= config.iterations; ++j) {
+    const SplitFlops flops = worker.iterate(j == config.iterations);
+    comm.compute(flops.charge(config.replication));
+  }
+  return worker.top_candidates();
+}
+
+/// Step 3 (master): merges the per-partition candidate sets, highest-MEI
+/// first, into at most c unique representatives.  Charges the
+/// consolidation SADs.
+std::vector<MorphRep> merge_unique_sets(
+    vmpi::Comm& comm, std::vector<std::vector<MorphRep>> rep_sets,
+    const MorphConfig& config, std::size_t bands) {
+  std::vector<detail::SpectralCandidate> pool;
+  for (auto& set : rep_sets) {
+    for (auto& rep : set) {
+      pool.push_back(detail::SpectralCandidate{
+          rep.loc, std::move(rep.spectrum), rep.mei});
+    }
+  }
+  // Highest-MEI first so cluster exemplars are the purest pixels.
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const detail::SpectralCandidate& a,
+                      const detail::SpectralCandidate& b) {
+                     if (a.weight != b.weight) return a.weight > b.weight;
+                     if (a.loc.row != b.loc.row)
+                       return a.loc.row < b.loc.row;
+                     return a.loc.col < b.loc.col;
+                   });
+  const auto selection = detail::consolidate_unique_set(
+      pool, config.classes, config.sad_threshold);
+  std::vector<MorphRep> unique;
+  for (const std::size_t idx : selection.chosen) {
+    unique.push_back(MorphRep{pool[idx].loc,
+                              std::move(pool[idx].spectrum),
+                              pool[idx].weight});
+  }
+  comm.compute(selection.sad_evals * hsi::flops::sad(bands),
+               vmpi::Phase::kSequential);
+  return unique;
+}
+
+/// Step 4: labels rows [row_begin, row_end) by minimum SAD against the
+/// unique set.  Returns the block and the flop count for the caller to
+/// charge.
+struct LabelOut {
+  LabelBlock block;
+  Count flops = 0;
+};
+
+LabelOut label_partition(const hsi::HsiCube& cube, std::size_t row_begin,
+                         std::size_t row_end,
+                         const std::vector<MorphRep>& unique) {
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+  const std::size_t reps = unique.size();
+  LabelOut out;
+  out.block.row_begin = row_begin;
+  out.block.row_end = row_end;
+  out.block.labels.reserve((row_end - row_begin) * cols);
+  // Representative norms hoisted out of the pixel loop (fast path); with
+  // the pixel norm computed once per pixel this removes two of the three
+  // dot products per SAD.  The charge stays the full sad() cost: the
+  // virtual model prices the algorithm, not the host shortcuts.
+  const bool fast = !linalg::use_reference_kernels();
+  std::vector<double> rep_norms(reps);
+  if (fast) {
+    for (std::size_t u = 0; u < reps; ++u) {
+      rep_norms[u] = linalg::norm<float>(unique[u].spectrum);
+    }
+  }
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto px = cube.pixel(r, c);
+      const double px_norm = fast ? linalg::norm(px) : 0.0;
+      std::uint16_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t u = 0; u < reps; ++u) {
+        const double dist =
+            fast ? hsi::sad_with_norms<float, float>(
+                       unique[u].spectrum, px, rep_norms[u], px_norm)
+                 : hsi::sad<float, float>(unique[u].spectrum, px);
+        if (dist < best_d) {
+          best_d = dist;
+          best = static_cast<std::uint16_t>(u);
+        }
+      }
+      out.block.labels.push_back(best);
+      out.flops += reps * hsi::flops::sad(bands);
+    }
+  }
+  return out;
+}
+
+/// Step 5 (master): assembles the label image from the disjoint blocks.
+void assemble_label_image(vmpi::Comm& comm,
+                          const std::vector<LabelBlock>& blocks,
+                          const hsi::HsiCube& cube, std::size_t reps,
+                          ClassificationResult& result) {
+  result.labels.assign(cube.pixel_count(), 0);
+  for (const auto& blk : blocks) {
+    std::copy(blk.labels.begin(), blk.labels.end(),
+              result.labels.begin() +
+                  static_cast<std::ptrdiff_t>(blk.row_begin * cube.cols()));
+  }
+  result.label_count = std::max<std::size_t>(1, reps);
+  comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
+}
+
+/// The fault-tolerant schedule (core/ft.hpp): the same morphology and
+/// labeling kernels, driven chunk-wise by the master.  Chunks carry their
+/// own overlap borders, so a re-run on an adopting rank reproduces the lost
+/// candidates bit for bit; merging in chunk order matches the collective
+/// gather's rank order.
+void run_morph_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                  const MorphConfig& config, const WorkloadModel& model,
+                  ClassificationResult& result) {
+  const std::size_t bands = cube.bands();
+  std::vector<ft::Handler> handlers;
+  // Phase 0: morphology + candidate selection on the chunk.
+  handlers.push_back(
+      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+        std::vector<MorphRep> local =
+            morph_candidates(c, cube, chunk.part, config);
+        const std::size_t count = local.size();
+        return ft::ChunkOutcome{std::move(local), rep_bytes(bands, count)};
+      });
+  // Phase 1: label the chunk against the shipped unique set.
+  handlers.push_back(
+      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+        const auto& unique =
+            std::any_cast<const std::vector<MorphRep>&>(*payload);
+        LabelOut out = label_partition(cube, chunk.part.row_begin,
+                                       chunk.part.row_end, unique);
+        c.compute(out.flops * config.replication);
+        const std::size_t bytes = out.block.labels.size() *
+                                  sizeof(std::uint16_t) * config.replication;
+        return ft::ChunkOutcome{std::move(out.block), bytes};
+      });
+
+  if (!comm.is_root()) {
+    ft::worker_loop(comm, handlers);
+    return;
+  }
+
+  const PartitionResult partition =
+      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
+                    config.policy, config.memory_fraction,
+                    config.kernel_radius, comm.root());
+  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
+               vmpi::Phase::kSequential);
+  ft::Master master(comm, partition.parts, config.policy,
+                    config.memory_fraction, cube.cols(),
+                    cube.bytes_per_pixel(), config.replication,
+                    model.scatter_input);
+
+  // Steps 2-3: candidates, merged in chunk (== rank) order.
+  auto rep_any = master.phase(0, handlers[0]);
+  std::vector<std::vector<MorphRep>> rep_sets;
+  rep_sets.reserve(rep_any.size());
+  for (auto& a : rep_any) {
+    rep_sets.push_back(std::any_cast<std::vector<MorphRep>>(std::move(a)));
+  }
+  std::vector<MorphRep> unique =
+      merge_unique_sets(comm, std::move(rep_sets), config, bands);
+  const std::size_t reps = unique.size();
+  const std::size_t unique_bytes = rep_bytes(bands, reps);
+
+  // Steps 4-5: labeling against the shipped unique set.
+  auto block_any = master.phase(1, handlers[1],
+                                std::make_shared<const std::any>(
+                                    std::move(unique)),
+                                unique_bytes);
+  std::vector<LabelBlock> blocks;
+  blocks.reserve(block_any.size());
+  for (auto& a : block_any) {
+    blocks.push_back(std::any_cast<LabelBlock>(std::move(a)));
+  }
+  master.finish();
+  assemble_label_image(comm, blocks, cube, reps, result);
+}
+
 }  // namespace
 
 WorkloadModel morph_workload(std::size_t bands, const MorphConfig& config) {
@@ -233,12 +429,19 @@ ClassificationResult run_morph(const simnet::Platform& platform,
   HPRS_REQUIRE(config.kernel_radius >= 1, "kernel radius must be >= 1");
   HPRS_REQUIRE(!cube.empty(), "empty cube");
 
+  if (config.fault_tolerant) {
+    HPRS_REQUIRE(config.overlap_borders,
+                 "fault-tolerant MORPH requires overlap borders: the "
+                 "halo-exchange mode needs worker-to-worker traffic the "
+                 "master/worker protocol excludes");
+    ft::require_immortal_root(options);
+  }
+
   vmpi::Engine engine(platform, options);
   ClassificationResult result;
   WorkloadModel model = morph_workload(cube.bands(), config);
   model.scatter_input = config.charge_data_staging;
   const std::size_t bands = cube.bands();
-  const std::size_t cols = cube.cols();
 
   // Overlap border of one structuring-element radius on each side (the
   // companion JPDC'06 paper's sizing); the same width is refreshed every
@@ -246,6 +449,10 @@ ClassificationResult run_morph(const simnet::Platform& platform,
   const std::size_t halo = config.kernel_radius;
 
   result.report = engine.run([&](vmpi::Comm& comm) {
+    if (config.fault_tolerant) {
+      run_morph_ft(comm, cube, config, model, result);
+      return;
+    }
     const PartitionView view = detail::distribute_partitions(
         comm, cube, model, config.policy, config.memory_fraction, halo,
         config.replication);
@@ -268,31 +475,7 @@ ClassificationResult run_morph(const simnet::Platform& platform,
 
     std::vector<MorphRep> unique;
     if (comm.is_root()) {
-      std::vector<detail::SpectralCandidate> pool;
-      for (auto& set : rep_sets) {
-        for (auto& rep : set) {
-          pool.push_back(detail::SpectralCandidate{
-              rep.loc, std::move(rep.spectrum), rep.mei});
-        }
-      }
-      // Highest-MEI first so cluster exemplars are the purest pixels.
-      std::stable_sort(pool.begin(), pool.end(),
-                       [](const detail::SpectralCandidate& a,
-                          const detail::SpectralCandidate& b) {
-                         if (a.weight != b.weight) return a.weight > b.weight;
-                         if (a.loc.row != b.loc.row)
-                           return a.loc.row < b.loc.row;
-                         return a.loc.col < b.loc.col;
-                       });
-      const auto selection = detail::consolidate_unique_set(
-          pool, config.classes, config.sad_threshold);
-      for (const std::size_t idx : selection.chosen) {
-        unique.push_back(MorphRep{pool[idx].loc,
-                                  std::move(pool[idx].spectrum),
-                                  pool[idx].weight});
-      }
-      comm.compute(selection.sad_evals * hsi::flops::sad(bands),
-                   vmpi::Phase::kSequential);
+      unique = merge_unique_sets(comm, std::move(rep_sets), config, bands);
     }
 
     // --- Step 4: broadcast the unique set, label locally -----------------
@@ -303,57 +486,18 @@ ClassificationResult run_morph(const simnet::Platform& platform,
     const std::vector<MorphRep>& shared_unique = *unique_view;
     const std::size_t reps = shared_unique.size();
 
-    LabelBlock block;
-    block.row_begin = view.part.row_begin;
-    block.row_end = view.part.row_end;
-    block.labels.reserve(view.part.owned_rows() * cols);
-    // Representative norms hoisted out of the pixel loop (fast path); with
-    // the pixel norm computed once per pixel this removes two of the three
-    // dot products per SAD.  The charge stays the full sad() cost: the
-    // virtual model prices the algorithm, not the host shortcuts.
-    const bool fast = !linalg::use_reference_kernels();
-    std::vector<double> rep_norms(reps);
-    if (fast) {
-      for (std::size_t u = 0; u < reps; ++u) {
-        rep_norms[u] = linalg::norm<float>(shared_unique[u].spectrum);
-      }
-    }
-    Count label_flops = 0;
-    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-      for (std::size_t c = 0; c < cols; ++c) {
-        const auto px = cube.pixel(r, c);
-        const double px_norm = fast ? linalg::norm(px) : 0.0;
-        std::uint16_t best = 0;
-        double best_d = std::numeric_limits<double>::infinity();
-        for (std::size_t u = 0; u < reps; ++u) {
-          const double dist =
-              fast ? hsi::sad_with_norms<float, float>(
-                         shared_unique[u].spectrum, px, rep_norms[u], px_norm)
-                   : hsi::sad<float, float>(shared_unique[u].spectrum, px);
-          if (dist < best_d) {
-            best_d = dist;
-            best = static_cast<std::uint16_t>(u);
-          }
-        }
-        block.labels.push_back(best);
-        label_flops += reps * hsi::flops::sad(bands);
-      }
-    }
-    comm.compute(label_flops * config.replication);
+    LabelOut local_l = label_partition(cube, view.part.row_begin,
+                                       view.part.row_end, shared_unique);
+    comm.compute(local_l.flops * config.replication);
 
     // --- Step 5: master assembles the classification matrix -------------
-    const std::size_t block_bytes =
-        block.labels.size() * sizeof(std::uint16_t) * config.replication;
-    auto blocks = comm.gather(comm.root(), std::move(block), block_bytes);
+    const std::size_t block_bytes = local_l.block.labels.size() *
+                                    sizeof(std::uint16_t) *
+                                    config.replication;
+    auto blocks =
+        comm.gather(comm.root(), std::move(local_l.block), block_bytes);
     if (comm.is_root()) {
-      result.labels.assign(cube.pixel_count(), 0);
-      for (const auto& blk : blocks) {
-        std::copy(blk.labels.begin(), blk.labels.end(),
-                  result.labels.begin() +
-                      static_cast<std::ptrdiff_t>(blk.row_begin * cols));
-      }
-      result.label_count = std::max<std::size_t>(1, reps);
-      comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
+      assemble_label_image(comm, blocks, cube, reps, result);
     }
   });
 

@@ -30,6 +30,7 @@ RunnerOutput run_algorithm(const simnet::Platform& platform,
       c.memory_fraction = config.memory_fraction;
       c.replication = config.replication;
       c.charge_data_staging = config.charge_data_staging;
+      c.fault_tolerant = config.fault_tolerant;
       auto r = run_atdca(platform, cube, c, options);
       out.report = std::move(r.report);
       out.targets = std::move(r.targets);
@@ -42,6 +43,7 @@ RunnerOutput run_algorithm(const simnet::Platform& platform,
       c.memory_fraction = config.memory_fraction;
       c.replication = config.replication;
       c.charge_data_staging = config.charge_data_staging;
+      c.fault_tolerant = config.fault_tolerant;
       auto r = run_ufcls(platform, cube, c, options);
       out.report = std::move(r.report);
       out.targets = std::move(r.targets);
@@ -55,6 +57,7 @@ RunnerOutput run_algorithm(const simnet::Platform& platform,
       c.memory_fraction = config.memory_fraction;
       c.replication = config.replication;
       c.charge_data_staging = config.charge_data_staging;
+      c.fault_tolerant = config.fault_tolerant;
       auto r = run_pct(platform, cube, c, options);
       out.report = std::move(r.report);
       out.labels = std::move(r.labels);
@@ -72,6 +75,7 @@ RunnerOutput run_algorithm(const simnet::Platform& platform,
       c.replication = config.replication;
       c.charge_data_staging = config.charge_data_staging;
       c.overlap_borders = config.morph_overlap_borders;
+      c.fault_tolerant = config.fault_tolerant;
       auto r = run_morph(platform, cube, c, options);
       out.report = std::move(r.report);
       out.labels = std::move(r.labels);

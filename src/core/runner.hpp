@@ -33,6 +33,10 @@ struct RunnerConfig {
   std::size_t replication = 1;       // virtual scale (see spmd_common.hpp)
   bool morph_overlap_borders = true;
   bool charge_data_staging = false;  // see DESIGN.md on data staging
+  /// Fault-tolerant master/worker execution (core/ft.hpp): survives
+  /// fail-stop worker crashes from Options::fault_plan while producing the
+  /// fault-free outputs bit for bit.
+  bool fault_tolerant = false;
 };
 
 struct RunnerOutput {

@@ -1,9 +1,12 @@
 #include "core/ufcls.hpp"
 
 #include <algorithm>
+#include <any>
 #include <limits>
+#include <memory>
 
 #include "common/error.hpp"
+#include "core/ft.hpp"
 #include "core/spmd_common.hpp"
 #include "linalg/fcls.hpp"
 #include "linalg/flops.hpp"
@@ -16,6 +19,168 @@ namespace {
 
 using detail::Candidate;
 using linalg::flops::Count;
+
+/// The brightest pixel of rows [row_begin, row_end) plus the flop charge.
+struct BrightestOut {
+  Candidate best{0, 0, -1.0};
+  Count flops = 0;
+};
+
+BrightestOut brightest_sweep(const hsi::HsiCube& cube, std::size_t row_begin,
+                             std::size_t row_end) {
+  BrightestOut out;
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    for (std::size_t c = 0; c < cube.cols(); ++c) {
+      const double score = linalg::norm_sq(cube.pixel(r, c));
+      out.flops += linalg::flops::dot(cube.bands());
+      if (score > out.best.score) out.best = Candidate{r, c, score};
+    }
+  }
+  return out;
+}
+
+/// Argmax of the FCLS reconstruction error over rows [row_begin, row_end),
+/// dispatching between the reference per-pixel loop and the strip-blocked
+/// fast path (bit-identical results).  Returns the flop count for the
+/// caller to charge.
+struct ErrorSweepOut {
+  Candidate best{0, 0, -1.0};
+  Count flops = 0;
+};
+
+ErrorSweepOut fcls_error_sweep(const hsi::HsiCube& cube,
+                               const linalg::Matrix& u,
+                               const linalg::Unmixer& unmixer,
+                               std::size_t row_begin, std::size_t row_end,
+                               linalg::ScratchArena& arena) {
+  ErrorSweepOut out;
+  const std::size_t t_cur = u.rows();
+  if (linalg::use_reference_kernels()) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      for (std::size_t c = 0; c < cube.cols(); ++c) {
+        const auto unmix = unmixer.fcls(cube.pixel(r, c));
+        out.flops += linalg::flops::fcls(
+            cube.bands(), t_cur, static_cast<Count>(unmix.iterations) + 1);
+        if (unmix.error_sq > out.best.score) {
+          out.best = Candidate{r, c, unmix.error_sq};
+        }
+      }
+    }
+    return out;
+  }
+  // Strip fast path: the correlation vectors U^T x and pixel norms of
+  // a whole strip are one BLAS3 product; the active-set solves then
+  // run per pixel on the precomputed columns, bit-identical to
+  // fcls(pixel).
+  constexpr std::size_t kStrip = 64;
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+  arena.reset();
+  const std::span<double> corr = arena.take(kStrip * t_cur);
+  const std::span<double> xx = arena.take(kStrip);
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const float* row = cube.pixel(r, 0).data();
+    for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+      const std::size_t m = std::min(kStrip, cols - c0);
+      const float* x = row + c0 * bands;
+      linalg::dot_strip(u, x, m, corr);
+      linalg::norm_sq_strip(x, m, bands, xx);
+      for (std::size_t p = 0; p < m; ++p) {
+        const auto unmix =
+            unmixer.fcls_with_corr(corr.subspan(p * t_cur, t_cur), xx[p]);
+        out.flops += linalg::flops::fcls(
+            bands, t_cur, static_cast<Count>(unmix.iterations) + 1);
+        if (unmix.error_sq > out.best.score) {
+          out.best = Candidate{r, c0 + p, unmix.error_sq};
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The fault-tolerant schedule (core/ft.hpp): identical chunk kernels and
+/// chunk-order folds, driven over point-to-point operations only.
+void run_ufcls_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                  const UfclsConfig& config, const WorkloadModel& model,
+                  TargetDetectionResult& result) {
+  std::vector<ft::Handler> handlers;
+  // Phase 0: the chunk's brightest pixel.
+  handlers.push_back(
+      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+        const BrightestOut out =
+            brightest_sweep(cube, chunk.part.row_begin, chunk.part.row_end);
+        c.compute(out.flops * config.replication);
+        return ft::ChunkOutcome{out.best, detail::kCandidateBytes};
+      });
+  // Phase 1: the chunk's FCLS error argmax against the shipped targets.
+  handlers.push_back(
+      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+        const auto& u = std::any_cast<const linalg::Matrix&>(*payload);
+        const linalg::Unmixer unmixer(u);
+        c.compute(linalg::flops::gram(cube.bands(), u.rows()) +
+                  linalg::flops::cholesky(u.rows()));
+        linalg::ScratchArena arena;
+        const ErrorSweepOut out = fcls_error_sweep(
+            cube, u, unmixer, chunk.part.row_begin, chunk.part.row_end, arena);
+        c.compute(out.flops * config.replication);
+        return ft::ChunkOutcome{out.best, detail::kCandidateBytes};
+      });
+
+  if (!comm.is_root()) {
+    ft::worker_loop(comm, handlers);
+    return;
+  }
+
+  const PartitionResult partition =
+      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
+                    config.policy, config.memory_fraction, /*overlap=*/0,
+                    comm.root());
+  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
+               vmpi::Phase::kSequential);
+  ft::Master master(comm, partition.parts, config.policy,
+                    config.memory_fraction, cube.cols(),
+                    cube.bytes_per_pixel(), config.replication,
+                    model.scatter_input);
+
+  const auto as_candidates = [](const std::vector<std::any>& results) {
+    std::vector<Candidate> cands;
+    cands.reserve(results.size());
+    for (const auto& r : results) cands.push_back(std::any_cast<Candidate>(r));
+    return cands;
+  };
+
+  // Step 1: the brightest pixel seeds the target set (chunk-order fold).
+  const auto seeds = as_candidates(master.phase(0, handlers[0]));
+  Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+  for (const auto& c : seeds) {
+    if (c.score > best.score) best = c;
+  }
+  comm.compute(linalg::flops::dot(cube.bands()) * seeds.size(),
+               vmpi::Phase::kSequential);
+  std::vector<PixelLocation> found{{best.row, best.col}};
+  linalg::Matrix targets;
+  targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
+
+  // Steps 2-5: grow the target set by maximum reconstruction error.
+  while (found.size() < config.targets) {
+    const std::size_t t_cur = targets.rows();
+    const std::size_t u_bytes = t_cur * cube.bands() * sizeof(double);
+    auto payload = std::make_shared<const std::any>(targets);
+    const auto round =
+        as_candidates(master.phase(1, handlers[1], payload, u_bytes));
+    Candidate next{0, 0, -std::numeric_limits<double>::infinity()};
+    for (const auto& c : round) {
+      if (c.score > next.score) next = c;
+    }
+    comm.compute(linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
+                 vmpi::Phase::kSequential);
+    found.push_back({next.row, next.col});
+    targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
+  }
+  master.finish();
+  result.targets = std::move(found);
+}
 
 }  // namespace
 
@@ -46,23 +211,22 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
   WorkloadModel model = ufcls_workload(cube.bands(), config.targets);
   model.scatter_input = config.charge_data_staging;
 
+  if (config.fault_tolerant) ft::require_immortal_root(options);
   result.report = engine.run([&](vmpi::Comm& comm) {
+    if (config.fault_tolerant) {
+      run_ufcls_ft(comm, cube, config, model, result);
+      return;
+    }
     const PartitionView view = detail::distribute_partitions(
         comm, cube, model, config.policy, config.memory_fraction,
         /*overlap=*/0, config.replication);
 
     // Step 1: the brightest pixel seeds the target set.
-    Candidate local{0, 0, -1.0};
-    Count flops = 0;
-    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-      for (std::size_t c = 0; c < cube.cols(); ++c) {
-        const double score = linalg::norm_sq(cube.pixel(r, c));
-        flops += linalg::flops::dot(cube.bands());
-        if (score > local.score) local = Candidate{r, c, score};
-      }
-    }
-    comm.compute(flops * config.replication);
-    const auto seeds = comm.gather(comm.root(), local, detail::kCandidateBytes);
+    const BrightestOut seed =
+        brightest_sweep(cube, view.part.row_begin, view.part.row_end);
+    comm.compute(seed.flops * config.replication);
+    const auto seeds =
+        comm.gather(comm.root(), seed.best, detail::kCandidateBytes);
 
     linalg::Matrix targets;
     std::vector<PixelLocation> found;
@@ -94,56 +258,13 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
       comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
                    linalg::flops::cholesky(t_cur));
 
-      Candidate local_best{0, 0, -1.0};
-      Count round_flops = 0;
-      if (linalg::use_reference_kernels()) {
-        for (std::size_t r = view.part.row_begin; r < view.part.row_end;
-             ++r) {
-          for (std::size_t c = 0; c < cube.cols(); ++c) {
-            const auto unmix = unmixer.fcls(cube.pixel(r, c));
-            round_flops += linalg::flops::fcls(
-                cube.bands(), t_cur,
-                static_cast<Count>(unmix.iterations) + 1);
-            if (unmix.error_sq > local_best.score) {
-              local_best = Candidate{r, c, unmix.error_sq};
-            }
-          }
-        }
-      } else {
-        // Strip fast path: the correlation vectors U^T x and pixel norms of
-        // a whole strip are one BLAS3 product; the active-set solves then
-        // run per pixel on the precomputed columns, bit-identical to
-        // fcls(pixel).
-        constexpr std::size_t kStrip = 64;
-        const std::size_t bands = cube.bands();
-        const std::size_t cols = cube.cols();
-        arena.reset();
-        const std::span<double> corr = arena.take(kStrip * t_cur);
-        const std::span<double> xx = arena.take(kStrip);
-        for (std::size_t r = view.part.row_begin; r < view.part.row_end;
-             ++r) {
-          const float* row = cube.pixel(r, 0).data();
-          for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
-            const std::size_t m = std::min(kStrip, cols - c0);
-            const float* x = row + c0 * bands;
-            linalg::dot_strip(*u_view, x, m, corr);
-            linalg::norm_sq_strip(x, m, bands, xx);
-            for (std::size_t p = 0; p < m; ++p) {
-              const auto unmix = unmixer.fcls_with_corr(
-                  corr.subspan(p * t_cur, t_cur), xx[p]);
-              round_flops += linalg::flops::fcls(
-                  bands, t_cur, static_cast<Count>(unmix.iterations) + 1);
-              if (unmix.error_sq > local_best.score) {
-                local_best = Candidate{r, c0 + p, unmix.error_sq};
-              }
-            }
-          }
-        }
-      }
-      comm.compute(round_flops * config.replication);
+      const ErrorSweepOut sweep =
+          fcls_error_sweep(cube, *u_view, unmixer, view.part.row_begin,
+                           view.part.row_end, arena);
+      comm.compute(sweep.flops * config.replication);
 
       const auto round =
-          comm.gather(comm.root(), local_best, detail::kCandidateBytes);
+          comm.gather(comm.root(), sweep.best, detail::kCandidateBytes);
       if (comm.is_root()) {
         Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
         for (const auto& c : round) {

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -20,6 +21,33 @@ Interleave parse_interleave(const std::string& s) {
   if (s == "bil") return Interleave::kBil;
   if (s == "bsq") return Interleave::kBsq;
   throw Error("unknown interleave '" + s + "' in ENVI header");
+}
+
+/// Strict positive-integer parse for a header dimension.  std::stoull would
+/// accept signs, leading junk, and silently wrap on overflow -- and throws
+/// bare std::invalid_argument on garbage; this names the offending key
+/// instead.
+std::size_t parse_dimension(const std::string& key, const std::string& value) {
+  HPRS_REQUIRE(!value.empty() &&
+                   value.find_first_not_of("0123456789") == std::string::npos,
+               "ENVI header key '" + key + "' is not a non-negative integer: '" +
+                   value + "'");
+  std::size_t out = 0;
+  for (const char c : value) {
+    const auto digit = static_cast<std::size_t>(c - '0');
+    HPRS_REQUIRE(out <= (std::numeric_limits<std::size_t>::max() - digit) / 10,
+                 "ENVI header key '" + key + "' overflows: '" + value + "'");
+    out = out * 10 + digit;
+  }
+  HPRS_REQUIRE(out > 0, "ENVI header key '" + key + "' must be positive");
+  return out;
+}
+
+/// Checked a*b for sizing the sample buffer.
+std::size_t checked_mul(std::size_t a, std::size_t b) {
+  HPRS_REQUIRE(b == 0 || a <= std::numeric_limits<std::size_t>::max() / b,
+               "ENVI cube dimensions overflow the sample count");
+  return a * b;
 }
 
 }  // namespace
@@ -55,8 +83,14 @@ HsiCube read_envi(const std::string& path_stem) {
   std::ifstream hdr(path_stem + ".hdr");
   HPRS_REQUIRE(hdr.good(), "cannot open header: " + path_stem + ".hdr");
 
-  std::map<std::string, std::string> keys;
+  // The format's magic: the first line must read "ENVI".
   std::string line;
+  HPRS_REQUIRE(std::getline(hdr, line) &&
+                   line.substr(0, line.find_last_not_of(" \t\r") + 1) == "ENVI",
+               "not an ENVI header (missing ENVI magic): " + path_stem +
+                   ".hdr");
+
+  std::map<std::string, std::string> keys;
   while (std::getline(hdr, line)) {
     const auto eq = line.find('=');
     if (eq == std::string::npos) continue;
@@ -73,18 +107,25 @@ HsiCube read_envi(const std::string& path_stem) {
     HPRS_REQUIRE(it != keys.end(), "ENVI header missing key '" + k + "'");
     return it->second;
   };
-  const auto rows = static_cast<std::size_t>(std::stoull(need("lines")));
-  const auto cols = static_cast<std::size_t>(std::stoull(need("samples")));
-  const auto bands = static_cast<std::size_t>(std::stoull(need("bands")));
+  const std::size_t rows = parse_dimension("lines", need("lines"));
+  const std::size_t cols = parse_dimension("samples", need("samples"));
+  const std::size_t bands = parse_dimension("bands", need("bands"));
+  const std::size_t count = checked_mul(checked_mul(rows, cols), bands);
+  HPRS_REQUIRE(count <= std::numeric_limits<std::size_t>::max() /
+                            sizeof(float),
+               "ENVI cube dimensions overflow the byte count");
   HPRS_REQUIRE(need("data type") == "4",
                "only float32 (ENVI data type 4) cubes are supported");
   HPRS_REQUIRE(keys.count("byte order") == 0 || keys["byte order"] == "0",
                "only little-endian (byte order 0) cubes are supported");
+  HPRS_REQUIRE(keys.count("header offset") == 0 ||
+                   keys["header offset"] == "0",
+               "embedded headers (header offset != 0) are not supported");
   const Interleave il = parse_interleave(need("interleave"));
 
   std::ifstream raw(path_stem + ".raw", std::ios::binary);
   HPRS_REQUIRE(raw.good(), "cannot open raw file: " + path_stem + ".raw");
-  std::vector<float> samples(rows * cols * bands);
+  std::vector<float> samples(count);
   raw.read(reinterpret_cast<char*>(samples.data()),
            static_cast<std::streamsize>(samples.size() * sizeof(float)));
   HPRS_REQUIRE(raw.gcount() ==

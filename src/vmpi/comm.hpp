@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -203,7 +204,62 @@ class Comm {
     return p.take<T>();
   }
 
+  // --- fault-tolerant point-to-point (see vmpi/fault.hpp) ---
+
+  /// Rendezvous send that survives a dead peer: true when `dst` received
+  /// the message; false when `dst` crashed without matching it, in which
+  /// case this rank's clock advances one virtual heartbeat (`timeout_s`,
+  /// or Options::fault_detection_s when negative) past the peer's death,
+  /// charged as detection overhead in RunReport::recovery.
+  template <typename T>
+  [[nodiscard]] bool try_send(int dst, T value, std::size_t bytes, int tag = 0,
+                              double timeout_s = -1.0) {
+    return engine_->core_try_send(rank_, dst, tag,
+                                  Packet{std::move(value), bytes},
+                                  resolve_timeout(timeout_s));
+  }
+
+  /// Receive that survives a dead peer: the value when `src` delivered one
+  /// (messages posted before the sender's death are still delivered);
+  /// nullopt when `src` is dead with nothing pending, with the same
+  /// detection accounting as try_send.
+  template <typename T>
+  [[nodiscard]] std::optional<T> try_recv(int src, int tag = 0,
+                                          double timeout_s = -1.0) {
+    std::optional<Packet> p =
+        engine_->core_try_recv(rank_, src, tag, resolve_timeout(timeout_s));
+    if (!p.has_value()) return std::nullopt;
+    return p->take<T>();
+  }
+
+  /// RAII marker for re-executed work: compute charged while at least one
+  /// scope is open is additionally counted as recomputed overhead in
+  /// RunReport::recovery.
+  class RecoveryScope {
+   public:
+    explicit RecoveryScope(Comm& comm) : comm_(&comm) {
+      comm_->engine_->core_set_recovery(comm_->rank_, true);
+    }
+    ~RecoveryScope() { comm_->engine_->core_set_recovery(comm_->rank_, false); }
+    RecoveryScope(const RecoveryScope&) = delete;
+    RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+   private:
+    Comm* comm_;
+  };
+
+  /// Tags `seconds` of already-charged time on this rank as redistribution
+  /// overhead (the fault-tolerant master calls this around re-partitioning
+  /// and re-issuing lost work).
+  void note_redistribution(double seconds) {
+    engine_->core_note_redistribution(rank_, seconds);
+  }
+
  private:
+  [[nodiscard]] double resolve_timeout(double timeout_s) const {
+    return timeout_s >= 0.0 ? timeout_s : engine_->options_.fault_detection_s;
+  }
+
   Engine* engine_;
   int rank_;
   // Reused staging buffers (this Comm is single-context, see the class

@@ -2,17 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/executor.hpp"
 
 namespace hprs::vmpi {
 
 namespace {
+
+/// Internal unwind signal for a fail-stop crash: thrown by die_locked,
+/// absorbed by run()'s rank body.  Deliberately not derived from
+/// std::exception so a program's own catch blocks cannot swallow a death.
+struct RankCrashedSignal {};
 
 /// Wire duration of a `bytes`-byte message on a c ms-per-megabit link.
 double transfer_seconds(std::size_t bytes, double c_ms_per_mbit,
@@ -98,11 +106,61 @@ std::uint64_t RunReport::total_flops() const {
 // ---------------------------------------------------------------------------
 
 Engine::Engine(simnet::Platform platform, Options options)
-    : platform_(std::move(platform)), options_(options) {
+    : platform_(std::move(platform)), options_(std::move(options)) {
+  HPRS_REQUIRE(platform_.size() > 0,
+               "platform '" + platform_.name() +
+                   "' has zero processors; an engine needs at least one rank");
   HPRS_REQUIRE(options_.root >= 0 && options_.root < size(),
-               "root rank out of range");
-  HPRS_REQUIRE(options_.per_message_latency_s >= 0.0,
-               "latency must be non-negative");
+               "root rank " + std::to_string(options_.root) +
+                   " out of range for a " + std::to_string(size()) +
+                   "-rank platform");
+  HPRS_REQUIRE(std::isfinite(options_.per_message_latency_s) &&
+                   options_.per_message_latency_s >= 0.0,
+               "per_message_latency_s must be finite and non-negative, got " +
+                   std::to_string(options_.per_message_latency_s));
+  HPRS_REQUIRE(options_.deadlock_timeout_s > 0.0,
+               "deadlock_timeout_s must be positive, got " +
+                   std::to_string(options_.deadlock_timeout_s));
+  HPRS_REQUIRE(std::isfinite(options_.fault_detection_s) &&
+                   options_.fault_detection_s >= 0.0,
+               "fault_detection_s must be finite and non-negative, got " +
+                   std::to_string(options_.fault_detection_s));
+  for (const auto& c : options_.fault_plan.crashes) {
+    HPRS_REQUIRE(c.rank >= 0 && c.rank < size(),
+                 "fault plan crashes rank " + std::to_string(c.rank) +
+                     ", which does not exist on a " + std::to_string(size()) +
+                     "-rank platform");
+    HPRS_REQUIRE(std::isfinite(c.time_s) && c.time_s >= 0.0,
+                 "crash time for rank " + std::to_string(c.rank) +
+                     " must be finite and non-negative, got " +
+                     std::to_string(c.time_s));
+  }
+  for (const auto& d : options_.fault_plan.degradations) {
+    HPRS_REQUIRE(d.segment_a < platform_.segment_count() &&
+                     d.segment_b < platform_.segment_count(),
+                 "degradation names segment pair (" +
+                     std::to_string(d.segment_a) + ", " +
+                     std::to_string(d.segment_b) + ") but platform '" +
+                     platform_.name() + "' has " +
+                     std::to_string(platform_.segment_count()) + " segments");
+    HPRS_REQUIRE(std::isfinite(d.factor) && d.factor > 0.0,
+                 "degradation factor must be finite and positive, got " +
+                     std::to_string(d.factor));
+    HPRS_REQUIRE(std::isfinite(d.begin_s) && d.begin_s >= 0.0 &&
+                     d.end_s >= d.begin_s,
+                 "degradation window [" + std::to_string(d.begin_s) + ", " +
+                     std::to_string(d.end_s) +
+                     ") must satisfy 0 <= begin <= end");
+  }
+  const auto& loss = options_.fault_plan.loss;
+  HPRS_REQUIRE(loss.probability >= 0.0 && loss.probability < 1.0,
+               "message-loss probability must lie in [0, 1), got " +
+                   std::to_string(loss.probability));
+  HPRS_REQUIRE(std::isfinite(loss.retry_backoff_s) &&
+                   loss.retry_backoff_s >= 0.0,
+               "message-loss retry backoff must be finite and non-negative, "
+               "got " +
+                   std::to_string(loss.retry_backoff_s));
 }
 
 RunReport Engine::run(const std::function<void(Comm&)>& program) {
@@ -130,6 +188,19 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     resize_and_clear(gather_pool_, pu);
     resize_and_clear(exchange_pool_, pu);
     next_send_handle_ = 1;
+    rank_state_.assign(pu, RankState::kRunning);
+    crash_time_.assign(pu, std::numeric_limits<double>::infinity());
+    for (const auto& c : options_.fault_plan.crashes) {
+      auto& t = crash_time_[static_cast<std::size_t>(c.rank)];
+      t = std::min(t, c.time_s);
+    }
+    death_time_.assign(pu, std::numeric_limits<double>::infinity());
+    crashed_count_ = 0;
+    fault_log_.clear();
+    recovery_.assign(pu, RecoveryStats{});
+    in_recovery_.assign(pu, 0);
+    waiting_.assign(pu, WaitInfo{});
+    loss_seq_.clear();
     poisoned_ = false;
     poison_reason_.clear();
     if (thread_per_rank && !rank_cvs_) {
@@ -143,6 +214,14 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     Comm comm(*this, r);
     try {
       program(comm);
+      // Mark completion and wake peers: a rank blocked on this one can now
+      // conclude its operation will never match instead of timing out.
+      std::lock_guard<std::mutex> lock(mutex_);
+      rank_state_[static_cast<std::size_t>(r)] = RankState::kFinished;
+      wake_all_locked();
+    } catch (const RankCrashedSignal&) {
+      // Fail-stop death, not an error: die_locked already recorded the
+      // event, froze the clock, and woke the peers.
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -204,6 +283,28 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
                 return a.rank < b.rank;
               });
   }
+  // Fault log entries were appended in host order; sort on virtual keys so
+  // the report is bit-identical across runs, schedules, and exec modes.
+  std::sort(fault_log_.begin(), fault_log_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.peer != b.peer) return a.peer < b.peer;
+              return a.attempt < b.attempt;
+            });
+  report.fault_events = fault_log_;
+  for (const auto& r : recovery_) {
+    report.recovery.detection_s += r.detection_s;
+    report.recovery.redistribution_s += r.redistribution_s;
+    report.recovery.recomputed_s += r.recomputed_s;
+    report.recovery.recomputed_flops += r.recomputed_flops;
+    report.recovery.detections += r.detections;
+  }
+  for (const auto& e : report.fault_events) {
+    if (e.kind == FaultEventKind::kCrash) ++report.recovery.crashes;
+    if (e.kind == FaultEventKind::kMessageLoss) ++report.recovery.messages_lost;
+  }
   return report;
 }
 
@@ -214,7 +315,14 @@ double Engine::core_now(int rank) const {
 }
 
 void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
-  auto& s = stats_[static_cast<std::size_t>(rank)];
+  const auto r = static_cast<std::size_t>(rank);
+  auto& s = stats_[r];
+  // Fail-stop boundary: crash_time_ is immutable during the run and the
+  // clock is rank-confined, so this check needs no lock until it fires.
+  if (s.clock >= crash_time_[r]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    die_locked(rank);
+  }
   const double seconds = static_cast<double>(flops) * 1e-6 *
                          platform_.cycle_time(static_cast<std::size_t>(rank));
   if (options_.enable_trace && seconds > 0.0) {
@@ -228,6 +336,209 @@ void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
   } else {
     s.compute_par += seconds;
   }
+  if (in_recovery_[r] != 0) {
+    recovery_[r].recomputed_s += seconds;
+    recovery_[r].recomputed_flops += flops;
+  }
+}
+
+// --- fault machinery --------------------------------------------------------
+
+void Engine::maybe_crash_locked(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (rank_state_[r] == RankState::kRunning &&
+      stats_[r].clock >= crash_time_[r]) {
+    die_locked(rank);
+  }
+}
+
+void Engine::die_locked(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  rank_state_[r] = RankState::kCrashed;
+  death_time_[r] = stats_[r].clock;
+  ++crashed_count_;
+  fault_log_.push_back(FaultEvent{FaultEventKind::kCrash, rank, -1,
+                                  stats_[r].clock, 0});
+  if (coll_arrived_ > 0 && !poisoned_) {
+    // Peers already committed to a full-world collective this rank will
+    // never join; the run cannot proceed on the world communicator.
+    poison_locked("rank " + std::to_string(rank) +
+                  " crashed (fail-stop) at t=" +
+                  std::to_string(stats_[r].clock) +
+                  "s during a pending collective; " +
+                  describe_blocked_locked());
+  } else {
+    wake_all_locked();
+  }
+  throw RankCrashedSignal{};
+}
+
+double Engine::effective_link_ms_locked(std::size_t s, std::size_t d,
+                                        double at) const {
+  double c = platform_.link_ms_per_mbit(s, d);
+  if (options_.fault_plan.degradations.empty()) return c;
+  const std::size_t seg_s = platform_.segment_of(s);
+  const std::size_t seg_d = platform_.segment_of(d);
+  const std::size_t lo = std::min(seg_s, seg_d);
+  const std::size_t hi = std::max(seg_s, seg_d);
+  for (const auto& deg : options_.fault_plan.degradations) {
+    if (std::min(deg.segment_a, deg.segment_b) != lo ||
+        std::max(deg.segment_a, deg.segment_b) != hi) {
+      continue;
+    }
+    if (at >= deg.begin_s && at < deg.end_s) c *= deg.factor;
+  }
+  return c;
+}
+
+std::uint64_t Engine::loss_attempts_locked(int src, int dst, int tag) {
+  const auto& loss = options_.fault_plan.loss;
+  if (loss.probability <= 0.0) return 0;
+  auto& seq = loss_seq_[std::make_tuple(src, dst, tag)];
+  std::uint64_t lost = 0;
+  for (;;) {
+    // One decorrelated draw per attempt, a pure function of (seed, src,
+    // dst, tag, sequence number) -- independent of host scheduling.
+    std::uint64_t h = loss.seed;
+    for (const std::uint64_t v :
+         {static_cast<std::uint64_t>(src), static_cast<std::uint64_t>(dst),
+          static_cast<std::uint64_t>(tag), seq}) {
+      h = SplitMix64(h ^ v).next();
+    }
+    ++seq;
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u >= loss.probability) break;
+    ++lost;
+  }
+  return lost;
+}
+
+Packet Engine::match_recv_locked(int rank, int src, int tag, PendingSend& ps) {
+  const auto su = static_cast<std::size_t>(src);
+  const auto du = static_cast<std::size_t>(rank);
+  auto& me = stats_[du];
+  double ready = std::max(ps.ready, me.clock);
+  const std::size_t bytes = ps.payload.bytes;
+  const auto& loss = options_.fault_plan.loss;
+  if (loss.probability > 0.0) {
+    const std::uint64_t lost = loss_attempts_locked(src, rank, tag);
+    for (std::uint64_t k = 0; k < lost; ++k) {
+      fault_log_.push_back(
+          FaultEvent{FaultEventKind::kMessageLoss, rank, src, ready, k});
+      // Each lost attempt wastes one wire time (at the capacity in effect
+      // when it started) plus the retry backoff before the next attempt.
+      ready += transfer_seconds(bytes, effective_link_ms_locked(su, du, ready),
+                                options_.per_message_latency_s) +
+               loss.retry_backoff_s;
+    }
+  }
+  double active = 0.0;
+  const double end = schedule_transfer_locked(src, rank, bytes, ready, &active);
+  account_transfer_locked(rank, me.clock, end, active, 0, bytes);
+  // Record the sender's half for it to apply itself (core_send /
+  // core_wait_send); writing stats_[src] here would race with a sender
+  // that is still computing after an isend.
+  Packet out = std::move(ps.payload);
+  ps.matched = true;
+  ps.sender_end = end;
+  ps.active = active;
+  ps.bytes = bytes;
+  wake_rank_locked(src);
+  return out;
+}
+
+void Engine::charge_detection_locked(int rank, int peer, double timeout_s) {
+  const auto r = static_cast<std::size_t>(rank);
+  auto& s = stats_[r];
+  const double start = s.clock;
+  // The failure is discovered one virtual heartbeat after the later of
+  // "this rank started waiting" and "the peer actually died".
+  const double detect =
+      std::max(start, death_time_[static_cast<std::size_t>(peer)]) + timeout_s;
+  if (options_.enable_trace && detect > start) {
+    trace_[r].push_back(TraceEvent{rank, TraceKind::kIdle, start, detect, 0});
+  }
+  s.wait += detect - start;
+  s.clock = detect;
+  recovery_[r].detection_s += detect - start;
+  ++recovery_[r].detections;
+  fault_log_.push_back(
+      FaultEvent{FaultEventKind::kDetection, rank, peer, detect, 0});
+}
+
+void Engine::core_note_redistribution(int rank, double seconds) {
+  if (seconds > 0.0) {
+    recovery_[static_cast<std::size_t>(rank)].redistribution_s += seconds;
+  }
+}
+
+void Engine::core_set_recovery(int rank, bool on) {
+  auto& depth = in_recovery_[static_cast<std::size_t>(rank)];
+  if (on) {
+    ++depth;
+  } else if (depth > 0) {
+    --depth;
+  }
+}
+
+std::string Engine::describe_blocked_locked() const {
+  static constexpr const char* kCollNames[] = {"none",    "barrier", "bcast",
+                                               "gather",  "scatter", "exchange"};
+  std::string out;
+  const auto add = [&out](int rank, const std::string& what) {
+    if (!out.empty()) out += "; ";
+    out += "rank " + std::to_string(rank) + ": " + what;
+  };
+  for (int rnk = 0; rnk < size(); ++rnk) {
+    const auto r = static_cast<std::size_t>(rnk);
+    if (rank_state_[r] == RankState::kCrashed) {
+      add(rnk, "crashed at t=" + std::to_string(death_time_[r]) + "s");
+      continue;
+    }
+    if (rank_state_[r] == RankState::kFinished) continue;
+    const WaitInfo& w = waiting_[r];
+    const std::string peer = std::to_string(w.peer);
+    const std::string tag = std::to_string(w.tag);
+    switch (w.what) {
+      case WaitInfo::What::kNone:
+        break;
+      case WaitInfo::What::kCollective:
+        add(rnk, std::string("in collective ") +
+                     kCollNames[static_cast<std::size_t>(w.coll)] + " (root " +
+                     peer + ")");
+        break;
+      case WaitInfo::What::kSend:
+        add(rnk, "send to rank " + peer + " (tag " + tag + ")");
+        break;
+      case WaitInfo::What::kRecv:
+        add(rnk, "recv from rank " + peer + " (tag " + tag + ")");
+        break;
+      case WaitInfo::What::kWaitSend:
+        add(rnk, "wait on isend to rank " + peer + " (tag " + tag + ")");
+        break;
+      case WaitInfo::What::kTrySend:
+        add(rnk, "try_send to rank " + peer + " (tag " + tag + ")");
+        break;
+      case WaitInfo::What::kTryRecv:
+        add(rnk, "try_recv from rank " + peer + " (tag " + tag + ")");
+        break;
+    }
+  }
+  if (out.empty()) out = "no ranks blocked at engine operations";
+  return "blocked ranks: [" + out + "]";
+}
+
+std::string Engine::peer_failure_locked(const char* op, int rank, int peer,
+                                        int tag) const {
+  const auto p = static_cast<std::size_t>(peer);
+  std::string why =
+      rank_state_[p] == RankState::kCrashed
+          ? "crashed (fail-stop) at t=" + std::to_string(death_time_[p]) + "s"
+          : "finished without matching it";
+  return "rank " + std::to_string(rank) + ": " + op + " involving rank " +
+         std::to_string(peer) + " (tag " + std::to_string(tag) +
+         ") can never complete: rank " + std::to_string(peer) + " " + why +
+         "; " + describe_blocked_locked();
 }
 
 // --- host-side blocking layer ----------------------------------------------
@@ -259,7 +570,19 @@ void Engine::wake_all_locked() {
 // --- collectives -----------------------------------------------------------
 
 void Engine::begin_collective(int rank, CollectiveKind kind, int root) {
+  maybe_crash_locked(rank);
   check_poison_locked();
+  if (crashed_count_ > 0) {
+    // A world collective needs every rank; at least one is dead.  Failing
+    // here (instead of a wall-clock timeout) keeps non-fault-tolerant
+    // programs fast to diagnose; fault-tolerant code uses try_send/try_recv
+    // and never reaches a world collective after a crash.
+    poison_locked(
+        "a full-world collective can never complete after a fail-stop "
+        "crash; " +
+        describe_blocked_locked());
+    check_poison_locked();
+  }
   if (coll_arrived_ == 0) {
     coll_kind_ = kind;
     coll_root_ = root;
@@ -274,18 +597,24 @@ void Engine::begin_collective(int rank, CollectiveKind kind, int root) {
 
 void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock, int rank,
                                  std::uint64_t generation) {
+  // Lock held since begin_collective, so coll_kind_/coll_root_ still
+  // describe the collective this rank is parked in.
+  waiting_[static_cast<std::size_t>(rank)] =
+      WaitInfo{WaitInfo::What::kCollective, coll_root_, 0, coll_kind_};
   const auto deadline = deadline_after(options_.deadlock_timeout_s);
   bool deadline_expired = false;
   while (coll_generation_ == generation && !poisoned_) {
     if (deadline_expired) {
       // The deadline passed *and* a fresh predicate check still failed:
       // only now is it a deadlock (a wakeup racing the deadline is not).
-      poison_locked("collective operation timed out (virtual MPI deadlock?)");
+      poison_locked("collective operation timed out (virtual MPI deadlock?); " +
+                    describe_blocked_locked());
       break;
     }
     deadline_expired = wait_rank(lock, rank, deadline);
   }
   check_poison_locked();
+  waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
 }
 
 void Engine::poison_locked(const std::string& reason) {
@@ -301,11 +630,9 @@ void Engine::check_poison_locked() const {
 }
 
 double Engine::schedule_transfer_locked(int src, int dst, std::size_t bytes,
-                                        double ready) {
+                                        double ready, double* active_out) {
   const auto s = static_cast<std::size_t>(src);
   const auto d = static_cast<std::size_t>(dst);
-  const double dur = transfer_seconds(
-      bytes, platform_.link_ms_per_mbit(s, d), options_.per_message_latency_s);
   double start = std::max({ready, nic_free_[s], nic_free_[d]});
   const std::size_t seg_s = platform_.segment_of(s);
   const std::size_t seg_d = platform_.segment_of(d);
@@ -315,10 +642,17 @@ double Engine::schedule_transfer_locked(int src, int dst, std::size_t bytes,
     const auto it = xlink_free_.find(xkey);
     if (it != xlink_free_.end()) start = std::max(start, it->second);
   }
+  // Capacity is evaluated at the transfer's start so degradation windows
+  // affect schedule and accounting identically; without degradations this
+  // is exactly the platform capacity.
+  const double dur = transfer_seconds(bytes,
+                                      effective_link_ms_locked(s, d, start),
+                                      options_.per_message_latency_s);
   const double end = start + dur;
   nic_free_[s] = end;
   nic_free_[d] = end;
   if (seg_s != seg_d) xlink_free_[xkey] = end;
+  if (active_out != nullptr) *active_out = dur;
   return end;
 }
 
@@ -350,7 +684,6 @@ void Engine::finish_collective_locked() {
   const int p = size();
   const int root = coll_root_;
   const auto ru = static_cast<std::size_t>(root);
-  const double latency = options_.per_message_latency_s;
 
   std::vector<double> arrival(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
@@ -394,12 +727,11 @@ void Engine::finish_collective_locked() {
             const int vdst = vsrc + step;
             const int src = (vsrc + root) % p;
             const int dst = (vdst + root) % p;
-            const auto su = static_cast<std::size_t>(src);
             const auto du = static_cast<std::size_t>(dst);
+            double active = 0.0;
             const double end = schedule_transfer_locked(
-                src, dst, bytes, known[static_cast<std::size_t>(vsrc)]);
-            const double active = transfer_seconds(
-                bytes, platform_.link_ms_per_mbit(su, du), latency);
+                src, dst, bytes, known[static_cast<std::size_t>(vsrc)],
+                &active);
             account_transfer_locked(src, known[static_cast<std::size_t>(vsrc)],
                                     end, active, bytes, 0);
             account_transfer_locked(dst, arrival[du],
@@ -417,10 +749,9 @@ void Engine::finish_collective_locked() {
         for (int dst = 0; dst < p; ++dst) {
           if (dst == root) continue;
           const auto du = static_cast<std::size_t>(dst);
+          double active = 0.0;
           const double end =
-              schedule_transfer_locked(root, dst, bytes, arrival[ru]);
-          const double active = transfer_seconds(
-              bytes, platform_.link_ms_per_mbit(ru, du), latency);
+              schedule_transfer_locked(root, dst, bytes, arrival[ru], &active);
           account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
                                   active, 0, bytes);
           account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
@@ -454,13 +785,11 @@ void Engine::finish_collective_locked() {
             const int vdst = vsrc - step;
             const int src = (vsrc + root) % p;
             const int dst = (vdst + root) % p;
-            const auto su = static_cast<std::size_t>(src);
-            const auto du = static_cast<std::size_t>(dst);
             const std::size_t bytes = acc[static_cast<std::size_t>(vsrc)];
+            double active = 0.0;
             const double end = schedule_transfer_locked(
-                src, dst, bytes, ready[static_cast<std::size_t>(vsrc)]);
-            const double active = transfer_seconds(
-                bytes, platform_.link_ms_per_mbit(su, du), latency);
+                src, dst, bytes, ready[static_cast<std::size_t>(vsrc)],
+                &active);
             account_transfer_locked(src, ready[static_cast<std::size_t>(vsrc)],
                                     end, active, bytes, 0);
             account_transfer_locked(dst, ready[static_cast<std::size_t>(vdst)],
@@ -485,10 +814,9 @@ void Engine::finish_collective_locked() {
             continue;
           }
           const std::size_t bytes = coll_inputs_[su].bytes;
+          double active = 0.0;
           const double end =
-              schedule_transfer_locked(src, root, bytes, arrival[su]);
-          const double active = transfer_seconds(
-              bytes, platform_.link_ms_per_mbit(su, ru), latency);
+              schedule_transfer_locked(src, root, bytes, arrival[su], &active);
           account_transfer_locked(src, arrival[su], end, active, bytes, 0);
           account_transfer_locked(root, root_busy_from, end, active, 0, bytes);
           root_busy_from = end;
@@ -521,12 +849,11 @@ void Engine::finish_collective_locked() {
             }
             const int src = (vsrc + root) % p;
             const int dst = (vdst + root) % p;
-            const auto su = static_cast<std::size_t>(src);
             const auto du = static_cast<std::size_t>(dst);
+            double active = 0.0;
             const double end = schedule_transfer_locked(
-                src, dst, bytes, known[static_cast<std::size_t>(vsrc)]);
-            const double active = transfer_seconds(
-                bytes, platform_.link_ms_per_mbit(su, du), latency);
+                src, dst, bytes, known[static_cast<std::size_t>(vsrc)],
+                &active);
             account_transfer_locked(src, known[static_cast<std::size_t>(vsrc)],
                                     end, active, bytes, 0);
             account_transfer_locked(dst, arrival[du],
@@ -548,10 +875,9 @@ void Engine::finish_collective_locked() {
             continue;
           }
           const std::size_t bytes = parts[du].bytes;
+          double active = 0.0;
           const double end =
-              schedule_transfer_locked(root, dst, bytes, arrival[ru]);
-          const double active = transfer_seconds(
-              bytes, platform_.link_ms_per_mbit(ru, du), latency);
+              schedule_transfer_locked(root, dst, bytes, arrival[ru], &active);
           account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
                                   active, 0, bytes);
           account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
@@ -571,10 +897,9 @@ void Engine::finish_collective_locked() {
           HPRS_ASSERT(dst >= 0 && dst < p && dst != src);
           const auto du = static_cast<std::size_t>(dst);
           const std::size_t bytes = packet.bytes;
+          double active = 0.0;
           const double end =
-              schedule_transfer_locked(src, dst, bytes, arrival[su]);
-          const double active = transfer_seconds(
-              bytes, platform_.link_ms_per_mbit(su, du), latency);
+              schedule_transfer_locked(src, dst, bytes, arrival[su], &active);
           account_transfer_locked(src, arrival[su], end, active, bytes, 0);
           account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
                                   active, 0, bytes);
@@ -706,6 +1031,7 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
   HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
                "invalid destination rank");
   std::unique_lock<std::mutex> lock(mutex_);
+  maybe_crash_locked(rank);
   check_poison_locked();
   auto& queue = mailbox_[{rank, dst, tag}];
   PendingSend ps;
@@ -716,16 +1042,26 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
   wake_rank_locked(dst);
 
   // Rendezvous: block until the receiver matches and times the transfer.
+  waiting_[static_cast<std::size_t>(rank)] =
+      WaitInfo{WaitInfo::What::kSend, dst, tag, CollectiveKind::kNone};
   const auto deadline = deadline_after(options_.deadlock_timeout_s);
   bool deadline_expired = false;
   while (!it->matched && !poisoned_) {
+    if (rank_state_[static_cast<std::size_t>(dst)] != RankState::kRunning) {
+      // Dead or finished receiver: a plain send can never complete.  The
+      // fault-tolerant path uses core_try_send, which survives this.
+      poison_locked(peer_failure_locked("send", rank, dst, tag));
+      break;
+    }
     if (deadline_expired) {
-      poison_locked("send never matched (virtual MPI deadlock?)");
+      poison_locked("send never matched (virtual MPI deadlock?); " +
+                    describe_blocked_locked());
       break;
     }
     deadline_expired = wait_rank(lock, rank, deadline);
   }
   check_poison_locked();
+  waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
   // Apply this side of the transfer (the receiver computed it at match
   // time but deliberately left the sender's stats to the sender).
   account_transfer_locked(rank, it->ready, it->sender_end, it->active,
@@ -733,11 +1069,62 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
   queue.erase(it);
 }
 
+bool Engine::core_try_send(int rank, int dst, int tag, Packet payload,
+                           double timeout_s) {
+  HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
+               "invalid destination rank");
+  std::unique_lock<std::mutex> lock(mutex_);
+  maybe_crash_locked(rank);
+  check_poison_locked();
+  auto& queue = mailbox_[{rank, dst, tag}];
+  PendingSend ps;
+  ps.payload = std::move(payload);
+  ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
+  queue.push_back(std::move(ps));
+  auto it = std::prev(queue.end());
+  wake_rank_locked(dst);
+
+  waiting_[static_cast<std::size_t>(rank)] =
+      WaitInfo{WaitInfo::What::kTrySend, dst, tag, CollectiveKind::kNone};
+  const auto deadline = deadline_after(options_.deadlock_timeout_s);
+  bool deadline_expired = false;
+  while (!it->matched && !poisoned_) {
+    const RankState peer = rank_state_[static_cast<std::size_t>(dst)];
+    if (peer == RankState::kCrashed) break;
+    if (peer == RankState::kFinished) {
+      // Finishing without receiving is a protocol bug, not a failure the
+      // caller can recover from.
+      poison_locked(peer_failure_locked("try_send", rank, dst, tag));
+      break;
+    }
+    if (deadline_expired) {
+      poison_locked("try_send never matched (virtual MPI deadlock?); " +
+                    describe_blocked_locked());
+      break;
+    }
+    deadline_expired = wait_rank(lock, rank, deadline);
+  }
+  check_poison_locked();
+  waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
+  if (it->matched) {
+    account_transfer_locked(rank, it->ready, it->sender_end, it->active,
+                            it->bytes, 0);
+    queue.erase(it);
+    return true;
+  }
+  // The receiver died without matching: withdraw the posting and charge the
+  // virtual heartbeat that discovered the death.
+  queue.erase(it);
+  charge_detection_locked(rank, dst, timeout_s);
+  return false;
+}
+
 std::uint64_t Engine::core_isend(int rank, int dst, int tag,
                                  Packet payload) {
   HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
                "invalid destination rank");
   std::unique_lock<std::mutex> lock(mutex_);
+  maybe_crash_locked(rank);
   check_poison_locked();
   const std::uint64_t handle = next_send_handle_++;
   PendingSend ps;
@@ -751,6 +1138,7 @@ std::uint64_t Engine::core_isend(int rank, int dst, int tag,
 
 void Engine::core_wait_send(int rank, std::uint64_t handle) {
   std::unique_lock<std::mutex> lock(mutex_);
+  maybe_crash_locked(rank);
   // Find the posting by handle (it is keyed by (rank, dst, tag), so scan
   // this rank's outgoing queues; queues are short-lived).
   const auto deadline = deadline_after(options_.deadlock_timeout_s);
@@ -758,12 +1146,18 @@ void Engine::core_wait_send(int rank, std::uint64_t handle) {
   while (true) {
     check_poison_locked();
     bool found = false;
+    int pending_dst = -1;
+    int pending_tag = 0;
     for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
       if (std::get<0>(it->first) != rank) continue;
       for (auto ps = it->second.begin(); ps != it->second.end(); ++ps) {
         if (ps->handle != handle) continue;
         found = true;
-        if (!ps->matched) break;
+        if (!ps->matched) {
+          pending_dst = std::get<1>(it->first);
+          pending_tag = std::get<2>(it->first);
+          break;
+        }
         // The receiver matched: apply the sender's half of the transfer.
         // The clock can only move forward, so compute performed between
         // isend and wait overlaps the wire time.
@@ -771,6 +1165,7 @@ void Engine::core_wait_send(int rank, std::uint64_t handle) {
                                 ps->bytes, 0);
         it->second.erase(ps);
         if (it->second.empty()) mailbox_.erase(it);
+        waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
         return;
       }
       if (found) break;
@@ -779,9 +1174,19 @@ void Engine::core_wait_send(int rank, std::uint64_t handle) {
       // Handle not found at all: already waited (or never posted).
       throw Error("wait on an unknown or already-completed send handle");
     }
+    if (rank_state_[static_cast<std::size_t>(pending_dst)] !=
+        RankState::kRunning) {
+      poison_locked(
+          peer_failure_locked("wait on isend", rank, pending_dst, pending_tag));
+      check_poison_locked();
+    }
+    waiting_[static_cast<std::size_t>(rank)] = WaitInfo{
+        WaitInfo::What::kWaitSend, pending_dst, pending_tag,
+        CollectiveKind::kNone};
     if (deadline_expired) {
       // Deadline passed and the re-scan above still found no match.
-      poison_locked("isend never matched (virtual MPI deadlock?)");
+      poison_locked("isend never matched (virtual MPI deadlock?); " +
+                    describe_blocked_locked());
       check_poison_locked();
     }
     deadline_expired = wait_rank(lock, rank, deadline);
@@ -791,8 +1196,11 @@ void Engine::core_wait_send(int rank, std::uint64_t handle) {
 Packet Engine::core_recv(int rank, int src, int tag) {
   HPRS_REQUIRE(src >= 0 && src < size() && src != rank, "invalid source rank");
   std::unique_lock<std::mutex> lock(mutex_);
+  maybe_crash_locked(rank);
   const auto key = std::make_tuple(src, rank, tag);
 
+  waiting_[static_cast<std::size_t>(rank)] =
+      WaitInfo{WaitInfo::What::kRecv, src, tag, CollectiveKind::kNone};
   const auto deadline = deadline_after(options_.deadlock_timeout_s);
   bool deadline_expired = false;
   std::list<PendingSend>::iterator it;
@@ -804,35 +1212,68 @@ Packet Engine::core_recv(int rank, int src, int tag) {
                         [](const PendingSend& ps) { return !ps.matched; });
       if (it != q->second.end()) break;
     }
+    if (rank_state_[static_cast<std::size_t>(src)] != RankState::kRunning) {
+      // Nothing pending and the sender is dead or finished: a plain recv
+      // can never match.  The fault-tolerant path uses core_try_recv.
+      poison_locked(peer_failure_locked("recv", rank, src, tag));
+      check_poison_locked();
+    }
     if (deadline_expired) {
       // Deadline passed and the re-check above still found no posting.
-      poison_locked("recv never matched (virtual MPI deadlock?)");
+      poison_locked("recv never matched (virtual MPI deadlock?); " +
+                    describe_blocked_locked());
       check_poison_locked();
     }
     deadline_expired = wait_rank(lock, rank, deadline);
   }
+  waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
+  return match_recv_locked(rank, src, tag, *it);
+}
 
-  auto& me = stats_[static_cast<std::size_t>(rank)];
-  const double ready = std::max(it->ready, me.clock);
-  const std::size_t bytes = it->payload.bytes;
-  const double end = schedule_transfer_locked(src, rank, bytes, ready);
-  const double active =
-      transfer_seconds(bytes,
-                       platform_.link_ms_per_mbit(static_cast<std::size_t>(src),
-                                                  static_cast<std::size_t>(rank)),
-                       options_.per_message_latency_s);
-  account_transfer_locked(rank, me.clock, end, active, 0, bytes);
+std::optional<Packet> Engine::core_try_recv(int rank, int src, int tag,
+                                            double timeout_s) {
+  HPRS_REQUIRE(src >= 0 && src < size() && src != rank, "invalid source rank");
+  std::unique_lock<std::mutex> lock(mutex_);
+  maybe_crash_locked(rank);
+  const auto key = std::make_tuple(src, rank, tag);
 
-  // Record the sender's half for it to apply itself (core_send /
-  // core_wait_send); writing stats_[src] here would race with a sender
-  // that is still computing after an isend.
-  Packet out = std::move(it->payload);
-  it->matched = true;
-  it->sender_end = end;
-  it->active = active;
-  it->bytes = bytes;
-  wake_rank_locked(src);
-  return out;
+  waiting_[static_cast<std::size_t>(rank)] =
+      WaitInfo{WaitInfo::What::kTryRecv, src, tag, CollectiveKind::kNone};
+  const auto deadline = deadline_after(options_.deadlock_timeout_s);
+  bool deadline_expired = false;
+  while (true) {
+    check_poison_locked();
+    const auto q = mailbox_.find(key);
+    if (q != mailbox_.end()) {
+      // A message posted before the sender's death is still delivered (the
+      // data already left the sender); only silence is a failure.
+      const auto it =
+          std::find_if(q->second.begin(), q->second.end(),
+                       [](const PendingSend& ps) { return !ps.matched; });
+      if (it != q->second.end()) {
+        waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
+        return match_recv_locked(rank, src, tag, *it);
+      }
+    }
+    const RankState peer = rank_state_[static_cast<std::size_t>(src)];
+    if (peer == RankState::kCrashed) {
+      waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
+      charge_detection_locked(rank, src, timeout_s);
+      return std::nullopt;
+    }
+    if (peer == RankState::kFinished) {
+      // Finishing without sending is a protocol bug, not a failure the
+      // caller can recover from.
+      poison_locked(peer_failure_locked("try_recv", rank, src, tag));
+      check_poison_locked();
+    }
+    if (deadline_expired) {
+      poison_locked("try_recv never matched (virtual MPI deadlock?); " +
+                    describe_blocked_locked());
+      check_poison_locked();
+    }
+    deadline_expired = wait_rank(lock, rank, deadline);
+  }
 }
 
 }  // namespace hprs::vmpi

@@ -46,11 +46,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "simnet/platform.hpp"
+#include "vmpi/fault.hpp"
 #include "vmpi/packet.hpp"
 #include "vmpi/stats.hpp"
 
@@ -88,6 +90,12 @@ struct Options {
   /// Per-rank fiber stack for kBoundedExecutor; 0 means 1 MiB.  The
   /// HPRS_FIBER_STACK_KB environment variable overrides.
   std::size_t fiber_stack_bytes = 0;
+  /// Injected failures, all in virtual time (see vmpi/fault.hpp).  An empty
+  /// plan leaves every run bit-identical to a fault-free engine.
+  FaultPlan fault_plan;
+  /// Default virtual-time heartbeat for Comm::try_send / try_recv: how long
+  /// a rank waits past a dead peer's death before declaring it lost.
+  double fault_detection_s = 0.1;
 };
 
 class Engine {
@@ -125,6 +133,23 @@ class Engine {
       int rank, std::vector<std::pair<int, Packet>>& sends);
   void core_send(int rank, int dst, int tag, Packet payload);
   Packet core_recv(int rank, int src, int tag);
+  /// Fault-aware rendezvous send: true when `dst` matched the message,
+  /// false when `dst` is dead (the posting is withdrawn and this rank's
+  /// clock advances past the peer's death by `timeout_s` -- the virtual
+  /// heartbeat -- charged as detection overhead).
+  [[nodiscard]] bool core_try_send(int rank, int dst, int tag, Packet payload,
+                                   double timeout_s);
+  /// Fault-aware receive: the payload when `src` delivered one, nullopt
+  /// when `src` is dead with nothing pending (same detection accounting as
+  /// core_try_send).
+  [[nodiscard]] std::optional<Packet> core_try_recv(int rank, int src, int tag,
+                                                    double timeout_s);
+  /// Tags `seconds` of already-charged master time as redistribution
+  /// overhead in the recovery decomposition.
+  void core_note_redistribution(int rank, double seconds);
+  /// Enters/leaves a recovery scope: compute charged while the scope is
+  /// open is additionally counted as recomputed work.  Nestable.
+  void core_set_recovery(int rank, bool on);
   /// Nonblocking send: posts the message and returns a handle immediately;
   /// the sender's clock does not advance until core_wait_send, which
   /// blocks until the receiver has matched the message and then advances
@@ -165,9 +190,12 @@ class Engine {
 
   /// Schedules one transfer src -> dst: claims NIC and inter-segment
   /// resources, advances them, and returns the completion time.  `ready` is
-  /// the earliest the sender-side data is available.
+  /// the earliest the sender-side data is available.  When `active_out` is
+  /// non-null it receives the wire seconds of this transfer (computed with
+  /// the link capacity in effect at the transfer's start, so degradation
+  /// windows apply consistently to schedule and accounting).
   double schedule_transfer_locked(int src, int dst, std::size_t bytes,
-                                  double ready);
+                                  double ready, double* active_out = nullptr);
 
   /// Charges comm/wait stats for a rank that participated in a transfer
   /// finishing at `end`, having been ready at `ready`, with `active`
@@ -178,6 +206,56 @@ class Engine {
 
   void poison_locked(const std::string& reason);
   void check_poison_locked() const;
+
+  // --- fault machinery (see vmpi/fault.hpp for the model) ---
+  /// Lifecycle of a rank's execution context during one run.
+  enum class RankState : std::uint8_t { kRunning, kCrashed, kFinished };
+  /// What a parked rank is blocked on, for deadlock diagnostics.  Written
+  /// by the owning rank under the engine lock, read by whichever rank
+  /// declares deadlock.
+  struct WaitInfo {
+    enum class What : std::uint8_t {
+      kNone,
+      kCollective,
+      kSend,
+      kRecv,
+      kWaitSend,
+      kTrySend,
+      kTryRecv,
+    };
+    What what = What::kNone;
+    int peer = -1;  ///< p2p peer, or the collective root
+    int tag = 0;
+    CollectiveKind coll = CollectiveKind::kNone;
+  };
+
+  /// Kills `rank` (fail-stop) if its clock has reached its planned crash
+  /// time: records the death, wakes peers (or poisons a pending
+  /// collective), and unwinds the rank body via an internal signal that
+  /// run() absorbs without treating it as an error.
+  void maybe_crash_locked(int rank);
+  [[noreturn]] void die_locked(int rank);
+  /// Link capacity src-segment -> dst-segment for a transfer starting at
+  /// virtual time `at`, with any matching degradation windows applied.
+  [[nodiscard]] double effective_link_ms_locked(std::size_t s, std::size_t d,
+                                                double at) const;
+  /// Number of consecutive lost attempts for the next transfer on the
+  /// (src, dst, tag) queue (0 when the loss model is off): a pure function
+  /// of the plan seed and the per-queue sequence number.
+  std::uint64_t loss_attempts_locked(int src, int dst, int tag);
+  /// Receiver's half of matching a pending send: applies the loss model,
+  /// schedules and accounts the transfer, and records the sender's half on
+  /// the posting.  Shared by core_recv and core_try_recv.
+  struct PendingSend;
+  Packet match_recv_locked(int rank, int src, int tag, PendingSend& ps);
+  /// Charges the virtual heartbeat wait for discovering `peer` dead and
+  /// logs the detection event.
+  void charge_detection_locked(int rank, int peer, double timeout_s);
+  /// One-line-per-rank description of every blocked or crashed rank, for
+  /// deadlock diagnostics.
+  [[nodiscard]] std::string describe_blocked_locked() const;
+  [[nodiscard]] std::string peer_failure_locked(const char* op, int rank,
+                                                int peer, int tag) const;
 
   simnet::Platform platform_;
   Options options_;
@@ -239,6 +317,22 @@ class Engine {
   };
   std::map<std::tuple<int, int, int>, std::list<PendingSend>> mailbox_;
   std::uint64_t next_send_handle_ = 1;
+
+  // Fault state.  crash_time_ is written once before the rank contexts
+  // start and read lock-free by each rank's own context; everything else is
+  // mutated under the engine lock, except the rank-confined recovery
+  // accumulators (slot r is only touched from rank r's context, like
+  // stats_).
+  std::vector<RankState> rank_state_;
+  std::vector<double> crash_time_;  ///< earliest clock at which a rank dies
+  std::vector<double> death_time_;  ///< frozen clock of a crashed rank
+  int crashed_count_ = 0;
+  std::vector<FaultEvent> fault_log_;
+  std::vector<RecoveryStats> recovery_;    // rank-confined accumulators
+  std::vector<std::uint8_t> in_recovery_;  // rank-confined scope depth
+  std::vector<WaitInfo> waiting_;
+  /// Per-(src, dst, tag) transfer sequence numbers for the loss model.
+  std::map<std::tuple<int, int, int>, std::uint64_t> loss_seq_;
 
   bool poisoned_ = false;
   std::string poison_reason_;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "vmpi/fault.hpp"
+
 namespace hprs::vmpi {
 
 /// Accounting bucket for compute charges.  Algorithms mark master-only
@@ -56,6 +58,13 @@ struct RunReport {
   std::vector<RankStats> ranks;
   /// Chronological event log (empty unless tracing was enabled).
   std::vector<TraceEvent> trace;
+  /// Injected faults and their consequences (crashes, detections, lost
+  /// message attempts), sorted by (time, kind, rank, peer, attempt) so the
+  /// log is bit-identical across host schedules.  Empty for fault-free runs.
+  std::vector<FaultEvent> fault_events;
+  /// Recovery-overhead decomposition summed over ranks (all zero without
+  /// faults): detection waits, master redistribution time, recomputed work.
+  RecoveryStats recovery;
 
   /// COM: the root's communication time.  In the master/worker algorithms
   /// every transfer touches the root, so this is the communication span of

@@ -1,0 +1,163 @@
+// The fault-tolerance contract of core/ft.hpp, across all four algorithms:
+//
+//  * outputs first -- a fault-tolerant run's targets/labels equal the
+//    fault-free collective outputs bit for bit, with an empty plan and
+//    under fail-stop worker crashes (recovery must never change the
+//    science);
+//  * determinism second -- a fixed fault plan yields bit-identical
+//    RunReports (fault log and recovery decomposition included) across
+//    repeated runs and across both host execution modes;
+//  * guardrails third -- a mortal root and halo-exchange MORPH are
+//    rejected up front.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "simnet/platform.hpp"
+#include "test_scenes.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::core {
+namespace {
+
+hsi::HsiCube test_cube() {
+  auto cube = hprs::testing::striped_cube(48, 16, 24, 4);
+  hprs::testing::plant_targets(cube, 4);
+  return cube;
+}
+
+RunnerConfig base_config(Algorithm alg) {
+  RunnerConfig cfg;
+  cfg.algorithm = alg;
+  cfg.policy = PartitionPolicy::kHeterogeneous;
+  cfg.targets = 4;
+  cfg.classes = 4;
+  cfg.morph_iterations = 2;
+  cfg.kernel_radius = 1;
+  cfg.replication = 1;
+  return cfg;
+}
+
+/// Two worker crashes bracketing the middle of the fault-free run.
+vmpi::Options crash_options(double fault_free_s) {
+  vmpi::Options options;
+  options.fault_plan.crashes.push_back({3, 0.25 * fault_free_s});
+  options.fault_plan.crashes.push_back({11, 0.50 * fault_free_s});
+  return options;
+}
+
+void expect_same_outputs(const RunnerOutput& a, const RunnerOutput& b,
+                         const char* label) {
+  ASSERT_EQ(a.targets.size(), b.targets.size()) << label;
+  for (std::size_t i = 0; i < a.targets.size(); ++i) {
+    EXPECT_EQ(a.targets[i].row, b.targets[i].row) << label << " target " << i;
+    EXPECT_EQ(a.targets[i].col, b.targets[i].col) << label << " target " << i;
+  }
+  EXPECT_EQ(a.labels, b.labels) << label;
+  EXPECT_EQ(a.label_count, b.label_count) << label;
+}
+
+void expect_same_reports(const vmpi::RunReport& a, const vmpi::RunReport& b,
+                         const char* label) {
+  EXPECT_EQ(a.total_time, b.total_time) << label;
+  ASSERT_EQ(a.ranks.size(), b.ranks.size()) << label;
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].clock, b.ranks[r].clock) << label << " rank " << r;
+    EXPECT_EQ(a.ranks[r].flops, b.ranks[r].flops) << label << " rank " << r;
+    EXPECT_EQ(a.ranks[r].bytes_sent, b.ranks[r].bytes_sent)
+        << label << " rank " << r;
+    EXPECT_EQ(a.ranks[r].bytes_received, b.ranks[r].bytes_received)
+        << label << " rank " << r;
+    if (::testing::Test::HasFailure()) break;
+  }
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size()) << label;
+  for (std::size_t i = 0; i < a.fault_events.size(); ++i) {
+    EXPECT_EQ(a.fault_events[i].time_s, b.fault_events[i].time_s)
+        << label << " event " << i;
+    EXPECT_EQ(a.fault_events[i].rank, b.fault_events[i].rank)
+        << label << " event " << i;
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_EQ(a.recovery.detection_s, b.recovery.detection_s) << label;
+  EXPECT_EQ(a.recovery.redistribution_s, b.recovery.redistribution_s) << label;
+  EXPECT_EQ(a.recovery.recomputed_s, b.recovery.recomputed_s) << label;
+  EXPECT_EQ(a.recovery.recomputed_flops, b.recovery.recomputed_flops) << label;
+}
+
+class FaultRecoverySweep : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(FaultRecoverySweep, FaultTolerantOutputsMatchFaultFree) {
+  const auto cube = test_cube();
+  const auto platform = simnet::fully_heterogeneous();
+  auto cfg = base_config(GetParam());
+
+  const auto reference = run_algorithm(platform, cube, cfg);
+
+  cfg.fault_tolerant = true;
+  // Empty plan: the protocol itself must not change the outputs.
+  const auto ft_clean = run_algorithm(platform, cube, cfg);
+  expect_same_outputs(reference, ft_clean, "ft-empty-plan");
+  EXPECT_EQ(ft_clean.report.recovery.total_overhead_s(), 0.0);
+  EXPECT_TRUE(ft_clean.report.fault_events.empty());
+
+  // Two mid-run worker crashes: outputs still match, overhead is recorded.
+  const auto options = crash_options(reference.report.total_time);
+  const auto ft_crash = run_algorithm(platform, cube, cfg, options);
+  expect_same_outputs(reference, ft_crash, "ft-crashes");
+  EXPECT_EQ(ft_crash.report.recovery.crashes, 2);
+  EXPECT_GE(ft_crash.report.recovery.detections, 2);
+  EXPECT_GT(ft_crash.report.recovery.detection_s, 0.0);
+  EXPECT_GT(ft_crash.report.recovery.recomputed_flops, 0u);
+  EXPECT_FALSE(ft_crash.report.fault_events.empty());
+}
+
+TEST_P(FaultRecoverySweep, FaultedReportsBitIdenticalAcrossRunsAndModes) {
+  const auto cube = test_cube();
+  const auto platform = simnet::fully_heterogeneous();
+  auto cfg = base_config(GetParam());
+  const auto reference = run_algorithm(platform, cube, cfg);
+
+  cfg.fault_tolerant = true;
+  const auto options = crash_options(reference.report.total_time);
+  const auto first = run_algorithm(platform, cube, cfg, options);
+  const auto repeat = run_algorithm(platform, cube, cfg, options);
+  expect_same_reports(first.report, repeat.report, "repeat");
+
+  auto tpr = options;
+  tpr.exec_mode = vmpi::ExecMode::kThreadPerRank;
+  const auto threads = run_algorithm(platform, cube, cfg, tpr);
+  expect_same_outputs(first, threads, "modes-outputs");
+  expect_same_reports(first.report, threads.report, "executor-vs-threads");
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, FaultRecoverySweep,
+                         ::testing::Values(Algorithm::kAtdca,
+                                           Algorithm::kUfcls, Algorithm::kPct,
+                                           Algorithm::kMorph),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(FaultRecoveryGuards, MortalRootIsRejected) {
+  const auto cube = test_cube();
+  auto cfg = base_config(Algorithm::kAtdca);
+  cfg.fault_tolerant = true;
+  vmpi::Options options;
+  options.fault_plan.crashes.push_back({0, 0.01});  // the root
+  EXPECT_THROW(
+      (void)run_algorithm(simnet::fully_heterogeneous(), cube, cfg, options),
+      Error);
+}
+
+TEST(FaultRecoveryGuards, MorphFaultToleranceRequiresOverlapBorders) {
+  const auto cube = test_cube();
+  auto cfg = base_config(Algorithm::kMorph);
+  cfg.fault_tolerant = true;
+  cfg.morph_overlap_borders = false;
+  EXPECT_THROW((void)run_algorithm(simnet::fully_heterogeneous(), cube, cfg),
+               Error);
+}
+
+}  // namespace
+}  // namespace hprs::core

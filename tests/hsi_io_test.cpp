@@ -96,6 +96,96 @@ TEST_F(HsiIoTest, RejectsUnsupportedDataType) {
   EXPECT_THROW((void)read_envi(stem("dt")), Error);
 }
 
+TEST_F(HsiIoTest, RejectsMissingEnviMagic) {
+  {
+    std::ofstream hdr(stem("nomagic") + ".hdr");
+    hdr << "samples = 2\nlines = 2\nbands = 2\ndata type = 4\n"
+        << "interleave = bip\n";
+  }
+  try {
+    (void)read_envi(stem("nomagic"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ENVI magic"), std::string::npos);
+  }
+}
+
+TEST_F(HsiIoTest, RejectsNonNumericDimensionNamingTheKey) {
+  {
+    std::ofstream hdr(stem("badnum") + ".hdr");
+    hdr << "ENVI\nsamples = 2\nlines = twelve\nbands = 2\ndata type = 4\n"
+        << "interleave = bip\n";
+  }
+  try {
+    (void)read_envi(stem("badnum"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'lines'"), std::string::npos);
+  }
+}
+
+TEST_F(HsiIoTest, RejectsNegativeDimension) {
+  {
+    std::ofstream hdr(stem("neg") + ".hdr");
+    hdr << "ENVI\nsamples = -4\nlines = 2\nbands = 2\ndata type = 4\n"
+        << "interleave = bip\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("neg")), Error);
+}
+
+TEST_F(HsiIoTest, RejectsZeroDimension) {
+  {
+    std::ofstream hdr(stem("zero") + ".hdr");
+    hdr << "ENVI\nsamples = 0\nlines = 2\nbands = 2\ndata type = 4\n"
+        << "interleave = bip\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("zero")), Error);
+}
+
+TEST_F(HsiIoTest, RejectsOverflowingDimensions) {
+  {
+    std::ofstream hdr(stem("huge") + ".hdr");
+    // 2^64 does not fit a std::size_t digit-by-digit parse...
+    hdr << "ENVI\nsamples = 18446744073709551616\nlines = 2\nbands = 2\n"
+        << "data type = 4\ninterleave = bip\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("huge")), Error);
+  {
+    std::ofstream hdr(stem("hugeprod") + ".hdr");
+    // ...and neither does the product of three individually valid values.
+    hdr << "ENVI\nsamples = 4294967295\nlines = 4294967295\nbands = 224\n"
+        << "data type = 4\ninterleave = bip\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("hugeprod")), Error);
+}
+
+TEST_F(HsiIoTest, RejectsUnknownInterleave) {
+  {
+    std::ofstream hdr(stem("il") + ".hdr");
+    hdr << "ENVI\nsamples = 2\nlines = 2\nbands = 2\ndata type = 4\n"
+        << "interleave = bipx\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("il")), Error);
+}
+
+TEST_F(HsiIoTest, RejectsBigEndianCube) {
+  {
+    std::ofstream hdr(stem("be") + ".hdr");
+    hdr << "ENVI\nsamples = 2\nlines = 2\nbands = 2\ndata type = 4\n"
+        << "interleave = bip\nbyte order = 1\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("be")), Error);
+}
+
+TEST_F(HsiIoTest, RejectsEmbeddedHeaderOffset) {
+  {
+    std::ofstream hdr(stem("off") + ".hdr");
+    hdr << "ENVI\nsamples = 2\nlines = 2\nbands = 2\ndata type = 4\n"
+        << "interleave = bip\nheader offset = 512\n";
+  }
+  EXPECT_THROW((void)read_envi(stem("off")), Error);
+}
+
 class IoInterleaveSweep : public ::testing::TestWithParam<Interleave> {};
 
 TEST_P(IoInterleaveSweep, RoundTripsExactly) {

@@ -1,0 +1,331 @@
+// Determinism and diagnostics of the deterministic fault layer
+// (vmpi/fault.hpp): a fixed FaultPlan must produce bit-identical
+// RunReports -- including the fault-event log and the recovery-overhead
+// decomposition -- across repeated runs, engine reuse, and both host
+// execution modes; an empty plan must leave try_send/try_recv programs
+// bit-identical to their plain send/recv twins; crashes poison full-world
+// collectives promptly; invalid plans and options fail at Engine
+// construction; and deadlock diagnostics name the blocked ranks.
+//
+// HPRS_STRESS_RANKS overrides the rank count (ThreadSanitizer runs use a
+// smaller world so 2x-instrumented thread-per-rank mode stays fast).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/platform.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::vmpi {
+namespace {
+
+std::size_t stress_ranks() {
+  if (const char* env = std::getenv("HPRS_STRESS_RANKS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 2) return static_cast<std::size_t>(v);
+  }
+  return 192;
+}
+
+/// Mildly heterogeneous single-segment platform (cycle times vary by rank).
+simnet::Platform fault_platform(std::size_t n) {
+  std::vector<simnet::ProcessorSpec> procs;
+  procs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = 0.001 + 0.0001 * static_cast<double>(i % 7);
+    procs.push_back(simnet::ProcessorSpec{"p" + std::to_string(i), "fault", w,
+                                          1024, 512, 0});
+  }
+  return simnet::Platform("fault", std::move(procs), {{10.0}});
+}
+
+Options fault_options(ExecMode mode) {
+  Options o;
+  o.deadlock_timeout_s = 60.0;
+  o.exec_mode = mode;
+  return o;
+}
+
+/// A plan that exercises every fault type against the master/worker
+/// program below: one rank dies immediately, two die mid-run, the only
+/// segment degrades for a window, and p2p messages drop transiently.
+FaultPlan mixed_plan(std::size_t n) {
+  FaultPlan plan;
+  plan.crashes.push_back({7 % static_cast<int>(n), 0.0});
+  plan.crashes.push_back({static_cast<int>(n / 2), 0.02});
+  plan.crashes.push_back({static_cast<int>(n - 1), 0.06});
+  plan.degradations.push_back({0, 0, 3.0, 0.01, 0.05});
+  plan.loss.probability = 0.02;
+  plan.loss.seed = 42;
+  return plan;
+}
+
+/// A miniature fault-tolerant master/worker protocol: three rounds of
+/// command/reply driven by the root over try_send/try_recv, then a stop
+/// message.  Workers use plain operations toward the immortal root.  This
+/// is the communication shape of core/ft.hpp without the numerics.
+void master_worker_program(Comm& comm) {
+  constexpr int kCmdTag = 1;
+  constexpr int kResTag = 2;
+  constexpr int kStop = -1;
+  const int p = comm.size();
+  const int root = comm.root();
+
+  if (comm.rank() == root) {
+    std::vector<bool> alive(static_cast<std::size_t>(p), true);
+    for (int round = 0; round < 3; ++round) {
+      std::vector<int> commanded;
+      for (int r = 0; r < p; ++r) {
+        if (r == root || !alive[static_cast<std::size_t>(r)]) continue;
+        if (!comm.try_send(r, round, 64, kCmdTag)) {
+          alive[static_cast<std::size_t>(r)] = false;
+          continue;
+        }
+        commanded.push_back(r);
+      }
+      for (const int r : commanded) {
+        const auto res = comm.try_recv<std::uint64_t>(r, kResTag);
+        if (!res.has_value()) {
+          alive[static_cast<std::size_t>(r)] = false;
+          continue;
+        }
+        comm.compute(*res % 50 + 1, Phase::kSequential);
+      }
+    }
+    for (int r = 0; r < p; ++r) {
+      if (r == root || !alive[static_cast<std::size_t>(r)]) continue;
+      (void)comm.try_send(r, kStop, 8, kCmdTag);
+    }
+  } else {
+    while (true) {
+      const int cmd = comm.recv<int>(root, kCmdTag);
+      if (cmd == kStop) return;
+      comm.compute(2000 + 13ull * static_cast<std::uint64_t>(comm.rank()));
+      const auto result =
+          static_cast<std::uint64_t>(cmd) * 1000 +
+          static_cast<std::uint64_t>(comm.rank());
+      comm.send(root, result, 32, kResTag);
+    }
+  }
+}
+
+/// Like master_worker_program with an empty plan, but using the plain
+/// blocking operations: with no faults the try variants must be
+/// indistinguishable from these on the wire.
+void master_worker_plain(Comm& comm) {
+  constexpr int kCmdTag = 1;
+  constexpr int kResTag = 2;
+  constexpr int kStop = -1;
+  const int p = comm.size();
+  const int root = comm.root();
+
+  if (comm.rank() == root) {
+    for (int round = 0; round < 3; ++round) {
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        comm.send(r, round, 64, kCmdTag);
+      }
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        const auto res = comm.recv<std::uint64_t>(r, kResTag);
+        comm.compute(res % 50 + 1, Phase::kSequential);
+      }
+    }
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      comm.send(r, kStop, 8, kCmdTag);
+    }
+  } else {
+    while (true) {
+      const int cmd = comm.recv<int>(root, kCmdTag);
+      if (cmd == kStop) return;
+      comm.compute(2000 + 13ull * static_cast<std::uint64_t>(comm.rank()));
+      const auto result =
+          static_cast<std::uint64_t>(cmd) * 1000 +
+          static_cast<std::uint64_t>(comm.rank());
+      comm.send(root, result, 32, kResTag);
+    }
+  }
+}
+
+void expect_reports_bit_identical(const RunReport& a, const RunReport& b,
+                                  const char* label) {
+  EXPECT_EQ(a.total_time, b.total_time) << label;
+  ASSERT_EQ(a.ranks.size(), b.ranks.size()) << label;
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const auto& x = a.ranks[r];
+    const auto& y = b.ranks[r];
+    EXPECT_EQ(x.clock, y.clock) << label << " rank " << r;
+    EXPECT_EQ(x.compute_par, y.compute_par) << label << " rank " << r;
+    EXPECT_EQ(x.compute_seq, y.compute_seq) << label << " rank " << r;
+    EXPECT_EQ(x.comm, y.comm) << label << " rank " << r;
+    EXPECT_EQ(x.wait, y.wait) << label << " rank " << r;
+    EXPECT_EQ(x.flops, y.flops) << label << " rank " << r;
+    EXPECT_EQ(x.bytes_sent, y.bytes_sent) << label << " rank " << r;
+    EXPECT_EQ(x.bytes_received, y.bytes_received) << label << " rank " << r;
+    if (::testing::Test::HasFailure()) break;
+  }
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size()) << label;
+  for (std::size_t i = 0; i < a.fault_events.size(); ++i) {
+    const auto& x = a.fault_events[i];
+    const auto& y = b.fault_events[i];
+    EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind))
+        << label << " event " << i;
+    EXPECT_EQ(x.rank, y.rank) << label << " event " << i;
+    EXPECT_EQ(x.peer, y.peer) << label << " event " << i;
+    EXPECT_EQ(x.time_s, y.time_s) << label << " event " << i;
+    EXPECT_EQ(x.attempt, y.attempt) << label << " event " << i;
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_EQ(a.recovery.detection_s, b.recovery.detection_s) << label;
+  EXPECT_EQ(a.recovery.redistribution_s, b.recovery.redistribution_s) << label;
+  EXPECT_EQ(a.recovery.recomputed_s, b.recovery.recomputed_s) << label;
+  EXPECT_EQ(a.recovery.recomputed_flops, b.recovery.recomputed_flops) << label;
+  EXPECT_EQ(a.recovery.crashes, b.recovery.crashes) << label;
+  EXPECT_EQ(a.recovery.detections, b.recovery.detections) << label;
+  EXPECT_EQ(a.recovery.messages_lost, b.recovery.messages_lost) << label;
+}
+
+TEST(VmpiFaultTest, TryOpsWithEmptyPlanMatchPlainOps) {
+  const std::size_t n = stress_ranks();
+  Engine a(fault_platform(n), fault_options(ExecMode::kBoundedExecutor));
+  Engine b(fault_platform(n), fault_options(ExecMode::kBoundedExecutor));
+  const auto tried = a.run(master_worker_program);
+  const auto plain = b.run(master_worker_plain);
+  EXPECT_TRUE(tried.fault_events.empty());
+  EXPECT_EQ(tried.recovery.total_overhead_s(), 0.0);
+  expect_reports_bit_identical(tried, plain, "try-vs-plain");
+}
+
+TEST(VmpiFaultTest, FaultedReportsBitIdenticalAcrossRunsReuseAndModes) {
+  const std::size_t n = stress_ranks();
+  Options opts = fault_options(ExecMode::kBoundedExecutor);
+  opts.fault_plan = mixed_plan(n);
+
+  Engine engine(fault_platform(n), opts);
+  const auto first = engine.run(master_worker_program);
+  EXPECT_EQ(first.recovery.crashes, 3);
+  EXPECT_GE(first.recovery.detections, 3);
+  EXPECT_GT(first.recovery.detection_s, 0.0);
+  EXPECT_FALSE(first.fault_events.empty());
+
+  // Same engine again: recycled scratch, same faults.
+  expect_reports_bit_identical(first, engine.run(master_worker_program),
+                               "engine-reuse");
+
+  // Fresh engine, same plan.
+  Engine fresh(fault_platform(n), opts);
+  expect_reports_bit_identical(first, fresh.run(master_worker_program),
+                               "fresh-engine");
+
+  // Thread-per-rank mode: host scheduling differs wildly, reports must not.
+  Options tpr = opts;
+  tpr.exec_mode = ExecMode::kThreadPerRank;
+  Engine threads(fault_platform(n), tpr);
+  expect_reports_bit_identical(first, threads.run(master_worker_program),
+                               "executor-vs-threads");
+}
+
+TEST(VmpiFaultTest, MessageLossEventsAreLoggedAndDeterministic) {
+  const std::size_t n = 16;
+  Options opts = fault_options(ExecMode::kBoundedExecutor);
+  opts.fault_plan.loss.probability = 0.5;
+  opts.fault_plan.loss.seed = 7;
+
+  Engine a(fault_platform(n), opts);
+  const auto first = a.run(master_worker_program);
+  EXPECT_GT(first.recovery.messages_lost, 0u);
+  bool saw_loss_event = false;
+  for (const auto& e : first.fault_events) {
+    if (e.kind == FaultEventKind::kMessageLoss) saw_loss_event = true;
+  }
+  EXPECT_TRUE(saw_loss_event);
+
+  Options tpr = opts;
+  tpr.exec_mode = ExecMode::kThreadPerRank;
+  Engine b(fault_platform(n), tpr);
+  expect_reports_bit_identical(first, b.run(master_worker_program),
+                               "loss-across-modes");
+}
+
+TEST(VmpiFaultTest, CrashPoisonsFullWorldCollectives) {
+  Options opts = fault_options(ExecMode::kBoundedExecutor);
+  opts.fault_plan.crashes.push_back({1, 0.0});
+  Engine engine(fault_platform(8), opts);
+  try {
+    (void)engine.run([](Comm& comm) {
+      comm.compute(1000);
+      comm.barrier();
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("crash"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VmpiFaultTest, InvalidPlansFailAtEngineConstruction) {
+  const auto platform = fault_platform(4);
+  {
+    Options o;
+    o.fault_plan.crashes.push_back({9, 0.0});  // rank out of range
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+  {
+    Options o;
+    o.fault_plan.crashes.push_back({1, -1.0});  // negative crash time
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+  {
+    Options o;
+    o.fault_plan.degradations.push_back({0, 5, 2.0, 0.0, 1.0});  // bad segment
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+  {
+    Options o;
+    o.fault_plan.degradations.push_back({0, 0, 2.0, 1.0, 0.5});  // end < begin
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+  {
+    Options o;
+    o.fault_plan.loss.probability = 1.5;  // not a probability
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+  {
+    Options o;
+    o.fault_detection_s = -0.1;  // negative heartbeat
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+  {
+    Options o;
+    o.deadlock_timeout_s = 0.0;  // must be positive
+    EXPECT_THROW(Engine(platform, o), Error);
+  }
+}
+
+TEST(VmpiFaultTest, DeadlockDiagnosticsNameTheBlockedRanks) {
+  Options opts = fault_options(ExecMode::kBoundedExecutor);
+  opts.deadlock_timeout_s = 0.2;
+  Engine engine(fault_platform(2), opts);
+  try {
+    // Circular wait: both ranks receive a message nobody ever sends.
+    (void)engine.run([](Comm& comm) {
+      const int peer = 1 - comm.rank();
+      (void)comm.recv<int>(peer, /*tag=*/5);
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blocked ranks:"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace hprs::vmpi

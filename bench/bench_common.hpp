@@ -15,6 +15,8 @@
 #include "common/table.hpp"
 #include "core/runner.hpp"
 #include "hsi/scene.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_summary.hpp"
 #include "simnet/platform.hpp"
 
 namespace hprs::bench {
@@ -23,12 +25,16 @@ struct BenchSetup {
   hsi::Scene scene;
   core::RunnerConfig config;
   bool csv = false;
+  /// --summary <path>: write the canonical run summary (obs/run_summary.hpp)
+  /// here; metrics collection is enabled for the bench when set.  Empty
+  /// string disables both.
+  std::string summary_path;
 };
 
 inline const std::vector<std::string>& common_options() {
   static const std::vector<std::string> opts = {
       "rows", "cols",   "bands",  "seed",       "replication", "targets",
-      "classes", "iters", "radius", "threshold", "csv",
+      "classes", "iters", "radius", "threshold", "csv", "summary",
   };
   return opts;
 }
@@ -48,7 +54,7 @@ inline BenchSetup make_setup(int argc, char** argv,
   scene_cfg.bands = static_cast<std::size_t>(args.get_int("bands", 224));
   scene_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20010916));
 
-  BenchSetup setup{hsi::generate_wtc_scene(scene_cfg), {}, false};
+  BenchSetup setup{hsi::generate_wtc_scene(scene_cfg), {}, false, {}};
   auto& cfg = setup.config;
   cfg.targets = static_cast<std::size_t>(args.get_int("targets", 18));
   // c is set to the number of spectrally distinguishable constituents of
@@ -61,7 +67,39 @@ inline BenchSetup make_setup(int argc, char** argv,
   cfg.replication = static_cast<std::size_t>(args.get_int(
       "replication", static_cast<std::int64_t>(default_replication)));
   setup.csv = args.get_bool("csv", false);
+  setup.summary_path = args.get("summary", "");
+  if (!setup.summary_path.empty()) {
+    // Collect metrics for the whole bench process; write_summary embeds the
+    // stable subset next to the per-run report fields.
+    obs::Metrics::instance().reset();
+    obs::Metrics::instance().set_enabled(true);
+  }
   return setup;
+}
+
+/// Stable summary key prefix for one sweep cell, e.g.
+/// "ATDCA.hetero.fully-heterogeneous" (platform names are hyphenated and
+/// never need escaping).
+inline std::string summary_prefix(core::Algorithm alg,
+                                  core::PartitionPolicy policy,
+                                  const std::string& network) {
+  const char* pol =
+      policy == core::PartitionPolicy::kHeterogeneous ? "hetero" : "homo";
+  return std::string(core::to_string(alg)) + "." + pol + "." + network;
+}
+
+/// Appends the process-wide stable metrics under "metrics." and writes the
+/// summary to setup.summary_path (no-op when the path is empty).  Returns
+/// false -- after printing a diagnostic -- on I/O failure, so mains can
+/// `return write_summary(...) ? 0 : 1`.
+inline bool write_summary(const BenchSetup& setup, obs::RunSummary& summary) {
+  if (setup.summary_path.empty()) return true;
+  add_metrics(summary, "bench", obs::Metrics::instance().snapshot());
+  if (!summary.write(setup.summary_path)) {
+    std::fprintf(stderr, "failed to write %s\n", setup.summary_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// The four 16-node networks of Section 3.1, in the paper's column order.

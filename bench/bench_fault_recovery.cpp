@@ -121,5 +121,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
-  return 0;
+
+  obs::RunSummary summary;
+  for (const auto& rec : records) {
+    const std::string prefix =
+        "fault." + rec.algorithm + "." + rec.network + "." + rec.scenario;
+    summary.set_number(prefix + ".virtual_s", rec.virtual_seconds);
+    summary.set_number(prefix + ".detection_s", rec.recovery.detection_s);
+    summary.set_number(prefix + ".redistribution_s",
+                       rec.recovery.redistribution_s);
+    summary.set_number(prefix + ".recomputed_s", rec.recovery.recomputed_s);
+    summary.set_count(prefix + ".recomputed_flops",
+                      rec.recovery.recomputed_flops);
+    summary.set_count(prefix + ".crashes",
+                      static_cast<std::uint64_t>(rec.recovery.crashes));
+    summary.set_count(prefix + ".detections",
+                      static_cast<std::uint64_t>(rec.recovery.detections));
+    summary.set_bool(prefix + ".outputs_match", rec.outputs_match);
+  }
+  return bench::write_summary(setup, summary) ? 0 : 1;
 }

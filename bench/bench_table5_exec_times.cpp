@@ -23,5 +23,14 @@ int main(int argc, char** argv) {
   bench::emit(table, setup.csv,
               "Table 5. Execution times (seconds) of heterogeneous "
               "algorithms and their homogeneous versions.");
-  return 0;
+
+  obs::RunSummary summary;
+  for (const auto& rec : records) {
+    obs::add_run_report(summary,
+                          "table5." + bench::summary_prefix(rec.algorithm,
+                                                            rec.policy,
+                                                            rec.network),
+                          rec.report);
+  }
+  return bench::write_summary(setup, summary) ? 0 : 1;
 }

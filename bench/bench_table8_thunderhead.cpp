@@ -56,5 +56,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
-  return 0;
+
+  obs::RunSummary summary;
+  for (const auto& rec : records) {
+    const std::string prefix =
+        "table8." + rec.algorithm + ".p" + std::to_string(rec.cpus);
+    summary.set_number(prefix + ".virtual_s", rec.virtual_seconds);
+    // "host" in the key routes it to report_diff's threshold comparison.
+    summary.set_number(prefix + ".host_s", rec.host_seconds);
+  }
+  return bench::write_summary(setup, summary) ? 0 : 1;
 }

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Bench-smoke regression gate: run the table 5/7/8 and fault-recovery
+# benches at reduced size, emit their canonical run summaries
+# (bench/bench_common.hpp --summary), and compare each against the
+# checked-in golden under bench/golden/ with tools/report_diff.
+#
+# Virtual-time and count fields must match the goldens bit for bit (they
+# are deterministic by construction); keys containing "host" are wall-clock
+# measurements and are compared with loose thresholds.  This script is the
+# single source of truth for the smoke sizes -- CI and local runs use the
+# same flags.
+#
+# Usage:
+#   scripts/bench_smoke.sh             # compare against bench/golden/
+#   scripts/bench_smoke.sh --update    # regenerate bench/golden/ (run after
+#                                      # an intentional virtual-time change,
+#                                      # and commit the diff)
+#
+# Environment:
+#   BUILD_DIR  build tree with bench/ + tools/ binaries (default: ./build)
+#   OUT_DIR    where to leave the fresh summaries (default: mktemp -d)
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+out="${OUT_DIR:-$(mktemp -d)}"
+golden="$repo/bench/golden"
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+fi
+
+# One entry per gated bench: name, binary, and the reduced-size flags.
+# Table 8 partitions by rows across up to 256 ranks, so it keeps >= 256
+# rows and trims the other axes instead.
+declare -A bench_cmd=(
+  [table5]="bench/bench_table5_exec_times --rows 48 --cols 48 --replication 8"
+  [table7]="bench/bench_table7_imbalance --rows 48 --cols 48 --replication 8"
+  [table8]="bench/bench_table8_thunderhead --rows 256 --cols 16 --replication 4"
+  [fault]="bench/bench_fault_recovery --rows 48 --cols 48 --replication 8"
+)
+
+status=0
+for name in table5 table7 table8 fault; do
+  cmd=(${bench_cmd[$name]})
+  bin="$build/${cmd[0]}"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_smoke: missing $bin (build with -DHPRS_BUILD_BENCH=ON)" >&2
+    exit 2
+  fi
+  echo "== bench_smoke: $name =="
+  "$bin" "${cmd[@]:1}" --summary "$out/$name.json" > "$out/$name.txt"
+
+  if [[ "$update" == "1" ]]; then
+    mkdir -p "$golden"
+    cp "$out/$name.json" "$golden/$name.json"
+    echo "updated $golden/$name.json"
+  elif ! "$build/tools/report_diff" "$golden/$name.json" "$out/$name.json"; then
+    status=1
+  fi
+done
+
+if [[ "$update" == "1" ]]; then
+  echo "bench_smoke: goldens regenerated under bench/golden/ -- review and commit"
+elif [[ "$status" == "0" ]]; then
+  echo "bench_smoke: all summaries match bench/golden/"
+else
+  echo "bench_smoke: MISMATCH -- see report_diff output above." >&2
+  echo "If the virtual-time change is intentional, regenerate with" >&2
+  echo "  scripts/bench_smoke.sh --update" >&2
+fi
+exit "$status"

@@ -6,15 +6,24 @@
 # executor and HPRS_THREAD_PER_RANK).  This is the gate a change must pass
 # before merging.
 #
-# Usage: scripts/check.sh [--no-sanitizers]
+# A final bench-smoke tier reruns the table 5/7/8 + fault benches at
+# reduced size and diffs their run summaries against bench/golden/
+# (scripts/bench_smoke.sh) -- the same regression gate CI applies.
+#
+# Usage: scripts/check.sh [--no-sanitizers] [--no-bench-smoke]
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
 run_sanitizers=1
-if [[ "${1:-}" == "--no-sanitizers" ]]; then
-  run_sanitizers=0
-fi
+run_bench_smoke=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitizers) run_sanitizers=0 ;;
+    --no-bench-smoke) run_bench_smoke=0 ;;
+    *) echo "check.sh: unknown option $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier 1: build + full test suite =="
 cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release
@@ -49,6 +58,11 @@ if [[ "$run_sanitizers" == "1" ]]; then
     HPRS_STRESS_RANKS=64 "$repo/build-tsan/tests/$t"
     HPRS_STRESS_RANKS=64 HPRS_THREAD_PER_RANK=1 "$repo/build-tsan/tests/$t"
   done
+fi
+
+if [[ "$run_bench_smoke" == "1" ]]; then
+  echo "== tier 1d: bench-smoke vs bench/golden/ =="
+  BUILD_DIR="$repo/build" "$repo/scripts/bench_smoke.sh"
 fi
 
 echo "check.sh: all green"

@@ -7,8 +7,19 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hprs::core::ft {
+
+namespace {
+
+// Recovery decisions are pure functions of the virtual protocol (who died,
+// when, which chunks were theirs), so these counters are Domain::kStable
+// and golden-comparable.  The recovery path runs at most a few times per
+// program, so publishing directly (registry mutex and all) is fine here.
+void note_worker_lost() { obs::Metrics::instance().add("ft.workers_lost", 1); }
+
+}  // namespace
 
 void worker_loop(vmpi::Comm& comm, const std::vector<Handler>& handlers) {
   const int root = comm.root();
@@ -115,6 +126,7 @@ std::vector<std::any> Master::phase(int phase_id, const Handler& handler,
         // Death detected while posting; the detection wait was charged by
         // the engine.  The chunks stay missing and are adopted below.
         alive_[ru] = false;
+        note_worker_lost();
         continue;
       }
       if (recovery) {
@@ -146,6 +158,7 @@ std::vector<std::any> Master::phase(int phase_id, const Handler& handler,
       auto res = comm.try_recv<PhaseResult>(r, kResultTag);
       if (!res.has_value()) {
         alive_[static_cast<std::size_t>(r)] = false;
+        note_worker_lost();
         continue;
       }
       for (auto& cr : res->results) {
@@ -223,7 +236,10 @@ void Master::reassign_lost(const std::vector<bool>& have) {
     const auto bu = static_cast<std::size_t>(best);
     load[bu] += rows;
     held[bu] += bytes;
+    obs::Metrics::instance().add("ft.chunks_reassigned", 1, obs::Domain::kStable,
+                                 best);
   }
+  obs::Metrics::instance().add("ft.recovery_rounds", 1);
 
   // The replanning is a handful of arithmetic per survivor, performed by
   // the master alone -- the same charge distribute_partitions makes for
@@ -239,6 +255,7 @@ void Master::finish() {
     if (r == comm.root() || !alive_[ru]) continue;
     if (!comm.try_send(r, Command{}, kChunkDescriptorBytes, kCommandTag)) {
       alive_[ru] = false;
+      note_worker_lost();
     }
   }
 }

@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/spmd_common.hpp"
+#include "obs/host_profile.hpp"
+#include "obs/metrics.hpp"
 #include "linalg/flops.hpp"
 #include "linalg/vec.hpp"
 #include "vmpi/comm.hpp"
@@ -71,6 +73,8 @@ PpiResult run_ppi(const simnet::Platform& platform, const hsi::HsiCube& cube,
   HPRS_REQUIRE(config.targets >= 1, "need at least one target");
   HPRS_REQUIRE(config.skewers >= 1, "need at least one skewer");
   HPRS_REQUIRE(!cube.empty(), "empty cube");
+  obs::Metrics::instance().add("core.runs.PPI", 1);
+  obs::ScopedHostTimer obs_timer("core.run.PPI");
 
   vmpi::Engine engine(platform, options);
   PpiResult result;

@@ -1,5 +1,8 @@
 #include "core/runner.hpp"
 
+#include "obs/host_profile.hpp"
+#include "obs/metrics.hpp"
+
 namespace hprs::core {
 
 const char* to_string(Algorithm a) {
@@ -21,6 +24,10 @@ std::string display_name(Algorithm a, PartitionPolicy policy) {
 RunnerOutput run_algorithm(const simnet::Platform& platform,
                            const hsi::HsiCube& cube,
                            const RunnerConfig& config, vmpi::Options options) {
+  obs::Metrics::instance().add(std::string("core.runs.") +
+                               to_string(config.algorithm), 1);
+  obs::ScopedHostTimer timer(std::string("core.run.") +
+                             to_string(config.algorithm));
   RunnerOutput out;
   switch (config.algorithm) {
     case Algorithm::kAtdca: {

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "core/spmd_common.hpp"
 #include "linalg/fcls.hpp"
+#include "obs/host_profile.hpp"
+#include "obs/metrics.hpp"
 #include "linalg/flops.hpp"
 #include "vmpi/comm.hpp"
 
@@ -68,6 +70,8 @@ AbundanceMaps run_unmix_map(const simnet::Platform& platform,
   HPRS_REQUIRE(endmembers.rows() >= 1, "need at least one endmember");
   HPRS_REQUIRE(endmembers.cols() == cube.bands(),
                "endmember band count does not match the cube");
+  obs::Metrics::instance().add("core.runs.UNMIX", 1);
+  obs::ScopedHostTimer obs_timer("core.run.UNMIX");
   HPRS_REQUIRE(!cube.empty(), "empty cube");
 
   vmpi::Engine engine(platform, options);

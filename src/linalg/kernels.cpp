@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hprs::linalg {
 
@@ -40,7 +41,16 @@ ScopedKernelPath::ScopedKernelPath(bool reference)
 
 ScopedKernelPath::~ScopedKernelPath() { set_reference_kernels(saved_); }
 
+ScratchArena::~ScratchArena() {
+  if (high_water_ > 0) {
+    obs::Metrics::instance().gauge_max("linalg.scratch_high_water_doubles",
+                                       static_cast<double>(high_water_));
+  }
+}
+
 std::span<double> ScratchArena::take(std::size_t n) {
+  live_ += n;
+  if (live_ > high_water_) high_water_ = live_;
   while (chunk_ < chunks_.size() && used_ + n > chunks_[chunk_].size()) {
     ++chunk_;
     used_ = 0;

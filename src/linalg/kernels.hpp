@@ -49,17 +49,33 @@ class ScopedKernelPath {
 /// heap.  Chunks are stable in memory (a new chunk never moves old ones).
 class ScratchArena {
  public:
+  ScratchArena() = default;
+  /// Publishes the arena's lifetime high-water mark into obs::Metrics
+  /// (gauge "linalg.scratch_high_water_doubles", the max over all arenas).
+  /// The kernel call sequence is deterministic per rank, so the mark is
+  /// Domain::kStable and golden-comparable.
+  ~ScratchArena();
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
   [[nodiscard]] std::span<double> take(std::size_t n);
   void reset() {
     chunk_ = 0;
     used_ = 0;
+    live_ = 0;
   }
+
+  /// Largest number of doubles simultaneously outstanding (between resets)
+  /// over this arena's lifetime.
+  [[nodiscard]] std::size_t high_water_doubles() const { return high_water_; }
 
  private:
   static constexpr std::size_t kMinChunk = 1 << 14;  // doubles per chunk
   std::vector<std::vector<double>> chunks_;
   std::size_t chunk_ = 0;  // index of the chunk currently bump-allocated
   std::size_t used_ = 0;   // doubles consumed in chunks_[chunk_]
+  std::size_t live_ = 0;   // doubles taken since the last reset
+  std::size_t high_water_ = 0;
 };
 
 /// out[p * u.rows() + i] = dot(u.row(i), x_p) for the m pixels stored

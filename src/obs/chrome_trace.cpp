@@ -1,0 +1,123 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "vmpi/trace.hpp"
+
+namespace hprs::obs {
+namespace {
+
+// Fixed-format double for JSON: enough digits to be lossless for the
+// microsecond timestamps we emit, locale-independent via snprintf.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void meta(std::ostringstream& os, bool& first, int pid, int tid,
+          std::string_view kind, std::string_view name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"ph":"M","pid":)" << pid << R"(,"tid":)" << tid << R"(,"name":")"
+     << kind << R"(","args":{"name":")" << escape(name) << R"("}})";
+}
+
+std::string_view fault_name(vmpi::FaultEventKind kind) {
+  switch (kind) {
+    case vmpi::FaultEventKind::kCrash: return "crash";
+    case vmpi::FaultEventKind::kDetection: return "detection";
+    case vmpi::FaultEventKind::kMessageLoss: return "message_loss";
+  }
+  return "fault";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const vmpi::RunReport& report,
+                              const std::vector<HostSpan>& host_spans) {
+  constexpr int kVirtualPid = 0;
+  constexpr int kHostPid = 1;
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  bool first = true;
+
+  // -- Metadata: name the two processes and every track we will emit into.
+  meta(os, first, kVirtualPid, 0, "process_name", "vmpi virtual time");
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    std::string label = "rank " + std::to_string(r);
+    if (static_cast<int>(r) == report.root) label += " (root)";
+    meta(os, first, kVirtualPid, static_cast<int>(r), "thread_name", label);
+  }
+  if (!host_spans.empty()) {
+    meta(os, first, kHostPid, 0, "process_name", "host time");
+    std::set<int> tids;
+    for (const HostSpan& s : host_spans) tids.insert(s.tid);
+    for (int tid : tids) {
+      meta(os, first, kHostPid, tid, "thread_name",
+           "host thread " + std::to_string(tid));
+    }
+  }
+
+  // -- Virtual timeline: one complete ("X") event per TraceEvent, with the
+  // flop/byte amount attached as an argument.  Virtual seconds map to
+  // microseconds 1:1 in magnitude (1 virtual s == 1 trace s).
+  for (const vmpi::TraceEvent& ev : report.trace) {
+    os << ",\n"
+       << R"(  {"ph":"X","pid":)" << kVirtualPid << R"(,"tid":)" << ev.rank
+       << R"(,"name":")" << vmpi::to_string(ev.kind) << R"(","cat":"virtual")"
+       << R"(,"ts":)" << fmt(ev.begin * 1e6) << R"(,"dur":)"
+       << fmt((ev.end - ev.begin) * 1e6) << R"(,"args":{"amount":)"
+       << ev.amount << "}}";
+  }
+
+  // -- Fault log: instant events pinned to the affected rank's track.
+  for (const vmpi::FaultEvent& ev : report.fault_events) {
+    const int tid = ev.rank >= 0 ? ev.rank : 0;
+    os << ",\n"
+       << R"(  {"ph":"i","pid":)" << kVirtualPid << R"(,"tid":)" << tid
+       << R"(,"name":")" << fault_name(ev.kind) << R"(","cat":"fault")"
+       << R"(,"s":"t","ts":)" << fmt(ev.time_s * 1e6) << R"(,"args":{"peer":)"
+       << ev.peer << R"(,"attempt":)" << ev.attempt << "}}";
+  }
+
+  // -- Host timeline: the ScopedHostTimer sections, already host-µs.
+  for (const HostSpan& s : host_spans) {
+    os << ",\n"
+       << R"(  {"ph":"X","pid":)" << kHostPid << R"(,"tid":)" << s.tid
+       << R"(,"name":")" << escape(s.name) << R"(","cat":"host","ts":)"
+       << fmt(s.begin_us) << R"(,"dur":)" << fmt(s.end_us - s.begin_us)
+       << ",\"args\":{}}";
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace hprs::obs

@@ -1,0 +1,36 @@
+// Chrome trace-event (chrome://tracing / Perfetto "legacy JSON") exporter.
+//
+// Two timelines are emitted into one file so they can be inspected side by
+// side in ui.perfetto.dev:
+//
+//  * pid 0, "vmpi virtual time": one track per rank, built from the
+//    engine's virtual-time TraceEvent stream (Options::enable_trace).
+//    Timestamps are virtual seconds scaled to microseconds, so 1 trace
+//    second reads as 1 second in the viewer.  Fault-log entries become
+//    instant events on the affected rank's track.
+//
+//  * pid 1, "host time": one track per host thread, built from the
+//    HostSpan stream of obs::HostProfiler (the ScopedHostTimer sections
+//    around the engine).  Omitted when no spans are supplied.
+//
+// The format is the stable subset documented by the Trace Event Format
+// spec: "X" complete events (ts + dur), "i" instants, and "M" metadata
+// records naming processes and threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/host_profile.hpp"
+#include "vmpi/stats.hpp"
+
+namespace hprs::obs {
+
+/// Renders `report` (and optionally a host-profiler span list) as a Chrome
+/// trace-event JSON document.  Deterministic for a fixed report + spans:
+/// events are emitted in input order with fixed formatting.
+[[nodiscard]] std::string chrome_trace_json(
+    const vmpi::RunReport& report,
+    const std::vector<HostSpan>& host_spans = {});
+
+}  // namespace hprs::obs

@@ -1,0 +1,71 @@
+#include "obs/host_profile.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "obs/metrics.hpp"
+
+namespace hprs::obs {
+
+HostProfiler& HostProfiler::instance() {
+  static HostProfiler profiler;
+  return profiler;
+}
+
+HostProfiler::HostProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+void HostProfiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  tids_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double HostProfiler::now_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+void HostProfiler::record(std::string_view name, double begin_us,
+                          double end_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(), static_cast<int>(tids_.size()));
+  (void)inserted;
+  spans_.push_back(HostSpan{std::string(name), it->second, begin_us, end_us});
+}
+
+std::vector<HostSpan> HostProfiler::spans() const {
+  std::vector<HostSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(), [](const HostSpan& a, const HostSpan& b) {
+    return std::tie(a.begin_us, a.tid, a.name) <
+           std::tie(b.begin_us, b.tid, b.name);
+  });
+  return out;
+}
+
+ScopedHostTimer::ScopedHostTimer(std::string_view name) {
+  auto& profiler = HostProfiler::instance();
+  // Metrics::time_add re-checks its own enabled gate, so a timer is live
+  // whenever either sink wants the measurement.
+  active_ = profiler.enabled() || Metrics::instance().enabled();
+  if (!active_) return;
+  name_ = std::string(name);
+  begin_us_ = profiler.now_us();
+}
+
+ScopedHostTimer::~ScopedHostTimer() {
+  if (!active_) return;
+  auto& profiler = HostProfiler::instance();
+  const double end_us = profiler.now_us();
+  profiler.record(name_, begin_us_, end_us);
+  Metrics::instance().time_add(name_, (end_us - begin_us_) * 1e-6);
+}
+
+}  // namespace hprs::obs

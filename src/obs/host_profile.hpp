@@ -1,0 +1,98 @@
+// Host-time (wall-clock) profiler: scoped RAII timers around engine and
+// runner sections, collected as named spans for the Chrome-trace exporter
+// (obs/chrome_trace.hpp) so virtual and host timelines open side by side
+// in the same Perfetto view.
+//
+// Like obs::Metrics, the profiler is a process-wide singleton that is
+// disabled by default: a ScopedHostTimer constructed while disabled does
+// nothing beyond one relaxed atomic load.  Host spans are inherently
+// Domain::kHost data -- never golden-compared, only visualized (and
+// summarized through Metrics::time_add, which ScopedHostTimer feeds).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace hprs::obs {
+
+/// One completed host-time interval.  `tid` is a small dense id assigned to
+/// each host thread in order of first appearance (ucontext fibers report
+/// the worker thread currently running them).
+struct HostSpan {
+  std::string name;
+  int tid = 0;
+  double begin_us = 0.0;  ///< microseconds since the profiler epoch
+  double end_us = 0.0;
+};
+
+class HostProfiler {
+ public:
+  [[nodiscard]] static HostProfiler& instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops recorded spans and restarts the epoch.
+  void clear();
+
+  /// Microseconds since the profiler epoch (monotonic).
+  [[nodiscard]] double now_us() const;
+
+  /// Records a completed span on the calling thread.  No-op while disabled.
+  void record(std::string_view name, double begin_us, double end_us);
+
+  /// Copy of the recorded spans, sorted by (begin_us, tid, name).
+  [[nodiscard]] std::vector<HostSpan> spans() const;
+
+ private:
+  HostProfiler();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<std::thread::id, int> tids_;
+  std::vector<HostSpan> spans_;
+};
+
+/// RAII section timer: records a HostSpan for its lifetime and accumulates
+/// the elapsed host seconds into the metrics timer of the same name
+/// (Domain::kHost).  Costs one atomic load when the profiler and metrics
+/// are both disabled.
+class ScopedHostTimer {
+ public:
+  explicit ScopedHostTimer(std::string_view name);
+  ~ScopedHostTimer();
+  ScopedHostTimer(const ScopedHostTimer&) = delete;
+  ScopedHostTimer& operator=(const ScopedHostTimer&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  double begin_us_ = 0.0;
+};
+
+/// RAII enable + clear for tests and harnesses, mirroring ScopedMetrics.
+class ScopedHostProfile {
+ public:
+  ScopedHostProfile() : saved_(HostProfiler::instance().enabled()) {
+    HostProfiler::instance().clear();
+    HostProfiler::instance().set_enabled(true);
+  }
+  ~ScopedHostProfile() { HostProfiler::instance().set_enabled(saved_); }
+  ScopedHostProfile(const ScopedHostProfile&) = delete;
+  ScopedHostProfile& operator=(const ScopedHostProfile&) = delete;
+
+ private:
+  bool saved_;
+};
+
+}  // namespace hprs::obs

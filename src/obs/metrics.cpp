@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace hprs::obs {
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.clear();
+}
+
+void Metrics::add(std::string_view name, std::uint64_t delta, Domain domain,
+                  int rank) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), MetricValue{}).first;
+    it->second.kind = MetricKind::kCounter;
+    it->second.domain = domain;
+  }
+  MetricValue& m = it->second;
+  m.count += delta;
+  if (rank >= 0) {
+    const auto r = static_cast<std::size_t>(rank);
+    if (m.per_rank.size() <= r) m.per_rank.resize(r + 1, 0);
+    m.per_rank[r] += delta;
+  }
+}
+
+void Metrics::gauge_max(std::string_view name, double value, Domain domain) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), MetricValue{}).first;
+    it->second.kind = MetricKind::kGauge;
+    it->second.domain = domain;
+  }
+  it->second.value = std::max(it->second.value, value);
+}
+
+void Metrics::time_add(std::string_view name, double seconds) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), MetricValue{}).first;
+    it->second.kind = MetricKind::kTimer;
+    it->second.domain = Domain::kHost;
+  }
+  it->second.value += seconds;
+  ++it->second.count;
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, value] : metrics_) {
+    out.emplace_back(name, value);
+  }
+  return out;  // std::map iterates name-sorted
+}
+
+Metrics::Snapshot Metrics::stable_subset(const Snapshot& snapshot) {
+  Snapshot out;
+  for (const auto& entry : snapshot) {
+    if (entry.second.domain == Domain::kStable) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace hprs::obs

@@ -1,0 +1,198 @@
+#include "obs/report_diff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace hprs::obs {
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+};
+
+// Reads a JSON string literal (with escapes) and returns its decoded value.
+bool read_string(Cursor& c, std::string& out, std::string& error) {
+  if (c.eof() || c.peek() != '"') {
+    error = "expected '\"' at offset " + std::to_string(c.pos);
+    return false;
+  }
+  ++c.pos;
+  out.clear();
+  while (!c.eof() && c.peek() != '"') {
+    char ch = c.text[c.pos++];
+    if (ch == '\\') {
+      if (c.eof()) break;
+      char esc = c.text[c.pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Our writer only emits \u00XX for control bytes; decode those.
+          if (c.pos + 4 <= c.text.size()) {
+            const std::string hex(c.text.substr(c.pos, 4));
+            out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            c.pos += 4;
+          }
+          break;
+        default: out += esc;
+      }
+    } else {
+      out += ch;
+    }
+  }
+  if (c.eof()) {
+    error = "unterminated string";
+    return false;
+  }
+  ++c.pos;  // closing quote
+  return true;
+}
+
+// Reads one scalar value token verbatim (string, number, true/false/null).
+bool read_token(Cursor& c, std::string& out, std::string& error) {
+  c.skip_ws();
+  if (c.eof()) {
+    error = "expected value, found end of input";
+    return false;
+  }
+  const std::size_t start = c.pos;
+  if (c.peek() == '"') {
+    std::string ignored;
+    if (!read_string(c, ignored, error)) return false;
+  } else {
+    while (!c.eof() && c.peek() != ',' && c.peek() != '}' &&
+           !std::isspace(static_cast<unsigned char>(c.peek()))) {
+      ++c.pos;
+    }
+    if (c.pos == start) {
+      error = "empty value at offset " + std::to_string(start);
+      return false;
+    }
+  }
+  out = std::string(c.text.substr(start, c.pos - start));
+  return true;
+}
+
+bool parse_number(std::string_view token, double& out) {
+  const std::string s(token);
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && end == s.c_str() + s.size() && !s.empty();
+}
+
+}  // namespace
+
+bool parse_flat_json(std::string_view text,
+                     std::map<std::string, std::string>& out,
+                     std::string& error) {
+  out.clear();
+  Cursor c{text};
+  c.skip_ws();
+  if (c.eof() || c.peek() != '{') {
+    error = "expected '{' to open the summary object";
+    return false;
+  }
+  ++c.pos;
+  c.skip_ws();
+  if (!c.eof() && c.peek() == '}') {
+    ++c.pos;
+    return true;
+  }
+  while (true) {
+    c.skip_ws();
+    std::string key;
+    if (!read_string(c, key, error)) return false;
+    c.skip_ws();
+    if (c.eof() || c.peek() != ':') {
+      error = "expected ':' after key \"" + key + "\"";
+      return false;
+    }
+    ++c.pos;
+    std::string token;
+    if (!read_token(c, token, error)) return false;
+    if (out.count(key) != 0) {
+      error = "duplicate key \"" + key + "\"";
+      return false;
+    }
+    out.emplace(std::move(key), std::move(token));
+    c.skip_ws();
+    if (!c.eof() && c.peek() == ',') {
+      ++c.pos;
+      continue;
+    }
+    if (!c.eof() && c.peek() == '}') {
+      ++c.pos;
+      return true;
+    }
+    error = "expected ',' or '}' at offset " + std::to_string(c.pos);
+    return false;
+  }
+}
+
+bool is_host_time_key(std::string_view key) {
+  return key.find("host") != std::string_view::npos;
+}
+
+DiffResult diff_summaries(const std::map<std::string, std::string>& golden,
+                          const std::map<std::string, std::string>& actual,
+                          const DiffOptions& options) {
+  DiffResult result;
+  for (const auto& [key, gold_token] : golden) {
+    auto it = actual.find(key);
+    if (it == actual.end()) {
+      result.mismatches.push_back(
+          {key, gold_token, "<missing>", "key missing from actual summary"});
+      continue;
+    }
+    ++result.keys_compared;
+    const std::string& act_token = it->second;
+    if (is_host_time_key(key)) {
+      double g = 0.0;
+      double a = 0.0;
+      if (!parse_number(gold_token, g) || !parse_number(act_token, a)) {
+        if (gold_token != act_token) {
+          result.mismatches.push_back(
+              {key, gold_token, act_token, "non-numeric host value differs"});
+        }
+        continue;
+      }
+      const double lo = std::min(g, a);
+      const double hi = std::max(g, a);
+      const bool within_rel = hi <= lo * options.host_rel_tol;
+      const bool within_abs = std::abs(g - a) <= options.host_abs_tol;
+      if (!(within_rel || within_abs)) {
+        result.mismatches.push_back(
+            {key, gold_token, act_token,
+             "host value outside rel_tol=" +
+                 std::to_string(options.host_rel_tol) +
+                 " / abs_tol=" + std::to_string(options.host_abs_tol)});
+      }
+    } else if (gold_token != act_token) {
+      result.mismatches.push_back(
+          {key, gold_token, act_token, "stable value differs (exact match "
+                                       "required; see DESIGN.md §10)"});
+    }
+  }
+  for (const auto& [key, act_token] : actual) {
+    if (golden.find(key) == golden.end()) {
+      result.mismatches.push_back(
+          {key, "<missing>", act_token, "key absent from golden summary"});
+    }
+  }
+  return result;
+}
+
+}  // namespace hprs::obs

@@ -1,0 +1,61 @@
+// Comparator for RunSummary JSON documents -- the decision procedure of
+// the CI bench-smoke gate (tools/report_diff, scripts/bench_smoke.sh).
+//
+// Policy (see DESIGN.md §10):
+//  * Stable keys must match as raw character-for-character JSON tokens.
+//    Virtual time is deterministic, so anything short of identity is a
+//    regression (or an intentional change, regenerated with
+//    scripts/bench_smoke.sh --update).
+//  * Keys whose name contains "host" carry wall-clock measurements and are
+//    compared numerically with generous relative/absolute tolerances --
+//    they gate only order-of-magnitude performance collapses.
+//  * A key present on one side only is always a failure: summaries are
+//    schemas as much as values.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hprs::obs {
+
+/// Parses the flat one-object JSON produced by RunSummary::to_json into
+/// key -> raw-value-token.  Returns false (and sets `error`) on documents
+/// that are not in that shape; this is a reader for our own writer, not a
+/// general JSON parser.
+bool parse_flat_json(std::string_view text,
+                     std::map<std::string, std::string>& out,
+                     std::string& error);
+
+/// True when `key` is compared by threshold instead of exact identity.
+[[nodiscard]] bool is_host_time_key(std::string_view key);
+
+struct DiffOptions {
+  /// Host values pass when within `rel_tol` RELATIVE factor of golden
+  /// (actual <= golden * rel_tol and golden <= actual * rel_tol) or within
+  /// `abs_tol` absolute difference.  Defaults are deliberately loose: the
+  /// gate exists to catch collapses, not jitter.
+  double host_rel_tol = 10.0;
+  double host_abs_tol = 5.0;
+};
+
+struct DiffEntry {
+  std::string key;
+  std::string golden;  ///< raw token, or "<missing>"
+  std::string actual;  ///< raw token, or "<missing>"
+  std::string reason;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> mismatches;
+  std::size_t keys_compared = 0;
+  [[nodiscard]] bool ok() const { return mismatches.empty(); }
+};
+
+[[nodiscard]] DiffResult diff_summaries(
+    const std::map<std::string, std::string>& golden,
+    const std::map<std::string, std::string>& actual,
+    const DiffOptions& options = {});
+
+}  // namespace hprs::obs

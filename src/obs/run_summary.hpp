@@ -1,0 +1,58 @@
+// Canonical machine-readable run summary: a flat, sorted key -> value map
+// serialized as one stable JSON object, the unit of comparison for the CI
+// regression gate (tools/report_diff vs bench/golden/).
+//
+// Values are stored as pre-rendered JSON tokens (integers as decimal,
+// doubles as %.17g so they round-trip exactly, strings quoted/escaped).
+// That makes the comparison rule trivial and robust: two summaries agree on
+// a stable key iff the raw tokens are character-identical -- no parsing, no
+// epsilon, no formatting drift.  Host-time keys (any key containing
+// "host") are the one exception; report_diff parses those and compares by
+// threshold, because wall-clock numbers legitimately vary run to run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "vmpi/stats.hpp"
+
+namespace hprs::obs {
+
+/// Flat key -> JSON-token map with deterministic serialization.
+class RunSummary {
+ public:
+  void set_count(std::string_view key, std::uint64_t value);
+  void set_number(std::string_view key, double value);
+  void set_bool(std::string_view key, bool value);
+  void set_string(std::string_view key, std::string_view value);
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// One JSON object, keys sorted, one `"key": token` pair per line.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::string> entries_;  // key -> raw JSON token
+};
+
+/// Records the deterministic core of a RunReport under `prefix.`:
+/// total/com/seq/par seconds, imbalance ratios, bytes, flops, rank count,
+/// fault-event count, and the recovery decomposition when non-trivial.
+void add_run_report(RunSummary& summary, std::string_view prefix,
+                    const vmpi::RunReport& report);
+
+/// Records every Domain::kStable metric of `snapshot` under
+/// `prefix.metrics.<name>` (counters/gauges; timers are host-domain and
+/// are recorded only when `include_host` is set, as `...<name>.host_s`).
+void add_metrics(RunSummary& summary, std::string_view prefix,
+                 const Metrics::Snapshot& snapshot, bool include_host = false);
+
+}  // namespace hprs::obs

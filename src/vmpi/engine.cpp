@@ -10,6 +10,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/host_profile.hpp"
+#include "obs/metrics.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/executor.hpp"
 
@@ -164,12 +166,15 @@ Engine::Engine(simnet::Platform platform, Options options)
 }
 
 RunReport Engine::run(const std::function<void(Comm&)>& program) {
+  obs::ScopedHostTimer run_timer("vmpi.engine.run");
   const int p = size();
   const auto pu = static_cast<std::size_t>(p);
   const bool thread_per_rank =
       options_.exec_mode == ExecMode::kThreadPerRank || env_thread_per_rank();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    obs_ = ObsCounters{};
+    obs_scheduled_bytes_ = 0;
     stats_.assign(pu, RankStats{});
     trace_.assign(pu, {});
     nic_free_.assign(pu, 0.0);
@@ -233,6 +238,7 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
   };
 
   if (thread_per_rank) {
+    obs::ScopedHostTimer ranks_timer("vmpi.engine.ranks");
     std::vector<std::thread> threads;
     threads.reserve(pu);
     for (int r = 0; r < p; ++r) {
@@ -240,6 +246,7 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     }
     for (auto& t : threads) t.join();
   } else {
+    obs::ScopedHostTimer ranks_timer("vmpi.engine.ranks");
     Executor exec;
     Executor::Config cfg;
     cfg.workers = options_.executor_workers;
@@ -305,7 +312,50 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     if (e.kind == FaultEventKind::kCrash) ++report.recovery.crashes;
     if (e.kind == FaultEventKind::kMessageLoss) ++report.recovery.messages_lost;
   }
+  publish_metrics(report);
   return report;
+}
+
+void Engine::publish_metrics(const RunReport& report) const {
+  auto& metrics = obs::Metrics::instance();
+  if (!metrics.enabled()) return;
+  using obs::Domain;
+  // Stable domain: everything below the host section derives from the
+  // virtual protocol and byte/flop counts, so it is golden-comparable.
+  static constexpr const char* kCollNames[] = {"none",    "barrier", "bcast",
+                                               "gather",  "scatter", "exchange"};
+  for (std::size_t k = 1; k < 6; ++k) {
+    if (obs_.collectives[k] == 0) continue;
+    const std::string name = kCollNames[k];
+    metrics.add("vmpi.collectives." + name, obs_.collectives[k]);
+    metrics.add("vmpi.collective_wire_bytes." + name,
+                obs_.collective_wire_bytes[k]);
+  }
+  metrics.add("vmpi.p2p.messages", obs_.p2p_messages);
+  metrics.add("vmpi.p2p.wire_bytes", obs_.p2p_wire_bytes);
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const RankStats& s = report.ranks[r];
+    metrics.add("vmpi.bytes_sent", s.bytes_sent, Domain::kStable,
+                static_cast<int>(r));
+    metrics.add("vmpi.bytes_received", s.bytes_received, Domain::kStable,
+                static_cast<int>(r));
+    metrics.add("vmpi.flops", s.flops, Domain::kStable, static_cast<int>(r));
+  }
+  const RecoveryStats& rec = report.recovery;
+  if (rec.crashes != 0 || rec.detections != 0 || rec.messages_lost != 0) {
+    metrics.add("vmpi.fault.crashes", static_cast<std::uint64_t>(rec.crashes));
+    metrics.add("vmpi.fault.heartbeat_detections",
+                static_cast<std::uint64_t>(rec.detections));
+    metrics.add("vmpi.fault.messages_lost", rec.messages_lost);
+  }
+  // Host domain: wakeup traffic and mailbox pressure depend on how the OS
+  // interleaved the rank contexts; never golden-compared.
+  metrics.add("vmpi.host.wakeups_targeted", obs_.wakeups_targeted,
+              Domain::kHost);
+  metrics.add("vmpi.host.wakeups_broadcast", obs_.wakeups_broadcast,
+              Domain::kHost);
+  metrics.gauge_max("vmpi.host.mailbox_depth_max",
+                    static_cast<double>(obs_.mailbox_depth_max), Domain::kHost);
 }
 
 double Engine::core_now(int rank) const {
@@ -434,6 +484,8 @@ Packet Engine::match_recv_locked(int rank, int src, int tag, PendingSend& ps) {
   }
   double active = 0.0;
   const double end = schedule_transfer_locked(src, rank, bytes, ready, &active);
+  ++obs_.p2p_messages;
+  obs_.p2p_wire_bytes += bytes;
   account_transfer_locked(rank, me.clock, end, active, 0, bytes);
   // Record the sender's half for it to apply itself (core_send /
   // core_wait_send); writing stats_[src] here would race with a sender
@@ -551,6 +603,7 @@ bool Engine::wait_rank(std::unique_lock<std::mutex>& lock, int rank,
 }
 
 void Engine::wake_rank_locked(int rank) {
+  ++obs_.wakeups_targeted;
   if (executor_ != nullptr) {
     executor_->notify(static_cast<std::size_t>(rank));
   } else if (rank_cvs_) {
@@ -559,6 +612,7 @@ void Engine::wake_rank_locked(int rank) {
 }
 
 void Engine::wake_all_locked() {
+  ++obs_.wakeups_broadcast;
   if (executor_ != nullptr) {
     executor_->notify_all();
   } else if (rank_cvs_) {
@@ -653,6 +707,7 @@ double Engine::schedule_transfer_locked(int src, int dst, std::size_t bytes,
   nic_free_[d] = end;
   if (seg_s != seg_d) xlink_free_[xkey] = end;
   if (active_out != nullptr) *active_out = dur;
+  obs_scheduled_bytes_ += bytes;
   return end;
 }
 
@@ -684,6 +739,8 @@ void Engine::finish_collective_locked() {
   const int p = size();
   const int root = coll_root_;
   const auto ru = static_cast<std::size_t>(root);
+  const auto obs_kind = static_cast<std::size_t>(coll_kind_);
+  const std::uint64_t obs_bytes_before = obs_scheduled_bytes_;
 
   std::vector<double> arrival(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
@@ -914,6 +971,9 @@ void Engine::finish_collective_locked() {
       HPRS_ASSERT(false);
   }
 
+  ++obs_.collectives[obs_kind];
+  obs_.collective_wire_bytes[obs_kind] +=
+      obs_scheduled_bytes_ - obs_bytes_before;
   coll_kind_ = CollectiveKind::kNone;
   coll_root_ = -1;
   coll_arrived_ = 0;
@@ -1038,6 +1098,8 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
   ps.payload = std::move(payload);
   ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
   queue.push_back(std::move(ps));
+  obs_.mailbox_depth_max = std::max<std::uint64_t>(obs_.mailbox_depth_max,
+                                                   queue.size());
   auto it = std::prev(queue.end());
   wake_rank_locked(dst);
 
@@ -1081,6 +1143,8 @@ bool Engine::core_try_send(int rank, int dst, int tag, Packet payload,
   ps.payload = std::move(payload);
   ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
   queue.push_back(std::move(ps));
+  obs_.mailbox_depth_max = std::max<std::uint64_t>(obs_.mailbox_depth_max,
+                                                   queue.size());
   auto it = std::prev(queue.end());
   wake_rank_locked(dst);
 
@@ -1131,7 +1195,10 @@ std::uint64_t Engine::core_isend(int rank, int dst, int tag,
   ps.payload = std::move(payload);
   ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
   ps.handle = handle;
-  mailbox_[{rank, dst, tag}].push_back(std::move(ps));
+  auto& queue = mailbox_[{rank, dst, tag}];
+  queue.push_back(std::move(ps));
+  obs_.mailbox_depth_max = std::max<std::uint64_t>(obs_.mailbox_depth_max,
+                                                   queue.size());
   wake_rank_locked(dst);
   return handle;
 }

@@ -207,6 +207,11 @@ class Engine {
   void poison_locked(const std::string& reason);
   void check_poison_locked() const;
 
+  /// Publishes the per-run ObsCounters (and report-derived totals) into
+  /// obs::Metrics.  Called once at the end of run(); a disabled registry
+  /// returns immediately.
+  void publish_metrics(const RunReport& report) const;
+
   // --- fault machinery (see vmpi/fault.hpp for the model) ---
   /// Lifecycle of a rank's execution context during one run.
   enum class RankState : std::uint8_t { kRunning, kCrashed, kFinished };
@@ -333,6 +338,27 @@ class Engine {
   std::vector<WaitInfo> waiting_;
   /// Per-(src, dst, tag) transfer sequence numbers for the loss model.
   std::map<std::tuple<int, int, int>, std::uint64_t> loss_seq_;
+
+  // Per-run observability accumulators (published into obs::Metrics once at
+  // the end of run()).  Bumped only on paths that already hold mutex_, so
+  // telemetry never adds a lock acquisition to a hot path; plain integers
+  // keep the cost of the disabled case to a handful of increments.
+  struct ObsCounters {
+    // Indexed by CollectiveKind; [0] (kNone) stays unused.
+    std::uint64_t collectives[6] = {};
+    std::uint64_t collective_wire_bytes[6] = {};
+    std::uint64_t p2p_messages = 0;
+    std::uint64_t p2p_wire_bytes = 0;
+    // Host-domain (scheduling-dependent) observations.
+    std::uint64_t wakeups_targeted = 0;
+    std::uint64_t wakeups_broadcast = 0;
+    std::uint64_t mailbox_depth_max = 0;
+  };
+  ObsCounters obs_;
+  /// Wire bytes of every transfer scheduled since run() started;
+  /// finish_collective_locked differences it around the fan-out to obtain
+  /// per-collective-kind byte totals.
+  std::uint64_t obs_scheduled_bytes_ = 0;
 
   bool poisoned_ = false;
   std::string poison_reason_;

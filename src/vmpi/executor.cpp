@@ -8,6 +8,7 @@
 #include <ucontext.h>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 // --- sanitizer fiber support ------------------------------------------------
 // Stack-switching confuses ASan (stack bounds) and TSan (which "thread" is
@@ -148,6 +149,9 @@ void Executor::run(std::vector<std::function<void()>> bodies,
   running_ = 0;
   done_ = 0;
   first_error_ = nullptr;
+  obs_parks_ = 0;
+  obs_ready_moves_ = 0;
+  obs_expirations_ = 0;
   for (std::size_t i = 0; i < n; ++i) {
     auto task = std::make_unique<Task>();
     task->exec = this;
@@ -169,6 +173,19 @@ void Executor::run(std::vector<std::function<void()>> bodies,
   for (auto& t : pool) t.join();
 
   tasks_.clear();
+
+  auto& metrics = obs::Metrics::instance();
+  if (metrics.enabled()) {
+    using obs::Domain;
+    metrics.add("vmpi.host.executor.parks", obs_parks_, Domain::kHost);
+    metrics.add("vmpi.host.executor.ready_moves", obs_ready_moves_,
+                Domain::kHost);
+    metrics.add("vmpi.host.executor.expirations", obs_expirations_,
+                Domain::kHost);
+    metrics.gauge_max("vmpi.host.executor.workers",
+                      static_cast<double>(workers), Domain::kHost);
+  }
+
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     std::rethrow_exception(err);
@@ -229,6 +246,7 @@ void Executor::worker_loop() {
         t.timed_out = true;
         t.phase = Task::Phase::kReady;
         ready_.push_back(&t);
+        ++obs_expirations_;
         expired_any = true;
       } else {
         next = std::min(next, t.deadline);
@@ -247,6 +265,7 @@ void Executor::worker_loop() {
           t.timed_out = true;
           t.phase = Task::Phase::kReady;
           ready_.push_back(&t);
+          ++obs_expirations_;
         }
       }
       HPRS_ASSERT(!ready_.empty());
@@ -330,6 +349,7 @@ bool Executor::park(std::unique_lock<std::mutex>& lock,
     task->notified = false;
     task->timed_out = false;
     task->deadline = deadline;
+    ++obs_parks_;
   }
   // The fiber releases the caller's lock itself (a cross-thread unlock
   // would be undefined), then yields to the scheduler.  A notify between
@@ -350,6 +370,7 @@ void Executor::notify(std::size_t task_index) {
     task.notified = false;
     task.timed_out = false;
     ready_.push_back(&task);
+    ++obs_ready_moves_;
     cv_.notify_one();
   } else if (task.phase == Task::Phase::kParking) {
     task.notified = true;
@@ -368,6 +389,7 @@ void Executor::notify_all() {
       task.notified = false;
       task.timed_out = false;
       ready_.push_back(&task);
+      ++obs_ready_moves_;
       woke = true;
     } else if (task.phase == Task::Phase::kParking) {
       task.notified = true;

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -96,6 +97,13 @@ class Executor {
   std::size_t running_ = 0;  // fibers currently on a worker
   std::size_t done_ = 0;
   std::exception_ptr first_error_;
+
+  // Scheduling telemetry, guarded by mu_ and published into obs::Metrics
+  // (Domain::kHost -- all of it depends on host interleaving) at the end of
+  // run().
+  std::uint64_t obs_parks_ = 0;        // fibers suspended
+  std::uint64_t obs_ready_moves_ = 0;  // notify/notify_all made a task ready
+  std::uint64_t obs_expirations_ = 0;  // deadline or quiescence expiries
 };
 
 }  // namespace hprs::vmpi

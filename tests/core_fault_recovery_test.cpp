@@ -137,7 +137,9 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, FaultRecoverySweep,
                          ::testing::Values(Algorithm::kAtdca,
                                            Algorithm::kUfcls, Algorithm::kPct,
                                            Algorithm::kMorph),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
 
 TEST(FaultRecoveryGuards, MortalRootIsRejected) {
   const auto cube = test_cube();

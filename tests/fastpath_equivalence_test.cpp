@@ -45,8 +45,8 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, FastPathEquivalenceTest,
                                            core::Algorithm::kUfcls,
                                            core::Algorithm::kPct,
                                            core::Algorithm::kMorph),
-                         [](const auto& info) {
-                           return core::to_string(info.param);
+                         [](const auto& param_info) {
+                           return core::to_string(param_info.param);
                          });
 
 TEST_P(FastPathEquivalenceTest, OutputsAndVirtualTimeIdentical) {

@@ -1,0 +1,161 @@
+// The Chrome trace-event exporter (obs/chrome_trace.hpp):
+//
+//  * well-formedness -- the document is one JSON object with balanced
+//    braces/brackets and correctly quoted strings (checked by a small
+//    structural scanner, since the repo carries no JSON parser);
+//  * agreement -- the virtual timeline carries exactly one "X" event per
+//    TraceEvent, matching the data-line count of trace_csv on the same
+//    report;
+//  * composition -- host spans add a second process, fault-log entries
+//    become "i" instants, and a fixed report renders byte-identically.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "vmpi/comm.hpp"
+#include "vmpi/engine.hpp"
+#include "vmpi/trace.hpp"
+
+namespace hprs::obs {
+namespace {
+
+/// Structural JSON check: quotes pair up (honouring backslash escapes) and
+/// braces/brackets balance outside strings, never dipping negative.
+bool json_shape_ok(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string && !escaped;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+simnet::Platform tiny_platform(std::size_t n) {
+  std::vector<simnet::ProcessorSpec> procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(
+        simnet::ProcessorSpec{"p" + std::to_string(i), "t", 0.001, 64, 64, 0});
+  }
+  return simnet::Platform("tiny", std::move(procs), {{10.0}});
+}
+
+vmpi::RunReport traced_report() {
+  vmpi::Options options;
+  options.enable_trace = true;
+  vmpi::Engine engine(tiny_platform(3), options);
+  return engine.run([](vmpi::Comm& comm) {
+    comm.compute(static_cast<std::uint64_t>(comm.rank() + 1) * 500'000);
+    (void)comm.gather(0, comm.rank(), 4'000);
+    comm.barrier();
+  });
+}
+
+TEST(ChromeTraceTest, DocumentIsStructurallyValidJson) {
+  const auto report = traced_report();
+  const std::string json = chrome_trace_json(report);
+  EXPECT_TRUE(json_shape_ok(json));
+  EXPECT_EQ(json.rfind("{\n", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OneCompleteEventPerTraceEventMatchingTraceCsv) {
+  const auto report = traced_report();
+  ASSERT_FALSE(report.trace.empty());
+  const std::string json = chrome_trace_json(report);
+
+  const std::size_t x_events = count_occurrences(json, "\"ph\":\"X\"");
+  EXPECT_EQ(x_events, report.trace.size());
+
+  // trace_csv emits a header line plus one line per event; the two exports
+  // must agree on the event count.
+  const std::string csv = vmpi::trace_csv(report);
+  const auto csv_lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(x_events, csv_lines - 1);
+}
+
+TEST(ChromeTraceTest, NamesEveryRankThreadOnTheVirtualProcess) {
+  const auto report = traced_report();
+  const std::string json = chrome_trace_json(report);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""),
+            report.ranks.size());
+  EXPECT_NE(json.find("\"name\":\"rank 0 (root)\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"vmpi virtual time\""), std::string::npos);
+  // No host spans supplied: the host process must not appear.
+  EXPECT_EQ(json.find("\"name\":\"host time\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, HostSpansAddASecondProcess) {
+  const auto report = traced_report();
+  const std::vector<HostSpan> spans = {
+      {"vmpi.engine.run", 0, 10, 500},
+      {"vmpi.engine.ranks", 1, 20, 400},
+  };
+  const std::string json = chrome_trace_json(report, spans);
+  EXPECT_TRUE(json_shape_ok(json));
+  EXPECT_NE(json.find("\"name\":\"host time\""), std::string::npos);
+  EXPECT_NE(json.find("\"vmpi.engine.run\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"host\""), spans.size());
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""),
+            report.trace.size() + spans.size());
+}
+
+TEST(ChromeTraceTest, FaultEventsBecomeInstants) {
+  vmpi::RunReport report;
+  report.total_time = 1.0;
+  report.ranks.resize(2);
+  report.trace.push_back({0, vmpi::TraceKind::kCompute, 0.0, 0.5, 100});
+  vmpi::FaultEvent crash;
+  crash.kind = vmpi::FaultEventKind::kCrash;
+  crash.rank = 1;
+  crash.time_s = 0.25;
+  report.fault_events.push_back(crash);
+
+  const std::string json = chrome_trace_json(report);
+  EXPECT_TRUE(json_shape_ok(json));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, DeterministicForAFixedReport) {
+  const auto report = traced_report();
+  const std::vector<HostSpan> spans = {{"section", 0, 1, 2}};
+  EXPECT_EQ(chrome_trace_json(report, spans),
+            chrome_trace_json(report, spans));
+}
+
+}  // namespace
+}  // namespace hprs::obs

@@ -132,6 +132,42 @@ TEST(TraceTest, GanttHandlesEmptyRuns) {
   EXPECT_NE(gantt.find("virtual timeline"), std::string::npos);
 }
 
+// A hand-built report exercising every TraceKind, for byte-exact golden
+// checks of both renderers (their output feeds external tooling and the
+// obs/chrome_trace agreement test, so the format is a contract).
+RunReport golden_report() {
+  RunReport report;
+  report.total_time = 0.02;
+  report.root = 0;
+  report.ranks.resize(2);
+  report.trace = {
+      {0, TraceKind::kCompute, 0.0, 0.001, 1'000'000},
+      {1, TraceKind::kTransmit, 0.001, 0.011, 125'000},
+      {0, TraceKind::kReceive, 0.001, 0.011, 125'000},
+      {1, TraceKind::kIdle, 0.011, 0.02, 0},
+  };
+  return report;
+}
+
+TEST(TraceTest, CsvGoldenOutput) {
+  EXPECT_EQ(trace_csv(golden_report()),
+            "rank,kind,begin,end,amount\n"
+            "0,compute,0,0.001,1000000\n"
+            "1,transmit,0.001,0.011,125000\n"
+            "0,receive,0.001,0.011,125000\n"
+            "1,idle,0.011,0.02,0\n");
+}
+
+TEST(TraceTest, GanttGoldenOutput) {
+  // Width 8 over [0, 0.02]: compute paints over the receive on rank 0's
+  // first column; the idle tail shares its first column with the transmit.
+  EXPECT_EQ(render_gantt(golden_report(), 8),
+            "virtual timeline, 0 .. 0.02 s "
+            "(c=compute s=send r=receive .=idle)\n"
+            "root r00 |crrrr   |\n"
+            "     r01 |sssss...|\n");
+}
+
 TEST(TraceTest, KindNamesAreStable) {
   EXPECT_STREQ(to_string(TraceKind::kCompute), "compute");
   EXPECT_STREQ(to_string(TraceKind::kTransmit), "transmit");

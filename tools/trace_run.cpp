@@ -1,0 +1,145 @@
+// trace_run: run one algorithm with virtual-time tracing and the host-time
+// profiler enabled, and export the combined timeline as Chrome trace-event
+// JSON (open in chrome://tracing or https://ui.perfetto.dev).
+//
+//   trace_run --alg ATDCA --network fully-heterogeneous --out trace.json
+//   trace_run --alg MORPH --network thunderhead --cpus 64 --gantt
+//
+// --out writes the Chrome trace; --csv writes the raw per-rank interval CSV
+// (vmpi/trace.hpp); --gantt prints the ASCII Gantt chart to stdout.  The
+// virtual timeline is deterministic in the scene/seed; the host timeline
+// (pid 1) varies run to run by construction.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/runner.hpp"
+#include "hsi/scene.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/host_profile.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/platform.hpp"
+#include "vmpi/trace.hpp"
+
+namespace {
+
+using namespace hprs;
+
+bool parse_algorithm(const std::string& name, core::Algorithm& out) {
+  for (const auto alg : {core::Algorithm::kAtdca, core::Algorithm::kUfcls,
+                         core::Algorithm::kPct, core::Algorithm::kMorph}) {
+    if (name == core::to_string(alg)) {
+      out = alg;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool make_platform(const std::string& name, std::size_t cpus,
+                   simnet::Platform& out) {
+  if (name == "fully-heterogeneous") {
+    out = simnet::fully_heterogeneous();
+  } else if (name == "fully-homogeneous") {
+    out = simnet::fully_homogeneous();
+  } else if (name == "partially-heterogeneous") {
+    out = simnet::partially_heterogeneous();
+  } else if (name == "partially-homogeneous") {
+    out = simnet::partially_homogeneous();
+  } else if (name == "thunderhead") {
+    out = simnet::thunderhead(cpus);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << text;
+  return f.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"alg", "network", "cpus", "rows", "cols", "bands",
+                      "seed", "replication", "targets", "classes", "iters",
+                      "radius", "homogeneous", "out", "csv", "gantt"});
+
+  core::Algorithm alg = core::Algorithm::kAtdca;
+  if (!parse_algorithm(args.get("alg", "ATDCA"), alg)) {
+    std::fprintf(stderr,
+                 "trace_run: unknown --alg (want ATDCA, UFCLS, PCT, MORPH)\n");
+    return 2;
+  }
+  simnet::Platform platform = simnet::fully_heterogeneous();
+  if (!make_platform(args.get("network", "fully-heterogeneous"),
+                     static_cast<std::size_t>(args.get_int("cpus", 16)),
+                     platform)) {
+    std::fprintf(stderr,
+                 "trace_run: unknown --network (want fully-heterogeneous, "
+                 "fully-homogeneous, partially-heterogeneous, "
+                 "partially-homogeneous, thunderhead)\n");
+    return 2;
+  }
+
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.rows = static_cast<std::size_t>(args.get_int("rows", 96));
+  scene_cfg.cols = static_cast<std::size_t>(args.get_int("cols", 96));
+  scene_cfg.bands = static_cast<std::size_t>(args.get_int("bands", 224));
+  scene_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20010916));
+  const auto scene = hsi::generate_wtc_scene(scene_cfg);
+
+  core::RunnerConfig cfg;
+  cfg.algorithm = alg;
+  cfg.policy = args.get_bool("homogeneous", false)
+                   ? core::PartitionPolicy::kHomogeneous
+                   : core::PartitionPolicy::kHeterogeneous;
+  cfg.targets = static_cast<std::size_t>(args.get_int("targets", 18));
+  cfg.classes = static_cast<std::size_t>(args.get_int("classes", 14));
+  cfg.morph_iterations = static_cast<std::size_t>(args.get_int("iters", 5));
+  cfg.kernel_radius = static_cast<std::size_t>(args.get_int("radius", 2));
+  cfg.replication =
+      static_cast<std::size_t>(args.get_int("replication", 119));
+
+  vmpi::Options options;
+  options.enable_trace = true;
+
+  const obs::ScopedHostProfile profile;
+  const obs::ScopedMetrics metrics;
+  const auto out = core::run_algorithm(platform, scene.cube, cfg, options);
+
+  std::printf("total virtual time: %.3f s on %zu ranks (%s, %s)\n",
+              out.report.total_time, out.report.ranks.size(),
+              core::to_string(alg), platform.name().c_str());
+
+  const std::string trace_path = args.get("out", "");
+  if (!trace_path.empty()) {
+    const std::string json = obs::chrome_trace_json(
+        out.report, obs::HostProfiler::instance().spans());
+    if (!write_file(trace_path, json)) {
+      std::fprintf(stderr, "trace_run: failed to write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("chrome trace: %s (open in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  const std::string csv_path = args.get("csv", "");
+  if (!csv_path.empty()) {
+    if (!write_file(csv_path, vmpi::trace_csv(out.report))) {
+      std::fprintf(stderr, "trace_run: failed to write %s\n",
+                   csv_path.c_str());
+      return 1;
+    }
+    std::printf("trace csv: %s\n", csv_path.c_str());
+  }
+  if (args.get_bool("gantt", false)) {
+    std::printf("%s", vmpi::render_gantt(out.report).c_str());
+  }
+  return 0;
+}

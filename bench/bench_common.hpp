@@ -258,6 +258,46 @@ inline bool write_fault_json(const std::string& path,
   return true;
 }
 
+/// One cell of the scheduler-throughput summary: one {network, policy}
+/// run of a fixed job stream through sched::run_schedule.
+/// bench_sched_throughput collects one record per cell and serializes them
+/// with write_sched_json (--json <path>, conventionally BENCH_sched.json)
+/// so placement-quality regressions are machine-checkable.
+struct SchedRecord {
+  std::string network;
+  std::string policy;
+  double makespan_s = 0.0;
+  double utilization = 0.0;
+  double wait_p50_s = 0.0;
+  double wait_p90_s = 0.0;
+  double wait_max_s = 0.0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+};
+
+/// Writes the records as a flat JSON object keyed "<network>_<policy>".
+/// Same no-dependency format rationale as write_kernel_json.
+inline bool write_sched_json(const std::string& path,
+                             const std::vector<SchedRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "  \"%s_%s\": {\"makespan_s\": %.6f, \"utilization\": %.6f, "
+        "\"wait_p50_s\": %.6f, \"wait_p90_s\": %.6f, \"wait_max_s\": %.6f, "
+        "\"completed\": %zu, \"rejected\": %zu}%s\n",
+        r.network.c_str(), r.policy.c_str(), r.makespan_s, r.utilization,
+        r.wait_p50_s, r.wait_p90_s, r.wait_max_s, r.completed, r.rejected,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Peels "--json <path>" out of argv before benchmark::Initialize sees it
 /// (google-benchmark aborts on unrecognized flags).  Returns the path, or
 /// an empty string when the flag is absent.

@@ -1,0 +1,196 @@
+// Multi-job scheduler throughput (paper Sect. 6 outlook: scheduling many
+// concurrent analyses on a shared network of workstations).
+//
+// A fixed mixed stream of --jobs analysis jobs (all five SPMD schedules,
+// round-robin, staggered arrivals, varying gang widths) is pushed through
+// sched::run_schedule under each placement policy (fifo, sjf, hetero) on
+// the four 16-node NOW platforms of Section 3.1 plus a --cpus-node
+// Thunderhead partition.  For every {network, policy} cell the bench
+// reports the stream makespan, the cluster-wide busy fraction, and the
+// queue-wait percentiles (nearest-rank p50 / p90 / max).
+//
+// Shape to hold: on the heterogeneous-processor networks the
+// heterogeneity-aware best-fit beats FIFO on both makespan and cluster
+// utilization (it places gangs on the fastest free processors and
+// backfills around the head-of-line job); on the fully homogeneous network
+// the policies nearly coincide.  All numbers are virtual time, so every
+// cell is bit-identical across runs and executor modes; the JSON twin
+// (--json BENCH_sched.json) makes them machine-checkable.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace hprs;
+
+/// Deterministic mixed stream: algorithms round-robin, arrivals every
+/// `gap_s`, gang widths cycling {2, 3, 4, 6} (clipped to the pool).
+std::vector<sched::JobSpec> make_stream(std::size_t jobs, int pool,
+                                        const bench::BenchSetup& setup,
+                                        double gap_s) {
+  constexpr sched::JobAlgorithm kCycle[] = {
+      sched::JobAlgorithm::kAtdca, sched::JobAlgorithm::kPct,
+      sched::JobAlgorithm::kPpi, sched::JobAlgorithm::kUfcls,
+      sched::JobAlgorithm::kMorph};
+  constexpr int kWidths[] = {2, 3, 4, 6};
+  std::vector<sched::JobSpec> stream;
+  for (std::size_t k = 0; k < jobs; ++k) {
+    sched::JobSpec spec;
+    spec.id = k + 1;
+    spec.algorithm = kCycle[k % 5];
+    spec.arrival_s = gap_s * static_cast<double>(k);
+    spec.ranks = std::min(pool, kWidths[k % 4]);
+    spec.targets = std::min<std::size_t>(setup.config.targets, 8);
+    spec.classes = std::min<std::size_t>(setup.config.classes, 5);
+    spec.iterations = std::min<std::size_t>(setup.config.morph_iterations, 2);
+    spec.kernel_radius = std::min<std::size_t>(setup.config.kernel_radius, 1);
+    spec.skewers = 64;
+    spec.replication = setup.config.replication;
+    stream.push_back(spec);
+  }
+  return stream;
+}
+
+/// Nearest-rank percentile of an unsorted sample (q in (0, 1]).
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(xs.size()))));
+  return xs[rank - 1];
+}
+
+}  // namespace
+
+/// Peels "--<name> <value>" out of argv (make_setup rejects flags it does
+/// not know); returns `fallback` when absent.
+double take_double_flag(int& argc, char** argv, const std::string& name,
+                        double fallback) {
+  double value = fallback;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--" + name && i + 1 < argc) {
+      value = std::stod(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return value;
+}
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::take_json_flag(argc, argv);
+  const auto jobs = static_cast<std::size_t>(
+      take_double_flag(argc, argv, "jobs", 32));
+  const double gap_s = take_double_flag(argc, argv, "gap", 0.2);
+  const auto setup = bench::make_setup(argc, argv);
+
+  std::vector<simnet::Platform> networks = bench::paper_networks();
+  networks.push_back(simnet::thunderhead(64));
+
+  std::vector<bench::SchedRecord> records;
+  TextTable table({"Network", "Policy", "Makespan (s)", "Utilization",
+                   "Wait p50 (s)", "Wait p90 (s)", "Wait max (s)", "Done"});
+  for (const auto& net : networks) {
+    const auto stream = make_stream(
+        jobs, static_cast<int>(net.size()) - 1, setup, gap_s);
+    for (const auto policy :
+         {sched::Policy::kFifo, sched::Policy::kSjf,
+          sched::Policy::kHeteroBestFit}) {
+      sched::SchedulerConfig config;
+      config.policy = policy;
+      const auto result =
+          sched::run_schedule(net, setup.scene.cube, stream, config);
+
+      if (std::getenv("SCHED_DEBUG") != nullptr) {
+        for (const auto& record : result.records) {
+          std::printf("DBG %s %s job %llu est %.3f actual %.3f width %zu\n",
+                      net.name().c_str(), sched::to_string(policy),
+                      static_cast<unsigned long long>(record.id),
+                      record.est_seconds, record.makespan_s(),
+                      record.members.size());
+        }
+      }
+      std::vector<double> waits;
+      for (const auto& record : result.records) {
+        if (record.completed()) waits.push_back(record.queue_wait_s());
+      }
+      bench::SchedRecord rec;
+      rec.network = net.name();
+      rec.policy = sched::to_string(policy);
+      rec.makespan_s = result.makespan_s;
+      rec.utilization = result.utilization;
+      rec.wait_p50_s = percentile(waits, 0.50);
+      rec.wait_p90_s = percentile(waits, 0.90);
+      rec.wait_max_s = percentile(waits, 1.00);
+      rec.completed = result.completed();
+      rec.rejected = result.rejected();
+      records.push_back(rec);
+
+      table.add_row({rec.network, rec.policy,
+                     TextTable::num(rec.makespan_s, 3),
+                     TextTable::num(rec.utilization, 3),
+                     TextTable::num(rec.wait_p50_s, 3),
+                     TextTable::num(rec.wait_p90_s, 3),
+                     TextTable::num(rec.wait_max_s, 3),
+                     std::to_string(rec.completed) + "/" +
+                         std::to_string(stream.size())});
+    }
+  }
+
+  bench::emit(table, setup.csv,
+              "Scheduler throughput. Mixed job stream per network under "
+              "each placement policy (virtual time).");
+
+  // The placement-quality contract: on the fully heterogeneous NOW the
+  // heterogeneity-aware policy must beat FIFO on makespan and utilization.
+  const auto cell = [&](const std::string& net, const std::string& pol) {
+    for (const auto& r : records) {
+      if (r.network == net && r.policy == pol) return r;
+    }
+    return bench::SchedRecord{};
+  };
+  const auto fifo = cell("fully-heterogeneous", "fifo");
+  const auto hetero = cell("fully-heterogeneous", "hetero");
+  std::printf(
+      "fully-heterogeneous: hetero/fifo makespan %.3f/%.3f s (%.2fx), "
+      "utilization %.3f/%.3f\n",
+      hetero.makespan_s, fifo.makespan_s,
+      hetero.makespan_s > 0.0 ? fifo.makespan_s / hetero.makespan_s : 0.0,
+      hetero.utilization, fifo.utilization);
+  int status = 0;
+  if (hetero.makespan_s >= fifo.makespan_s ||
+      hetero.utilization <= fifo.utilization) {
+    std::fprintf(stderr,
+                 "bench_sched_throughput: hetero policy failed to beat FIFO "
+                 "on the fully heterogeneous NOW\n");
+    status = 1;
+  }
+
+  if (!json_path.empty() && !bench::write_sched_json(json_path, records)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  obs::RunSummary summary;
+  for (const auto& rec : records) {
+    const std::string prefix = "sched." + rec.network + "." + rec.policy;
+    summary.set_number(prefix + ".makespan_s", rec.makespan_s);
+    summary.set_number(prefix + ".utilization", rec.utilization);
+    summary.set_number(prefix + ".wait_p50_s", rec.wait_p50_s);
+    summary.set_number(prefix + ".wait_p90_s", rec.wait_p90_s);
+    summary.set_number(prefix + ".wait_max_s", rec.wait_max_s);
+    summary.set_count(prefix + ".completed", rec.completed);
+    summary.set_count(prefix + ".rejected", rec.rejected);
+  }
+  if (!bench::write_summary(setup, summary)) return 1;
+  return status;
+}

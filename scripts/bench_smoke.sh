@@ -38,10 +38,11 @@ declare -A bench_cmd=(
   [table7]="bench/bench_table7_imbalance --rows 48 --cols 48 --replication 8"
   [table8]="bench/bench_table8_thunderhead --rows 256 --cols 16 --replication 4"
   [fault]="bench/bench_fault_recovery --rows 48 --cols 48 --replication 8"
+  [sched]="bench/bench_sched_throughput --rows 48 --cols 48 --replication 8"
 )
 
 status=0
-for name in table5 table7 table8 fault; do
+for name in table5 table7 table8 fault sched; do
   cmd=(${bench_cmd[$name]})
   bin="$build/${cmd[0]}"
   if [[ ! -x "$bin" ]]; then

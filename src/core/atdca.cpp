@@ -144,6 +144,71 @@ WorkloadModel atdca_workload(std::size_t bands, std::size_t targets) {
   return model;
 }
 
+void atdca_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                const AtdcaConfig& config, TargetDetectionResult& result) {
+  WorkloadModel model = atdca_workload(cube.bands(), config.targets);
+  model.scatter_input = config.charge_data_staging;
+  const PartitionView view = detail::distribute_partitions(
+      comm, cube, model, config.policy, config.memory_fraction,
+      /*overlap=*/0, config.replication);
+
+  // Steps 2-3: global brightest pixel.
+  const Candidate local = brightest_pixel(comm, view, config.replication);
+  const auto cands =
+      comm.gather(comm.root(), local, detail::kCandidateBytes);
+
+  linalg::Matrix targets;  // t x bands, grown at the master
+  std::vector<PixelLocation> found;
+  if (comm.is_root()) {
+    const Candidate t1 =
+        select_best(comm, cands, linalg::flops::dot(cube.bands()));
+    found.push_back({t1.row, t1.col});
+    targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
+  }
+
+  // Steps 4-6: grow U one orthogonal target at a time.  The broadcast is
+  // shared: all ranks sweep against one immutable copy of U; only the
+  // master re-materializes an owned matrix to grow it.
+  linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
+  while (true) {
+    // Only the root's payload (and wire size) reaches the engine.
+    const std::size_t u_bytes =
+        comm.is_root() ? targets.rows() * cube.bands() * sizeof(double) : 0;
+    const auto u_view =
+        comm.bcast_shared(comm.root(), std::move(targets), u_bytes);
+    const std::size_t t_cur = u_view->rows();
+    if (t_cur >= config.targets) break;
+
+    // Factor the Gram of U once per iteration (every rank; the master's
+    // copy is reused for candidate re-evaluation).
+    const linalg::Cholesky gram(detail::ridged_row_gram(*u_view));
+    comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
+                 linalg::flops::cholesky(t_cur));
+
+    const Candidate local_best = detail::osp_argmax_sweep(
+        *u_view, gram, cube, view.part.row_begin, view.part.row_end, arena);
+    const Count flops =
+        static_cast<Count>(view.part.owned_rows()) * cube.cols() *
+        linalg::flops::osp_score(cube.bands(), t_cur);
+    comm.compute(flops * config.replication);
+
+    const auto round =
+        comm.gather(comm.root(), local_best, detail::kCandidateBytes);
+    if (comm.is_root()) {
+      const Candidate next = select_best(
+          comm, round, linalg::flops::osp_score(cube.bands(), t_cur));
+      found.push_back({next.row, next.col});
+      targets = *u_view;  // re-own the shared U to grow it
+      targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
+    }
+    // Non-root ranks leave `targets` empty; the next bcast refreshes it.
+  }
+
+  if (comm.is_root()) {
+    result.targets = std::move(found);
+  }
+}
+
 TargetDetectionResult run_atdca(const simnet::Platform& platform,
                                 const hsi::HsiCube& cube,
                                 const AtdcaConfig& config,
@@ -154,75 +219,17 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
   vmpi::Engine engine(platform, options);
   TargetDetectionResult result;
 
-  WorkloadModel model = atdca_workload(cube.bands(), config.targets);
-  model.scatter_input = config.charge_data_staging;
-  if (config.fault_tolerant) ft::require_immortal_root(options);
-  result.report = engine.run([&](vmpi::Comm& comm) {
-    if (config.fault_tolerant) {
+  if (config.fault_tolerant) {
+    WorkloadModel model = atdca_workload(cube.bands(), config.targets);
+    model.scatter_input = config.charge_data_staging;
+    ft::require_immortal_root(options);
+    result.report = engine.run([&](vmpi::Comm& comm) {
       run_atdca_ft(comm, cube, config, model, result);
-      return;
-    }
-    const PartitionView view = detail::distribute_partitions(
-        comm, cube, model, config.policy, config.memory_fraction,
-        /*overlap=*/0, config.replication);
-
-    // Steps 2-3: global brightest pixel.
-    const Candidate local = brightest_pixel(comm, view, config.replication);
-    const auto cands =
-        comm.gather(comm.root(), local, detail::kCandidateBytes);
-
-    linalg::Matrix targets;  // t x bands, grown at the master
-    std::vector<PixelLocation> found;
-    if (comm.is_root()) {
-      const Candidate t1 =
-          select_best(comm, cands, linalg::flops::dot(cube.bands()));
-      found.push_back({t1.row, t1.col});
-      targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
-    }
-
-    // Steps 4-6: grow U one orthogonal target at a time.  The broadcast is
-    // shared: all ranks sweep against one immutable copy of U; only the
-    // master re-materializes an owned matrix to grow it.
-    linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
-    while (true) {
-      // Only the root's payload (and wire size) reaches the engine.
-      const std::size_t u_bytes =
-          comm.is_root() ? targets.rows() * cube.bands() * sizeof(double) : 0;
-      const auto u_view =
-          comm.bcast_shared(comm.root(), std::move(targets), u_bytes);
-      const std::size_t t_cur = u_view->rows();
-      if (t_cur >= config.targets) break;
-
-      // Factor the Gram of U once per iteration (every rank; the master's
-      // copy is reused for candidate re-evaluation).
-      const linalg::Cholesky gram(detail::ridged_row_gram(*u_view));
-      comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
-                   linalg::flops::cholesky(t_cur));
-
-      const Candidate local_best = detail::osp_argmax_sweep(
-          *u_view, gram, cube, view.part.row_begin, view.part.row_end, arena);
-      const Count flops =
-          static_cast<Count>(view.part.owned_rows()) * cube.cols() *
-          linalg::flops::osp_score(cube.bands(), t_cur);
-      comm.compute(flops * config.replication);
-
-      const auto round =
-          comm.gather(comm.root(), local_best, detail::kCandidateBytes);
-      if (comm.is_root()) {
-        const Candidate next = select_best(
-            comm, round, linalg::flops::osp_score(cube.bands(), t_cur));
-        found.push_back({next.row, next.col});
-        targets = *u_view;  // re-own the shared U to grow it
-        targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
-      }
-      // Non-root ranks leave `targets` empty; the next bcast refreshes it.
-    }
-
-    if (comm.is_root()) {
-      result.targets = std::move(found);
-    }
-  });
-
+    });
+    return result;
+  }
+  result.report = engine.run(
+      [&](vmpi::Comm& comm) { atdca_body(comm, cube, config, result); });
   return result;
 }
 

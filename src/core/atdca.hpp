@@ -44,6 +44,13 @@ struct AtdcaConfig {
 [[nodiscard]] WorkloadModel atdca_workload(std::size_t bands,
                                            std::size_t targets);
 
+/// The non-fault-tolerant SPMD schedule, runnable over any communicator
+/// (world or a sub-communicator): the comm's root partitions and selects,
+/// every member sweeps its strip.  Only the root's `result` is populated.
+/// Used by run_atdca and by the sched/ gang scheduler for subset placement.
+void atdca_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                const AtdcaConfig& config, TargetDetectionResult& result);
+
 /// Runs ATDCA on the simulated platform.  The returned targets are in
 /// extraction order (first = brightest pixel of the scene).
 [[nodiscard]] TargetDetectionResult run_atdca(const simnet::Platform& platform,

@@ -420,25 +420,8 @@ WorkloadModel morph_workload(std::size_t bands, const MorphConfig& config) {
   return model;
 }
 
-ClassificationResult run_morph(const simnet::Platform& platform,
-                               const hsi::HsiCube& cube,
-                               const MorphConfig& config,
-                               vmpi::Options options) {
-  HPRS_REQUIRE(config.classes >= 1, "need at least one class");
-  HPRS_REQUIRE(config.iterations >= 1, "need at least one iteration");
-  HPRS_REQUIRE(config.kernel_radius >= 1, "kernel radius must be >= 1");
-  HPRS_REQUIRE(!cube.empty(), "empty cube");
-
-  if (config.fault_tolerant) {
-    HPRS_REQUIRE(config.overlap_borders,
-                 "fault-tolerant MORPH requires overlap borders: the "
-                 "halo-exchange mode needs worker-to-worker traffic the "
-                 "master/worker protocol excludes");
-    ft::require_immortal_root(options);
-  }
-
-  vmpi::Engine engine(platform, options);
-  ClassificationResult result;
+void morph_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                const MorphConfig& config, ClassificationResult& result) {
   WorkloadModel model = morph_workload(cube.bands(), config);
   model.scatter_input = config.charge_data_staging;
   const std::size_t bands = cube.bands();
@@ -448,59 +431,81 @@ ClassificationResult run_morph(const simnet::Platform& platform,
   // iteration in halo-exchange mode.
   const std::size_t halo = config.kernel_radius;
 
-  result.report = engine.run([&](vmpi::Comm& comm) {
-    if (config.fault_tolerant) {
+  const PartitionView view = detail::distribute_partitions(
+      comm, cube, model, config.policy, config.memory_fraction, halo,
+      config.replication);
+
+  // --- Step 2: iterative morphology on the local block ---------------
+  MorphWorker worker(cube, view.part, config);
+  for (std::size_t j = 1; j <= config.iterations; ++j) {
+    if (!config.overlap_borders && j > 1) {
+      worker.exchange_halo(comm, halo);
+    }
+    const SplitFlops flops = worker.iterate(j == config.iterations);
+    comm.compute(flops.charge(config.replication));
+  }
+
+  // --- Step 3: master merges the per-worker candidates ----------------
+  auto local = worker.top_candidates();
+  const std::size_t local_count = local.size();
+  auto rep_sets = comm.gather(comm.root(), std::move(local),
+                              rep_bytes(bands, local_count));
+
+  std::vector<MorphRep> unique;
+  if (comm.is_root()) {
+    unique = merge_unique_sets(comm, std::move(rep_sets), config, bands);
+  }
+
+  // --- Step 4: broadcast the unique set, label locally -----------------
+  // Shared broadcast: all ranks label against one immutable unique set.
+  const std::size_t unique_bytes = rep_bytes(bands, unique.size());
+  const auto unique_view =
+      comm.bcast_shared(comm.root(), std::move(unique), unique_bytes);
+  const std::vector<MorphRep>& shared_unique = *unique_view;
+  const std::size_t reps = shared_unique.size();
+
+  LabelOut local_l = label_partition(cube, view.part.row_begin,
+                                     view.part.row_end, shared_unique);
+  comm.compute(local_l.flops * config.replication);
+
+  // --- Step 5: master assembles the classification matrix -------------
+  const std::size_t block_bytes = local_l.block.labels.size() *
+                                  sizeof(std::uint16_t) *
+                                  config.replication;
+  auto blocks =
+      comm.gather(comm.root(), std::move(local_l.block), block_bytes);
+  if (comm.is_root()) {
+    assemble_label_image(comm, blocks, cube, reps, result);
+  }
+}
+
+ClassificationResult run_morph(const simnet::Platform& platform,
+                               const hsi::HsiCube& cube,
+                               const MorphConfig& config,
+                               vmpi::Options options) {
+  HPRS_REQUIRE(config.classes >= 1, "need at least one class");
+  HPRS_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  HPRS_REQUIRE(config.kernel_radius >= 1, "kernel radius must be >= 1");
+  HPRS_REQUIRE(!cube.empty(), "empty cube");
+
+  vmpi::Engine engine(platform, options);
+  ClassificationResult result;
+
+  if (config.fault_tolerant) {
+    HPRS_REQUIRE(config.overlap_borders,
+                 "fault-tolerant MORPH requires overlap borders: the "
+                 "halo-exchange mode needs worker-to-worker traffic the "
+                 "master/worker protocol excludes");
+    ft::require_immortal_root(options);
+    WorkloadModel model = morph_workload(cube.bands(), config);
+    model.scatter_input = config.charge_data_staging;
+    result.report = engine.run([&](vmpi::Comm& comm) {
       run_morph_ft(comm, cube, config, model, result);
-      return;
-    }
-    const PartitionView view = detail::distribute_partitions(
-        comm, cube, model, config.policy, config.memory_fraction, halo,
-        config.replication);
-
-    // --- Step 2: iterative morphology on the local block ---------------
-    MorphWorker worker(cube, view.part, config);
-    for (std::size_t j = 1; j <= config.iterations; ++j) {
-      if (!config.overlap_borders && j > 1) {
-        worker.exchange_halo(comm, halo);
-      }
-      const SplitFlops flops = worker.iterate(j == config.iterations);
-      comm.compute(flops.charge(config.replication));
-    }
-
-    // --- Step 3: master merges the per-worker candidates ----------------
-    auto local = worker.top_candidates();
-    const std::size_t local_count = local.size();
-    auto rep_sets = comm.gather(comm.root(), std::move(local),
-                                rep_bytes(bands, local_count));
-
-    std::vector<MorphRep> unique;
-    if (comm.is_root()) {
-      unique = merge_unique_sets(comm, std::move(rep_sets), config, bands);
-    }
-
-    // --- Step 4: broadcast the unique set, label locally -----------------
-    // Shared broadcast: all ranks label against one immutable unique set.
-    const std::size_t unique_bytes = rep_bytes(bands, unique.size());
-    const auto unique_view =
-        comm.bcast_shared(comm.root(), std::move(unique), unique_bytes);
-    const std::vector<MorphRep>& shared_unique = *unique_view;
-    const std::size_t reps = shared_unique.size();
-
-    LabelOut local_l = label_partition(cube, view.part.row_begin,
-                                       view.part.row_end, shared_unique);
-    comm.compute(local_l.flops * config.replication);
-
-    // --- Step 5: master assembles the classification matrix -------------
-    const std::size_t block_bytes = local_l.block.labels.size() *
-                                    sizeof(std::uint16_t) *
-                                    config.replication;
-    auto blocks =
-        comm.gather(comm.root(), std::move(local_l.block), block_bytes);
-    if (comm.is_root()) {
-      assemble_label_image(comm, blocks, cube, reps, result);
-    }
-  });
-
+    });
+    return result;
+  }
+  result.report = engine.run(
+      [&](vmpi::Comm& comm) { morph_body(comm, cube, config, result); });
   return result;
 }
 

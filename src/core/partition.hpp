@@ -54,6 +54,12 @@ struct WorkloadModel {
   /// algorithms (large values) therefore converge to the pure-speed
   /// fractions alpha ~ 1/w.
   double sync_rounds = 1.0;
+  /// Job-level flops the master/leader executes sequentially regardless of
+  /// the partition (e.g. PCT's Jacobi eigensolve of the band covariance).
+  /// Irrelevant to the WEA fractions -- every rank waits on the same serial
+  /// section -- but a scheduler estimating a gang's span must charge it at
+  /// the leader's speed (sched/cost_model.cpp).
+  double seq_flops = 0.0;
 };
 
 /// One rank's slice: whole image rows [row_begin, row_end), plus the halo

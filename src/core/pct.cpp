@@ -521,7 +521,95 @@ WorkloadModel pct_workload(std::size_t bands, std::size_t classes) {
   model.bytes_per_pixel = bands * sizeof(float);
   model.scatter_input = false;
   model.sync_rounds = 4.0;  // unique sets, mean, covariance, labeling
+  // Nominal 8-sweep Jacobi eigensolve of the band covariance on the master
+  // -- the serial O(bands^3)-per-sweep section every rank waits on.
+  model.seq_flops = 8.0 * static_cast<double>(linalg::flops::jacobi_sweep(
+                              static_cast<Count>(bands)));
   return model;
+}
+
+void pct_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+              const PctConfig& config, ClassificationResult& result) {
+  WorkloadModel model = pct_workload(cube.bands(), config.classes);
+  model.scatter_input = config.charge_data_staging;
+  const std::size_t bands = cube.bands();
+  const PartitionView view = detail::distribute_partitions(
+      comm, cube, model, config.policy, config.memory_fraction,
+      /*overlap=*/0, config.replication);
+
+  // --- Step 2: local unique spectral sets -----------------------------
+  // Online SAD clustering of the local pixels: each pixel either joins
+  // the first cluster whose exemplar is within the threshold or founds a
+  // new cluster.  The best-supported 3c exemplars go to the master, so
+  // rare mixtures do not crowd out the partition's real constituents.
+  UniqueOut local_u = local_unique_sets(cube, view.part.row_begin,
+                                        view.part.row_end, config);
+  comm.compute(local_u.sad_evals * hsi::flops::sad(bands) *
+               config.replication);
+
+  // --- Step 3: master merges the unique sets --------------------------
+  const std::size_t local_count = local_u.reps.size();
+  auto rep_sets = comm.gather(comm.root(), std::move(local_u.reps),
+                              rep_bytes(bands, local_count));
+  std::vector<Rep> unique;
+  if (comm.is_root()) {
+    unique = merge_unique_sets(comm, std::move(rep_sets), config, bands);
+  }
+
+  // --- Steps 4-6: parallel mean and covariance ------------------------
+  MeanOut local_m =
+      local_mean_sums(cube, view.part.row_begin, view.part.row_end);
+  comm.compute(local_m.flops * config.replication);
+  auto mean_parts = comm.gather(comm.root(), std::move(local_m.sums),
+                                bands * sizeof(double));
+  std::vector<double> mean_acc(bands, 0.0);
+  if (comm.is_root()) {
+    mean_acc = fold_mean(comm, mean_parts, cube.pixel_count(), bands);
+  }
+  // Shared broadcast: every rank centers against the same immutable mean.
+  const auto mean_view = comm.bcast_shared(comm.root(), std::move(mean_acc),
+                                           bands * sizeof(double));
+  const std::vector<double>& mean = *mean_view;
+
+  // Upper-triangle covariance accumulation over owned pixels.
+  const std::size_t tri = bands * (bands + 1) / 2;
+  CovOut local_c =
+      local_cov_sums(cube, view.part.row_begin, view.part.row_end, mean);
+  comm.compute(local_c.flops * config.replication);
+  auto cov_parts = comm.gather(comm.root(), std::move(local_c.tri),
+                               tri * sizeof(double));
+
+  // --- Step 7: sequential eigendecomposition at the master ------------
+  PctBundle bundle;
+  if (comm.is_root()) {
+    bundle = build_bundle(comm, cov_parts, mean, unique, config, cube);
+  }
+
+  // --- Steps 8-9: parallel transform + reduced-space labeling ---------
+  // Shared broadcast: all ranks label against one immutable bundle.
+  const std::size_t bundle_bytes =
+      config.classes * bands * sizeof(double) + bands * sizeof(double) +
+      config.classes * config.classes * sizeof(double);
+  const auto bundle_view =
+      comm.bcast_shared(comm.root(), std::move(bundle), bundle_bytes);
+  const PctBundle& shared_bundle = *bundle_view;
+  const std::size_t reps = shared_bundle.reduced_reps.rows();
+
+  LabelOut local_l = label_partition(cube, view.part.row_begin,
+                                     view.part.row_end, shared_bundle,
+                                     config);
+  comm.compute(local_l.flops * config.replication);
+
+  const std::size_t block_bytes = local_l.block.labels.size() *
+                                  sizeof(std::uint16_t) *
+                                  config.replication;
+  auto blocks =
+      comm.gather(comm.root(), std::move(local_l.block), block_bytes);
+
+  // Master assembles the final label image.
+  if (comm.is_root()) {
+    assemble_label_image(comm, blocks, cube, reps, result);
+  }
 }
 
 ClassificationResult run_pct(const simnet::Platform& platform,
@@ -534,95 +622,18 @@ ClassificationResult run_pct(const simnet::Platform& platform,
 
   vmpi::Engine engine(platform, options);
   ClassificationResult result;
-  WorkloadModel model = pct_workload(cube.bands(), config.classes);
-  model.scatter_input = config.charge_data_staging;
-  const std::size_t bands = cube.bands();
 
-  if (config.fault_tolerant) ft::require_immortal_root(options);
-  result.report = engine.run([&](vmpi::Comm& comm) {
-    if (config.fault_tolerant) {
+  if (config.fault_tolerant) {
+    WorkloadModel model = pct_workload(cube.bands(), config.classes);
+    model.scatter_input = config.charge_data_staging;
+    ft::require_immortal_root(options);
+    result.report = engine.run([&](vmpi::Comm& comm) {
       run_pct_ft(comm, cube, config, model, result);
-      return;
-    }
-    const PartitionView view = detail::distribute_partitions(
-        comm, cube, model, config.policy, config.memory_fraction,
-        /*overlap=*/0, config.replication);
-
-    // --- Step 2: local unique spectral sets -----------------------------
-    // Online SAD clustering of the local pixels: each pixel either joins
-    // the first cluster whose exemplar is within the threshold or founds a
-    // new cluster.  The best-supported 3c exemplars go to the master, so
-    // rare mixtures do not crowd out the partition's real constituents.
-    UniqueOut local_u = local_unique_sets(cube, view.part.row_begin,
-                                          view.part.row_end, config);
-    comm.compute(local_u.sad_evals * hsi::flops::sad(bands) *
-                 config.replication);
-
-    // --- Step 3: master merges the unique sets --------------------------
-    const std::size_t local_count = local_u.reps.size();
-    auto rep_sets = comm.gather(comm.root(), std::move(local_u.reps),
-                                rep_bytes(bands, local_count));
-    std::vector<Rep> unique;
-    if (comm.is_root()) {
-      unique = merge_unique_sets(comm, std::move(rep_sets), config, bands);
-    }
-
-    // --- Steps 4-6: parallel mean and covariance ------------------------
-    MeanOut local_m =
-        local_mean_sums(cube, view.part.row_begin, view.part.row_end);
-    comm.compute(local_m.flops * config.replication);
-    auto mean_parts = comm.gather(comm.root(), std::move(local_m.sums),
-                                  bands * sizeof(double));
-    std::vector<double> mean_acc(bands, 0.0);
-    if (comm.is_root()) {
-      mean_acc = fold_mean(comm, mean_parts, cube.pixel_count(), bands);
-    }
-    // Shared broadcast: every rank centers against the same immutable mean.
-    const auto mean_view = comm.bcast_shared(comm.root(), std::move(mean_acc),
-                                             bands * sizeof(double));
-    const std::vector<double>& mean = *mean_view;
-
-    // Upper-triangle covariance accumulation over owned pixels.
-    const std::size_t tri = bands * (bands + 1) / 2;
-    CovOut local_c =
-        local_cov_sums(cube, view.part.row_begin, view.part.row_end, mean);
-    comm.compute(local_c.flops * config.replication);
-    auto cov_parts = comm.gather(comm.root(), std::move(local_c.tri),
-                                 tri * sizeof(double));
-
-    // --- Step 7: sequential eigendecomposition at the master ------------
-    PctBundle bundle;
-    if (comm.is_root()) {
-      bundle = build_bundle(comm, cov_parts, mean, unique, config, cube);
-    }
-
-    // --- Steps 8-9: parallel transform + reduced-space labeling ---------
-    // Shared broadcast: all ranks label against one immutable bundle.
-    const std::size_t bundle_bytes =
-        config.classes * bands * sizeof(double) + bands * sizeof(double) +
-        config.classes * config.classes * sizeof(double);
-    const auto bundle_view =
-        comm.bcast_shared(comm.root(), std::move(bundle), bundle_bytes);
-    const PctBundle& shared_bundle = *bundle_view;
-    const std::size_t reps = shared_bundle.reduced_reps.rows();
-
-    LabelOut local_l = label_partition(cube, view.part.row_begin,
-                                       view.part.row_end, shared_bundle,
-                                       config);
-    comm.compute(local_l.flops * config.replication);
-
-    const std::size_t block_bytes = local_l.block.labels.size() *
-                                    sizeof(std::uint16_t) *
-                                    config.replication;
-    auto blocks =
-        comm.gather(comm.root(), std::move(local_l.block), block_bytes);
-
-    // Master assembles the final label image.
-    if (comm.is_root()) {
-      assemble_label_image(comm, blocks, cube, reps, result);
-    }
-  });
-
+    });
+    return result;
+  }
+  result.report = engine.run(
+      [&](vmpi::Comm& comm) { pct_body(comm, cube, config, result); });
   return result;
 }
 

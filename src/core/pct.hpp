@@ -52,6 +52,11 @@ struct PctConfig {
 [[nodiscard]] WorkloadModel pct_workload(std::size_t bands,
                                          std::size_t classes);
 
+/// The non-fault-tolerant SPMD schedule over any communicator (world or a
+/// sub-communicator); only the comm root's `result` is populated.
+void pct_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+              const PctConfig& config, ClassificationResult& result);
+
 [[nodiscard]] ClassificationResult run_pct(const simnet::Platform& platform,
                                            const hsi::HsiCube& cube,
                                            const PctConfig& config,

@@ -68,6 +68,112 @@ WorkloadModel ppi_workload(std::size_t bands, std::size_t skewers) {
   return model;
 }
 
+void ppi_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+              const PpiConfig& config, PpiResult& result) {
+  WorkloadModel model = ppi_workload(cube.bands(), config.skewers);
+  model.scatter_input = config.charge_data_staging;
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+
+  const PartitionView view = detail::distribute_partitions(
+      comm, cube, model, config.policy, config.memory_fraction,
+      /*overlap=*/0, config.replication);
+
+  // Master draws the skewers and broadcasts them; every rank projects
+  // against the same shared immutable copy (zero fan-out copies).
+  linalg::Matrix drawn;
+  if (comm.is_root()) {
+    drawn = make_skewers(config.skewers, bands, config.seed);
+    comm.compute(config.skewers * (3 * bands + 1),
+                 vmpi::Phase::kSequential);
+  }
+  const auto skewers_view =
+      comm.bcast_shared(comm.root(), std::move(drawn),
+                        config.skewers * bands * sizeof(double));
+  const linalg::Matrix& skewers = *skewers_view;
+
+  // Projection pass: per skewer, the local extremes and their locations.
+  // The global extremes are selected at the master, so the purity counts
+  // are independent of the partitioning.
+  std::vector<SkewerExtreme> local(config.skewers);
+  Count flops = 0;
+  for (std::size_t s = 0; s < config.skewers; ++s) {
+    const auto skewer = skewers.row(s);
+    auto& ext = local[s];
+    for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double proj =
+            linalg::dot<double, float>(skewer, cube.pixel(r, c));
+        flops += linalg::flops::dot(bands);
+        if (proj < ext.lo) {
+          ext.lo = proj;
+          ext.lo_row = r;
+          ext.lo_col = c;
+        }
+        if (proj > ext.hi) {
+          ext.hi = proj;
+          ext.hi_row = r;
+          ext.hi_col = c;
+        }
+      }
+    }
+  }
+  comm.compute(flops * config.replication);
+
+  const std::size_t local_bytes = config.skewers * kExtremeBytes;
+  auto gathered = comm.gather(comm.root(), std::move(local), local_bytes);
+
+  if (comm.is_root()) {
+    // Global extreme per skewer; ties broken by row-major position so
+    // the outcome cannot depend on rank assignment.
+    std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> counts;
+    for (std::size_t s = 0; s < config.skewers; ++s) {
+      std::size_t lo_row = 0, lo_col = 0, hi_row = 0, hi_col = 0;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (const auto& part : gathered) {
+        const auto& ext = part[s];
+        if (ext.lo < lo ||
+            (ext.lo == lo && std::make_pair(ext.lo_row, ext.lo_col) <
+                                 std::make_pair(lo_row, lo_col))) {
+          lo = ext.lo;
+          lo_row = ext.lo_row;
+          lo_col = ext.lo_col;
+        }
+        if (ext.hi > hi ||
+            (ext.hi == hi && std::make_pair(ext.hi_row, ext.hi_col) <
+                                 std::make_pair(hi_row, hi_col))) {
+          hi = ext.hi;
+          hi_row = ext.hi_row;
+          hi_col = ext.hi_col;
+        }
+      }
+      ++counts[{lo_row, lo_col}];
+      ++counts[{hi_row, hi_col}];
+    }
+    comm.compute(config.skewers * gathered.size() * 4,
+                 vmpi::Phase::kSequential);
+
+    std::vector<PurityEntry> all;
+    all.reserve(counts.size());
+    for (const auto& [loc, count] : counts) {
+      all.push_back(PurityEntry{loc.first, loc.second, count});
+    }
+    // Deterministic ranking: count desc, then row-major position.
+    std::sort(all.begin(), all.end(),
+              [](const PurityEntry& a, const PurityEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                if (a.row != b.row) return a.row < b.row;
+                return a.col < b.col;
+              });
+    const std::size_t keep = std::min(config.targets, all.size());
+    for (std::size_t k = 0; k < keep; ++k) {
+      result.targets.push_back({all[k].row, all[k].col});
+      result.scores.push_back(all[k].count);
+    }
+  }
+}
+
 PpiResult run_ppi(const simnet::Platform& platform, const hsi::HsiCube& cube,
                   const PpiConfig& config, vmpi::Options options) {
   HPRS_REQUIRE(config.targets >= 1, "need at least one target");
@@ -78,111 +184,8 @@ PpiResult run_ppi(const simnet::Platform& platform, const hsi::HsiCube& cube,
 
   vmpi::Engine engine(platform, options);
   PpiResult result;
-  WorkloadModel model = ppi_workload(cube.bands(), config.skewers);
-  model.scatter_input = config.charge_data_staging;
-  const std::size_t bands = cube.bands();
-  const std::size_t cols = cube.cols();
-
-  result.report = engine.run([&](vmpi::Comm& comm) {
-    const PartitionView view = detail::distribute_partitions(
-        comm, cube, model, config.policy, config.memory_fraction,
-        /*overlap=*/0, config.replication);
-
-    // Master draws the skewers and broadcasts them; every rank projects
-    // against the same shared immutable copy (zero fan-out copies).
-    linalg::Matrix drawn;
-    if (comm.is_root()) {
-      drawn = make_skewers(config.skewers, bands, config.seed);
-      comm.compute(config.skewers * (3 * bands + 1),
-                   vmpi::Phase::kSequential);
-    }
-    const auto skewers_view =
-        comm.bcast_shared(comm.root(), std::move(drawn),
-                          config.skewers * bands * sizeof(double));
-    const linalg::Matrix& skewers = *skewers_view;
-
-    // Projection pass: per skewer, the local extremes and their locations.
-    // The global extremes are selected at the master, so the purity counts
-    // are independent of the partitioning.
-    std::vector<SkewerExtreme> local(config.skewers);
-    Count flops = 0;
-    for (std::size_t s = 0; s < config.skewers; ++s) {
-      const auto skewer = skewers.row(s);
-      auto& ext = local[s];
-      for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-        for (std::size_t c = 0; c < cols; ++c) {
-          const double proj =
-              linalg::dot<double, float>(skewer, cube.pixel(r, c));
-          flops += linalg::flops::dot(bands);
-          if (proj < ext.lo) {
-            ext.lo = proj;
-            ext.lo_row = r;
-            ext.lo_col = c;
-          }
-          if (proj > ext.hi) {
-            ext.hi = proj;
-            ext.hi_row = r;
-            ext.hi_col = c;
-          }
-        }
-      }
-    }
-    comm.compute(flops * config.replication);
-
-    const std::size_t local_bytes = config.skewers * kExtremeBytes;
-    auto gathered = comm.gather(comm.root(), std::move(local), local_bytes);
-
-    if (comm.is_root()) {
-      // Global extreme per skewer; ties broken by row-major position so
-      // the outcome cannot depend on rank assignment.
-      std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> counts;
-      for (std::size_t s = 0; s < config.skewers; ++s) {
-        std::size_t lo_row = 0, lo_col = 0, hi_row = 0, hi_col = 0;
-        double lo = std::numeric_limits<double>::infinity();
-        double hi = -lo;
-        for (const auto& part : gathered) {
-          const auto& ext = part[s];
-          if (ext.lo < lo ||
-              (ext.lo == lo && std::make_pair(ext.lo_row, ext.lo_col) <
-                                   std::make_pair(lo_row, lo_col))) {
-            lo = ext.lo;
-            lo_row = ext.lo_row;
-            lo_col = ext.lo_col;
-          }
-          if (ext.hi > hi ||
-              (ext.hi == hi && std::make_pair(ext.hi_row, ext.hi_col) <
-                                   std::make_pair(hi_row, hi_col))) {
-            hi = ext.hi;
-            hi_row = ext.hi_row;
-            hi_col = ext.hi_col;
-          }
-        }
-        ++counts[{lo_row, lo_col}];
-        ++counts[{hi_row, hi_col}];
-      }
-      comm.compute(config.skewers * gathered.size() * 4,
-                   vmpi::Phase::kSequential);
-
-      std::vector<PurityEntry> all;
-      all.reserve(counts.size());
-      for (const auto& [loc, count] : counts) {
-        all.push_back(PurityEntry{loc.first, loc.second, count});
-      }
-      // Deterministic ranking: count desc, then row-major position.
-      std::sort(all.begin(), all.end(),
-                [](const PurityEntry& a, const PurityEntry& b) {
-                  if (a.count != b.count) return a.count > b.count;
-                  if (a.row != b.row) return a.row < b.row;
-                  return a.col < b.col;
-                });
-      const std::size_t keep = std::min(config.targets, all.size());
-      for (std::size_t k = 0; k < keep; ++k) {
-        result.targets.push_back({all[k].row, all[k].col});
-        result.scores.push_back(all[k].count);
-      }
-    }
-  });
-
+  result.report = engine.run(
+      [&](vmpi::Comm& comm) { ppi_body(comm, cube, config, result); });
   return result;
 }
 

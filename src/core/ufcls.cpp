@@ -199,6 +199,78 @@ WorkloadModel ufcls_workload(std::size_t bands, std::size_t targets) {
   return model;
 }
 
+void ufcls_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                const UfclsConfig& config, TargetDetectionResult& result) {
+  WorkloadModel model = ufcls_workload(cube.bands(), config.targets);
+  model.scatter_input = config.charge_data_staging;
+  const PartitionView view = detail::distribute_partitions(
+      comm, cube, model, config.policy, config.memory_fraction,
+      /*overlap=*/0, config.replication);
+
+  // Step 1: the brightest pixel seeds the target set.
+  const BrightestOut seed =
+      brightest_sweep(cube, view.part.row_begin, view.part.row_end);
+  comm.compute(seed.flops * config.replication);
+  const auto seeds =
+      comm.gather(comm.root(), seed.best, detail::kCandidateBytes);
+
+  linalg::Matrix targets;
+  std::vector<PixelLocation> found;
+  if (comm.is_root()) {
+    Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+    for (const auto& c : seeds) {
+      if (c.score > best.score) best = c;
+    }
+    comm.compute(linalg::flops::dot(cube.bands()) * seeds.size(),
+                 vmpi::Phase::kSequential);
+    found.push_back({best.row, best.col});
+    targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
+  }
+
+  // Steps 2-5: grow the target set by maximum FCLS reconstruction error.
+  // The broadcast is shared: every rank unmixes against one immutable
+  // copy of the target matrix; only the master re-owns it to grow it.
+  linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
+  while (true) {
+    // Only the root's payload (and wire size) reaches the engine.
+    const std::size_t u_bytes =
+        comm.is_root() ? targets.rows() * cube.bands() * sizeof(double) : 0;
+    const auto u_view =
+        comm.bcast_shared(comm.root(), std::move(targets), u_bytes);
+    const std::size_t t_cur = u_view->rows();
+    if (t_cur >= config.targets) break;
+
+    const linalg::Unmixer unmixer(*u_view);
+    comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
+                 linalg::flops::cholesky(t_cur));
+
+    const ErrorSweepOut sweep =
+        fcls_error_sweep(cube, *u_view, unmixer, view.part.row_begin,
+                         view.part.row_end, arena);
+    comm.compute(sweep.flops * config.replication);
+
+    const auto round =
+        comm.gather(comm.root(), sweep.best, detail::kCandidateBytes);
+    if (comm.is_root()) {
+      Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+      for (const auto& c : round) {
+        if (c.score > best.score) best = c;
+      }
+      comm.compute(
+          linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
+          vmpi::Phase::kSequential);
+      found.push_back({best.row, best.col});
+      targets = *u_view;  // re-own the shared target set to grow it
+      targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
+    }
+    // Non-root ranks leave `targets` empty; the next bcast refreshes it.
+  }
+
+  if (comm.is_root()) {
+    result.targets = std::move(found);
+  }
+}
+
 TargetDetectionResult run_ufcls(const simnet::Platform& platform,
                                 const hsi::HsiCube& cube,
                                 const UfclsConfig& config,
@@ -208,83 +280,18 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
 
   vmpi::Engine engine(platform, options);
   TargetDetectionResult result;
-  WorkloadModel model = ufcls_workload(cube.bands(), config.targets);
-  model.scatter_input = config.charge_data_staging;
 
-  if (config.fault_tolerant) ft::require_immortal_root(options);
-  result.report = engine.run([&](vmpi::Comm& comm) {
-    if (config.fault_tolerant) {
+  if (config.fault_tolerant) {
+    WorkloadModel model = ufcls_workload(cube.bands(), config.targets);
+    model.scatter_input = config.charge_data_staging;
+    ft::require_immortal_root(options);
+    result.report = engine.run([&](vmpi::Comm& comm) {
       run_ufcls_ft(comm, cube, config, model, result);
-      return;
-    }
-    const PartitionView view = detail::distribute_partitions(
-        comm, cube, model, config.policy, config.memory_fraction,
-        /*overlap=*/0, config.replication);
-
-    // Step 1: the brightest pixel seeds the target set.
-    const BrightestOut seed =
-        brightest_sweep(cube, view.part.row_begin, view.part.row_end);
-    comm.compute(seed.flops * config.replication);
-    const auto seeds =
-        comm.gather(comm.root(), seed.best, detail::kCandidateBytes);
-
-    linalg::Matrix targets;
-    std::vector<PixelLocation> found;
-    if (comm.is_root()) {
-      Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
-      for (const auto& c : seeds) {
-        if (c.score > best.score) best = c;
-      }
-      comm.compute(linalg::flops::dot(cube.bands()) * seeds.size(),
-                   vmpi::Phase::kSequential);
-      found.push_back({best.row, best.col});
-      targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
-    }
-
-    // Steps 2-5: grow the target set by maximum FCLS reconstruction error.
-    // The broadcast is shared: every rank unmixes against one immutable
-    // copy of the target matrix; only the master re-owns it to grow it.
-    linalg::ScratchArena arena;  // strip-sweep scratch, reused every round
-    while (true) {
-      // Only the root's payload (and wire size) reaches the engine.
-      const std::size_t u_bytes =
-          comm.is_root() ? targets.rows() * cube.bands() * sizeof(double) : 0;
-      const auto u_view =
-          comm.bcast_shared(comm.root(), std::move(targets), u_bytes);
-      const std::size_t t_cur = u_view->rows();
-      if (t_cur >= config.targets) break;
-
-      const linalg::Unmixer unmixer(*u_view);
-      comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
-                   linalg::flops::cholesky(t_cur));
-
-      const ErrorSweepOut sweep =
-          fcls_error_sweep(cube, *u_view, unmixer, view.part.row_begin,
-                           view.part.row_end, arena);
-      comm.compute(sweep.flops * config.replication);
-
-      const auto round =
-          comm.gather(comm.root(), sweep.best, detail::kCandidateBytes);
-      if (comm.is_root()) {
-        Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
-        for (const auto& c : round) {
-          if (c.score > best.score) best = c;
-        }
-        comm.compute(
-            linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
-            vmpi::Phase::kSequential);
-        found.push_back({best.row, best.col});
-        targets = *u_view;  // re-own the shared target set to grow it
-        targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
-      }
-      // Non-root ranks leave `targets` empty; the next bcast refreshes it.
-    }
-
-    if (comm.is_root()) {
-      result.targets = std::move(found);
-    }
-  });
-
+    });
+    return result;
+  }
+  result.report = engine.run(
+      [&](vmpi::Comm& comm) { ufcls_body(comm, cube, config, result); });
   return result;
 }
 

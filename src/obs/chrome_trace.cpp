@@ -62,8 +62,28 @@ std::string_view fault_name(vmpi::FaultEventKind kind) {
 
 std::string chrome_trace_json(const vmpi::RunReport& report,
                               const std::vector<HostSpan>& host_spans) {
+  return chrome_trace_json(report, std::vector<TraceTrackGroup>{},
+                           host_spans);
+}
+
+std::string chrome_trace_json(const vmpi::RunReport& report,
+                              const std::vector<TraceTrackGroup>& groups,
+                              const std::vector<HostSpan>& host_spans) {
   constexpr int kVirtualPid = 0;
   constexpr int kHostPid = 1;
+  constexpr int kFirstGroupPid = 2;
+  // First group (input order) owning rank activity that starts at `begin`.
+  const auto group_pid = [&](int rank, double begin) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const TraceTrackGroup& grp = groups[g];
+      if (begin >= grp.begin_s && begin < grp.end_s &&
+          std::find(grp.members.begin(), grp.members.end(), rank) !=
+              grp.members.end()) {
+        return kFirstGroupPid + static_cast<int>(g);
+      }
+    }
+    return kVirtualPid;
+  };
   std::ostringstream os;
   os << "{\n\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
   bool first = true;
@@ -74,6 +94,16 @@ std::string chrome_trace_json(const vmpi::RunReport& report,
     std::string label = "rank " + std::to_string(r);
     if (static_cast<int>(r) == report.root) label += " (root)";
     meta(os, first, kVirtualPid, static_cast<int>(r), "thread_name", label);
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const TraceTrackGroup& grp = groups[g];
+    const int pid = kFirstGroupPid + static_cast<int>(g);
+    meta(os, first, pid, 0, "process_name", grp.label);
+    for (std::size_t m = 0; m < grp.members.size(); ++m) {
+      std::string label = "rank " + std::to_string(grp.members[m]);
+      if (m == 0) label += " (leader)";
+      meta(os, first, pid, grp.members[m], "thread_name", label);
+    }
   }
   if (!host_spans.empty()) {
     meta(os, first, kHostPid, 0, "process_name", "host time");
@@ -90,7 +120,8 @@ std::string chrome_trace_json(const vmpi::RunReport& report,
   // microseconds 1:1 in magnitude (1 virtual s == 1 trace s).
   for (const vmpi::TraceEvent& ev : report.trace) {
     os << ",\n"
-       << R"(  {"ph":"X","pid":)" << kVirtualPid << R"(,"tid":)" << ev.rank
+       << R"(  {"ph":"X","pid":)" << group_pid(ev.rank, ev.begin)
+       << R"(,"tid":)" << ev.rank
        << R"(,"name":")" << vmpi::to_string(ev.kind) << R"(","cat":"virtual")"
        << R"(,"ts":)" << fmt(ev.begin * 1e6) << R"(,"dur":)"
        << fmt((ev.end - ev.begin) * 1e6) << R"(,"args":{"amount":)"

@@ -26,11 +26,31 @@
 
 namespace hprs::obs {
 
+/// A named group of rank tracks over a virtual-time window.  Virtual-time
+/// events of `members` that begin inside [begin_s, end_s) are re-homed
+/// from the shared pid-0 timeline into the group's own trace process
+/// (pid 2 + group index), so each scheduler job renders as one collapsible
+/// track group (e.g. "job:3/PCT") in the viewer.  Groups are matched in
+/// input order; events covered by no group stay on the shared timeline.
+struct TraceTrackGroup {
+  std::string label;
+  /// World ranks of the group, ascending; members[0] is the leader.
+  std::vector<int> members;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
 /// Renders `report` (and optionally a host-profiler span list) as a Chrome
 /// trace-event JSON document.  Deterministic for a fixed report + spans:
 /// events are emitted in input order with fixed formatting.
 [[nodiscard]] std::string chrome_trace_json(
     const vmpi::RunReport& report,
     const std::vector<HostSpan>& host_spans = {});
+
+/// As above, but additionally re-homes windowed rank activity into one
+/// trace process per TraceTrackGroup (see TraceTrackGroup).
+[[nodiscard]] std::string chrome_trace_json(
+    const vmpi::RunReport& report, const std::vector<TraceTrackGroup>& groups,
+    const std::vector<HostSpan>& host_spans);
 
 }  // namespace hprs::obs

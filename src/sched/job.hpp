@@ -1,0 +1,113 @@
+// Job descriptions and completion records for the multi-job scheduler.
+//
+// A job is one analysis (ATDCA / UFCLS / PCT / MORPH / PPI) over a scene,
+// gang-placed onto a subset of the ranks of a shared simulated platform.
+// JobSpec is what a client submits; JobRecord is the scheduler's per-job
+// accounting (queue wait, placement, virtual makespan, utilization), all
+// derived from virtual time so records are bit-identical across runs and
+// executor modes; JobOutput carries the algorithm's numeric result, which
+// must equal a solo run of the same algorithm on the same rank subset bit
+// for bit (tests/sched_scheduler_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "hsi/cube.hpp"
+
+namespace hprs::sched {
+
+/// Which analysis a job runs.  Unlike core::Algorithm this includes PPI:
+/// the scheduler serves every shipped SPMD schedule.
+enum class JobAlgorithm : std::uint8_t {
+  kAtdca,
+  kUfcls,
+  kPct,
+  kMorph,
+  kPpi,
+};
+
+[[nodiscard]] const char* to_string(JobAlgorithm algorithm);
+
+/// One submitted analysis job.  Algorithm parameters default to the paper's
+/// values (core/runner.hpp); `ranks` is the gang width -- the job runs on
+/// exactly that many worker ranks, chosen by the placement policy.
+struct JobSpec {
+  /// Unique (per stream) job id; ties in every policy ordering break on it.
+  std::uint64_t id = 0;
+  JobAlgorithm algorithm = JobAlgorithm::kAtdca;
+  /// Virtual submission time, seconds.
+  double arrival_s = 0.0;
+  /// Gang width: number of worker ranks the job is placed on.
+  int ranks = 1;
+
+  // -- algorithm parameters (see the per-algorithm config structs) --------
+  std::size_t targets = 18;
+  std::size_t classes = 7;
+  std::size_t iterations = 5;
+  std::size_t kernel_radius = 2;
+  std::size_t skewers = 128;
+  std::uint64_t seed = 1;
+  double sad_threshold = 0.06;
+  std::size_t replication = 1;
+  double memory_fraction = 0.5;
+  core::PartitionPolicy policy = core::PartitionPolicy::kHeterogeneous;
+  bool charge_data_staging = false;
+
+  /// Scene override; the scheduler's shared scene when null.
+  const hsi::HsiCube* scene = nullptr;
+};
+
+/// Numeric result of a completed job (populated by the job's gang leader;
+/// empty for rejected jobs).  Target extractors fill `targets` (+ `scores`
+/// for PPI); classifiers fill `labels` / `label_count`.
+struct JobOutput {
+  std::vector<core::PixelLocation> targets;
+  std::vector<std::uint32_t> scores;
+  std::vector<std::uint16_t> labels;
+  std::size_t label_count = 0;
+};
+
+/// Per-job completion record.  All times are virtual seconds.
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobAlgorithm algorithm = JobAlgorithm::kAtdca;
+  double arrival_s = 0.0;
+  /// When the dispatcher issued the gang's command messages (-1 until
+  /// dispatched; stays -1 for rejected jobs).
+  double dispatch_s = -1.0;
+  /// The gang's aligned completion time (-1 until completed).
+  double finish_s = -1.0;
+  /// Cost-model estimate on the assigned members (or on the canonical
+  /// full-pool members until dispatch) -- the ordering key of SJF and the
+  /// backfill reservation horizon.
+  double est_seconds = 0.0;
+  /// Engine (world) ranks of the gang, ascending; members[0] is the leader.
+  std::vector<int> members;
+  /// Summed busy time (compute + active transfer) of the members between
+  /// job start and the completion barrier.
+  double busy_s = 0.0;
+  /// Memory-bound admission verdict: rejected jobs never dispatch and
+  /// carry the sched::AdmissionError message in `error`.
+  bool rejected = false;
+  std::string error;
+
+  [[nodiscard]] bool completed() const { return finish_s >= 0.0; }
+  [[nodiscard]] double queue_wait_s() const {
+    return dispatch_s >= 0.0 ? dispatch_s - arrival_s : 0.0;
+  }
+  [[nodiscard]] double makespan_s() const {
+    return completed() ? finish_s - dispatch_s : 0.0;
+  }
+  /// Mean busy fraction of the gang over the job's makespan.
+  [[nodiscard]] double utilization() const {
+    const double span = makespan_s() * static_cast<double>(members.size());
+    return span > 0.0 ? busy_s / span : 0.0;
+  }
+};
+
+}  // namespace hprs::sched

@@ -1,0 +1,151 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "sched/job.hpp"
+
+namespace hprs::sched {
+
+const char* to_string(JobAlgorithm algorithm) {
+  switch (algorithm) {
+    case JobAlgorithm::kAtdca: return "ATDCA";
+    case JobAlgorithm::kUfcls: return "UFCLS";
+    case JobAlgorithm::kPct: return "PCT";
+    case JobAlgorithm::kMorph: return "MORPH";
+    case JobAlgorithm::kPpi: return "PPI";
+  }
+  return "?";
+}
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kFifo: return "fifo";
+    case Policy::kSjf: return "sjf";
+    case Policy::kHeteroBestFit: return "hetero";
+  }
+  return "?";
+}
+
+Policy parse_policy(std::string_view name) {
+  if (name == "fifo") return Policy::kFifo;
+  if (name == "sjf") return Policy::kSjf;
+  if (name == "hetero") return Policy::kHeteroBestFit;
+  throw Error("unknown scheduling policy '" + std::string(name) +
+              "' (expected fifo, sjf, or hetero)");
+}
+
+std::vector<std::size_t> policy_order(Policy policy,
+                                      const std::vector<PendingJob>& ready) {
+  std::vector<std::size_t> order(ready.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto by_arrival = [&ready](std::size_t a, std::size_t b) {
+    if (ready[a].arrival_s != ready[b].arrival_s) {
+      return ready[a].arrival_s < ready[b].arrival_s;
+    }
+    return ready[a].id < ready[b].id;
+  };
+  const auto by_estimate = [&ready](std::size_t a, std::size_t b) {
+    if (ready[a].est_seconds != ready[b].est_seconds) {
+      return ready[a].est_seconds < ready[b].est_seconds;
+    }
+    return ready[a].id < ready[b].id;
+  };
+  switch (policy) {
+    case Policy::kFifo:
+    case Policy::kHeteroBestFit:
+      std::sort(order.begin(), order.end(), by_arrival);
+      break;
+    case Policy::kSjf:
+      std::sort(order.begin(), order.end(), by_estimate);
+      break;
+  }
+  return order;
+}
+
+std::vector<int> pick_members(Policy policy, const simnet::Platform& platform,
+                              const std::vector<int>& free_ranks, int width) {
+  HPRS_REQUIRE(width >= 1 &&
+                   static_cast<std::size_t>(width) <= free_ranks.size(),
+               "pick_members: gang width " + std::to_string(width) +
+                   " does not fit " + std::to_string(free_ranks.size()) +
+                   " free ranks");
+  std::vector<int> members(free_ranks);
+  if (policy == Policy::kHeteroBestFit) {
+    std::sort(members.begin(), members.end(), [&platform](int a, int b) {
+      const double wa = platform.cycle_time(static_cast<std::size_t>(a));
+      const double wb = platform.cycle_time(static_cast<std::size_t>(b));
+      if (wa != wb) return wa < wb;
+      return a < b;
+    });
+  }
+  members.resize(static_cast<std::size_t>(width));
+  // Comm::subset wants strictly increasing ranks; members[0] is the leader.
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+double reservation_time(const std::vector<RunningJob>& running,
+                        std::size_t free_now, int width, double now) {
+  if (free_now >= static_cast<std::size_t>(width)) return now;
+  // Consume completions in (est_finish, id) order -- the same order the
+  // dispatcher awaits them in -- until enough ranks are free.
+  std::vector<std::size_t> order(running.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&running](std::size_t a,
+                                                   std::size_t b) {
+    if (running[a].est_finish_s != running[b].est_finish_s) {
+      return running[a].est_finish_s < running[b].est_finish_s;
+    }
+    return running[a].id < running[b].id;
+  });
+  std::size_t free = free_now;
+  for (std::size_t i : order) {
+    free += running[i].members.size();
+    if (free >= static_cast<std::size_t>(width)) {
+      return std::max(now, running[i].est_finish_s);
+    }
+  }
+  // Unsatisfiable even with everything drained: admission rejects such
+  // jobs, so a ready job can always eventually run.
+  HPRS_ASSERT(false);
+  return now;
+}
+
+std::optional<Selection> try_select(Policy policy,
+                                    const simnet::Platform& platform,
+                                    const std::vector<PendingJob>& ready,
+                                    const std::vector<int>& free_ranks,
+                                    const std::vector<RunningJob>& running,
+                                    double now) {
+  if (ready.empty()) return std::nullopt;
+  const std::vector<std::size_t> order = policy_order(policy, ready);
+  const PendingJob& head = ready[order.front()];
+  const bool head_fits =
+      static_cast<std::size_t>(head.width) <= free_ranks.size();
+  if (head_fits) {
+    return Selection{order.front(),
+                     pick_members(policy, platform, free_ranks, head.width)};
+  }
+  if (policy != Policy::kHeteroBestFit) return std::nullopt;
+
+  // Conservative backfill: the head holds a reservation at the estimated
+  // time enough ranks drain; a later job may start now only if it fits the
+  // free ranks and its estimated finish does not cross the reservation, so
+  // the head starts no later than it would have without backfill.
+  const double horizon =
+      reservation_time(running, free_ranks.size(), head.width, now);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const PendingJob& job = ready[order[k]];
+    if (static_cast<std::size_t>(job.width) > free_ranks.size()) continue;
+    std::vector<int> members =
+        pick_members(policy, platform, free_ranks, job.width);
+    if (now + job.est_seconds <= horizon) {
+      return Selection{order[k], std::move(members)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hprs::sched

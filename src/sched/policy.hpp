@@ -1,0 +1,96 @@
+// Pluggable placement policies for the multi-job scheduler.
+//
+// The policy layer is pure functions over small value types so the
+// decision logic is unit-testable without an engine
+// (tests/sched_policy_test.cpp): given the ready queue, the free ranks,
+// and the running set, a policy deterministically picks the next job to
+// dispatch and the exact rank subset to place it on.  Every ordering
+// breaks ties on the job id, so equal keys cannot produce run-to-run
+// differences.
+//
+//  * kFifo           -- strict arrival order, first free ranks (lowest
+//                       ids); the head of the line blocks the queue.
+//  * kSjf            -- shortest estimated makespan first (job-id
+//                       tie-break), first free ranks; no backfill.
+//  * kHeteroBestFit  -- arrival order with heterogeneity-aware placement
+//                       (the fastest free ranks by w_i) and conservative
+//                       backfill: when the head does not fit, a later job
+//                       may jump ahead only if its estimated finish does
+//                       not exceed the head's reservation time, so the
+//                       head is never delayed and no job starves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "simnet/platform.hpp"
+
+namespace hprs::sched {
+
+enum class Policy : std::uint8_t {
+  kFifo,
+  kSjf,
+  kHeteroBestFit,
+};
+
+[[nodiscard]] const char* to_string(Policy policy);
+[[nodiscard]] Policy parse_policy(std::string_view name);
+
+/// Policy view of a job waiting in the ready queue.
+struct PendingJob {
+  std::uint64_t id = 0;
+  /// Caller-side handle (stream index); opaque to the policy.
+  std::size_t index = 0;
+  double arrival_s = 0.0;
+  double est_seconds = 0.0;
+  int width = 1;
+};
+
+/// Policy view of a dispatched, not-yet-completed job.
+struct RunningJob {
+  std::uint64_t id = 0;
+  std::size_t index = 0;
+  /// dispatch_s + the cost-model estimate on the assigned members: the
+  /// deterministic completion horizon policies reason against.
+  double est_finish_s = 0.0;
+  std::vector<int> members;
+};
+
+/// Positions of `ready` in the policy's dispatch-preference order (FIFO and
+/// the hetero policy order by (arrival, id); SJF by (estimate, id)).
+[[nodiscard]] std::vector<std::size_t> policy_order(
+    Policy policy, const std::vector<PendingJob>& ready);
+
+/// The rank subset the policy assigns to a gang of `width` from
+/// `free_ranks` (engine ranks, ascending).  kHeteroBestFit takes the
+/// fastest ranks (smallest w_i, id tie-break); the others the lowest ids.
+/// The result is ascending -- the subset order Comm::subset requires.
+[[nodiscard]] std::vector<int> pick_members(Policy policy,
+                                            const simnet::Platform& platform,
+                                            const std::vector<int>& free_ranks,
+                                            int width);
+
+/// Earliest estimated time at least `width` ranks are simultaneously free,
+/// given `free_now` currently free and the running jobs' est_finish times.
+/// Returns `now` when already satisfiable.
+[[nodiscard]] double reservation_time(const std::vector<RunningJob>& running,
+                                      std::size_t free_now, int width,
+                                      double now);
+
+struct Selection {
+  /// Position in the `ready` vector handed to try_select.
+  std::size_t ready_pos = 0;
+  std::vector<int> members;
+};
+
+/// The policy's dispatch decision at virtual time `now`: the next job to
+/// start and its placement, or nullopt when nothing may start (the
+/// dispatcher then waits for the next arrival or completion).
+[[nodiscard]] std::optional<Selection> try_select(
+    Policy policy, const simnet::Platform& platform,
+    const std::vector<PendingJob>& ready, const std::vector<int>& free_ranks,
+    const std::vector<RunningJob>& running, double now);
+
+}  // namespace hprs::sched

@@ -1,0 +1,392 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/atdca.hpp"
+#include "core/morph.hpp"
+#include "core/pct.hpp"
+#include "core/ppi.hpp"
+#include "core/ufcls.hpp"
+#include "obs/metrics.hpp"
+#include "sched/cost_model.hpp"
+#include "vmpi/comm.hpp"
+
+namespace hprs::sched {
+namespace {
+
+// Control-plane tags, chosen above anything the algorithm bodies use.  The
+// dispatcher shares a rank pair with every worker, so the control plane
+// needs tags no job traffic reuses; job-internal p2p runs between worker
+// pairs (disjoint from dispatcher pairs) or on sub-communicator collectives
+// and cannot collide.
+constexpr int kCmdTag = 9001;
+constexpr int kDoneTag = 9002;
+
+/// Dispatcher -> member gang command (or shutdown).
+struct Cmd {
+  bool shutdown = false;
+  std::uint32_t index = 0;   ///< stream index of the job
+  std::vector<int> members;  ///< engine ranks of the gang, ascending
+};
+
+/// Gang leader -> dispatcher completion report.
+struct Done {
+  std::uint32_t index = 0;
+  double finish_s = 0.0;  ///< gang-aligned completion (virtual seconds)
+  double busy_s = 0.0;    ///< summed member busy time during the job
+};
+
+constexpr std::size_t kCmdBaseBytes = 16;
+constexpr std::size_t kDoneBytes = 24;
+
+[[nodiscard]] std::size_t cmd_bytes(const Cmd& cmd) {
+  return kCmdBaseBytes + 4 * cmd.members.size();
+}
+
+/// Runs one job on a fresh sub-communicator over the commanded members and
+/// reports completion to the dispatcher.  Every member executes this; only
+/// the gang leader (members[0]) writes `out` and messages the dispatcher.
+void run_job(vmpi::Comm& world, const Cmd& cmd, const JobSpec& spec,
+             const hsi::HsiCube& scene, JobOutput& out) {
+  vmpi::Comm sub = world.subset(cmd.members, spec.id);
+  const vmpi::RankStats before = sub.stats();
+
+  switch (spec.algorithm) {
+    case JobAlgorithm::kAtdca: {
+      core::AtdcaConfig config;
+      config.targets = spec.targets;
+      config.policy = spec.policy;
+      config.memory_fraction = spec.memory_fraction;
+      config.replication = spec.replication;
+      config.charge_data_staging = spec.charge_data_staging;
+      core::TargetDetectionResult result;
+      core::atdca_body(sub, scene, config, result);
+      if (sub.is_root()) out.targets = std::move(result.targets);
+      break;
+    }
+    case JobAlgorithm::kUfcls: {
+      core::UfclsConfig config;
+      config.targets = spec.targets;
+      config.policy = spec.policy;
+      config.memory_fraction = spec.memory_fraction;
+      config.replication = spec.replication;
+      config.charge_data_staging = spec.charge_data_staging;
+      core::TargetDetectionResult result;
+      core::ufcls_body(sub, scene, config, result);
+      if (sub.is_root()) out.targets = std::move(result.targets);
+      break;
+    }
+    case JobAlgorithm::kPct: {
+      core::PctConfig config;
+      config.classes = spec.classes;
+      config.sad_threshold = spec.sad_threshold;
+      config.policy = spec.policy;
+      config.memory_fraction = spec.memory_fraction;
+      config.replication = spec.replication;
+      config.charge_data_staging = spec.charge_data_staging;
+      core::ClassificationResult result;
+      core::pct_body(sub, scene, config, result);
+      if (sub.is_root()) {
+        out.labels = std::move(result.labels);
+        out.label_count = result.label_count;
+      }
+      break;
+    }
+    case JobAlgorithm::kMorph: {
+      core::MorphConfig config;
+      config.classes = spec.classes;
+      config.iterations = spec.iterations;
+      config.kernel_radius = spec.kernel_radius;
+      config.sad_threshold = spec.sad_threshold;
+      config.policy = spec.policy;
+      config.memory_fraction = spec.memory_fraction;
+      config.replication = spec.replication;
+      config.charge_data_staging = spec.charge_data_staging;
+      core::ClassificationResult result;
+      core::morph_body(sub, scene, config, result);
+      if (sub.is_root()) {
+        out.labels = std::move(result.labels);
+        out.label_count = result.label_count;
+      }
+      break;
+    }
+    case JobAlgorithm::kPpi: {
+      core::PpiConfig config;
+      config.targets = spec.targets;
+      config.skewers = spec.skewers;
+      config.seed = spec.seed;
+      config.policy = spec.policy;
+      config.memory_fraction = spec.memory_fraction;
+      config.replication = spec.replication;
+      config.charge_data_staging = spec.charge_data_staging;
+      core::PpiResult result;
+      core::ppi_body(sub, scene, config, result);
+      if (sub.is_root()) {
+        out.targets = std::move(result.targets);
+        out.scores = std::move(result.scores);
+      }
+      break;
+    }
+  }
+
+  // Align the gang so the recorded finish covers every member, snapshot
+  // the job's busy window, then fold the per-member busy time to the
+  // leader (the accounting traffic is charged after the finish snapshot,
+  // so it never pollutes the job's utilization).
+  sub.barrier();
+  const vmpi::RankStats after = sub.stats();
+  const double busy = after.busy() - before.busy();
+  const auto busys = sub.gather(sub.root(), busy, sizeof(double));
+  if (sub.is_root()) {
+    Done done;
+    done.index = cmd.index;
+    done.finish_s = after.clock;
+    for (double b : busys) done.busy_s += b;
+    world.send(world.root(), done, kDoneBytes, kDoneTag);
+  }
+}
+
+void worker_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
+                 const hsi::HsiCube& scene, std::vector<JobOutput>& outputs) {
+  while (true) {
+    const Cmd cmd = comm.recv<Cmd>(comm.root(), kCmdTag);
+    if (cmd.shutdown) break;
+    const JobSpec& spec = stream[cmd.index];
+    const hsi::HsiCube& job_scene = spec.scene != nullptr ? *spec.scene : scene;
+    run_job(comm, cmd, spec, job_scene, outputs[cmd.index]);
+  }
+}
+
+void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
+                     const hsi::HsiCube& scene, Policy policy,
+                     std::vector<JobRecord>& records) {
+  const simnet::Platform& platform = comm.platform();
+  std::vector<int> pool;  // the worker ranks, ascending
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r != comm.root()) pool.push_back(r);
+  }
+
+  // Arrival order over admitted jobs: (arrival, id), the event order the
+  // dispatcher paces virtual time with.
+  std::vector<std::size_t> arrivals;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (!records[i].rejected) arrivals.push_back(i);
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [&stream](std::size_t a, std::size_t b) {
+              if (stream[a].arrival_s != stream[b].arrival_s) {
+                return stream[a].arrival_s < stream[b].arrival_s;
+              }
+              return stream[a].id < stream[b].id;
+            });
+
+  std::size_t next_arrival = 0;
+  std::vector<PendingJob> ready;
+  std::vector<RunningJob> running;
+  std::set<int> free(pool.begin(), pool.end());
+  std::size_t completed = 0;
+
+  while (completed < arrivals.size()) {
+    const double now = comm.now();
+
+    // Admit everything that has arrived by now.
+    while (next_arrival < arrivals.size() &&
+           stream[arrivals[next_arrival]].arrival_s <= now) {
+      const std::size_t idx = arrivals[next_arrival++];
+      ready.push_back(PendingJob{stream[idx].id, idx, stream[idx].arrival_s,
+                                 records[idx].est_seconds,
+                                 stream[idx].ranks});
+    }
+
+    const std::vector<int> free_ranks(free.begin(), free.end());
+    if (auto sel = try_select(policy, platform, ready, free_ranks, running,
+                              now)) {
+      const std::size_t idx = ready[sel->ready_pos].index;
+      const JobSpec& spec = stream[idx];
+      const hsi::HsiCube& job_scene =
+          spec.scene != nullptr ? *spec.scene : scene;
+      JobRecord& record = records[idx];
+      record.dispatch_s = now;
+      record.members = sel->members;
+      record.est_seconds =
+          estimate_job(platform, sel->members, spec, job_scene).seconds;
+      running.push_back(RunningJob{spec.id, idx, now + record.est_seconds,
+                                   sel->members});
+      for (int m : sel->members) free.erase(m);
+      ready.erase(ready.begin() +
+                  static_cast<std::ptrdiff_t>(sel->ready_pos));
+      Cmd cmd;
+      cmd.index = static_cast<std::uint32_t>(idx);
+      cmd.members = sel->members;
+      const std::size_t bytes = cmd_bytes(cmd);
+      for (int m : sel->members) {
+        comm.send(m, cmd, bytes, kCmdTag);
+      }
+      continue;
+    }
+
+    // Nothing may start: advance virtual time to the next event.  Arrival
+    // times are known exactly; completions are consumed in the cost
+    // model's (est_finish, id) order -- a deterministic rule, so the
+    // schedule cannot depend on host timing even when an estimate is off.
+    const bool have_arrival = next_arrival < arrivals.size();
+    const double arrival_t =
+        have_arrival ? stream[arrivals[next_arrival]].arrival_s : 0.0;
+    if (running.empty()) {
+      HPRS_ASSERT(have_arrival);  // else the stream would be drained
+      comm.sleep_until(arrival_t);
+      continue;
+    }
+    std::size_t next = 0;
+    for (std::size_t i = 1; i < running.size(); ++i) {
+      const bool earlier =
+          running[i].est_finish_s != running[next].est_finish_s
+              ? running[i].est_finish_s < running[next].est_finish_s
+              : running[i].id < running[next].id;
+      if (earlier) next = i;
+    }
+    if (have_arrival && arrival_t <= running[next].est_finish_s) {
+      comm.sleep_until(arrival_t);
+      continue;
+    }
+    const int leader = running[next].members.front();
+    const Done done = comm.recv<Done>(leader, kDoneTag);
+    HPRS_ASSERT(done.index == running[next].index);
+    JobRecord& record = records[done.index];
+    record.finish_s = done.finish_s;
+    record.busy_s = done.busy_s;
+    for (int m : running[next].members) free.insert(m);
+    running.erase(running.begin() + static_cast<std::ptrdiff_t>(next));
+    ++completed;
+  }
+
+  // Drain the pool: one shutdown command per worker.
+  Cmd bye;
+  bye.shutdown = true;
+  for (int m : pool) {
+    comm.send(m, bye, kCmdBaseBytes, kCmdTag);
+  }
+}
+
+}  // namespace
+
+std::size_t ScheduleResult::completed() const {
+  std::size_t n = 0;
+  for (const JobRecord& r : records) n += r.completed() ? 1 : 0;
+  return n;
+}
+
+std::size_t ScheduleResult::rejected() const {
+  std::size_t n = 0;
+  for (const JobRecord& r : records) n += r.rejected ? 1 : 0;
+  return n;
+}
+
+ScheduleResult run_schedule(const simnet::Platform& platform,
+                            const hsi::HsiCube& scene,
+                            const std::vector<JobSpec>& stream,
+                            const SchedulerConfig& config,
+                            vmpi::Options options) {
+  HPRS_REQUIRE(platform.size() >= 2,
+               "the scheduler needs a dispatcher rank plus at least one "
+               "worker");
+  {
+    std::set<std::uint64_t> ids;
+    for (const JobSpec& spec : stream) {
+      HPRS_REQUIRE(ids.insert(spec.id).second,
+                   "duplicate job id " + std::to_string(spec.id) +
+                       " in the stream");
+    }
+  }
+
+  const int root = options.root;
+  HPRS_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < platform.size(),
+               "dispatcher (root) rank out of range");
+  std::vector<int> pool;
+  for (std::size_t r = 0; r < platform.size(); ++r) {
+    if (static_cast<int>(r) != root) pool.push_back(static_cast<int>(r));
+  }
+
+  ScheduleResult result;
+  result.policy = config.policy;
+  result.records.resize(stream.size());
+  result.outputs.resize(stream.size());
+
+  // Memory-bound admission plus the canonical (full-pool placement)
+  // estimate SJF orders the ready queue by.  Both are host-side and purely
+  // arithmetic, so the engine program below is already fixed before it
+  // starts -- part of the determinism argument (DESIGN.md section 11).
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const JobSpec& spec = stream[i];
+    const hsi::HsiCube& job_scene = spec.scene != nullptr ? *spec.scene : scene;
+    JobRecord& record = result.records[i];
+    record.id = spec.id;
+    record.algorithm = spec.algorithm;
+    record.arrival_s = spec.arrival_s;
+    try {
+      check_admission(platform, pool, spec, job_scene);
+      const std::vector<int> canonical =
+          pick_members(config.policy, platform, pool, spec.ranks);
+      record.est_seconds =
+          estimate_job(platform, canonical, spec, job_scene).seconds;
+    } catch (const AdmissionError& e) {
+      record.rejected = true;
+      record.error = e.what();
+    }
+  }
+
+  vmpi::Engine engine(platform, options);
+  result.report = engine.run([&](vmpi::Comm& comm) {
+    if (comm.rank() == comm.root()) {
+      dispatcher_loop(comm, stream, scene, config.policy, result.records);
+    } else {
+      worker_loop(comm, stream, scene, result.outputs);
+    }
+  });
+
+  for (const JobRecord& record : result.records) {
+    if (!record.completed()) continue;
+    result.makespan_s = std::max(result.makespan_s, record.finish_s);
+    result.utilization += record.busy_s;
+  }
+  const double span =
+      result.makespan_s * static_cast<double>(pool.size());
+  result.utilization = span > 0.0 ? result.utilization / span : 0.0;
+
+  if (config.record_metrics) {
+    auto& metrics = obs::Metrics::instance();
+    metrics.add("sched.jobs.completed", result.completed());
+    metrics.add("sched.jobs.rejected", result.rejected());
+    for (const JobRecord& record : result.records) {
+      if (!record.completed()) continue;
+      const std::string prefix =
+          "sched.job." + std::to_string(record.id) + ".";
+      metrics.gauge_max(prefix + "queue_wait_s", record.queue_wait_s());
+      metrics.gauge_max(prefix + "makespan_s", record.makespan_s());
+      metrics.gauge_max(prefix + "utilization", record.utilization());
+    }
+  }
+  return result;
+}
+
+std::vector<obs::TraceTrackGroup> job_track_groups(
+    const ScheduleResult& result) {
+  std::vector<obs::TraceTrackGroup> groups;
+  for (const JobRecord& record : result.records) {
+    if (!record.completed()) continue;
+    obs::TraceTrackGroup group;
+    group.label = "job:" + std::to_string(record.id) + "/" +
+                  to_string(record.algorithm);
+    group.members = record.members;
+    group.begin_s = record.dispatch_s;
+    group.end_s = record.finish_s;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace hprs::sched

@@ -1,0 +1,68 @@
+// Deterministic virtual-time multi-job scheduler over one shared engine.
+//
+// run_schedule starts one vmpi engine over the whole platform and runs an
+// SPMD control program on it: the engine's root rank becomes the
+// *dispatcher* (it never computes); every other rank is a *worker*.  The
+// dispatcher paces the stream's virtual-time arrivals with sleep_until,
+// picks the next job and its rank subset with the pluggable policy
+// (sched/policy.hpp), and gang-dispatches the job by sending each member a
+// command message; the members build a sub-communicator with Comm::subset
+// and run the algorithm's unmodified SPMD body on it.  The gang leader
+// reports completion (aligned finish time + summed busy time) back to the
+// dispatcher, which frees the ranks and keeps going until the stream
+// drains.  See DESIGN.md section 11 for the determinism argument.
+#pragma once
+
+#include <vector>
+
+#include "hsi/cube.hpp"
+#include "obs/chrome_trace.hpp"
+#include "sched/job.hpp"
+#include "sched/policy.hpp"
+#include "simnet/platform.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::sched {
+
+struct SchedulerConfig {
+  Policy policy = Policy::kHeteroBestFit;
+  /// Publish per-job Domain::kStable metrics (queue wait, makespan,
+  /// utilization) into the obs registry after the run.
+  bool record_metrics = true;
+};
+
+/// Outcome of scheduling one job stream.
+struct ScheduleResult {
+  Policy policy = Policy::kHeteroBestFit;
+  /// One record / output per stream entry, in stream order.
+  std::vector<JobRecord> records;
+  std::vector<JobOutput> outputs;
+  vmpi::RunReport report;
+  /// Virtual time of the last job completion.
+  double makespan_s = 0.0;
+  /// Summed job busy time over (worker count x makespan): the cluster-wide
+  /// busy fraction while the stream was in flight.
+  double utilization = 0.0;
+  [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::size_t rejected() const;
+};
+
+/// Admits, places, and runs `stream` on `platform` under `config.policy`.
+/// Jobs that fail memory-bound admission are marked rejected (with the
+/// AdmissionError message) and never dispatch; everything else completes.
+/// Deterministic: identical streams produce bit-identical records,
+/// outputs, and stable metrics across runs and both executor modes.
+[[nodiscard]] ScheduleResult run_schedule(const simnet::Platform& platform,
+                                          const hsi::HsiCube& scene,
+                                          const std::vector<JobSpec>& stream,
+                                          const SchedulerConfig& config = {},
+                                          vmpi::Options options = {});
+
+/// One Chrome-trace track group per completed job, labelled
+/// "job:<id>/<ALG>" and windowed to [dispatch_s, finish_s), so a traced
+/// schedule (Options::enable_trace) renders each gang as its own process
+/// in the viewer (obs::chrome_trace_json group overload).
+[[nodiscard]] std::vector<obs::TraceTrackGroup> job_track_groups(
+    const ScheduleResult& result);
+
+}  // namespace hprs::sched

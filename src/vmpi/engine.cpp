@@ -180,16 +180,24 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     nic_free_.assign(pu, 0.0);
     xlink_free_.clear();
     mailbox_.clear();
-    coll_kind_ = CollectiveKind::kNone;
-    coll_root_ = -1;
-    coll_arrived_ = 0;
-    coll_generation_ = 0;
-    coll_inputs_.assign(pu, Packet{});
-    coll_single_out_.assign(pu, Packet{});
-    resize_and_clear(coll_scatter_parts_, pu);
-    resize_and_clear(coll_exchange_in_, pu);
-    resize_and_clear(coll_multi_out_, pu);
-    resize_and_clear(coll_exchange_out_, pu);
+    // The world communicator is group 0: every rank, rooted at the engine
+    // root, over the unrestricted platform.  Sub-communicators registered
+    // by a previous run are dropped here.
+    groups_.clear();
+    {
+      std::vector<int> everyone(pu);
+      for (int r = 0; r < p; ++r) everyone[static_cast<std::size_t>(r)] = r;
+      auto world = std::make_unique<Group>(0, std::move(everyone),
+                                           options_.root, platform_);
+      world->inputs.assign(pu, Packet{});
+      world->single_out.assign(pu, Packet{});
+      resize_and_clear(world->scatter_parts, pu);
+      resize_and_clear(world->exchange_in, pu);
+      resize_and_clear(world->multi_out, pu);
+      resize_and_clear(world->exchange_out, pu);
+      world_ = world.get();
+      groups_.emplace(0, std::move(world));
+    }
     resize_and_clear(gather_pool_, pu);
     resize_and_clear(exchange_pool_, pu);
     next_send_handle_ = 1;
@@ -216,7 +224,7 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const auto rank_body = [&](int r) {
-    Comm comm(*this, r);
+    Comm comm(*this, *world_, r);
     try {
       program(comm);
       // Mark completion and wake peers: a rank blocked on this one can now
@@ -409,9 +417,20 @@ void Engine::die_locked(int rank) {
   ++crashed_count_;
   fault_log_.push_back(FaultEvent{FaultEventKind::kCrash, rank, -1,
                                   stats_[r].clock, 0});
-  if (coll_arrived_ > 0 && !poisoned_) {
-    // Peers already committed to a full-world collective this rank will
-    // never join; the run cannot proceed on the world communicator.
+  // Peers already committed to a collective on a communicator containing
+  // this rank will never see it join; that communicator -- and with it the
+  // run -- cannot proceed.  Collectives on groups the dead rank is *not* a
+  // member of are unaffected.
+  bool poisons_collective = false;
+  for (const auto& [id, g] : groups_) {
+    if (g->arrived > 0 &&
+        std::find(g->members.begin(), g->members.end(), rank) !=
+            g->members.end()) {
+      poisons_collective = true;
+      break;
+    }
+  }
+  if (poisons_collective && !poisoned_) {
     poison_locked("rank " + std::to_string(rank) +
                   " crashed (fail-stop) at t=" +
                   std::to_string(stats_[r].clock) +
@@ -483,7 +502,8 @@ Packet Engine::match_recv_locked(int rank, int src, int tag, PendingSend& ps) {
     }
   }
   double active = 0.0;
-  const double end = schedule_transfer_locked(src, rank, bytes, ready, &active);
+  const double end =
+      schedule_transfer_locked(ps.channel, src, rank, bytes, ready, &active);
   ++obs_.p2p_messages;
   obs_.p2p_wire_bytes += bytes;
   account_transfer_locked(rank, me.clock, end, active, 0, bytes);
@@ -623,41 +643,53 @@ void Engine::wake_all_locked() {
 
 // --- collectives -----------------------------------------------------------
 
-void Engine::begin_collective(int rank, CollectiveKind kind, int root) {
-  maybe_crash_locked(rank);
+void Engine::begin_collective(Group& group, int rank, CollectiveKind kind,
+                              int root) {
+  const int grank = group.world_rank(rank);
+  maybe_crash_locked(grank);
   check_poison_locked();
   if (crashed_count_ > 0) {
-    // A world collective needs every rank; at least one is dead.  Failing
-    // here (instead of a wall-clock timeout) keeps non-fault-tolerant
-    // programs fast to diagnose; fault-tolerant code uses try_send/try_recv
-    // and never reaches a world collective after a crash.
-    poison_locked(
-        "a full-world collective can never complete after a fail-stop "
-        "crash; " +
-        describe_blocked_locked());
-    check_poison_locked();
+    // A collective needs every member of its communicator; fail fast when
+    // one is dead (instead of a wall-clock timeout) so non-fault-tolerant
+    // programs stay fast to diagnose.  Fault-tolerant code uses
+    // try_send/try_recv and never reaches a collective after a crash.
+    // Crashes of non-members leave this group's collectives untouched.
+    for (const int m : group.members) {
+      if (rank_state_[static_cast<std::size_t>(m)] == RankState::kCrashed) {
+        poison_locked(
+            group.id == 0
+                ? "a full-world collective can never complete after a "
+                  "fail-stop crash; " +
+                      describe_blocked_locked()
+                : "a collective on a sub-communicator with a crashed member "
+                  "can never complete; " +
+                      describe_blocked_locked());
+        check_poison_locked();
+      }
+    }
   }
-  if (coll_arrived_ == 0) {
-    coll_kind_ = kind;
-    coll_root_ = root;
-  } else if (coll_kind_ != kind || coll_root_ != root) {
+  if (group.arrived == 0) {
+    group.coll_kind = kind;
+    group.coll_root = root;
+  } else if (group.coll_kind != kind || group.coll_root != root) {
     poison_locked("mismatched collective operations across ranks");
     check_poison_locked();
   }
-  const auto r = static_cast<std::size_t>(rank);
-  ++coll_arrived_;
-  (void)r;
+  ++group.arrived;
 }
 
-void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock, int rank,
+void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock,
+                                 Group& group, int rank,
                                  std::uint64_t generation) {
-  // Lock held since begin_collective, so coll_kind_/coll_root_ still
-  // describe the collective this rank is parked in.
-  waiting_[static_cast<std::size_t>(rank)] =
-      WaitInfo{WaitInfo::What::kCollective, coll_root_, 0, coll_kind_};
+  const int grank = group.world_rank(rank);
+  // Lock held since begin_collective, so the group's coll_kind/coll_root
+  // still describe the collective this rank is parked in.
+  waiting_[static_cast<std::size_t>(grank)] =
+      WaitInfo{WaitInfo::What::kCollective, group.world_rank(group.coll_root),
+               0, group.coll_kind};
   const auto deadline = deadline_after(options_.deadlock_timeout_s);
   bool deadline_expired = false;
-  while (coll_generation_ == generation && !poisoned_) {
+  while (group.generation == generation && !poisoned_) {
     if (deadline_expired) {
       // The deadline passed *and* a fresh predicate check still failed:
       // only now is it a deadlock (a wakeup racing the deadline is not).
@@ -665,10 +697,10 @@ void Engine::wait_for_generation(std::unique_lock<std::mutex>& lock, int rank,
                     describe_blocked_locked());
       break;
     }
-    deadline_expired = wait_rank(lock, rank, deadline);
+    deadline_expired = wait_rank(lock, grank, deadline);
   }
   check_poison_locked();
-  waiting_[static_cast<std::size_t>(rank)] = WaitInfo{};
+  waiting_[static_cast<std::size_t>(grank)] = WaitInfo{};
 }
 
 void Engine::poison_locked(const std::string& reason) {
@@ -683,15 +715,16 @@ void Engine::check_poison_locked() const {
   }
 }
 
-double Engine::schedule_transfer_locked(int src, int dst, std::size_t bytes,
+double Engine::schedule_transfer_locked(std::uint64_t channel, int src,
+                                        int dst, std::size_t bytes,
                                         double ready, double* active_out) {
   const auto s = static_cast<std::size_t>(src);
   const auto d = static_cast<std::size_t>(dst);
   double start = std::max({ready, nic_free_[s], nic_free_[d]});
   const std::size_t seg_s = platform_.segment_of(s);
   const std::size_t seg_d = platform_.segment_of(d);
-  const auto xkey = std::make_pair(std::min(seg_s, seg_d),
-                                   std::max(seg_s, seg_d));
+  const auto xkey = std::make_tuple(channel, std::min(seg_s, seg_d),
+                                    std::max(seg_s, seg_d));
   if (seg_s != seg_d) {
     const auto it = xlink_free_.find(xkey);
     if (it != xlink_free_.end()) start = std::max(start, it->second);
@@ -735,28 +768,35 @@ void Engine::account_transfer_locked(int rank, double ready, double end,
   s.clock = std::max(s.clock, end);
 }
 
-void Engine::finish_collective_locked() {
-  const int p = size();
-  const int root = coll_root_;
+void Engine::finish_collective_locked(Group& group) {
+  // All rank indices in this function are *local* to the group; `gr`
+  // translates to world ranks at the points that touch engine-wide state
+  // (stats_, trace_, and the transfer scheduler).  For the world group the
+  // translation is the identity, so world collectives cost exactly what
+  // they did before sub-communicators existed.
+  const int p = group.size();
+  const int root = group.coll_root;
   const auto ru = static_cast<std::size_t>(root);
-  const auto obs_kind = static_cast<std::size_t>(coll_kind_);
+  const auto obs_kind = static_cast<std::size_t>(group.coll_kind);
   const std::uint64_t obs_bytes_before = obs_scheduled_bytes_;
+  const auto gr = [&group](int local) { return group.world_rank(local); };
 
   std::vector<double> arrival(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     arrival[static_cast<std::size_t>(r)] =
-        stats_[static_cast<std::size_t>(r)].clock;
+        stats_[static_cast<std::size_t>(gr(r))].clock;
   }
 
-  switch (coll_kind_) {
+  switch (group.coll_kind) {
     case CollectiveKind::kBarrier: {
       double t = 0.0;
       for (double a : arrival) t = std::max(t, a);
       for (int r = 0; r < p; ++r) {
-        auto& s = stats_[static_cast<std::size_t>(r)];
+        const int w = gr(r);
+        auto& s = stats_[static_cast<std::size_t>(w)];
         if (options_.enable_trace && t > s.clock) {
-          trace_[static_cast<std::size_t>(r)].push_back(
-              TraceEvent{r, TraceKind::kIdle, s.clock, t, 0});
+          trace_[static_cast<std::size_t>(w)].push_back(
+              TraceEvent{w, TraceKind::kIdle, s.clock, t, 0});
         }
         s.wait += t - s.clock;
         s.clock = t;
@@ -765,7 +805,7 @@ void Engine::finish_collective_locked() {
     }
 
     case CollectiveKind::kBcast: {
-      Packet& payload = coll_inputs_[ru];
+      Packet& payload = group.inputs[ru];
       const std::size_t bytes = payload.bytes;
       // Freeze the root's payload once (a move, not a copy); every
       // destination below takes a refcounted view, so the fan-out performs
@@ -786,16 +826,17 @@ void Engine::finish_collective_locked() {
             const int dst = (vdst + root) % p;
             const auto du = static_cast<std::size_t>(dst);
             double active = 0.0;
-            const double end = schedule_transfer_locked(
-                src, dst, bytes, known[static_cast<std::size_t>(vsrc)],
+            const double end = schedule_transfer_locked(group.id, 
+                gr(src), gr(dst), bytes, known[static_cast<std::size_t>(vsrc)],
                 &active);
-            account_transfer_locked(src, known[static_cast<std::size_t>(vsrc)],
+            account_transfer_locked(gr(src),
+                                    known[static_cast<std::size_t>(vsrc)],
                                     end, active, bytes, 0);
-            account_transfer_locked(dst, arrival[du],
+            account_transfer_locked(gr(dst), arrival[du],
                                     std::max(end, arrival[du]), active, 0,
                                     bytes);
             known[static_cast<std::size_t>(vdst)] = std::max(end, arrival[du]);
-            coll_single_out_[du] = Packet::shared_view(shared, bytes);
+            group.single_out[du] = Packet::shared_view(shared, bytes);
           }
         }
       } else {
@@ -807,21 +848,23 @@ void Engine::finish_collective_locked() {
           if (dst == root) continue;
           const auto du = static_cast<std::size_t>(dst);
           double active = 0.0;
-          const double end =
-              schedule_transfer_locked(root, dst, bytes, arrival[ru], &active);
-          account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
-                                  active, 0, bytes);
-          account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
+          const double end = schedule_transfer_locked(group.id, gr(root), gr(dst), bytes,
+                                                      arrival[ru], &active);
+          account_transfer_locked(gr(dst), arrival[du],
+                                  std::max(end, arrival[du]), active, 0,
+                                  bytes);
+          account_transfer_locked(gr(root), root_busy_from, end, active, bytes,
+                                  0);
           root_busy_from = end;
-          coll_single_out_[du] = Packet::shared_view(shared, bytes);
+          group.single_out[du] = Packet::shared_view(shared, bytes);
         }
       }
-      coll_single_out_[ru] = std::move(coll_inputs_[ru]);
+      group.single_out[ru] = std::move(group.inputs[ru]);
       break;
     }
 
     case CollectiveKind::kGather: {
-      auto& gathered = coll_multi_out_[ru];
+      auto& gathered = group.multi_out[ru];
       gathered.resize(static_cast<std::size_t>(p));
       if (platform_.switched_fabric()) {
         // Binomial-tree gather: in step k, every vrank whose low k bits are
@@ -835,7 +878,7 @@ void Engine::finish_collective_locked() {
           ready[static_cast<std::size_t>(v)] =
               arrival[static_cast<std::size_t>(r)];
           acc[static_cast<std::size_t>(v)] =
-              coll_inputs_[static_cast<std::size_t>(r)].bytes;
+              group.inputs[static_cast<std::size_t>(r)].bytes;
         }
         for (int step = 1; step < p; step <<= 1) {
           for (int vsrc = step; vsrc < p; vsrc += 2 * step) {
@@ -844,12 +887,14 @@ void Engine::finish_collective_locked() {
             const int dst = (vdst + root) % p;
             const std::size_t bytes = acc[static_cast<std::size_t>(vsrc)];
             double active = 0.0;
-            const double end = schedule_transfer_locked(
-                src, dst, bytes, ready[static_cast<std::size_t>(vsrc)],
+            const double end = schedule_transfer_locked(group.id, 
+                gr(src), gr(dst), bytes, ready[static_cast<std::size_t>(vsrc)],
                 &active);
-            account_transfer_locked(src, ready[static_cast<std::size_t>(vsrc)],
+            account_transfer_locked(gr(src),
+                                    ready[static_cast<std::size_t>(vsrc)],
                                     end, active, bytes, 0);
-            account_transfer_locked(dst, ready[static_cast<std::size_t>(vdst)],
+            account_transfer_locked(gr(dst),
+                                    ready[static_cast<std::size_t>(vdst)],
                                     end, active, 0, bytes);
             ready[static_cast<std::size_t>(vdst)] =
                 std::max(ready[static_cast<std::size_t>(vdst)], end);
@@ -858,7 +903,7 @@ void Engine::finish_collective_locked() {
         }
         for (int src = 0; src < p; ++src) {
           gathered[static_cast<std::size_t>(src)] =
-              std::move(coll_inputs_[static_cast<std::size_t>(src)]);
+              std::move(group.inputs[static_cast<std::size_t>(src)]);
         }
       } else {
         // Workers transmit to the root in rank order; the root's NIC is the
@@ -867,24 +912,25 @@ void Engine::finish_collective_locked() {
         for (int src = 0; src < p; ++src) {
           const auto su = static_cast<std::size_t>(src);
           if (src == root) {
-            gathered[su] = std::move(coll_inputs_[su]);
+            gathered[su] = std::move(group.inputs[su]);
             continue;
           }
-          const std::size_t bytes = coll_inputs_[su].bytes;
+          const std::size_t bytes = group.inputs[su].bytes;
           double active = 0.0;
-          const double end =
-              schedule_transfer_locked(src, root, bytes, arrival[su], &active);
-          account_transfer_locked(src, arrival[su], end, active, bytes, 0);
-          account_transfer_locked(root, root_busy_from, end, active, 0, bytes);
+          const double end = schedule_transfer_locked(group.id, gr(src), gr(root), bytes,
+                                                      arrival[su], &active);
+          account_transfer_locked(gr(src), arrival[su], end, active, bytes, 0);
+          account_transfer_locked(gr(root), root_busy_from, end, active, 0,
+                                  bytes);
           root_busy_from = end;
-          gathered[su] = std::move(coll_inputs_[su]);
+          gathered[su] = std::move(group.inputs[su]);
         }
       }
       break;
     }
 
     case CollectiveKind::kScatter: {
-      auto& parts = coll_scatter_parts_[ru];
+      auto& parts = group.scatter_parts[ru];
       HPRS_ASSERT(parts.size() == static_cast<std::size_t>(p));
       if (platform_.switched_fabric()) {
         // Binomial-tree scatter (mirror of the tree gather): holders pass
@@ -908,19 +954,20 @@ void Engine::finish_collective_locked() {
             const int dst = (vdst + root) % p;
             const auto du = static_cast<std::size_t>(dst);
             double active = 0.0;
-            const double end = schedule_transfer_locked(
-                src, dst, bytes, known[static_cast<std::size_t>(vsrc)],
+            const double end = schedule_transfer_locked(group.id, 
+                gr(src), gr(dst), bytes, known[static_cast<std::size_t>(vsrc)],
                 &active);
-            account_transfer_locked(src, known[static_cast<std::size_t>(vsrc)],
+            account_transfer_locked(gr(src),
+                                    known[static_cast<std::size_t>(vsrc)],
                                     end, active, bytes, 0);
-            account_transfer_locked(dst, arrival[du],
+            account_transfer_locked(gr(dst), arrival[du],
                                     std::max(end, arrival[du]), active, 0,
                                     bytes);
             known[static_cast<std::size_t>(vdst)] = std::max(end, arrival[du]);
           }
         }
         for (int dst = 0; dst < p; ++dst) {
-          coll_single_out_[static_cast<std::size_t>(dst)] =
+          group.single_out[static_cast<std::size_t>(dst)] =
               std::move(parts[static_cast<std::size_t>(dst)]);
         }
       } else {
@@ -928,18 +975,20 @@ void Engine::finish_collective_locked() {
         for (int dst = 0; dst < p; ++dst) {
           const auto du = static_cast<std::size_t>(dst);
           if (dst == root) {
-            coll_single_out_[du] = std::move(parts[du]);
+            group.single_out[du] = std::move(parts[du]);
             continue;
           }
           const std::size_t bytes = parts[du].bytes;
           double active = 0.0;
-          const double end =
-              schedule_transfer_locked(root, dst, bytes, arrival[ru], &active);
-          account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
-                                  active, 0, bytes);
-          account_transfer_locked(root, root_busy_from, end, active, bytes, 0);
+          const double end = schedule_transfer_locked(group.id, gr(root), gr(dst), bytes,
+                                                      arrival[ru], &active);
+          account_transfer_locked(gr(dst), arrival[du],
+                                  std::max(end, arrival[du]), active, 0,
+                                  bytes);
+          account_transfer_locked(gr(root), root_busy_from, end, active, bytes,
+                                  0);
           root_busy_from = end;
-          coll_single_out_[du] = std::move(parts[du]);
+          group.single_out[du] = std::move(parts[du]);
         }
       }
       break;
@@ -948,21 +997,23 @@ void Engine::finish_collective_locked() {
     case CollectiveKind::kExchange: {
       // All pairwise transfers scheduled in (src, dst) order; a rank's
       // clock advances to the end of the last transfer it participates in.
+      // Destinations in the staged sends are local ranks.
       for (int src = 0; src < p; ++src) {
         const auto su = static_cast<std::size_t>(src);
-        for (auto& [dst, packet] : coll_exchange_in_[su]) {
+        for (auto& [dst, packet] : group.exchange_in[su]) {
           HPRS_ASSERT(dst >= 0 && dst < p && dst != src);
           const auto du = static_cast<std::size_t>(dst);
           const std::size_t bytes = packet.bytes;
           double active = 0.0;
-          const double end =
-              schedule_transfer_locked(src, dst, bytes, arrival[su], &active);
-          account_transfer_locked(src, arrival[su], end, active, bytes, 0);
-          account_transfer_locked(dst, arrival[du], std::max(end, arrival[du]),
-                                  active, 0, bytes);
-          coll_exchange_out_[du].emplace_back(src, std::move(packet));
+          const double end = schedule_transfer_locked(group.id, gr(src), gr(dst), bytes,
+                                                      arrival[su], &active);
+          account_transfer_locked(gr(src), arrival[su], end, active, bytes, 0);
+          account_transfer_locked(gr(dst), arrival[du],
+                                  std::max(end, arrival[du]), active, 0,
+                                  bytes);
+          group.exchange_out[du].emplace_back(src, std::move(packet));
         }
-        coll_exchange_in_[su].clear();
+        group.exchange_in[su].clear();
       }
       break;
     }
@@ -974,98 +1025,178 @@ void Engine::finish_collective_locked() {
   ++obs_.collectives[obs_kind];
   obs_.collective_wire_bytes[obs_kind] +=
       obs_scheduled_bytes_ - obs_bytes_before;
-  coll_kind_ = CollectiveKind::kNone;
-  coll_root_ = -1;
-  coll_arrived_ = 0;
-  ++coll_generation_;
+  group.coll_kind = CollectiveKind::kNone;
+  group.coll_root = -1;
+  group.arrived = 0;
+  ++group.generation;
   wake_all_locked();
 }
 
-void Engine::core_barrier(int rank) {
+void Engine::core_barrier(Group& group, int rank) {
   std::unique_lock<std::mutex> lock(mutex_);
-  begin_collective(rank, CollectiveKind::kBarrier, options_.root);
-  if (coll_arrived_ == size()) {
-    finish_collective_locked();
+  begin_collective(group, rank, CollectiveKind::kBarrier, group.root_local);
+  if (group.arrived == group.size()) {
+    finish_collective_locked(group);
     return;
   }
-  wait_for_generation(lock, rank, coll_generation_);
+  wait_for_generation(lock, group, rank, group.generation);
 }
 
-Packet Engine::core_bcast(int rank, int root, Packet payload) {
+Packet Engine::core_bcast(Group& group, int rank, int root, Packet payload) {
   std::unique_lock<std::mutex> lock(mutex_);
-  begin_collective(rank, CollectiveKind::kBcast, root);
+  begin_collective(group, rank, CollectiveKind::kBcast, root);
   const auto r = static_cast<std::size_t>(rank);
-  if (rank == root) coll_inputs_[r] = std::move(payload);
-  if (coll_arrived_ == size()) {
-    finish_collective_locked();
+  if (rank == root) group.inputs[r] = std::move(payload);
+  if (group.arrived == group.size()) {
+    finish_collective_locked(group);
   } else {
-    wait_for_generation(lock, rank, coll_generation_);
+    wait_for_generation(lock, group, rank, group.generation);
   }
-  return std::move(coll_single_out_[r]);
+  return std::move(group.single_out[r]);
 }
 
-std::vector<Packet> Engine::core_gather(int rank, int root, Packet payload) {
+std::vector<Packet> Engine::core_gather(Group& group, int rank, int root,
+                                        Packet payload) {
   std::unique_lock<std::mutex> lock(mutex_);
-  begin_collective(rank, CollectiveKind::kGather, root);
+  begin_collective(group, rank, CollectiveKind::kGather, root);
   const auto r = static_cast<std::size_t>(rank);
+  const auto w = static_cast<std::size_t>(group.world_rank(rank));
   // Adopt this rank's recycled result buffer so the coordinator's resize
-  // reuses capacity from a previous generation instead of allocating.
-  auto& out_slot = coll_multi_out_[r];
+  // reuses capacity from a previous generation instead of allocating.  The
+  // pool is indexed by world rank (it is rank-confined host scratch, not
+  // communicator state).
+  auto& out_slot = group.multi_out[r];
   out_slot.clear();
-  if (gather_pool_[r].capacity() > out_slot.capacity()) {
-    out_slot.swap(gather_pool_[r]);
+  if (gather_pool_[w].capacity() > out_slot.capacity()) {
+    out_slot.swap(gather_pool_[w]);
   }
-  coll_inputs_[r] = std::move(payload);
-  if (coll_arrived_ == size()) {
-    finish_collective_locked();
+  group.inputs[r] = std::move(payload);
+  if (group.arrived == group.size()) {
+    finish_collective_locked(group);
   } else {
-    wait_for_generation(lock, rank, coll_generation_);
+    wait_for_generation(lock, group, rank, group.generation);
   }
-  return std::move(coll_multi_out_[r]);
+  return std::move(group.multi_out[r]);
 }
 
-Packet Engine::core_scatter(int rank, int root, std::vector<Packet>& parts) {
+Packet Engine::core_scatter(Group& group, int rank, int root,
+                            std::vector<Packet>& parts) {
   std::unique_lock<std::mutex> lock(mutex_);
-  begin_collective(rank, CollectiveKind::kScatter, root);
+  begin_collective(group, rank, CollectiveKind::kScatter, root);
   const auto r = static_cast<std::size_t>(rank);
   if (rank == root) {
     // Move element contents into the (capacity-retaining) staging slot;
     // the caller keeps its vector's capacity for the next scatter.
-    auto& staged = coll_scatter_parts_[r];
+    auto& staged = group.scatter_parts[r];
     staged.resize(parts.size());
     for (std::size_t i = 0; i < parts.size(); ++i) {
       staged[i] = std::move(parts[i]);
     }
   }
-  if (coll_arrived_ == size()) {
-    finish_collective_locked();
+  if (group.arrived == group.size()) {
+    finish_collective_locked(group);
   } else {
-    wait_for_generation(lock, rank, coll_generation_);
+    wait_for_generation(lock, group, rank, group.generation);
   }
-  return std::move(coll_single_out_[r]);
+  return std::move(group.single_out[r]);
 }
 
 std::vector<std::pair<int, Packet>> Engine::core_exchange(
-    int rank, std::vector<std::pair<int, Packet>>& sends) {
+    Group& group, int rank, std::vector<std::pair<int, Packet>>& sends) {
   std::unique_lock<std::mutex> lock(mutex_);
-  begin_collective(rank, CollectiveKind::kExchange, options_.root);
+  begin_collective(group, rank, CollectiveKind::kExchange, group.root_local);
   const auto r = static_cast<std::size_t>(rank);
-  auto& in_slot = coll_exchange_in_[r];
+  const auto w = static_cast<std::size_t>(group.world_rank(rank));
+  auto& in_slot = group.exchange_in[r];
   in_slot.resize(sends.size());
   for (std::size_t i = 0; i < sends.size(); ++i) {
     in_slot[i] = std::move(sends[i]);
   }
-  auto& out_slot = coll_exchange_out_[r];
+  auto& out_slot = group.exchange_out[r];
   out_slot.clear();
-  if (exchange_pool_[r].capacity() > out_slot.capacity()) {
-    out_slot.swap(exchange_pool_[r]);
+  if (exchange_pool_[w].capacity() > out_slot.capacity()) {
+    out_slot.swap(exchange_pool_[w]);
   }
-  if (coll_arrived_ == size()) {
-    finish_collective_locked();
+  if (group.arrived == group.size()) {
+    finish_collective_locked(group);
   } else {
-    wait_for_generation(lock, rank, coll_generation_);
+    wait_for_generation(lock, group, rank, group.generation);
   }
-  return std::move(coll_exchange_out_[r]);
+  return std::move(group.exchange_out[r]);
+}
+
+Group& Engine::ensure_group(std::uint64_t id, const std::vector<int>& members) {
+  HPRS_REQUIRE(!members.empty(), "a communicator group needs at least one member");
+  for (const int m : members) {
+    HPRS_REQUIRE(m >= 0 && m < size(),
+                 "communicator member rank " + std::to_string(m) +
+                     " does not exist on a " + std::to_string(size()) +
+                     "-rank platform");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = groups_.find(id);
+  if (it != groups_.end()) {
+    HPRS_REQUIRE(it->second->members == members,
+                 "communicator id collision: group " + std::to_string(id) +
+                     " already exists with a different member list");
+    return *it->second;
+  }
+  // Restricted platform view: the members' own specs (segment indices
+  // preserved) over the full segment-capacity matrix, so w_i and c_ij keep
+  // their world values and the WEA sees exactly this communicator.
+  std::vector<simnet::ProcessorSpec> specs;
+  specs.reserve(members.size());
+  for (const int m : members) {
+    specs.push_back(platform_.processor(static_cast<std::size_t>(m)));
+  }
+  std::vector<std::vector<double>> seg(platform_.segment_count());
+  for (std::size_t a = 0; a < platform_.segment_count(); ++a) {
+    seg[a].resize(platform_.segment_count());
+    for (std::size_t b = 0; b < platform_.segment_count(); ++b) {
+      seg[a][b] = platform_.segment_capacity_ms_per_mbit(a, b);
+    }
+  }
+  simnet::Platform sub(platform_.name(), std::move(specs), std::move(seg),
+                       platform_.switched_fabric());
+  auto group = std::make_unique<Group>(id, members, 0, std::move(sub));
+  const auto n = members.size();
+  group->inputs.assign(n, Packet{});
+  group->single_out.assign(n, Packet{});
+  resize_and_clear(group->scatter_parts, n);
+  resize_and_clear(group->exchange_in, n);
+  resize_and_clear(group->multi_out, n);
+  resize_and_clear(group->exchange_out, n);
+  Group& ref = *group;
+  groups_.emplace(id, std::move(group));
+  return ref;
+}
+
+void Engine::core_sleep_until(int rank, double deadline) {
+  const auto r = static_cast<std::size_t>(rank);
+  auto& s = stats_[r];
+  // Same fail-stop boundary as core_compute: crash_time_ is immutable
+  // during the run and the clock is rank-confined, so no lock is needed
+  // until a death actually fires.
+  if (s.clock >= crash_time_[r]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    die_locked(rank);
+  }
+  if (deadline <= s.clock) return;
+  if (options_.enable_trace) {
+    trace_[r].push_back(
+        TraceEvent{rank, TraceKind::kIdle, s.clock, deadline, 0});
+  }
+  s.wait += deadline - s.clock;
+  s.clock = deadline;
+  if (s.clock >= crash_time_[r]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    die_locked(rank);
+  }
+}
+
+RankStats Engine::core_stats(int rank) const {
+  // Rank-confined like core_now: a rank only snapshots its own stats.
+  return stats_[static_cast<std::size_t>(rank)];
 }
 
 // --- scratch recycling ------------------------------------------------------
@@ -1087,7 +1218,8 @@ void Engine::core_recycle_exchange(
 
 // --- point-to-point ---------------------------------------------------------
 
-void Engine::core_send(int rank, int dst, int tag, Packet payload) {
+void Engine::core_send(int rank, int dst, int tag, Packet payload,
+                       std::uint64_t channel) {
   HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
                "invalid destination rank");
   std::unique_lock<std::mutex> lock(mutex_);
@@ -1097,6 +1229,7 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
   PendingSend ps;
   ps.payload = std::move(payload);
   ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
+  ps.channel = channel;
   queue.push_back(std::move(ps));
   obs_.mailbox_depth_max = std::max<std::uint64_t>(obs_.mailbox_depth_max,
                                                    queue.size());
@@ -1132,7 +1265,7 @@ void Engine::core_send(int rank, int dst, int tag, Packet payload) {
 }
 
 bool Engine::core_try_send(int rank, int dst, int tag, Packet payload,
-                           double timeout_s) {
+                           double timeout_s, std::uint64_t channel) {
   HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
                "invalid destination rank");
   std::unique_lock<std::mutex> lock(mutex_);
@@ -1142,6 +1275,7 @@ bool Engine::core_try_send(int rank, int dst, int tag, Packet payload,
   PendingSend ps;
   ps.payload = std::move(payload);
   ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
+  ps.channel = channel;
   queue.push_back(std::move(ps));
   obs_.mailbox_depth_max = std::max<std::uint64_t>(obs_.mailbox_depth_max,
                                                    queue.size());
@@ -1183,8 +1317,8 @@ bool Engine::core_try_send(int rank, int dst, int tag, Packet payload,
   return false;
 }
 
-std::uint64_t Engine::core_isend(int rank, int dst, int tag,
-                                 Packet payload) {
+std::uint64_t Engine::core_isend(int rank, int dst, int tag, Packet payload,
+                                 std::uint64_t channel) {
   HPRS_REQUIRE(dst >= 0 && dst < size() && dst != rank,
                "invalid destination rank");
   std::unique_lock<std::mutex> lock(mutex_);
@@ -1195,6 +1329,7 @@ std::uint64_t Engine::core_isend(int rank, int dst, int tag,
   ps.payload = std::move(payload);
   ps.ready = stats_[static_cast<std::size_t>(rank)].clock;
   ps.handle = handle;
+  ps.channel = channel;
   auto& queue = mailbox_[{rank, dst, tag}];
   queue.push_back(std::move(ps));
   obs_.mailbox_depth_max = std::max<std::uint64_t>(obs_.mailbox_depth_max,

@@ -61,6 +61,72 @@ namespace hprs::vmpi {
 class Comm;
 class Executor;
 
+/// Collective-operation tags, shared by the per-group rendezvous state and
+/// the deadlock diagnostics.
+enum class CollectiveKind : std::uint8_t {
+  kNone,
+  kBarrier,
+  kBcast,
+  kGather,
+  kScatter,
+  kExchange,
+};
+
+/// One communicator's identity and collective-rendezvous state.
+///
+/// A Group maps the communicator's local ranks onto engine (world) ranks
+/// and owns the per-collective staging slots that used to live directly in
+/// the engine; giving every communicator its own copy is what lets
+/// disjoint sub-communicators run collectives *concurrently* -- the
+/// MPI_Comm_split semantics the multi-job scheduler (src/sched/) gangs
+/// jobs with.  The world communicator is simply the group {0..p-1} with
+/// id 0.
+///
+/// Identity is content-derived (a SplitMix64 hash of the parent group id
+/// and the split/creation key), so the same program produces the same
+/// group ids on every run and in both executor modes -- nothing
+/// schedule-dependent ever enters the engine's deterministic state.
+///
+/// All fields except `id`/`members`/`root_local`/`platform` are guarded by
+/// the engine mutex; the immutable identity fields are safe to read from
+/// any rank context once the group exists.
+struct Group {
+  Group(std::uint64_t id_, std::vector<int> members_, int root_local_,
+        simnet::Platform platform_)
+      : id(id_),
+        members(std::move(members_)),
+        root_local(root_local_),
+        platform(std::move(platform_)) {}
+
+  std::uint64_t id = 0;
+  /// Local rank -> world rank, in local-rank order.
+  std::vector<int> members;
+  /// The rank that plays master inside this communicator (world: the
+  /// engine root; sub-communicators: local rank 0).
+  int root_local = 0;
+  /// Restricted platform view: processor i is the spec of world rank
+  /// members[i], with the segment structure of the full platform.  Lets
+  /// the WEA partition over exactly the ranks of this communicator.
+  simnet::Platform platform;
+
+  [[nodiscard]] int size() const { return static_cast<int>(members.size()); }
+  [[nodiscard]] int world_rank(int local) const {
+    return members[static_cast<std::size_t>(local)];
+  }
+
+  // --- collective rendezvous state (engine mutex) ---
+  CollectiveKind coll_kind = CollectiveKind::kNone;
+  int coll_root = -1;  ///< local rank
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  std::vector<Packet> inputs;
+  std::vector<std::vector<Packet>> scatter_parts;
+  std::vector<std::vector<std::pair<int, Packet>>> exchange_in;
+  std::vector<Packet> single_out;
+  std::vector<std::vector<Packet>> multi_out;
+  std::vector<std::vector<std::pair<int, Packet>>> exchange_out;
+};
+
 /// How rank bodies are mapped onto host threads.  Virtual results are
 /// bit-identical across modes; only host cost differs.
 enum class ExecMode : std::uint8_t {
@@ -117,28 +183,52 @@ class Engine {
 
   // --- type-erased operation core, called via Comm ---
   void core_compute(int rank, std::uint64_t flops, Phase phase);
-  void core_barrier(int rank);
-  Packet core_bcast(int rank, int root, Packet payload);
-  std::vector<Packet> core_gather(int rank, int root, Packet payload);
-  /// Scatter: the root fills `parts` (one per rank); the engine moves the
+  /// Advances `rank`'s clock to at least `deadline` (virtual seconds),
+  /// charging the gap as wait time.  A no-op when the clock is already
+  /// past the deadline.  Used by the scheduler to pace job arrivals.
+  void core_sleep_until(int rank, double deadline);
+  /// Snapshot of `rank`'s own stats (rank-confined, safe without the
+  /// engine lock from the rank's execution context).
+  [[nodiscard]] RankStats core_stats(int rank) const;
+  // Collectives take the communicator's Group and the caller's *local*
+  // rank; roots and exchange destinations are local too.  The group maps
+  // them onto world ranks for transfer scheduling and accounting.
+  void core_barrier(Group& group, int rank);
+  Packet core_bcast(Group& group, int rank, int root, Packet payload);
+  std::vector<Packet> core_gather(Group& group, int rank, int root,
+                                  Packet payload);
+  /// Scatter: the root fills `parts` (one per member); the engine moves the
   /// elements out and leaves the vector's capacity with the caller for
   /// reuse.
-  Packet core_scatter(int rank, int root, std::vector<Packet>& parts);
-  /// Deterministic generalized all-to-all: every rank contributes a list of
-  /// (destination, packet) sends; the coordinator schedules all transfers
-  /// in (src, dst) order and each rank receives its incoming packets tagged
-  /// with their source rank.  Used for halo exchanges.  Element contents
-  /// are moved out of `sends`; its capacity stays with the caller.
+  Packet core_scatter(Group& group, int rank, int root,
+                      std::vector<Packet>& parts);
+  /// Deterministic generalized all-to-all: every member contributes a list
+  /// of (destination, packet) sends; the coordinator schedules all
+  /// transfers in (src, dst) order and each member receives its incoming
+  /// packets tagged with their source rank.  Used for halo exchanges.
+  /// Element contents are moved out of `sends`; its capacity stays with the
+  /// caller.
   std::vector<std::pair<int, Packet>> core_exchange(
-      int rank, std::vector<std::pair<int, Packet>>& sends);
-  void core_send(int rank, int dst, int tag, Packet payload);
+      Group& group, int rank, std::vector<std::pair<int, Packet>>& sends);
+  /// Idempotent registration of a sub-communicator: returns the existing
+  /// group when `id` is already known (validating that `members` match) or
+  /// creates it with a platform restricted to `members`.  Every member of a
+  /// new communicator calls this with identical arguments; the first caller
+  /// creates, the rest attach.
+  Group& ensure_group(std::uint64_t id, const std::vector<int>& members);
+  // P2p send-side entry points take the communicator's group id as
+  // `channel`: inter-segment link serialization is scoped per communicator
+  // (see schedule_transfer_locked), and a message contends on the channel
+  // of the communicator it was sent over.
+  void core_send(int rank, int dst, int tag, Packet payload,
+                 std::uint64_t channel);
   Packet core_recv(int rank, int src, int tag);
   /// Fault-aware rendezvous send: true when `dst` matched the message,
   /// false when `dst` is dead (the posting is withdrawn and this rank's
   /// clock advances past the peer's death by `timeout_s` -- the virtual
   /// heartbeat -- charged as detection overhead).
   [[nodiscard]] bool core_try_send(int rank, int dst, int tag, Packet payload,
-                                   double timeout_s);
+                                   double timeout_s, std::uint64_t channel);
   /// Fault-aware receive: the payload when `src` delivered one, nullopt
   /// when `src` is dead with nothing pending (same detection accounting as
   /// core_try_send).
@@ -156,7 +246,8 @@ class Engine {
   /// the sender's clock to the transfer completion (never backwards, so
   /// compute performed between isend and wait overlaps the transfer).
   [[nodiscard]] std::uint64_t core_isend(int rank, int dst, int tag,
-                                         Packet payload);
+                                         Packet payload,
+                                         std::uint64_t channel);
   void core_wait_send(int rank, std::uint64_t handle);
   [[nodiscard]] double core_now(int rank) const;
 
@@ -166,18 +257,11 @@ class Engine {
                              std::vector<std::pair<int, Packet>> buffer);
 
   // --- collective machinery (all called with mutex_ held) ---
-  enum class CollectiveKind : std::uint8_t {
-    kNone,
-    kBarrier,
-    kBcast,
-    kGather,
-    kScatter,
-    kExchange,
-  };
-  void begin_collective(int rank, CollectiveKind kind, int root);
-  void finish_collective_locked();
-  void wait_for_generation(std::unique_lock<std::mutex>& lock, int rank,
-                           std::uint64_t generation);
+  void begin_collective(Group& group, int rank, CollectiveKind kind,
+                        int root);
+  void finish_collective_locked(Group& group);
+  void wait_for_generation(std::unique_lock<std::mutex>& lock, Group& group,
+                           int rank, std::uint64_t generation);
 
   // --- host-side blocking layer (two implementations, one protocol) ---
   /// Blocks `rank` until woken or the deadline expires; returns true on
@@ -194,8 +278,20 @@ class Engine {
   /// non-null it receives the wire seconds of this transfer (computed with
   /// the link capacity in effect at the transfer's start, so degradation
   /// windows apply consistently to schedule and accounting).
-  double schedule_transfer_locked(int src, int dst, std::size_t bytes,
-                                  double ready, double* active_out = nullptr);
+  ///
+  /// `channel` scopes the inter-segment link serialization: transfers of
+  /// the same communicator serialize on the backbone in the deterministic
+  /// order their coordinator schedules them, while communicators with
+  /// disjoint members (concurrent scheduler gangs) get independent
+  /// backbone reservations.  Cross-communicator serialization would make
+  /// virtual time depend on which gang's host thread reached the engine
+  /// lock first -- the one ordering the discrete-event core cannot make
+  /// deterministic without a global event queue.  Per-rank NICs
+  /// (nic_free_) stay globally shared: a rank executes its operations in
+  /// program order, so that state is race-free by construction.
+  double schedule_transfer_locked(std::uint64_t channel, int src, int dst,
+                                  std::size_t bytes, double ready,
+                                  double* active_out = nullptr);
 
   /// Charges comm/wait stats for a rank that participated in a transfer
   /// finishing at `end`, having been ready at `ready`, with `active`
@@ -282,22 +378,20 @@ class Engine {
   /// coordinator while the rank is blocked, like its clock.
   std::vector<std::vector<TraceEvent>> trace_;
   std::vector<double> nic_free_;  // per-processor NIC busy-until
-  std::map<std::pair<std::size_t, std::size_t>, double>
-      xlink_free_;  // inter-segment serial link busy-until (ordered pair)
+  /// Inter-segment serial link busy-until, keyed by (communicator channel,
+  /// ordered segment pair) -- see schedule_transfer_locked for why the
+  /// backbone reservation is scoped per communicator.
+  std::map<std::tuple<std::uint64_t, std::size_t, std::size_t>, double>
+      xlink_free_;
 
-  // Collective rendezvous state.  The out/in vectors persist across
-  // generations (only elements are moved through them), so a long run's
-  // collectives stop allocating once warm.
-  CollectiveKind coll_kind_ = CollectiveKind::kNone;
-  int coll_root_ = -1;
-  int coll_arrived_ = 0;
-  std::uint64_t coll_generation_ = 0;
-  std::vector<Packet> coll_inputs_;
-  std::vector<std::vector<Packet>> coll_scatter_parts_;
-  std::vector<std::vector<std::pair<int, Packet>>> coll_exchange_in_;
-  std::vector<Packet> coll_single_out_;
-  std::vector<std::vector<Packet>> coll_multi_out_;
-  std::vector<std::vector<std::pair<int, Packet>>> coll_exchange_out_;
+  // Communicator groups, keyed by content-derived id.  Group 0 is the
+  // world communicator, created at the top of run(); sub-communicators are
+  // registered through ensure_group and live until the run ends.  Each
+  // group carries its own collective-rendezvous state (the out/in vectors
+  // persist across generations -- only elements are moved through them --
+  // so a long run's collectives stop allocating once warm).
+  std::map<std::uint64_t, std::unique_ptr<Group>> groups_;
+  Group* world_ = nullptr;
 
   // Recycled gather-result / exchange-result buffers.  Slot r is only ever
   // touched by rank r (its Comm returns a drained vector here; its next
@@ -319,6 +413,7 @@ class Engine {
     double active = 0.0;      // wire seconds, for the sender's accounting
     std::uint64_t bytes = 0;  // wire bytes, for the sender's accounting
     std::uint64_t handle = 0;  // nonzero for isend postings
+    std::uint64_t channel = 0;  // communicator id, scopes xlink contention
   };
   std::map<std::tuple<int, int, int>, std::list<PendingSend>> mailbox_;
   std::uint64_t next_send_handle_ = 1;

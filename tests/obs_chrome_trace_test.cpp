@@ -150,6 +150,37 @@ TEST(ChromeTraceTest, FaultEventsBecomeInstants) {
   EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
 }
 
+TEST(ChromeTraceTest, TrackGroupsRehomeWindowedRankActivity) {
+  const auto report = traced_report();
+  ASSERT_FALSE(report.trace.empty());
+  std::vector<TraceTrackGroup> groups;
+  groups.push_back(
+      {"job:1/ATDCA", {1, 2}, 0.0, report.total_time + 1.0});
+  const std::string json = chrome_trace_json(report, groups, {});
+  EXPECT_TRUE(json_shape_ok(json));
+  EXPECT_NE(json.find("\"name\":\"job:1/ATDCA\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 1 (leader)\""), std::string::npos);
+
+  // The whole run is inside the window: every event of members {1,2} moves
+  // to the group's process (pid 2); rank 0 stays on the shared timeline.
+  std::size_t member_events = 0;
+  std::size_t other_events = 0;
+  for (const auto& ev : report.trace) {
+    (ev.rank == 0 ? other_events : member_events)++;
+  }
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\",\"pid\":2"), member_events);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\",\"pid\":0"), other_events);
+
+  // An empty window re-homes nothing...
+  groups[0].end_s = 0.0;
+  const std::string empty_window = chrome_trace_json(report, groups, {});
+  EXPECT_EQ(count_occurrences(empty_window, "\"ph\":\"X\",\"pid\":0"),
+            report.trace.size());
+  // ...and an empty group list matches the plain overload byte for byte.
+  EXPECT_EQ(chrome_trace_json(report, std::vector<TraceTrackGroup>{}, {}),
+            chrome_trace_json(report));
+}
+
 TEST(ChromeTraceTest, DeterministicForAFixedReport) {
   const auto report = traced_report();
   const std::vector<HostSpan> spans = {{"section", 0, 1, 2}};

@@ -1,0 +1,242 @@
+// Sub-communicator correctness: Comm::split / Comm::subset construction,
+// every collective (barrier / bcast / reduce-via-allreduce / gather /
+// scatter) restricted to disjoint splits, overlapping group lifetimes with
+// unsynchronized programs, and a 192-rank many-group stress sweep compared
+// bit-for-bit across both executor modes (the TSan tier runs this file
+// with HPRS_STRESS_RANKS=64).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "vmpi/comm.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::vmpi {
+namespace {
+
+/// One-segment platform with a deterministic heterogeneous speed pattern.
+simnet::Platform hetero_platform(std::size_t n) {
+  std::vector<simnet::ProcessorSpec> procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(simnet::ProcessorSpec{
+        "p" + std::to_string(i), "t", 0.001 * static_cast<double>(1 + i % 4),
+        1024, 512, 0});
+  }
+  return simnet::Platform("split-now", std::move(procs), {{10.0}});
+}
+
+Options fast_options(ExecMode mode = ExecMode::kBoundedExecutor) {
+  Options o;
+  o.per_message_latency_s = 0.0;
+  o.deadlock_timeout_s = 60.0;
+  o.exec_mode = mode;
+  return o;
+}
+
+std::size_t stress_ranks() {
+  if (const char* env = std::getenv("HPRS_STRESS_RANKS")) {
+    return static_cast<std::size_t>(std::stoul(env));
+  }
+  return 192;
+}
+
+void expect_reports_equal(const RunReport& a, const RunReport& b) {
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  EXPECT_EQ(a.total_time, b.total_time);
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].clock, b.ranks[r].clock) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].compute_par, b.ranks[r].compute_par) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].compute_seq, b.ranks[r].compute_seq) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].comm, b.ranks[r].comm) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].wait, b.ranks[r].wait) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].flops, b.ranks[r].flops) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].bytes_sent, b.ranks[r].bytes_sent) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].bytes_received, b.ranks[r].bytes_received)
+        << "rank " << r;
+  }
+}
+
+TEST(VmpiSplitTest, DisjointSplitRunsEveryCollective) {
+  constexpr int kRanks = 8;
+  Engine engine(hetero_platform(kRanks), fast_options());
+  std::vector<int> sub_size(kRanks, 0);
+  std::vector<int> sub_rank(kRanks, -1);
+  std::vector<int> bcast_got(kRanks, -1);
+  std::vector<int> reduce_got(kRanks, -1);
+  std::vector<int> scatter_got(kRanks, -1);
+  std::vector<std::vector<int>> gather_got(kRanks);
+  std::vector<std::uint64_t> group_ids(kRanks, 0);
+
+  engine.run([&](Comm& world) {
+    const int w = world.rank();
+    const int color = w % 2;
+    Comm sub = world.split(color, /*key=*/w);
+    sub_size[w] = sub.size();
+    sub_rank[w] = sub.rank();
+    group_ids[w] = sub.group_id();
+
+    sub.barrier();
+    bcast_got[w] = sub.bcast(sub.root(), sub.is_root() ? 100 + color : -1, 4);
+    reduce_got[w] = sub.allreduce(
+        world.rank(), 4, [](int a, int b) { return a + b; }, 1);
+    gather_got[w] = sub.gather(sub.root(), world.rank(), 4);
+
+    std::vector<int> parts;
+    if (sub.is_root()) {
+      for (int i = 0; i < sub.size(); ++i) {
+        parts.push_back(sub.world_rank_of(i) * 10);
+      }
+    }
+    scatter_got[w] = sub.scatter(sub.root(), std::move(parts),
+                                 std::vector<std::size_t>(
+                                     static_cast<std::size_t>(sub.size()), 4));
+  });
+
+  // color 0 = even world ranks {0,2,4,6}, color 1 = odd {1,3,5,7}; key ==
+  // world rank, so members appear in world order.
+  for (int w = 0; w < kRanks; ++w) {
+    const int color = w % 2;
+    EXPECT_EQ(sub_size[w], 4) << "world rank " << w;
+    EXPECT_EQ(sub_rank[w], w / 2) << "world rank " << w;
+    EXPECT_EQ(bcast_got[w], 100 + color) << "world rank " << w;
+    const int expected_sum = color == 0 ? 0 + 2 + 4 + 6 : 1 + 3 + 5 + 7;
+    EXPECT_EQ(reduce_got[w], expected_sum) << "world rank " << w;
+    EXPECT_EQ(scatter_got[w], w * 10) << "world rank " << w;
+    EXPECT_NE(group_ids[w], 0u) << "world rank " << w;
+    EXPECT_EQ(group_ids[w], group_ids[color]) << "world rank " << w;
+    EXPECT_NE(group_ids[0], group_ids[1]);
+    if (sub_rank[w] == 0) {
+      const std::vector<int> expected =
+          color == 0 ? std::vector<int>{0, 2, 4, 6}
+                     : std::vector<int>{1, 3, 5, 7};
+      EXPECT_EQ(gather_got[w], expected) << "world rank " << w;
+    } else {
+      EXPECT_TRUE(gather_got[w].empty()) << "world rank " << w;
+    }
+  }
+}
+
+TEST(VmpiSplitTest, SplitOrdersByKeyThenParentRank) {
+  constexpr int kRanks = 6;
+  Engine engine(hetero_platform(kRanks), fast_options());
+  std::vector<int> sub_rank(kRanks, -1);
+  std::vector<int> leader_world(kRanks, -1);
+  engine.run([&](Comm& world) {
+    const int w = world.rank();
+    // Reversed keys invert the member order; equal keys would fall back to
+    // parent order (exercised by the key ties of ranks {0} alone).
+    Comm sub = world.split(/*color=*/0, /*key=*/kRanks - w);
+    sub_rank[w] = sub.rank();
+    leader_world[w] = sub.world_rank_of(sub.root());
+  });
+  for (int w = 0; w < kRanks; ++w) {
+    EXPECT_EQ(sub_rank[w], kRanks - 1 - w) << "world rank " << w;
+    EXPECT_EQ(leader_world[w], kRanks - 1) << "world rank " << w;
+  }
+}
+
+TEST(VmpiSplitTest, OverlappingGroupLifetimesStayIndependent) {
+  constexpr int kRanks = 8;
+  Engine engine(hetero_platform(kRanks), fast_options());
+  std::vector<int> a_sum(kRanks, -1);
+  std::vector<int> b_rounds(kRanks, 0);
+  std::vector<int> nested_sum(kRanks, -1);
+  std::vector<int> late_gathered(kRanks, 0);
+
+  engine.run([&](Comm& world) {
+    const int w = world.rank();
+    if (w < 4) {
+      // Group A ({0,1,2,3}) runs a 3-round reduce program...
+      Comm a = world.subset({0, 1, 2, 3}, /*uid=*/1);
+      for (int round = 0; round < 3; ++round) {
+        a_sum[w] = a.allreduce(
+            1, 4, [](int x, int y) { return x + y; }, 0);
+      }
+      // ...and a nested sub-sub-communicator over its first two members.
+      if (w < 2) {
+        Comm inner = a.subset({0, 1}, /*uid=*/7);
+        nested_sum[w] = inner.allreduce(
+            w + 1, 4, [](int x, int y) { return x + y; }, 0);
+      }
+    } else {
+      // Group B ({4,5,6,7}) concurrently runs a longer, unrelated program:
+      // the two lifetimes overlap with no synchronization between them.
+      Comm b = world.subset({4, 5, 6, 7}, /*uid=*/2);
+      for (int round = 0; round < 5; ++round) {
+        b.barrier();
+        ++b_rounds[w];
+      }
+      const auto all = b.gather(b.root(), w, 4);
+      if (b.is_root()) {
+        late_gathered[w] = std::accumulate(all.begin(), all.end(), 0);
+      }
+    }
+  });
+
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(a_sum[w], 4) << "world rank " << w;
+  for (int w = 0; w < 2; ++w) EXPECT_EQ(nested_sum[w], 3) << "rank " << w;
+  for (int w = 4; w < 8; ++w) EXPECT_EQ(b_rounds[w], 5) << "rank " << w;
+  EXPECT_EQ(late_gathered[4], 4 + 5 + 6 + 7);
+}
+
+TEST(VmpiSplitTest, SubsetRequiresMembershipAndOrder) {
+  Engine engine(hetero_platform(4), fast_options());
+  std::vector<std::string> errors(4);
+  engine.run([&](Comm& world) {
+    if (world.rank() != 0) return;
+    try {
+      (void)world.subset({1, 2}, 9);  // caller not a member
+    } catch (const Error& e) {
+      errors[0] = e.what();
+    }
+    try {
+      (void)world.subset({2, 0}, 9);  // not strictly increasing
+    } catch (const Error& e) {
+      errors[1] = e.what();
+    }
+  });
+  EXPECT_NE(errors[0].find("member of its own subset"), std::string::npos);
+  EXPECT_NE(errors[1].find("strictly increasing"), std::string::npos);
+}
+
+/// The scheduler-shaped stress case: many disjoint gangs, each running a
+/// collective-heavy program over a shared large engine.
+RunReport run_group_stress(std::size_t n, ExecMode mode) {
+  constexpr std::size_t kGroupSize = 8;
+  Engine engine(hetero_platform(n), fast_options(mode));
+  return engine.run([&](Comm& world) {
+    const int w = world.rank();
+    const int color = w / static_cast<int>(kGroupSize);
+    Comm sub = world.split(color, /*key=*/w);
+    for (int round = 0; round < 4; ++round) {
+      sub.barrier();
+      const int sum = sub.allreduce(
+          w + round, 8, [](int a, int b) { return a + b; }, 1);
+      const auto all = sub.gather(sub.root(), sum + w, 8);
+      std::vector<int> parts;
+      if (sub.is_root()) {
+        EXPECT_EQ(static_cast<int>(all.size()), sub.size());
+        for (int i = 0; i < sub.size(); ++i) parts.push_back(i);
+      }
+      const int mine = sub.scatter(
+          sub.root(), std::move(parts),
+          std::vector<std::size_t>(static_cast<std::size_t>(sub.size()), 8));
+      EXPECT_EQ(mine, sub.rank());
+    }
+  });
+}
+
+TEST(VmpiSplitStressTest, ManyGroupsMatchAcrossExecutorModes) {
+  const std::size_t n = stress_ranks();
+  const RunReport bounded = run_group_stress(n, ExecMode::kBoundedExecutor);
+  const RunReport threads = run_group_stress(n, ExecMode::kThreadPerRank);
+  expect_reports_equal(bounded, threads);
+  const RunReport again = run_group_stress(n, ExecMode::kBoundedExecutor);
+  expect_reports_equal(bounded, again);
+}
+
+}  // namespace
+}  // namespace hprs::vmpi

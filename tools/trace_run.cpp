@@ -4,14 +4,21 @@
 //
 //   trace_run --alg ATDCA --network fully-heterogeneous --out trace.json
 //   trace_run --alg MORPH --network thunderhead --cpus 64 --gantt
+//   trace_run --sched --jobs 6 --policy hetero --out sched.json
 //
 // --out writes the Chrome trace; --csv writes the raw per-rank interval CSV
 // (vmpi/trace.hpp); --gantt prints the ASCII Gantt chart to stdout.  The
 // virtual timeline is deterministic in the scene/seed; the host timeline
 // (pid 1) varies run to run by construction.
+//
+// --sched traces a multi-job schedule instead of one solo run: a mixed
+// round-robin stream of --jobs analyses goes through sched::run_schedule
+// and every job gets its own named track group ("job:<id>/<ALG>") in the
+// exported trace.
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "core/runner.hpp"
@@ -19,6 +26,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/host_profile.hpp"
 #include "obs/metrics.hpp"
+#include "sched/scheduler.hpp"
 #include "simnet/platform.hpp"
 #include "vmpi/trace.hpp"
 
@@ -68,7 +76,8 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"alg", "network", "cpus", "rows", "cols", "bands",
                       "seed", "replication", "targets", "classes", "iters",
-                      "radius", "homogeneous", "out", "csv", "gantt"});
+                      "radius", "homogeneous", "out", "csv", "gantt",
+                      "sched", "jobs", "policy"});
 
   core::Algorithm alg = core::Algorithm::kAtdca;
   if (!parse_algorithm(args.get("alg", "ATDCA"), alg)) {
@@ -93,6 +102,92 @@ int main(int argc, char** argv) {
   scene_cfg.bands = static_cast<std::size_t>(args.get_int("bands", 224));
   scene_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20010916));
   const auto scene = hsi::generate_wtc_scene(scene_cfg);
+
+  if (args.get_bool("sched", false)) {
+    sched::SchedulerConfig sched_cfg;
+    try {
+      sched_cfg.policy = sched::parse_policy(args.get("policy", "hetero"));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "trace_run: %s\n", e.what());
+      return 2;
+    }
+    const int pool = static_cast<int>(platform.size()) - 1;
+    constexpr sched::JobAlgorithm kCycle[] = {
+        sched::JobAlgorithm::kAtdca, sched::JobAlgorithm::kPct,
+        sched::JobAlgorithm::kPpi, sched::JobAlgorithm::kUfcls,
+        sched::JobAlgorithm::kMorph};
+    std::vector<sched::JobSpec> stream;
+    const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 6));
+    for (std::size_t k = 0; k < jobs; ++k) {
+      sched::JobSpec spec;
+      spec.id = k + 1;
+      spec.algorithm = kCycle[k % 5];
+      spec.arrival_s = 0.005 * static_cast<double>(k);
+      spec.ranks = std::min(pool, 2 + static_cast<int>(k % 3));
+      spec.targets = static_cast<std::size_t>(args.get_int("targets", 8));
+      spec.classes = static_cast<std::size_t>(args.get_int("classes", 5));
+      spec.iterations = static_cast<std::size_t>(args.get_int("iters", 2));
+      spec.kernel_radius =
+          static_cast<std::size_t>(args.get_int("radius", 1));
+      spec.replication =
+          static_cast<std::size_t>(args.get_int("replication", 8));
+      stream.push_back(spec);
+    }
+
+    vmpi::Options options;
+    options.enable_trace = true;
+    const obs::ScopedHostProfile profile;
+    const obs::ScopedMetrics metrics;
+    const auto result =
+        sched::run_schedule(platform, scene.cube, stream, sched_cfg, options);
+
+    std::printf("%-4s %-6s %9s %9s %9s %9s  members\n", "job", "alg",
+                "arrive", "dispatch", "finish", "wait");
+    for (const auto& record : result.records) {
+      std::string members;
+      for (const int m : record.members) {
+        if (!members.empty()) members += ",";
+        members += std::to_string(m);
+      }
+      if (record.rejected) members = "rejected: " + record.error;
+      std::printf("%-4llu %-6s %9.4f %9.4f %9.4f %9.4f  %s\n",
+                  static_cast<unsigned long long>(record.id),
+                  sched::to_string(record.algorithm), record.arrival_s,
+                  record.dispatch_s, record.finish_s, record.queue_wait_s(),
+                  members.c_str());
+    }
+    std::printf(
+        "policy %s: makespan %.4f s, cluster utilization %.3f on %zu ranks\n",
+        sched::to_string(result.policy), result.makespan_s,
+        result.utilization, platform.size());
+
+    const std::string trace_path = args.get("out", "");
+    if (!trace_path.empty()) {
+      const std::string json =
+          obs::chrome_trace_json(result.report, sched::job_track_groups(result),
+                                 obs::HostProfiler::instance().spans());
+      if (!write_file(trace_path, json)) {
+        std::fprintf(stderr, "trace_run: failed to write %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::printf("chrome trace: %s (open in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+    const std::string csv_path = args.get("csv", "");
+    if (!csv_path.empty()) {
+      if (!write_file(csv_path, vmpi::trace_csv(result.report))) {
+        std::fprintf(stderr, "trace_run: failed to write %s\n",
+                     csv_path.c_str());
+        return 1;
+      }
+      std::printf("trace csv: %s\n", csv_path.c_str());
+    }
+    if (args.get_bool("gantt", false)) {
+      std::printf("%s", vmpi::render_gantt(result.report).c_str());
+    }
+    return 0;
+  }
 
   core::RunnerConfig cfg;
   cfg.algorithm = alg;

@@ -24,6 +24,7 @@
 #include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
+#include "linalg/thread_pool.hpp"
 #include "linalg/vec.hpp"
 
 namespace {
@@ -181,10 +182,14 @@ void BM_MatrixMultiply_Reference(benchmark::State& state) {
   BM_MatrixMultiply(state, true);
 }
 void BM_MatrixMultiply_Fast(benchmark::State& state) {
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
   BM_MatrixMultiply(state, false);
 }
 BENCHMARK(BM_MatrixMultiply_Reference)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MatrixMultiply_Fast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatrixMultiply_Fast)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MorphWindow(benchmark::State& state, bool reference) {
   // One full MORPH erosion/dilation/MEI iteration on a worker-sized block:
@@ -207,10 +212,14 @@ void BM_MorphWindow_Reference(benchmark::State& state) {
   BM_MorphWindow(state, true);
 }
 void BM_MorphWindow_Fast(benchmark::State& state) {
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
   BM_MorphWindow(state, false);
 }
 BENCHMARK(BM_MorphWindow_Reference)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MorphWindow_Fast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MorphWindow_Fast)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PctCovariance(benchmark::State& state, bool reference) {
   // A 64-pixel strip of PCT's centered covariance accumulation: per-pixel
@@ -246,10 +255,14 @@ void BM_PctCovariance_Reference(benchmark::State& state) {
   BM_PctCovariance(state, true);
 }
 void BM_PctCovariance_Fast(benchmark::State& state) {
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
   BM_PctCovariance(state, false);
 }
 BENCHMARK(BM_PctCovariance_Reference)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PctCovariance_Fast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PctCovariance_Fast)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OspSweep(benchmark::State& state, bool reference) {
   // ATDCA's per-round argmax of the OSP score over a 32x32 block with nine
@@ -272,9 +285,15 @@ void BM_OspSweep(benchmark::State& state, bool reference) {
 void BM_OspSweep_Reference(benchmark::State& state) {
   BM_OspSweep(state, true);
 }
-void BM_OspSweep_Fast(benchmark::State& state) { BM_OspSweep(state, false); }
+void BM_OspSweep_Fast(benchmark::State& state) {
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
+  BM_OspSweep(state, false);
+}
 BENCHMARK(BM_OspSweep_Reference)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_OspSweep_Fast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OspSweep_Fast)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 /// Console reporter that additionally collects ns/op + bytes/op per run for
 /// the --json summary.

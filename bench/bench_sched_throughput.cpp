@@ -95,6 +95,10 @@ int main(int argc, char** argv) {
 
   std::vector<simnet::Platform> networks = bench::paper_networks();
   networks.push_back(simnet::thunderhead(64));
+  // Mixed CPU + accelerator NOW: 12 plain workstations plus 4 accelerated
+  // nodes on the highest ranks, where FIFO's lowest-free-ranks placement
+  // never looks unless the pool is drained.
+  networks.push_back(simnet::accelerated_now(12, 4));
 
   std::vector<bench::SchedRecord> records;
   TextTable table({"Network", "Policy", "Makespan (s)", "Utilization",
@@ -172,6 +176,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_sched_throughput: hetero policy failed to beat FIFO "
                  "on the fully heterogeneous NOW\n");
+    status = 1;
+  }
+
+  // Same contract on the mixed CPU + accelerator NOW: the cost-aware
+  // policy must find the high-rank accelerated nodes FIFO ignores.
+  const auto accel_fifo = cell("accelerated-now-12c4a", "fifo");
+  const auto accel_hetero = cell("accelerated-now-12c4a", "hetero");
+  std::printf(
+      "accelerated-now: hetero/fifo makespan %.3f/%.3f s (%.2fx)\n",
+      accel_hetero.makespan_s, accel_fifo.makespan_s,
+      accel_hetero.makespan_s > 0.0
+          ? accel_fifo.makespan_s / accel_hetero.makespan_s
+          : 0.0);
+  if (accel_hetero.makespan_s >= accel_fifo.makespan_s) {
+    std::fprintf(stderr,
+                 "bench_sched_throughput: hetero policy failed to beat FIFO "
+                 "on the mixed CPU+accelerator NOW\n");
     status = 1;
   }
 

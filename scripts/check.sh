@@ -58,6 +58,14 @@ if [[ "$run_sanitizers" == "1" ]]; then
     HPRS_STRESS_RANKS=64 "$repo/build-tsan/tests/$t"
     HPRS_STRESS_RANKS=64 HPRS_THREAD_PER_RANK=1 "$repo/build-tsan/tests/$t"
   done
+
+  echo "== tier 1e: threaded kernels under TSan (HPRS_KERNEL_THREADS=4) =="
+  kernel_tests=(linalg_thread_pool_test linalg_blocked_test
+                morph_sad_cache_test fastpath_equivalence_test)
+  cmake --build "$repo/build-tsan" -j "$jobs" --target "${kernel_tests[@]}"
+  for t in "${kernel_tests[@]}"; do
+    HPRS_KERNEL_THREADS=4 "$repo/build-tsan/tests/$t"
+  done
 fi
 
 if [[ "$run_bench_smoke" == "1" ]]; then

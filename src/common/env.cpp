@@ -1,0 +1,35 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hprs {
+
+std::optional<long long> env_int(const char* name, long long min_value,
+                                 long long max_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    throw Error(std::string(name) + ": expected an integer, got '" + v + "'");
+  }
+  if (parsed < min_value || parsed > max_value) {
+    throw Error(std::string(name) + ": value " + std::to_string(parsed) +
+                " outside [" + std::to_string(min_value) + ", " +
+                std::to_string(max_value) + "]");
+  }
+  return parsed;
+}
+
+long long env_int_or(const char* name, long long fallback,
+                     long long min_value, long long max_value) {
+  const auto v = env_int(name, min_value, max_value);
+  return v.has_value() ? *v : fallback;
+}
+
+}  // namespace hprs

@@ -1,0 +1,25 @@
+// Validated environment-variable parsing for the runtime's numeric knobs.
+//
+// Every numeric HPRS_* toggle goes through env_int_or so a malformed value
+// fails loudly with the variable named in the error instead of silently
+// falling back to the default (a mistyped HPRS_KERNEL_THREADS=fuor would
+// otherwise run serial and skew a benchmark without a trace).
+#pragma once
+
+#include <optional>
+
+namespace hprs {
+
+/// Parses the environment variable `name` as a decimal integer in
+/// [min_value, max_value].  Returns std::nullopt when the variable is unset
+/// or empty; throws Error naming the variable when the value is not a
+/// plain integer or falls outside the range.
+[[nodiscard]] std::optional<long long> env_int(const char* name,
+                                               long long min_value,
+                                               long long max_value);
+
+/// env_int with a default: `fallback` when the variable is unset or empty.
+[[nodiscard]] long long env_int_or(const char* name, long long fallback,
+                                   long long min_value, long long max_value);
+
+}  // namespace hprs

@@ -6,6 +6,7 @@
 
 #include "hsi/metrics.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/thread_pool.hpp"
 #include "linalg/vec.hpp"
 
 namespace hprs::core {
@@ -66,18 +67,25 @@ void MorphBlockEngine::refresh_sad_cache() {
   norms_.resize(count);
   norms_sq_.resize(count);
   self_sad_.resize(count);
-  for (std::size_t p = 0; p < count; ++p) {
-    const double sq = linalg::norm_sq<float>(f_.pixel(p));
-    const double n = std::sqrt(sq);
-    norms_sq_[p] = sq;
-    norms_[p] = n;
-    // SAD(p, p) exactly as sad() computes it: the quotient sq / n^2 is not
-    // exactly 1 in general, so the self term is acos rounding noise rather
-    // than a literal zero.
-    self_sad_[p] =
-        n == 0.0 ? 0.0
-                 : std::acos(std::clamp(sq / (n * n), -1.0, 1.0));
-  }
+  // Per-pixel norms are independent; workers own contiguous pixel blocks.
+  linalg::parallel_region(count, [&](std::size_t worker,
+                                     std::size_t workers) {
+    const std::size_t per = (count + workers - 1) / workers;
+    const std::size_t p0 = worker * per;
+    const std::size_t p1 = std::min(count, p0 + per);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double sq = linalg::norm_sq<float>(f_.pixel(p));
+      const double n = std::sqrt(sq);
+      norms_sq_[p] = sq;
+      norms_[p] = n;
+      // SAD(p, p) exactly as sad() computes it: the quotient sq / n^2 is
+      // not exactly 1 in general, so the self term is acos rounding noise
+      // rather than a literal zero.
+      self_sad_[p] =
+          n == 0.0 ? 0.0
+                   : std::acos(std::clamp(sq / (n * n), -1.0, 1.0));
+    }
+  });
 
   if (offsets_.empty()) {
     // Lexicographically positive half of the structuring element; the
@@ -96,7 +104,12 @@ void MorphBlockEngine::refresh_sad_cache() {
     planes_.resize(offsets_.size());
   }
 
-  for (std::size_t k = 0; k < offsets_.size(); ++k) {
+  // One worker per SAD plane (stride-owned): planes are disjoint output
+  // arrays, each filled in the same serial order regardless of thread
+  // count.
+  linalg::parallel_region(
+      offsets_.size(), [&](std::size_t worker, std::size_t workers) {
+  for (std::size_t k = worker; k < offsets_.size(); k += workers) {
     const auto [di, dj] = offsets_[k];
     auto& plane = planes_[k];
     plane.resize(count);
@@ -117,6 +130,7 @@ void MorphBlockEngine::refresh_sad_cache() {
       }
     }
   }
+      });
 }
 
 // --- Fast path: one SAD evaluation per distinct (pixel, neighbor) pair,
@@ -124,8 +138,18 @@ void MorphBlockEngine::refresh_sad_cache() {
 void MorphBlockEngine::d_pass_cached(std::vector<double>& d) {
   refresh_sad_cache();
   const std::size_t n_cols = cols();
+  const std::size_t n_rows = rows();
   const auto w = 2 * radius_ + 1;
-  for (std::size_t x = 0; x < rows(); ++x) {
+  // Row ownership: each D row sums read-only cached planes into its own
+  // slice of d, so contiguous row blocks per worker are bit-identical to
+  // the serial sweep.  (The MEI pass stays serial: its mei_[p_max] updates
+  // collide across windows.)
+  linalg::parallel_region(n_rows, [&](std::size_t worker,
+                                      std::size_t workers) {
+    const std::size_t per = (n_rows + workers - 1) / workers;
+    const std::size_t x0 = worker * per;
+    const std::size_t x1 = std::min(n_rows, x0 + per);
+  for (std::size_t x = x0; x < x1; ++x) {
     const auto [i_lo, i_hi] = row_window(x);
     for (std::size_t y = 0; y < n_cols; ++y) {
       const auto [j_lo, j_hi] = col_window(y);
@@ -158,6 +182,7 @@ void MorphBlockEngine::d_pass_cached(std::vector<double>& d) {
       d[x * n_cols + y] = acc;
     }
   }
+  });
 }
 
 // --- MEI + dilation pass: erosion picks the window's argmin of D, the

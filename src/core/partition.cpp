@@ -35,6 +35,11 @@ std::vector<double> base_fractions(const simnet::Platform& platform,
   std::vector<double> g(p, 0.0);
   for (std::size_t i = 0; i < p; ++i) {
     e[i] = model.flops_per_pixel * 1e-6 * platform.cycle_time(i);
+    // Accelerated nodes pay the host<->device copy for every pixel they
+    // own, root included -- charging it with e_i keeps the equal-finish
+    // recursion exact and shrinks their share accordingly.  Zero for plain
+    // CPUs, so accelerator-free platforms keep their historic fractions.
+    e[i] += platform.stage_seconds(i, model.bytes_per_pixel);
     if (model.scatter_input && static_cast<int>(i) != root) {
       const double mbits =
           static_cast<double>(model.bytes_per_pixel) * 8.0 / 1e6;

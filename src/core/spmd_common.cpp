@@ -4,6 +4,7 @@
 
 #include "hsi/metrics.hpp"
 #include "linalg/flops.hpp"
+#include "linalg/thread_pool.hpp"
 #include "linalg/vec.hpp"
 
 namespace hprs::core::detail {
@@ -38,7 +39,12 @@ PartitionView distribute_partitions(vmpi::Comm& comm,
       views.push_back(v);
     }
   }
-  return comm.scatter(comm.root(), std::move(views), bytes);
+  PartitionView view = comm.scatter(comm.root(), std::move(views), bytes);
+  // Accelerated ranks copy their block across the host<->device path before
+  // any kernel can touch it; a no-op for plain CPU ranks, so historic
+  // platforms keep their virtual clocks bit-for-bit.
+  comm.stage_to_device(view.wire_bytes() * replication);
+  return view;
 }
 
 double osp_score(const linalg::Matrix& targets,
@@ -75,25 +81,55 @@ Candidate osp_argmax_sweep(const linalg::Matrix& targets,
   constexpr std::size_t kStrip = 64;
   const std::size_t t = targets.rows();
   const std::size_t bands = cube.bands();
+  const std::size_t n_rows = row_end > row_begin ? row_end - row_begin : 0;
+  // Contiguous row-block ownership with per-worker scratch (the arena's
+  // chunks are stable, so spans taken up front survive the region).  Each
+  // worker scans its rows in the serial row-major order with
+  // strictly-greater updates; folding the per-worker bests in ascending
+  // worker order with the same comparison reproduces the serial sweep's
+  // first-maximum exactly, so the thread count cannot change the pick.
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(linalg::kernel_threads(), n_rows));
   arena.reset();
-  const std::span<double> b = arena.take(kStrip * t);
-  const std::span<double> xx = arena.take(kStrip);
-  const std::span<double> z = arena.take(t);
-  for (std::size_t r = row_begin; r < row_end; ++r) {
-    const float* row = cube.pixel(r, 0).data();
-    for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
-      const std::size_t m = std::min(kStrip, cols - c0);
-      const float* x = row + c0 * bands;
-      linalg::dot_strip(targets, x, m, b);
-      linalg::norm_sq_strip(x, m, bands, xx);
-      for (std::size_t p = 0; p < m; ++p) {
-        const std::span<const double> bp = b.subspan(p * t, t);
-        gram_factor.solve_into(bp, z);
-        const double score =
-            xx[p] - linalg::dot<double, double>(bp, z);
-        if (score > best.score) best = Candidate{r, c0 + p, score};
+  struct WorkerLane {
+    std::span<double> b, xx, z;
+    Candidate best{0, 0, -1.0};
+  };
+  std::vector<WorkerLane> lanes(workers);
+  for (auto& lane : lanes) {
+    lane.b = arena.take(kStrip * t);
+    lane.xx = arena.take(kStrip);
+    lane.z = arena.take(t);
+  }
+  linalg::parallel_region(workers, [&](std::size_t worker,
+                                       std::size_t actual) {
+    // `actual` can be smaller than the planned lane count (a nested region
+    // runs inline); stride over lanes so every block is still scanned.
+    for (std::size_t w = worker; w < workers; w += actual) {
+    WorkerLane& lane = lanes[w];
+    const std::size_t per = (n_rows + workers - 1) / workers;
+    const std::size_t r0 = row_begin + w * per;
+    const std::size_t r1 = std::min(row_end, r0 + per);
+    for (std::size_t r = r0; r < r1; ++r) {
+      const float* row = cube.pixel(r, 0).data();
+      for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+        const std::size_t m = std::min(kStrip, cols - c0);
+        const float* x = row + c0 * bands;
+        linalg::dot_strip(targets, x, m, lane.b);
+        linalg::norm_sq_strip(x, m, bands, lane.xx);
+        for (std::size_t p = 0; p < m; ++p) {
+          const std::span<const double> bp = lane.b.subspan(p * t, t);
+          gram_factor.solve_into(bp, lane.z);
+          const double score =
+              lane.xx[p] - linalg::dot<double, double>(bp, lane.z);
+          if (score > lane.best.score) lane.best = Candidate{r, c0 + p, score};
+        }
       }
     }
+    }
+  });
+  for (const auto& lane : lanes) {
+    if (lane.best.score > best.score) best = lane.best;
   }
   return best;
 }

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "linalg/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace hprs::linalg {
@@ -68,14 +69,17 @@ namespace {
 
 /// Shared implementation of dot_strip: 4 pixels x 2 matrix rows of
 /// independent accumulators, reduction index k strictly ascending in each.
+/// Processes pixels [p_begin, p_end); tile ownership is by 4-pixel groups,
+/// so p_begin is always a multiple of 4 and only the final group (p_end ==
+/// m) may be ragged.  Every pixel's accumulators are private to one call,
+/// so any partition over groups yields bit-identical results.
 template <typename T>
-void dot_strip_impl(const Matrix& u, const T* x, std::size_t m,
-                    std::span<double> out) {
+void dot_strip_range(const Matrix& u, const T* x, std::size_t p_begin,
+                     std::size_t p_end, std::span<double> out) {
   const std::size_t t = u.rows();
   const std::size_t n = u.cols();
-  HPRS_ASSERT(out.size() >= m * t);
-  std::size_t p = 0;
-  for (; p + 4 <= m; p += 4) {
+  std::size_t p = p_begin;
+  for (; p + 4 <= p_end; p += 4) {
     const T* x0 = x + (p + 0) * n;
     const T* x1 = x + (p + 1) * n;
     const T* x2 = x + (p + 2) * n;
@@ -127,7 +131,7 @@ void dot_strip_impl(const Matrix& u, const T* x, std::size_t m,
       out[(p + 3) * t + i] = a3;
     }
   }
-  for (; p < m; ++p) {
+  for (; p < p_end; ++p) {
     const T* xp = x + p * n;
     for (std::size_t i = 0; i < t; ++i) {
       const double* u0 = u.row(i).data();
@@ -138,6 +142,23 @@ void dot_strip_impl(const Matrix& u, const T* x, std::size_t m,
       out[p * t + i] = acc;
     }
   }
+}
+
+/// Contiguous 4-pixel-group ownership: worker w takes groups
+/// [w*per, (w+1)*per) of the ceil(m/4) groups.  Disjoint output rows, so
+/// the partition cannot perturb any element's addition chain.
+template <typename T>
+void dot_strip_impl(const Matrix& u, const T* x, std::size_t m,
+                    std::span<double> out) {
+  HPRS_ASSERT(out.size() >= m * u.rows());
+  const std::size_t groups = (m + 3) / 4;
+  parallel_region(groups, [&](std::size_t worker, std::size_t workers) {
+    const std::size_t per = (groups + workers - 1) / workers;
+    const std::size_t g0 = worker * per;
+    const std::size_t g1 = std::min(groups, g0 + per);
+    if (g0 >= g1) return;
+    dot_strip_range(u, x, g0 * 4, std::min(m, g1 * 4), out);
+  });
 }
 
 }  // namespace
@@ -155,15 +176,22 @@ void dot_strip(const Matrix& u, const double* x, std::size_t m,
 void norm_sq_strip(const float* x, std::size_t m, std::size_t n,
                    std::span<double> out) {
   HPRS_ASSERT(out.size() >= m);
-  for (std::size_t p = 0; p < m; ++p) {
-    const float* xp = x + p * n;
-    double acc = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      const double v = static_cast<double>(xp[k]);
-      acc += v * v;
+  // Each pixel's accumulator is independent; contiguous pixel blocks per
+  // worker keep the out[] writes on disjoint cache lines.
+  parallel_region(m, [&](std::size_t worker, std::size_t workers) {
+    const std::size_t per = (m + workers - 1) / workers;
+    const std::size_t p0 = worker * per;
+    const std::size_t p1 = std::min(m, p0 + per);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* xp = x + p * n;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double v = static_cast<double>(xp[k]);
+        acc += v * v;
+      }
+      out[p] = acc;
     }
-    out[p] = acc;
-  }
+  });
 }
 
 namespace {
@@ -180,13 +208,20 @@ namespace {
 
 HPRS_TARGET_CLONES
 void syrk_tri_update_impl(const double* x, std::size_t m, std::size_t n,
-                          double* tri) {
+                          double* tri, std::size_t worker,
+                          std::size_t workers) {
   constexpr std::size_t kTi = 4;
   constexpr std::size_t kTj = 4;
   const auto offset = [n](std::size_t i) {
     return i * n - i * (i - 1) / 2;  // start of row i in the packed triangle
   };
-  for (std::size_t i0 = 0; i0 < n; i0 += kTi) {
+  // Row-tile ownership, strided by worker: tile i0 owns triangle rows
+  // [i0, i1), a disjoint slice of the packed array, and every element's
+  // p-chain lives entirely inside one tile -- so any stride partition is
+  // bit-identical to the serial sweep.  Striding (rather than contiguous
+  // blocks) balances the triangle: early tiles carry long rectangular
+  // remainders, late tiles short ones.
+  for (std::size_t i0 = worker * kTi; i0 < n; i0 += workers * kTi) {
     const std::size_t i1 = std::min(i0 + kTi, n);
     // Triangular wedge j in [i, i1): too ragged to tile, done scalar.
     for (std::size_t i = i0; i < i1; ++i) {
@@ -248,7 +283,10 @@ void syrk_tri_update_impl(const double* x, std::size_t m, std::size_t n,
 
 void syrk_tri_update(const double* x, std::size_t m, std::size_t n,
                      double* tri) {
-  syrk_tri_update_impl(x, m, n, tri);
+  const std::size_t tiles = (n + 3) / 4;
+  parallel_region(tiles, [&](std::size_t worker, std::size_t workers) {
+    syrk_tri_update_impl(x, m, n, tri, worker, workers);
+  });
 }
 
 }  // namespace hprs::linalg

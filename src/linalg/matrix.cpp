@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/kernels.hpp"
+#include "linalg/thread_pool.hpp"
 #include "linalg/vec.hpp"
 
 namespace hprs::linalg {
@@ -63,12 +64,18 @@ Matrix Matrix::multiply(const Matrix& other) const {
   }
   // Blocked fast path: 4x4 register tiles, k ascending inside every
   // accumulator, so each out(i, j) is the same addition chain as the
-  // reference i-k-j loop.
+  // reference i-k-j loop.  Workers own contiguous ranges of row tiles --
+  // disjoint out rows, so the thread count cannot perturb any chain.
   const std::size_t n = other.cols_;
   const std::size_t kk = cols_;
   constexpr std::size_t kTi = 4;
   constexpr std::size_t kTj = 4;
-  for (std::size_t i0 = 0; i0 < rows_; i0 += kTi) {
+  const std::size_t row_tiles = (rows_ + kTi - 1) / kTi;
+  parallel_region(row_tiles, [&](std::size_t worker, std::size_t workers) {
+    const std::size_t per = (row_tiles + workers - 1) / workers;
+    const std::size_t t0 = worker * per;
+    const std::size_t t1 = std::min(row_tiles, t0 + per);
+  for (std::size_t i0 = t0 * kTi; i0 < t1 * kTi && i0 < rows_; i0 += kTi) {
     const std::size_t i1 = std::min(i0 + kTi, rows_);
     for (std::size_t j0 = 0; j0 < n; j0 += kTj) {
       const std::size_t j1 = std::min(j0 + kTj, n);
@@ -111,6 +118,7 @@ Matrix Matrix::multiply(const Matrix& other) const {
       }
     }
   }
+  });
   return out;
 }
 

@@ -59,11 +59,58 @@ JobEstimate estimate_job(const simnet::Platform& platform,
   // Balanced divisible-load compute bound: every member finishes its WEA
   // share of total_flops simultaneously at total * 1e-6 / sum(1/w_i).
   double speed_sum = 0.0;
+  bool any_accel = false;
   for (int m : members) {
     speed_sum += platform.speed(static_cast<std::size_t>(m));
+    any_accel |= platform.accelerated(static_cast<std::size_t>(m));
   }
   const double total_mflops = model.flops_per_pixel * pixels * 1e-6;
-  double compute_s = total_mflops / speed_sum;
+  const double image_bytes =
+      static_cast<double>(scene.pixel_count()) *
+      static_cast<double>(scene.bytes_per_pixel()) *
+      static_cast<double>(spec.replication);
+  double compute_s;
+  // Per-member fraction of the image (used by the scatter-staging term
+  // below): speed share classically, staging-aware share with accelerators.
+  std::vector<double> share(members.size());
+  if (!any_accel) {
+    // Accelerator-free gangs keep the historic arithmetic verbatim, so
+    // every pre-existing schedule and golden estimate is bit-identical.
+    compute_s = total_mflops / speed_sum;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      share[i] =
+          platform.speed(static_cast<std::size_t>(members[i])) / speed_sum;
+    }
+  } else {
+    // Staging-aware divisible-load bound.  Member i running fraction a_i of
+    // the job takes a_i * D_i + R * L_i seconds, where
+    //   D_i = total_mflops * w_i + (host<->device copy of its image share)
+    //   L_i = per-invocation launch latency (one per synchronized round)
+    //   R   = sync_rounds.
+    // Equal finish times and sum(a_i) = 1 give the closed form
+    //   T = (1 + R * sum(L_i / D_i)) / sum(1 / D_i).
+    const double rounds = std::max(1.0, model.sync_rounds);
+    double sum_inv_d = 0.0;
+    double sum_l_over_d = 0.0;
+    std::vector<double> d(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto m = static_cast<std::size_t>(members[i]);
+      const auto& p = platform.processor(m);
+      d[i] = total_mflops * p.cycle_time +
+             image_bytes * 8e-6 * p.stage_ms_per_mbit * 1e-3;
+      sum_inv_d += 1.0 / d[i];
+      sum_l_over_d += (p.stage_latency_ms * 1e-3) / d[i];
+    }
+    compute_s = (1.0 + rounds * sum_l_over_d) / sum_inv_d;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto m = static_cast<std::size_t>(members[i]);
+      const double a =
+          (compute_s -
+           rounds * platform.processor(m).stage_latency_ms * 1e-3) /
+          d[i];
+      share[i] = std::max(0.0, a);
+    }
+  }
 
   // Serial leader section (e.g. PCT's eigensolve): every member waits while
   // the gang leader grinds through it at its own speed.
@@ -81,22 +128,54 @@ JobEstimate estimate_job(const simnet::Platform& platform,
 
   // One-time block staging when the job charges data distribution: the
   // leader ships each member its WEA share of the image serially.
-  const double image_bytes =
-      static_cast<double>(scene.pixel_count()) *
-      static_cast<double>(scene.bytes_per_pixel()) *
-      static_cast<double>(spec.replication);
   if (model.scatter_input && members.size() > 1) {
     double staging_ms = 0.0;
     for (std::size_t i = 1; i < members.size(); ++i) {
       const auto m = static_cast<std::size_t>(members[i]);
-      const double share = platform.speed(m) / speed_sum;
-      staging_ms += image_bytes * share * 8e-6 *
+      staging_ms += image_bytes * share[i] * 8e-6 *
                     platform.link_ms_per_mbit(leader, m);
     }
     comm_s += staging_ms * 1e-3;
   }
 
   return JobEstimate{compute_s + comm_s, image_bytes};
+}
+
+std::vector<int> refine_members(const simnet::Platform& platform,
+                                const std::vector<int>& pool,
+                                std::vector<int> picked, const JobSpec& spec,
+                                const hsi::HsiCube& scene) {
+  if (picked.empty()) return picked;
+  const bool picked_accel =
+      std::any_of(picked.begin(), picked.end(), [&](int m) {
+        return platform.accelerated(static_cast<std::size_t>(m));
+      });
+  // Identity on accelerator-free picks (hence on accelerator-free
+  // platforms): historic schedules are untouched.
+  if (!picked_accel) return picked;
+
+  // Candidate alternative: the fastest equally-wide all-CPU gang from the
+  // pool, built with the same (cycle-time, rank) order the best-fit policy
+  // uses.  For tiny jobs the accelerators' per-round launch latency
+  // dominates their compute advantage, and the CPU gang wins the estimate.
+  std::vector<int> cpus;
+  for (int r : pool) {
+    if (!platform.accelerated(static_cast<std::size_t>(r))) cpus.push_back(r);
+  }
+  if (cpus.size() < picked.size()) return picked;
+  std::sort(cpus.begin(), cpus.end(), [&](int a, int b) {
+    const double wa = platform.cycle_time(static_cast<std::size_t>(a));
+    const double wb = platform.cycle_time(static_cast<std::size_t>(b));
+    if (wa != wb) return wa < wb;
+    return a < b;
+  });
+  cpus.resize(picked.size());
+  std::sort(cpus.begin(), cpus.end());
+
+  const double with_accel =
+      estimate_job(platform, picked, spec, scene).seconds;
+  const double cpu_only = estimate_job(platform, cpus, spec, scene).seconds;
+  return cpu_only < with_accel ? cpus : picked;
 }
 
 void check_admission(const simnet::Platform& platform,

@@ -48,6 +48,18 @@ struct JobEstimate {
                                        const JobSpec& spec,
                                        const hsi::HsiCube& scene);
 
+/// Accelerator-aware member refinement: when `picked` contains accelerated
+/// ranks, compares its estimate against the fastest equally-wide all-CPU
+/// gang from `pool` and returns whichever is cheaper (tiny jobs dodge the
+/// per-round launch latency; big jobs keep the accelerators).  Identity
+/// when `picked` has no accelerated member, so accelerator-free platforms
+/// schedule exactly as before.
+[[nodiscard]] std::vector<int> refine_members(const simnet::Platform& platform,
+                                              const std::vector<int>& pool,
+                                              std::vector<int> picked,
+                                              const JobSpec& spec,
+                                              const hsi::HsiCube& scene);
+
 /// Memory-bound admission (WEA Algorithm 1 step 3 applied at submission):
 /// throws AdmissionError unless some `spec.ranks`-wide subset of `workers`
 /// can hold the scene within `spec.memory_fraction` of each node's memory

@@ -209,21 +209,29 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
       const JobSpec& spec = stream[idx];
       const hsi::HsiCube& job_scene =
           spec.scene != nullptr ? *spec.scene : scene;
+      std::vector<int> members = sel->members;
+      if (policy == Policy::kHeteroBestFit) {
+        // Second opinion on mixed CPU+accelerator platforms: a tiny job's
+        // launch-latency bill can make an all-CPU gang cheaper than the
+        // "fastest ranks" pick.  Identity when the pick has no accelerator.
+        members = refine_members(platform, free_ranks, std::move(members),
+                                 spec, job_scene);
+      }
       JobRecord& record = records[idx];
       record.dispatch_s = now;
-      record.members = sel->members;
+      record.members = members;
       record.est_seconds =
-          estimate_job(platform, sel->members, spec, job_scene).seconds;
+          estimate_job(platform, members, spec, job_scene).seconds;
       running.push_back(RunningJob{spec.id, idx, now + record.est_seconds,
-                                   sel->members});
-      for (int m : sel->members) free.erase(m);
+                                   members});
+      for (int m : members) free.erase(m);
       ready.erase(ready.begin() +
                   static_cast<std::ptrdiff_t>(sel->ready_pos));
       Cmd cmd;
       cmd.index = static_cast<std::uint32_t>(idx);
-      cmd.members = sel->members;
+      cmd.members = members;
       const std::size_t bytes = cmd_bytes(cmd);
-      for (int m : sel->members) {
+      for (int m : members) {
         comm.send(m, cmd, bytes, kCmdTag);
       }
       continue;
@@ -329,8 +337,12 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
     record.arrival_s = spec.arrival_s;
     try {
       check_admission(platform, pool, spec, job_scene);
-      const std::vector<int> canonical =
+      std::vector<int> canonical =
           pick_members(config.policy, platform, pool, spec.ranks);
+      if (config.policy == Policy::kHeteroBestFit) {
+        canonical = refine_members(platform, pool, std::move(canonical), spec,
+                                   job_scene);
+      }
       record.est_seconds =
           estimate_job(platform, canonical, spec, job_scene).seconds;
     } catch (const AdmissionError& e) {

@@ -32,6 +32,11 @@ Platform::Platform(std::string name, std::vector<ProcessorSpec> processors,
     HPRS_REQUIRE(p.cycle_time > 0.0, "cycle-time must be positive");
     HPRS_REQUIRE(p.memory_mb > 0, "memory must be positive");
     HPRS_REQUIRE(p.segment < s, "processor references unknown segment");
+    HPRS_REQUIRE(p.stage_latency_ms >= 0.0 && p.stage_ms_per_mbit >= 0.0,
+                 "staging costs must be non-negative");
+    HPRS_REQUIRE(p.accelerated ||
+                     (p.stage_latency_ms == 0.0 && p.stage_ms_per_mbit == 0.0),
+                 "only accelerated processors may carry staging costs");
   }
 }
 
@@ -48,6 +53,26 @@ double Platform::speed(std::size_t i) const { return 1.0 / cycle_time(i); }
 
 std::size_t Platform::segment_of(std::size_t i) const {
   return processor(i).segment;
+}
+
+bool Platform::accelerated(std::size_t i) const {
+  return processor(i).accelerated;
+}
+
+bool Platform::has_accelerated() const {
+  return std::any_of(processors_.begin(), processors_.end(),
+                     [](const ProcessorSpec& p) { return p.accelerated; });
+}
+
+double Platform::stage_latency_s(std::size_t i) const {
+  return processor(i).stage_latency_ms * 1e-3;
+}
+
+double Platform::stage_seconds(std::size_t i, std::size_t bytes) const {
+  const auto& p = processor(i);
+  if (!p.accelerated) return 0.0;
+  const double mbits = static_cast<double>(bytes) * 8e-6;
+  return mbits * p.stage_ms_per_mbit * 1e-3;
 }
 
 double Platform::link_ms_per_mbit(std::size_t i, std::size_t j) const {
@@ -234,6 +259,28 @@ Platform synthetic_heterogeneous(std::size_t nodes, double spread,
   }
   return Platform("synthetic-spread-" + std::to_string(spread),
                   std::move(procs), {{link_ms_per_mbit}});
+}
+
+Platform accelerated_now(std::size_t cpu_nodes, std::size_t accel_nodes) {
+  HPRS_REQUIRE(cpu_nodes >= 1, "need >= 1 CPU node (the master)");
+  HPRS_REQUIRE(accel_nodes >= 1, "need >= 1 accelerated node");
+  auto procs = homogeneous_processors(cpu_nodes, kHomogeneousCycleTime, 2048,
+                                      1024, "Linux -- AMD Athlon");
+  for (std::size_t i = 0; i < accel_nodes; ++i) {
+    ProcessorSpec a{"a" + std::to_string(i + 1),
+                    "Linux -- AMD Athlon + accelerator",
+                    kHomogeneousCycleTime / 40.0,
+                    2048,
+                    1024,
+                    0};
+    a.accelerated = true;
+    a.stage_latency_ms = 2.0;
+    a.stage_ms_per_mbit = 0.06;
+    procs.push_back(std::move(a));
+  }
+  return Platform("accelerated-now-" + std::to_string(cpu_nodes) + "c" +
+                      std::to_string(accel_nodes) + "a",
+                  std::move(procs), {{kHomogeneousLink}});
 }
 
 }  // namespace hprs::simnet

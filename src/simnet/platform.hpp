@@ -26,6 +26,13 @@ struct ProcessorSpec {
   std::size_t memory_mb;     ///< main memory, megabytes
   std::size_t cache_kb;      ///< cache, kilobytes (informational)
   std::size_t segment;       ///< communication segment index
+  // --- Accelerated processor class (GPU/FPGA-style nodes).  The low
+  // cycle-time above covers on-device compute; every kernel invocation
+  // additionally pays a fixed host<->device staging latency, and input
+  // blocks pay a staging-bandwidth charge on top of the network transfer.
+  bool accelerated = false;       ///< has an attached accelerator
+  double stage_latency_ms = 0.0;  ///< per-invocation host<->device latency
+  double stage_ms_per_mbit = 0.0; ///< host<->device copy cost per megabit
 };
 
 class Platform {
@@ -56,6 +63,15 @@ class Platform {
   /// Relative speed 1/w_i (megaflops per second).
   [[nodiscard]] double speed(std::size_t i) const;
   [[nodiscard]] std::size_t segment_of(std::size_t i) const;
+
+  /// Whether processor i carries an accelerator (pays staging costs).
+  [[nodiscard]] bool accelerated(std::size_t i) const;
+  /// True if any processor on the platform is accelerated.
+  [[nodiscard]] bool has_accelerated() const;
+  /// Per-invocation host<->device latency, seconds (0 for plain CPUs).
+  [[nodiscard]] double stage_latency_s(std::size_t i) const;
+  /// Host<->device copy time for `bytes` of input, seconds (0 for CPUs).
+  [[nodiscard]] double stage_seconds(std::size_t i, std::size_t bytes) const;
 
   /// c_ij in milliseconds per megabit (Table 2 units).  c_ii uses the
   /// intra-segment capacity of i's segment (loopback transfers are charged
@@ -119,5 +135,14 @@ class Platform {
                                                double spread,
                                                double mean_cycle_time,
                                                double link_ms_per_mbit);
+
+/// Mixed CPU + accelerator network of workstations: `cpu_nodes` identical
+/// workstations (w = 0.0131 s/Mflop) followed by `accel_nodes` accelerated
+/// nodes (~40x faster compute, but 2 ms per-invocation staging latency and
+/// 0.06 ms/megabit host<->device copy) on one 26.64 ms/megabit segment.
+/// The accelerated nodes take the HIGHEST ranks, so rank-order policies
+/// (fifo) underuse them while cost-aware policies must seek them out.
+[[nodiscard]] Platform accelerated_now(std::size_t cpu_nodes,
+                                       std::size_t accel_nodes);
 
 }  // namespace hprs::simnet

@@ -81,7 +81,20 @@ Platform parse_platform(const std::string& text) {
              "<cache-kb> <segment>");
       }
       std::string word;
+      bool first_word = true;
       while (line >> word) {
+        // Optional accelerator group directly after the segment, before the
+        // architecture words: accel <stage-latency-ms> <stage-ms-per-mbit>.
+        if (first_word && word == "accel") {
+          first_word = false;
+          if (!(line >> p.stage_latency_ms >> p.stage_ms_per_mbit)) {
+            fail(line_no,
+                 "expected: accel <stage-latency-ms> <stage-ms-per-mbit>");
+          }
+          p.accelerated = true;
+          continue;
+        }
+        first_word = false;
         if (!p.architecture.empty()) p.architecture += ' ';
         p.architecture += word;
       }
@@ -116,8 +129,11 @@ std::string format_platform(const Platform& platform) {
   for (std::size_t i = 0; i < platform.size(); ++i) {
     const auto& p = platform.processor(i);
     out << "processor " << p.name << ' ' << p.cycle_time << ' '
-        << p.memory_mb << ' ' << p.cache_kb << ' ' << p.segment << ' '
-        << p.architecture << "\n";
+        << p.memory_mb << ' ' << p.cache_kb << ' ' << p.segment;
+    if (p.accelerated) {
+      out << " accel " << p.stage_latency_ms << ' ' << p.stage_ms_per_mbit;
+    }
+    out << ' ' << p.architecture << "\n";
   }
   return out.str();
 }

@@ -148,6 +148,13 @@ class Comm {
     engine_->core_compute(rank_, flops, phase);
   }
 
+  /// Charges the host->device copy of `bytes` of input data onto this
+  /// rank's accelerator.  Exact no-op for non-accelerated ranks -- callers
+  /// may invoke it unconditionally after receiving their partition.
+  void stage_to_device(std::size_t bytes) {
+    engine_->core_stage(rank_, static_cast<std::uint64_t>(bytes));
+  }
+
   void barrier() { engine_->core_barrier(*group_, local_); }
 
   /// Broadcast from `root`.  All ranks receive (a value equal to) the

@@ -8,6 +8,7 @@
 #include <limits>
 #include <thread>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "obs/host_profile.hpp"
@@ -46,10 +47,11 @@ bool env_thread_per_rank() {
 }
 
 std::size_t resolve_fiber_stack_bytes(std::size_t option_bytes) {
-  if (const char* v = std::getenv("HPRS_FIBER_STACK_KB");
-      v != nullptr && *v != '\0') {
-    const long kb = std::strtol(v, nullptr, 10);
-    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+  // Validated parse: a malformed HPRS_FIBER_STACK_KB throws with the
+  // variable named rather than silently running on the default stack.
+  if (const auto kb = env_int_or("HPRS_FIBER_STACK_KB", 0, 1, 1 << 20);
+      kb > 0) {
+    return static_cast<std::size_t>(kb) * 1024;
   }
   return option_bytes != 0 ? option_bytes : (std::size_t{1} << 20);
 }
@@ -381,8 +383,15 @@ void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
     std::lock_guard<std::mutex> lock(mutex_);
     die_locked(rank);
   }
-  const double seconds = static_cast<double>(flops) * 1e-6 *
-                         platform_.cycle_time(static_cast<std::size_t>(rank));
+  double seconds = static_cast<double>(flops) * 1e-6 *
+                   platform_.cycle_time(static_cast<std::size_t>(rank));
+  // Accelerated nodes pay a fixed host<->device launch latency on every
+  // non-empty kernel invocation, on top of the (fast) on-device compute.
+  // Plain CPU ranks charge exactly what they always did, so platforms
+  // without accelerators reproduce historic clocks bit-for-bit.
+  if (flops > 0 && platform_.accelerated(r)) {
+    seconds += platform_.stage_latency_s(r);
+  }
   if (options_.enable_trace && seconds > 0.0) {
     trace_[static_cast<std::size_t>(rank)].push_back(TraceEvent{
         rank, TraceKind::kCompute, s.clock, s.clock + seconds, flops});
@@ -398,6 +407,28 @@ void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
     recovery_[r].recomputed_s += seconds;
     recovery_[r].recomputed_flops += flops;
   }
+}
+
+void Engine::core_stage(int rank, std::uint64_t bytes) {
+  const auto r = static_cast<std::size_t>(rank);
+  const double seconds =
+      platform_.stage_seconds(r, static_cast<std::size_t>(bytes));
+  if (seconds <= 0.0) return;  // plain CPU rank, or nothing to copy
+  auto& s = stats_[r];
+  // Same fail-stop boundary as core_compute: crash_time_ is immutable
+  // during the run and the clock is rank-confined.
+  if (s.clock >= crash_time_[r]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    die_locked(rank);
+  }
+  if (options_.enable_trace) {
+    trace_[r].push_back(TraceEvent{rank, TraceKind::kTransmit, s.clock,
+                                   s.clock + seconds, bytes});
+  }
+  // The copy crosses the PCIe-style host<->device path, not the network:
+  // charge comm time but no wire byte counters.
+  s.clock += seconds;
+  s.comm += seconds;
 }
 
 // --- fault machinery --------------------------------------------------------

@@ -183,6 +183,10 @@ class Engine {
 
   // --- type-erased operation core, called via Comm ---
   void core_compute(int rank, std::uint64_t flops, Phase phase);
+  /// Charges `rank` the host->device staging time for copying `bytes` of
+  /// input onto its accelerator (comm bucket).  Exact no-op on
+  /// non-accelerated ranks, so historic platforms keep their clocks.
+  void core_stage(int rank, std::uint64_t bytes);
   /// Advances `rank`'s clock to at least `deadline` (virtual seconds),
   /// charging the gap as wait time.  A no-op when the clock is already
   /// past the deadline.  Used by the scheduler to pace job arrivals.

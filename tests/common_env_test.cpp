@@ -1,0 +1,93 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hprs {
+namespace {
+
+/// Sets an environment variable for one test and restores the previous
+/// value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(EnvIntTest, UnsetReturnsNulloptAndFallback) {
+  ::unsetenv("HPRS_TEST_ENV_INT");
+  EXPECT_FALSE(env_int("HPRS_TEST_ENV_INT", 0, 100).has_value());
+  EXPECT_EQ(env_int_or("HPRS_TEST_ENV_INT", 42, 0, 100), 42);
+}
+
+TEST(EnvIntTest, EmptyValueActsAsUnset) {
+  const ScopedEnv env("HPRS_TEST_ENV_INT", "");
+  EXPECT_FALSE(env_int("HPRS_TEST_ENV_INT", 0, 100).has_value());
+  EXPECT_EQ(env_int_or("HPRS_TEST_ENV_INT", 7, 0, 100), 7);
+}
+
+TEST(EnvIntTest, ParsesAValidInteger) {
+  const ScopedEnv env("HPRS_TEST_ENV_INT", "64");
+  EXPECT_EQ(env_int("HPRS_TEST_ENV_INT", 1, 4096).value(), 64);
+  EXPECT_EQ(env_int_or("HPRS_TEST_ENV_INT", 1, 1, 4096), 64);
+}
+
+TEST(EnvIntTest, MalformedValueNamesTheVariable) {
+  const ScopedEnv env("HPRS_TEST_ENV_INT", "four");
+  try {
+    (void)env_int("HPRS_TEST_ENV_INT", 0, 100);
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("HPRS_TEST_ENV_INT"),
+              std::string::npos);
+  }
+}
+
+TEST(EnvIntTest, TrailingGarbageIsMalformed) {
+  const ScopedEnv env("HPRS_TEST_ENV_INT", "12abc");
+  EXPECT_THROW((void)env_int("HPRS_TEST_ENV_INT", 0, 100), Error);
+}
+
+TEST(EnvIntTest, OutOfRangeNamesTheVariableAndBounds) {
+  const ScopedEnv env("HPRS_TEST_ENV_INT", "5000");
+  try {
+    (void)env_int("HPRS_TEST_ENV_INT", 1, 4096);
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HPRS_TEST_ENV_INT"), std::string::npos);
+    EXPECT_NE(what.find("4096"), std::string::npos);
+  }
+}
+
+TEST(EnvIntTest, MalformedValueThrowsEvenWithAFallback) {
+  // env_int_or falls back only when the variable is unset/empty; a value
+  // that is present but malformed is a configuration error, not a default.
+  const ScopedEnv env("HPRS_TEST_ENV_INT", "not-a-number");
+  EXPECT_THROW((void)env_int_or("HPRS_TEST_ENV_INT", 1, 0, 100), Error);
+}
+
+}  // namespace
+}  // namespace hprs

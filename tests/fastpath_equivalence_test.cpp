@@ -13,6 +13,7 @@
 #include "core/runner.hpp"
 #include "hsi/scene.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/thread_pool.hpp"
 #include "simnet/platform.hpp"
 
 namespace hprs {
@@ -93,6 +94,105 @@ TEST_P(FastPathEquivalenceTest, OutputsAndVirtualTimeIdentical) {
     EXPECT_EQ(a.bytes_sent, b.bytes_sent) << "rank " << r;
     EXPECT_EQ(a.bytes_received, b.bytes_received) << "rank " << r;
   }
+}
+
+TEST_P(FastPathEquivalenceTest, ThreadCountCannotPerturbAnything) {
+  // The threaded kernels' determinism contract: at 2, 4, and 7 worker
+  // threads the fast path must reproduce the single-thread run bit for bit
+  // -- scientific outputs and every rank's virtual clocks.
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::fully_heterogeneous();
+  const core::RunnerConfig cfg = config_for(GetParam());
+
+  const linalg::ScopedKernelPath path(false);
+  core::RunnerOutput one;
+  {
+    const linalg::ScopedKernelThreads threads(1);
+    one = core::run_algorithm(platform, scene.cube, cfg);
+  }
+  for (const std::size_t n : {2u, 4u, 7u}) {
+    const linalg::ScopedKernelThreads threads(n);
+    const core::RunnerOutput out =
+        core::run_algorithm(platform, scene.cube, cfg);
+    ASSERT_EQ(one.targets.size(), out.targets.size()) << n << " threads";
+    for (std::size_t i = 0; i < one.targets.size(); ++i) {
+      EXPECT_EQ(one.targets[i].row, out.targets[i].row)
+          << n << " threads, target " << i;
+      EXPECT_EQ(one.targets[i].col, out.targets[i].col)
+          << n << " threads, target " << i;
+    }
+    ASSERT_EQ(one.labels.size(), out.labels.size()) << n << " threads";
+    for (std::size_t i = 0; i < one.labels.size(); ++i) {
+      ASSERT_EQ(one.labels[i], out.labels[i])
+          << n << " threads, label " << i;
+    }
+    EXPECT_EQ(one.label_count, out.label_count) << n << " threads";
+    EXPECT_EQ(one.report.total_time, out.report.total_time)
+        << n << " threads";
+    ASSERT_EQ(one.report.ranks.size(), out.report.ranks.size());
+    for (std::size_t r = 0; r < one.report.ranks.size(); ++r) {
+      const auto& a = one.report.ranks[r];
+      const auto& b = out.report.ranks[r];
+      EXPECT_EQ(a.clock, b.clock) << n << " threads, rank " << r;
+      EXPECT_EQ(a.flops, b.flops) << n << " threads, rank " << r;
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, AcceleratedPlatformAlsoIdentical) {
+  // Fast-vs-reference equivalence must also hold where accelerated ranks
+  // charge staging: the host-side kernel path cannot leak into the
+  // virtual staging charges.
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::accelerated_now(12, 4);
+  const core::RunnerConfig cfg = config_for(core::Algorithm::kAtdca);
+
+  core::RunnerOutput ref;
+  core::RunnerOutput fast;
+  {
+    const linalg::ScopedKernelPath path(true);
+    ref = core::run_algorithm(platform, scene.cube, cfg);
+  }
+  {
+    const linalg::ScopedKernelPath path(false);
+    fast = core::run_algorithm(platform, scene.cube, cfg);
+  }
+  EXPECT_EQ(ref.report.total_time, fast.report.total_time);
+  ASSERT_EQ(ref.report.ranks.size(), fast.report.ranks.size());
+  for (std::size_t r = 0; r < ref.report.ranks.size(); ++r) {
+    EXPECT_EQ(ref.report.ranks[r].clock, fast.report.ranks[r].clock)
+        << "rank " << r;
+    EXPECT_EQ(ref.report.ranks[r].comm, fast.report.ranks[r].comm)
+        << "rank " << r;
+  }
+  ASSERT_EQ(ref.targets.size(), fast.targets.size());
+  for (std::size_t i = 0; i < ref.targets.size(); ++i) {
+    EXPECT_EQ(ref.targets[i].row, fast.targets[i].row);
+    EXPECT_EQ(ref.targets[i].col, fast.targets[i].col);
+  }
+}
+
+TEST(FastPathEquivalenceTest, AcceleratedRanksChargeStagingTime) {
+  // The accelerated platform must actually charge staging somewhere:
+  // compare against an identical platform with the accelerators' staging
+  // costs zeroed out (compute speeds unchanged).
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform with_staging = simnet::accelerated_now(12, 4);
+  std::vector<simnet::ProcessorSpec> procs = with_staging.processors();
+  for (auto& p : procs) {
+    p.stage_latency_ms = 0.0;
+    p.stage_ms_per_mbit = 0.0;
+  }
+  const simnet::Platform without("accelerated-now-free-staging",
+                                 std::move(procs), {{26.64}});
+  const core::RunnerConfig cfg = config_for(core::Algorithm::kAtdca);
+
+  const linalg::ScopedKernelPath path(false);
+  const core::RunnerOutput staged =
+      core::run_algorithm(with_staging, scene.cube, cfg);
+  const core::RunnerOutput free_run =
+      core::run_algorithm(without, scene.cube, cfg);
+  EXPECT_GT(staged.report.total_time, free_run.report.total_time);
 }
 
 TEST(FastPathEquivalenceTest, HomogeneousPolicyAlsoIdentical) {

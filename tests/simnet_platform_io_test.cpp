@@ -28,16 +28,48 @@ void expect_same_platform(const Platform& a, const Platform& b) {
     EXPECT_EQ(a.processor(i).cache_kb, b.processor(i).cache_kb);
     EXPECT_EQ(a.segment_of(i), b.segment_of(i));
     EXPECT_EQ(a.processor(i).architecture, b.processor(i).architecture);
+    EXPECT_EQ(a.accelerated(i), b.accelerated(i));
+    EXPECT_DOUBLE_EQ(a.processor(i).stage_latency_ms,
+                     b.processor(i).stage_latency_ms);
+    EXPECT_DOUBLE_EQ(a.processor(i).stage_ms_per_mbit,
+                     b.processor(i).stage_ms_per_mbit);
   }
 }
 
 TEST(PlatformIoTest, PaperPlatformsRoundTripThroughText) {
   for (const auto& platform :
        {fully_heterogeneous(), fully_homogeneous(), partially_heterogeneous(),
-        partially_homogeneous(), thunderhead(8)}) {
+        partially_homogeneous(), thunderhead(8), accelerated_now(4, 2)}) {
     const Platform back = parse_platform(format_platform(platform));
     expect_same_platform(platform, back);
   }
+}
+
+TEST(PlatformIoTest, ParsesTheAcceleratorGroup) {
+  const Platform p = parse_platform(
+      "platform accel-mini\n"
+      "segments 1\n"
+      "capacity 26.64\n"
+      "processor c1 0.0131 2048 1024 0 Linux -- AMD Athlon\n"
+      "processor a1 0.0003 2048 1024 0 accel 2.0 0.06 Linux + accelerator\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_FALSE(p.accelerated(0));
+  EXPECT_TRUE(p.accelerated(1));
+  EXPECT_TRUE(p.has_accelerated());
+  EXPECT_DOUBLE_EQ(p.processor(1).stage_latency_ms, 2.0);
+  EXPECT_DOUBLE_EQ(p.processor(1).stage_ms_per_mbit, 0.06);
+  EXPECT_EQ(p.processor(1).architecture, "Linux + accelerator");
+  // 1 MB onto the device: 8 megabits * 0.06 ms/megabit = 0.48 ms.
+  EXPECT_NEAR(p.stage_seconds(1, 1000000), 0.48e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(p.stage_seconds(0, 1000000), 0.0);
+}
+
+TEST(PlatformIoTest, RejectsAMalformedAcceleratorGroup) {
+  EXPECT_THROW(parse_platform("platform x\n"
+                              "segments 1\n"
+                              "capacity 1.0\n"
+                              "processor a1 0.01 1024 512 0 accel 2.0\n"),
+               Error);
 }
 
 TEST(PlatformIoTest, RoundTripsThroughAFile) {

@@ -155,5 +155,50 @@ TEST(PlatformTest, ProcessorIndexOutOfRangeThrows) {
   EXPECT_THROW((void)p.processor(16), Error);
 }
 
+TEST(AcceleratedNowTest, CpuNodesFirstThenAcceleratedNodes) {
+  const Platform p = accelerated_now(12, 4);
+  ASSERT_EQ(p.size(), 16u);
+  EXPECT_TRUE(p.has_accelerated());
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_FALSE(p.accelerated(i)) << i;
+    EXPECT_DOUBLE_EQ(p.cycle_time(i), 0.0131);
+    EXPECT_DOUBLE_EQ(p.stage_latency_s(i), 0.0);
+    EXPECT_DOUBLE_EQ(p.stage_seconds(i, 1 << 20), 0.0);
+  }
+  for (std::size_t i = 12; i < 16; ++i) {
+    EXPECT_TRUE(p.accelerated(i)) << i;
+    EXPECT_DOUBLE_EQ(p.cycle_time(i), 0.0131 / 40.0);
+    EXPECT_DOUBLE_EQ(p.stage_latency_s(i), 2e-3);
+    EXPECT_GT(p.stage_seconds(i, 1 << 20), 0.0);
+  }
+  // Everything shares the classic homogeneous-NOW segment.
+  EXPECT_EQ(p.segment_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.link_ms_per_mbit(0, 15), 26.64);
+}
+
+TEST(AcceleratedNowTest, HistoricPlatformsHaveNoAccelerators) {
+  for (const auto& p :
+       {fully_heterogeneous(), fully_homogeneous(), partially_heterogeneous(),
+        partially_homogeneous(), thunderhead(8)}) {
+    EXPECT_FALSE(p.has_accelerated()) << p.name();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_DOUBLE_EQ(p.stage_seconds(i, 1 << 24), 0.0);
+    }
+  }
+}
+
+TEST(PlatformValidationTest, RejectsStagingCostsOnPlainCpus) {
+  ProcessorSpec p{"p1", "x", 0.01, 128, 64, 0};
+  p.stage_latency_ms = 1.0;  // staging on a non-accelerated node
+  EXPECT_THROW(Platform("x", {p}, {{1.0}}), Error);
+  p.stage_latency_ms = 0.0;
+  p.accelerated = true;
+  p.stage_ms_per_mbit = -0.5;  // negative staging cost
+  EXPECT_THROW(Platform("x", {p}, {{1.0}}), Error);
+  p.stage_ms_per_mbit = 0.06;
+  p.stage_latency_ms = 2.0;
+  EXPECT_NO_THROW(Platform("x", {p}, {{1.0}}));
+}
+
 }  // namespace
 }  // namespace hprs::simnet

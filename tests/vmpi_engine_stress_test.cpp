@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.hpp"
 #include "simnet/platform.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/engine.hpp"
@@ -29,11 +30,8 @@ namespace hprs::vmpi {
 namespace {
 
 std::size_t stress_ranks() {
-  if (const char* env = std::getenv("HPRS_STRESS_RANKS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 2) return static_cast<std::size_t>(v);
-  }
-  return 192;  // within the issue's 128-256 window, not a power of two
+  return static_cast<std::size_t>(
+      env_int_or("HPRS_STRESS_RANKS", 192, 2, 4096));
 }
 
 /// Mildly heterogeneous single-segment platform: cycle times vary by rank

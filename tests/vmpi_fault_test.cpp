@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "simnet/platform.hpp"
 #include "vmpi/comm.hpp"
@@ -25,11 +26,8 @@ namespace hprs::vmpi {
 namespace {
 
 std::size_t stress_ranks() {
-  if (const char* env = std::getenv("HPRS_STRESS_RANKS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 2) return static_cast<std::size_t>(v);
-  }
-  return 192;
+  return static_cast<std::size_t>(
+      env_int_or("HPRS_STRESS_RANKS", 192, 2, 4096));
 }
 
 /// Mildly heterogeneous single-segment platform (cycle times vary by rank).

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/engine.hpp"
 
@@ -37,10 +38,8 @@ Options fast_options(ExecMode mode = ExecMode::kBoundedExecutor) {
 }
 
 std::size_t stress_ranks() {
-  if (const char* env = std::getenv("HPRS_STRESS_RANKS")) {
-    return static_cast<std::size_t>(std::stoul(env));
-  }
-  return 192;
+  return static_cast<std::size_t>(
+      env_int_or("HPRS_STRESS_RANKS", 192, 2, 4096));
 }
 
 void expect_reports_equal(const RunReport& a, const RunReport& b) {

@@ -162,20 +162,75 @@ struct KernelRecord {
   std::string name;
   double ns_per_op = 0.0;
   double bytes_per_op = 0.0;
+  /// Largest relative residual a mixed-precision benchmark observed against
+  /// its double reference; negative when the benchmark reports none.
+  double max_residual = -1.0;
 };
 
-/// Writes the records as a flat JSON object keyed by benchmark name.  No
-/// third-party JSON dependency: names are benchmark identifiers (no
+/// Writes the records as a flat JSON object keyed by benchmark name, headed
+/// by a "_metadata" entry recording the host's hardware thread count and the
+/// effective kernel-thread setting the numbers were measured under (timings
+/// from an oversubscribed run are not comparable to the committed artifact).
+/// No third-party JSON dependency: names are benchmark identifiers (no
 /// characters needing escapes) and values are plain numbers.
 inline bool write_kernel_json(const std::string& path,
-                              const std::vector<KernelRecord>& records) {
+                              const std::vector<KernelRecord>& records,
+                              std::size_t hw_threads,
+                              std::size_t kernel_threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(
+      f, "  \"_metadata\": {\"hw_threads\": %zu, \"kernel_threads\": %zu}%s\n",
+      hw_threads, kernel_threads, records.empty() ? "" : ",");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.3f, \"bytes_per_op\": %.1f",
+                 records[i].name.c_str(), records[i].ns_per_op,
+                 records[i].bytes_per_op);
+    if (records[i].max_residual >= 0.0) {
+      std::fprintf(f, ", \"max_residual\": %.3e", records[i].max_residual);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// One cell of the streamed-tiling summary: one algorithm on one
+/// accelerated gang (simnet::accelerated_now), monolithic staging against
+/// the per-tile streamed driver (core::RunnerConfig::tile_stream).
+/// bench_table6_breakdown collects one record per cell and serializes them
+/// with write_stream_json (--json <path>, conventionally BENCH_stream.json)
+/// so comm/compute-overlap regressions are machine-checkable.
+struct StreamRecord {
+  std::string algorithm;
+  std::size_t cpus = 0;
+  std::size_t accels = 0;
+  double monolithic_s = 0.0;
+  double streamed_s = 0.0;
+
+  /// Percentage of the monolithic makespan saved by streaming.
+  [[nodiscard]] double win_pct() const {
+    return monolithic_s > 0.0 ? 100.0 * (1.0 - streamed_s / monolithic_s)
+                              : 0.0;
+  }
+};
+
+/// Writes the records as a flat JSON object keyed "<ALG>_cpu<n>_acc<m>".
+/// Same no-dependency format rationale as write_kernel_json.
+inline bool write_stream_json(const std::string& path,
+                              const std::vector<StreamRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
-    std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.3f, \"bytes_per_op\": %.1f}%s\n",
-                 records[i].name.c_str(), records[i].ns_per_op,
-                 records[i].bytes_per_op, i + 1 < records.size() ? "," : "");
+    const auto& r = records[i];
+    std::fprintf(f,
+                 "  \"%s_cpu%zu_acc%zu\": {\"monolithic_s\": %.6f, "
+                 "\"streamed_s\": %.6f, \"win_pct\": %.3f}%s\n",
+                 r.algorithm.c_str(), r.cpus, r.accels, r.monolithic_s,
+                 r.streamed_s, r.win_pct(), i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -10,7 +10,9 @@
 // machine-readable ns/op + bytes/op summary.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -25,6 +27,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
 #include "linalg/thread_pool.hpp"
+#include "linalg/tile_graph.hpp"
 #include "linalg/vec.hpp"
 
 namespace {
@@ -264,6 +267,84 @@ BENCHMARK(BM_PctCovariance_Fast)
     ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PctCovariance_Tiled(benchmark::State& state) {
+  // The same strip as BM_PctCovariance_Fast, accumulated tile by tile over
+  // the row-tile plan the streamed engine driver walks (16-pixel tiles into
+  // one shared triangle): pins the tiling overhead of the steady-state
+  // runtime against the monolithic syrk, which this must track closely.
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
+  const std::size_t bands = 224;
+  const std::size_t strip = 64;
+  const std::size_t tri_n = bands * (bands + 1) / 2;
+  Xoshiro256 rng(14);
+  std::vector<double> centered(strip * bands);
+  for (auto& v : centered) v = rng.uniform(-0.5, 0.5);
+  const auto tiles =
+      linalg::make_row_tiles(0, strip, bands * sizeof(double), 16);
+  std::vector<double> tri(tri_n, 0.0);
+  for (auto _ : state) {
+    for (const auto& t : tiles) {
+      linalg::syrk_tri_update(centered.data() + t.row_begin * bands, t.rows(),
+                              bands, tri.data());
+    }
+    benchmark::DoNotOptimize(tri.data());
+  }
+  state.counters["bytes_per_op"] = static_cast<double>(
+      (strip * bands + 2 * tri_n) * sizeof(double));
+}
+BENCHMARK(BM_PctCovariance_Tiled)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PctCovariance_MixedTile(benchmark::State& state) {
+  // The gated mixed-precision tile path on the same strip: float syrk into
+  // a private triangle, one double fold per tile.  The max_residual counter
+  // records the observed relative error against the double kernel, so the
+  // --json artifact tracks accuracy next to speed.
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
+  const std::size_t bands = 224;
+  const std::size_t strip = 64;
+  const std::size_t tri_n = bands * (bands + 1) / 2;
+  Xoshiro256 rng(14);
+  std::vector<float> centered(strip * bands);
+  for (auto& v : centered) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  std::vector<float> ftri(tri_n, 0.0f);
+  std::vector<double> tri(tri_n, 0.0);
+  for (auto _ : state) {
+    std::fill(ftri.begin(), ftri.end(), 0.0f);
+    linalg::syrk_tri_update_f32(centered.data(), strip, bands, ftri.data());
+    for (std::size_t k = 0; k < tri_n; ++k) {
+      tri[k] += static_cast<double>(ftri[k]);
+    }
+    benchmark::DoNotOptimize(tri.data());
+  }
+  // One double-kernel pass of the identical strip bounds the fast path's
+  // error; the a-priori gate (mixed_tile_admissible) must dominate it.
+  std::vector<double> dcentered(centered.begin(), centered.end());
+  std::vector<double> ref(tri_n, 0.0);
+  linalg::syrk_tri_update(dcentered.data(), strip, bands, ref.data());
+  std::fill(ftri.begin(), ftri.end(), 0.0f);
+  linalg::syrk_tri_update_f32(centered.data(), strip, bands, ftri.data());
+  double max_abs = 0.0;
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < tri_n; ++k) {
+    max_abs = std::max(max_abs, std::abs(ref[k]));
+    max_err =
+        std::max(max_err, std::abs(static_cast<double>(ftri[k]) - ref[k]));
+  }
+  // Max-norm relative residual -- the quantity the a-priori gate
+  // (mixed_tile_admissible) bounds by eps32 * chain length.
+  state.counters["max_residual"] = max_err / std::max(max_abs, 1e-30);
+  state.counters["bytes_per_op"] =
+      static_cast<double>(strip * bands) * sizeof(float) +
+      static_cast<double>(tri_n) * (sizeof(float) + sizeof(double));
+}
+BENCHMARK(BM_PctCovariance_MixedTile)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_OspSweep(benchmark::State& state, bool reference) {
   // ATDCA's per-round argmax of the OSP score over a 32x32 block with nine
   // current targets.
@@ -295,6 +376,39 @@ BENCHMARK(BM_OspSweep_Fast)
     ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_OspSweep_Tiled(benchmark::State& state) {
+  // BM_OspSweep_Fast cut into the 8-row tiles the streamed driver sweeps,
+  // per-tile argmaxes folded strictly-greater in tile order (the runtime's
+  // order-preserving fold): pins the tiling overhead of the OSP sweep.
+  const linalg::ScopedKernelThreads threads(
+      static_cast<std::size_t>(state.range(0)));
+  const linalg::ScopedKernelPath path(false);
+  const std::size_t t = 9;
+  const std::size_t bands = 224;
+  const hsi::HsiCube cube = random_cube(32, 32, bands, 15);
+  const linalg::Matrix targets = random_targets(t, bands, 16);
+  const linalg::Cholesky gram(core::detail::ridged_row_gram(targets));
+  const auto tiles = linalg::make_row_tiles(
+      0, cube.rows(), cube.cols() * cube.bands() * sizeof(float), 8);
+  linalg::ScratchArena arena;
+  for (auto _ : state) {
+    auto best = core::detail::osp_argmax_sweep(
+        targets, gram, cube, tiles[0].row_begin, tiles[0].row_end, arena);
+    for (std::size_t i = 1; i < tiles.size(); ++i) {
+      const auto cand = core::detail::osp_argmax_sweep(
+          targets, gram, cube, tiles[i].row_begin, tiles[i].row_end, arena);
+      if (cand.score > best.score) best = cand;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.counters["bytes_per_op"] =
+      static_cast<double>(cube.pixel_count() * bands) * sizeof(float) +
+      static_cast<double>(t * bands) * sizeof(double);
+}
+BENCHMARK(BM_OspSweep_Tiled)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 /// Console reporter that additionally collects ns/op + bytes/op per run for
 /// the --json summary.
 class KernelJsonCollector : public benchmark::ConsoleReporter {
@@ -311,6 +425,10 @@ class KernelJsonCollector : public benchmark::ConsoleReporter {
       if (it != run.counters.end()) {
         rec.bytes_per_op = static_cast<double>(it->second);
       }
+      const auto res = run.counters.find("max_residual");
+      if (res != run.counters.end()) {
+        rec.max_residual = static_cast<double>(res->second);
+      }
       records.push_back(std::move(rec));
     }
     ConsoleReporter::ReportRuns(reports);
@@ -325,10 +443,20 @@ int main(int argc, char** argv) {
   const std::string json_path = bench::take_json_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t hw_threads = std::thread::hardware_concurrency();
+  const std::size_t kernel_threads = linalg::kernel_threads();
+  if (hw_threads != 0 && kernel_threads > hw_threads) {
+    std::fprintf(stderr,
+                 "bench_kernels: HPRS_KERNEL_THREADS=%zu exceeds the %zu "
+                 "hardware threads; timings will include oversubscription "
+                 "stalls and are not comparable to the committed artifact\n",
+                 kernel_threads, hw_threads);
+  }
   KernelJsonCollector reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (!json_path.empty() &&
-      !bench::write_kernel_json(json_path, reporter.records)) {
+      !bench::write_kernel_json(json_path, reporter.records, hw_threads,
+                                kernel_threads)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }

@@ -18,21 +18,35 @@ namespace {
 using detail::Candidate;
 using linalg::flops::Count;
 
+/// First row-major argmax of the squared norm over rows
+/// [row_begin, row_end), plus the flops performed.  Tiles of a partition
+/// fold their results with the same strictly-greater comparison in tile
+/// order, which reproduces the monolithic sweep's first-maximum exactly.
+struct BrightOut {
+  Candidate best{0, 0, -1.0};
+  Count flops = 0;
+};
+
+BrightOut brightest_range(const hsi::HsiCube& cube, std::size_t row_begin,
+                          std::size_t row_end) {
+  BrightOut out;
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    for (std::size_t c = 0; c < cube.cols(); ++c) {
+      const double score = linalg::norm_sq(cube.pixel(r, c));
+      out.flops += linalg::flops::dot(cube.bands());
+      if (score > out.best.score) out.best = Candidate{r, c, score};
+    }
+  }
+  return out;
+}
+
 /// Local argmax of the squared norm over the owned rows.
 Candidate brightest_pixel(vmpi::Comm& comm, const PartitionView& view,
                           std::size_t replication) {
-  const auto& cube = *view.cube;
-  Candidate best{0, 0, -1.0};
-  Count flops = 0;
-  for (std::size_t r = view.part.row_begin; r < view.part.row_end; ++r) {
-    for (std::size_t c = 0; c < cube.cols(); ++c) {
-      const double score = linalg::norm_sq(cube.pixel(r, c));
-      flops += linalg::flops::dot(cube.bands());
-      if (score > best.score) best = Candidate{r, c, score};
-    }
-  }
-  comm.compute(flops * replication);
-  return best;
+  BrightOut out = brightest_range(*view.cube, view.part.row_begin,
+                                  view.part.row_end);
+  comm.compute(out.flops * replication);
+  return out.best;
 }
 
 /// Master-side selection of the winning candidate, charged as the paper
@@ -148,12 +162,27 @@ void atdca_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
                 const AtdcaConfig& config, TargetDetectionResult& result) {
   WorkloadModel model = atdca_workload(cube.bands(), config.targets);
   model.scatter_input = config.charge_data_staging;
+  const bool streaming = config.tile_stream || linalg::tile_stream_enabled();
+  model.tile_stream = streaming;
   const PartitionView view = detail::distribute_partitions(
       comm, cube, model, config.policy, config.memory_fraction,
-      /*overlap=*/0, config.replication);
+      /*overlap=*/0, config.replication, /*defer_staging=*/streaming);
+  // Tile plan over the owned rows; with streaming on, each tile's copy is
+  // enqueued here and the brightest/OSP sweeps overlap the remaining
+  // transfers with per-tile compute.
+  const detail::TileStream tiles = detail::begin_tile_stream(
+      comm, view, config.tile_rows, streaming, config.replication);
 
-  // Steps 2-3: global brightest pixel.
-  const Candidate local = brightest_pixel(comm, view, config.replication);
+  // Steps 2-3: global brightest pixel, swept tile by tile (fold order ==
+  // tile order == row-major order, so the pick is the monolithic one).
+  Candidate local{0, 0, -1.0};
+  detail::tiled_sweep(comm, tiles, config.replication,
+                      [&](const linalg::TileDesc& t) {
+                        BrightOut out =
+                            brightest_range(cube, t.row_begin, t.row_end);
+                        if (out.best.score > local.score) local = out.best;
+                        return out.flops;
+                      });
   const auto cands =
       comm.gather(comm.root(), local, detail::kCandidateBytes);
 
@@ -185,12 +214,18 @@ void atdca_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
     comm.compute(linalg::flops::gram(cube.bands(), t_cur) +
                  linalg::flops::cholesky(t_cur));
 
-    const Candidate local_best = detail::osp_argmax_sweep(
-        *u_view, gram, cube, view.part.row_begin, view.part.row_end, arena);
-    const Count flops =
-        static_cast<Count>(view.part.owned_rows()) * cube.cols() *
-        linalg::flops::osp_score(cube.bands(), t_cur);
-    comm.compute(flops * config.replication);
+    // Tiled OSP sweep: osp_argmax_sweep returns the first row-major
+    // maximum of its range, so folding per-tile bests strictly-greater in
+    // tile order reproduces the monolithic sweep's pick exactly.
+    Candidate local_best{0, 0, -1.0};
+    detail::tiled_sweep(
+        comm, tiles, config.replication, [&](const linalg::TileDesc& t) {
+          const Candidate cand = detail::osp_argmax_sweep(
+              *u_view, gram, cube, t.row_begin, t.row_end, arena);
+          if (cand.score > local_best.score) local_best = cand;
+          return static_cast<Count>(t.rows()) * cube.cols() *
+                 linalg::flops::osp_score(cube.bands(), t_cur);
+        });
 
     const auto round =
         comm.gather(comm.root(), local_best, detail::kCandidateBytes);

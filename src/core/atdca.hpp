@@ -38,6 +38,14 @@ struct AtdcaConfig {
   /// crashes from Options::fault_plan and still produces the fault-free
   /// outputs bit for bit.  The root must not be in the crash plan.
   bool fault_tolerant = false;
+  /// Rows per tile of the brightest/OSP sweeps; 0 = HPRS_TILE_ROWS, else
+  /// automatic (linalg::resolve_tile_rows).  Any value is numerics- and
+  /// virtual-time-neutral unless tile_stream is on.
+  std::size_t tile_rows = 0;
+  /// Per-tile streamed staging overlapped with compute on accelerated
+  /// ranks (ORed with HPRS_TILE_STREAM).  Off reproduces the historic
+  /// upfront-staging charge bit for bit.
+  bool tile_stream = false;
 };
 
 /// Per-pixel workload model used by the WEA for this algorithm.

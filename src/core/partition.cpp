@@ -39,7 +39,10 @@ std::vector<double> base_fractions(const simnet::Platform& platform,
     // own, root included -- charging it with e_i keeps the equal-finish
     // recursion exact and shrinks their share accordingly.  Zero for plain
     // CPUs, so accelerator-free platforms keep their historic fractions.
-    e[i] += platform.stage_seconds(i, model.bytes_per_pixel);
+    // With streamed tiling the copy overlaps the compute on the staging
+    // pipe, so the dominant term bounds the steady-state per-pixel cost.
+    const double stage = platform.stage_seconds(i, model.bytes_per_pixel);
+    e[i] = model.tile_stream ? std::max(e[i], stage) : e[i] + stage;
     if (model.scatter_input && static_cast<int>(i) != root) {
       const double mbits =
           static_cast<double>(model.bytes_per_pixel) * 8.0 / 1e6;

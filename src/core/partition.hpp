@@ -54,6 +54,11 @@ struct WorkloadModel {
   /// algorithms (large values) therefore converge to the pure-speed
   /// fractions alpha ~ 1/w.
   double sync_rounds = 1.0;
+  /// Streamed per-tile staging: the accelerated ranks' host->device copy
+  /// overlaps their compute (engine staging pipe), so the per-pixel cost is
+  /// the dominant term instead of the sum and they can absorb larger
+  /// shares.  False keeps every historic partition bit-identical.
+  bool tile_stream = false;
   /// Job-level flops the master/leader executes sequentially regardless of
   /// the partition (e.g. PCT's Jacobi eigensolve of the band covariance).
   /// Irrelevant to the WEA fractions -- every rank waits on the same serial

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <any>
+#include <cmath>
 #include <limits>
 #include <memory>
 
@@ -12,6 +13,7 @@
 #include "linalg/eigen.hpp"
 #include "linalg/flops.hpp"
 #include "linalg/vec.hpp"
+#include "obs/metrics.hpp"
 #include "vmpi/comm.hpp"
 
 namespace hprs::core {
@@ -139,21 +141,33 @@ struct MeanOut {
   Count flops = 0;
 };
 
-MeanOut local_mean_sums(const hsi::HsiCube& cube, std::size_t row_begin,
-                        std::size_t row_end) {
+/// Accumulates the band sums of rows [row_begin, row_end) into `sums`
+/// (length bands) and returns the flops performed.  Tiles of a partition
+/// call this back to back on one shared `sums`: each band's addition chain
+/// extends strictly in row order, so any tiling of the owned range is
+/// bit-identical to the monolithic sweep.
+Count accum_mean_rows(const hsi::HsiCube& cube, std::size_t row_begin,
+                      std::size_t row_end, double* sums) {
   const std::size_t bands = cube.bands();
   const std::size_t cols = cube.cols();
-  MeanOut out;
-  out.sums.assign(bands, 0.0);
+  Count flops = 0;
   for (std::size_t r = row_begin; r < row_end; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       const auto px = cube.pixel(r, c);
       for (std::size_t b = 0; b < bands; ++b) {
-        out.sums[b] += px[b];
+        sums[b] += px[b];
       }
-      out.flops += bands;
+      flops += bands;
     }
   }
+  return flops;
+}
+
+MeanOut local_mean_sums(const hsi::HsiCube& cube, std::size_t row_begin,
+                        std::size_t row_end) {
+  MeanOut out;
+  out.sums.assign(cube.bands(), 0.0);
+  out.flops = accum_mean_rows(cube, row_begin, row_end, out.sums.data());
   return out;
 }
 
@@ -179,13 +193,18 @@ struct CovOut {
   Count flops = 0;
 };
 
-CovOut local_cov_sums(const hsi::HsiCube& cube, std::size_t row_begin,
-                      std::size_t row_end, const std::vector<double>& mean) {
+/// Accumulates the centered covariance triangle of rows
+/// [row_begin, row_end) into `tri` and returns the flops performed.  Like
+/// accum_mean_rows, tiles extend each triangle element's addition chain in
+/// row order on a shared `tri`, so any tiling is bit-identical to the
+/// monolithic sweep.
+Count accum_cov_rows(const hsi::HsiCube& cube, std::size_t row_begin,
+                     std::size_t row_end, const std::vector<double>& mean,
+                     double* tri) {
   const std::size_t bands = cube.bands();
   const std::size_t cols = cube.cols();
-  const std::size_t tri = bands * (bands + 1) / 2;
-  CovOut out;
-  out.tri.assign(tri, 0.0);
+  const std::size_t tri_n = bands * (bands + 1) / 2;
+  Count flops = 0;
   if (linalg::use_reference_kernels()) {
     std::vector<double> centered(bands);
     for (std::size_t r = row_begin; r < row_end; ++r) {
@@ -198,13 +217,13 @@ CovOut local_cov_sums(const hsi::HsiCube& cube, std::size_t row_begin,
         for (std::size_t i = 0; i < bands; ++i) {
           const double di = centered[i];
           for (std::size_t j = i; j < bands; ++j) {
-            out.tri[k++] += di * centered[j];
+            tri[k++] += di * centered[j];
           }
         }
-        out.flops += bands + 2 * tri;
+        flops += bands + 2 * tri_n;
       }
     }
-    return out;
+    return flops;
   }
   // Strip fast path: center a strip of pixels once, then apply one
   // rank-m syrk update to the packed triangle.  The per-element p-chain
@@ -223,11 +242,86 @@ CovOut local_cov_sums(const hsi::HsiCube& cube, std::size_t row_begin,
               static_cast<double>(x[p * bands + b]) - mean[b];
         }
       }
-      linalg::syrk_tri_update(cstrip.data(), m, bands, out.tri.data());
-      out.flops += static_cast<Count>(m) * (bands + 2 * tri);
+      linalg::syrk_tri_update(cstrip.data(), m, bands, tri);
+      flops += static_cast<Count>(m) * (bands + 2 * tri_n);
     }
   }
+  return flops;
+}
+
+CovOut local_cov_sums(const hsi::HsiCube& cube, std::size_t row_begin,
+                      std::size_t row_end, const std::vector<double>& mean) {
+  CovOut out;
+  out.tri.assign(cube.bands() * (cube.bands() + 1) / 2, 0.0);
+  out.flops =
+      accum_cov_rows(cube, row_begin, row_end, mean, out.tri.data());
   return out;
+}
+
+/// Per-sweep mixed-precision bookkeeping (published as core.pct.mp_*
+/// metrics only when the gate is on, so golden runs never see the keys).
+struct MpCounters {
+  std::uint64_t mixed_tiles = 0;
+  std::uint64_t fallback_tiles = 0;
+};
+
+/// One covariance tile under the mixed-precision gate: if the a-priori
+/// accuracy check admits the tile, accumulate its syrk update in float into
+/// a private triangle and fold once into the running double triangle
+/// (charging the float path's halved accumulate cost); otherwise fall back
+/// to the exact double path for this tile.  The fallback is per tile, so an
+/// adversarial block degrades precision nowhere and performance only where
+/// the bound fails.
+Count accum_cov_tile_mixed(const hsi::HsiCube& cube,
+                           const linalg::TileDesc& tile,
+                           const std::vector<double>& mean, double* tri,
+                           MpCounters& mp) {
+  const std::size_t bands = cube.bands();
+  const std::size_t cols = cube.cols();
+  const std::size_t tri_n = bands * (bands + 1) / 2;
+  const std::size_t chain = tile.rows() * cols;
+  // Bound |centered| over the tile: max raw magnitude plus max |mean|.
+  double amax_raw = 0.0;
+  for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
+    const float* row = cube.pixel(r, 0).data();
+    for (std::size_t k = 0; k < cols * bands; ++k) {
+      const double v = std::abs(static_cast<double>(row[k]));
+      if (v > amax_raw) amax_raw = v;
+    }
+  }
+  double amax_mean = 0.0;
+  for (const double m : mean) amax_mean = std::max(amax_mean, std::abs(m));
+  if (!linalg::mixed_tile_admissible(amax_raw + amax_mean, chain)) {
+    ++mp.fallback_tiles;
+    return accum_cov_rows(cube, tile.row_begin, tile.row_end, mean, tri);
+  }
+  ++mp.mixed_tiles;
+  constexpr std::size_t kStrip = 64;
+  std::vector<float> fstrip(kStrip * bands);
+  std::vector<float> ftri(tri_n, 0.0f);
+  Count flops = 0;
+  for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
+    const float* row = cube.pixel(r, 0).data();
+    for (std::size_t c0 = 0; c0 < cols; c0 += kStrip) {
+      const std::size_t m = std::min(kStrip, cols - c0);
+      const float* x = row + c0 * bands;
+      for (std::size_t p = 0; p < m; ++p) {
+        for (std::size_t b = 0; b < bands; ++b) {
+          fstrip[p * bands + b] = static_cast<float>(
+              static_cast<double>(x[p * bands + b]) - mean[b]);
+        }
+      }
+      linalg::syrk_tri_update_f32(fstrip.data(), m, bands, ftri.data());
+      // Centering still runs per band; the float accumulate models twice
+      // the syrk throughput of the double path (tri_n instead of 2*tri_n).
+      flops += static_cast<Count>(m) * (bands + tri_n);
+    }
+  }
+  for (std::size_t k = 0; k < tri_n; ++k) {
+    tri[k] += static_cast<double>(ftri[k]);
+  }
+  flops += tri_n;
+  return flops;
 }
 
 /// Step 7 (master): folds the covariance parts (partition order), solves
@@ -533,9 +627,17 @@ void pct_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
   WorkloadModel model = pct_workload(cube.bands(), config.classes);
   model.scatter_input = config.charge_data_staging;
   const std::size_t bands = cube.bands();
+  const bool streaming = config.tile_stream || linalg::tile_stream_enabled();
+  model.tile_stream = streaming;
   const PartitionView view = detail::distribute_partitions(
       comm, cube, model, config.policy, config.memory_fraction,
-      /*overlap=*/0, config.replication);
+      /*overlap=*/0, config.replication, /*defer_staging=*/streaming);
+  // Tile plan over the owned rows; with streaming on, every tile's
+  // host->device copy is enqueued here and drains behind the unique-set
+  // phase below, so the mean/covariance sweeps mostly find their tiles
+  // already resident.
+  const detail::TileStream tiles = detail::begin_tile_stream(
+      comm, view, config.tile_rows, streaming, config.replication);
 
   // --- Step 2: local unique spectral sets -----------------------------
   // Online SAD clustering of the local pixels: each pixel either joins
@@ -557,9 +659,16 @@ void pct_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
   }
 
   // --- Steps 4-6: parallel mean and covariance ------------------------
-  MeanOut local_m =
-      local_mean_sums(cube, view.part.row_begin, view.part.row_end);
-  comm.compute(local_m.flops * config.replication);
+  // Tiled sweep over the shared band sums: tiles extend each band's
+  // addition chain in row order, so the result (and, with streaming off,
+  // the single compute charge) is bit-identical to the monolithic sweep.
+  MeanOut local_m;
+  local_m.sums.assign(bands, 0.0);
+  detail::tiled_sweep(comm, tiles, config.replication,
+                      [&](const linalg::TileDesc& t) {
+                        return accum_mean_rows(cube, t.row_begin, t.row_end,
+                                               local_m.sums.data());
+                      });
   auto mean_parts = comm.gather(comm.root(), std::move(local_m.sums),
                                 bands * sizeof(double));
   std::vector<double> mean_acc(bands, 0.0);
@@ -571,11 +680,36 @@ void pct_body(vmpi::Comm& comm, const hsi::HsiCube& cube,
                                            bands * sizeof(double));
   const std::vector<double>& mean = *mean_view;
 
-  // Upper-triangle covariance accumulation over owned pixels.
+  // Upper-triangle covariance accumulation over owned pixels, tiled like
+  // the mean.  Under the (default-off) mixed-precision gate each tile may
+  // accumulate in float and fold once into the shared double triangle,
+  // falling back per tile when the a-priori accuracy bound fails.
   const std::size_t tri = bands * (bands + 1) / 2;
-  CovOut local_c =
-      local_cov_sums(cube, view.part.row_begin, view.part.row_end, mean);
-  comm.compute(local_c.flops * config.replication);
+  const bool mixed =
+      linalg::use_mixed_precision() && !linalg::use_reference_kernels();
+  MpCounters mp;
+  CovOut local_c;
+  local_c.tri.assign(tri, 0.0);
+  detail::tiled_sweep(comm, tiles, config.replication,
+                      [&](const linalg::TileDesc& t) {
+                        if (mixed) {
+                          return accum_cov_tile_mixed(cube, t, mean,
+                                                      local_c.tri.data(), mp);
+                        }
+                        return accum_cov_rows(cube, t.row_begin, t.row_end,
+                                              mean, local_c.tri.data());
+                      });
+  if (mixed) {
+    auto& metrics = obs::Metrics::instance();
+    if (metrics.enabled()) {
+      // Only ever recorded while the mixed gate is on, so golden-compared
+      // runs keep their exact stable key sets.
+      metrics.add("core.pct.mp_tiles", mp.mixed_tiles, obs::Domain::kStable,
+                  comm.world_rank());
+      metrics.add("core.pct.mp_fallback_tiles", mp.fallback_tiles,
+                  obs::Domain::kStable, comm.world_rank());
+    }
+  }
   auto cov_parts = comm.gather(comm.root(), std::move(local_c.tri),
                                tri * sizeof(double));
 

@@ -38,6 +38,8 @@ RunnerOutput run_algorithm(const simnet::Platform& platform,
       c.replication = config.replication;
       c.charge_data_staging = config.charge_data_staging;
       c.fault_tolerant = config.fault_tolerant;
+      c.tile_rows = config.tile_rows;
+      c.tile_stream = config.tile_stream;
       auto r = run_atdca(platform, cube, c, options);
       out.report = std::move(r.report);
       out.targets = std::move(r.targets);
@@ -65,6 +67,8 @@ RunnerOutput run_algorithm(const simnet::Platform& platform,
       c.replication = config.replication;
       c.charge_data_staging = config.charge_data_staging;
       c.fault_tolerant = config.fault_tolerant;
+      c.tile_rows = config.tile_rows;
+      c.tile_stream = config.tile_stream;
       auto r = run_pct(platform, cube, c, options);
       out.report = std::move(r.report);
       out.labels = std::move(r.labels);

@@ -15,7 +15,8 @@ PartitionView distribute_partitions(vmpi::Comm& comm,
                                     PartitionPolicy policy,
                                     double memory_fraction,
                                     std::size_t overlap,
-                                    std::size_t replication) {
+                                    std::size_t replication,
+                                    bool defer_staging) {
   std::vector<PartitionView> views;
   std::vector<std::size_t> bytes;
   if (comm.is_root()) {
@@ -42,9 +43,39 @@ PartitionView distribute_partitions(vmpi::Comm& comm,
   PartitionView view = comm.scatter(comm.root(), std::move(views), bytes);
   // Accelerated ranks copy their block across the host<->device path before
   // any kernel can touch it; a no-op for plain CPU ranks, so historic
-  // platforms keep their virtual clocks bit-for-bit.
-  comm.stage_to_device(view.wire_bytes() * replication);
+  // platforms keep their virtual clocks bit-for-bit.  Tiled streaming
+  // callers defer the charge to begin_tile_stream instead.
+  if (!defer_staging) comm.stage_to_device(view.wire_bytes() * replication);
   return view;
+}
+
+TileStream begin_tile_stream(vmpi::Comm& comm, const PartitionView& view,
+                             std::size_t tile_rows, bool streaming,
+                             std::size_t replication) {
+  TileStream ts;
+  const RowPartition& part = view.part;
+  const std::size_t bytes_per_row =
+      view.cube->cols() * view.cube->bytes_per_pixel();
+  ts.tiles = linalg::make_row_tiles(
+      part.row_begin, part.row_end, bytes_per_row,
+      linalg::resolve_tile_rows(tile_rows, part.owned_rows()));
+  ts.streaming = streaming;
+  if (!streaming) return ts;
+  // Enqueue every tile's copy now, in the deterministic stage-chain order:
+  // the DMA pipe drains in the background while the host-side phases that
+  // precede the device sweeps (clustering, means, gathers) run, and each
+  // sweep only waits out whatever part of its tile's copy is still exposed.
+  ts.staged_until.assign(ts.tiles.size(), 0.0);
+  linalg::TileGraph stages;
+  for (std::size_t k = 0; k < ts.tiles.size(); ++k) {
+    const std::size_t id = stages.add_node(linalg::TileNodeKind::kStage, k, k);
+    if (k > 0) stages.add_edge(id - 1, id);
+  }
+  stages.run([&](const linalg::TileNode& node) {
+    ts.staged_until[node.tile] =
+        comm.stage_to_device_async(ts.tiles[node.tile].bytes * replication);
+  });
+  return ts;
 }
 
 double osp_score(const linalg::Matrix& targets,

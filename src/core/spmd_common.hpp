@@ -10,6 +10,7 @@
 #include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
+#include "linalg/tile_graph.hpp"
 #include "vmpi/comm.hpp"
 
 namespace hprs::core::detail {
@@ -40,13 +41,78 @@ inline constexpr std::size_t kCandidateBytes = 2 * 4 + 8;
 /// here does identical independent work per pixel, this linear
 /// extrapolation of virtual time to the paper's full 2133x512 scene is
 /// exact; DESIGN.md discusses the substitution.
+///
+/// `defer_staging` skips the host->device staging charge after the scatter;
+/// the caller then owes a begin_tile_stream (which stages the same bytes,
+/// monolithically or per tile).  Default false keeps every historic call
+/// site's accounting untouched.
 PartitionView distribute_partitions(vmpi::Comm& comm,
                                     const hsi::HsiCube& cube,
                                     const WorkloadModel& model,
                                     PartitionPolicy policy,
                                     double memory_fraction,
                                     std::size_t overlap = 0,
-                                    std::size_t replication = 1);
+                                    std::size_t replication = 1,
+                                    bool defer_staging = false);
+
+/// One rank's tile plan for the tiled BLAS3 sweeps: row-strip tiles over
+/// the partition's owned rows plus, in streaming mode, the virtual
+/// completion time of each tile's asynchronous host->device copy.
+struct TileStream {
+  std::vector<linalg::TileDesc> tiles;
+  /// Parallel to `tiles`; empty unless `streaming`.
+  std::vector<double> staged_until;
+  bool streaming = false;
+};
+
+/// Builds the tile plan for `view`.  Callers pass
+/// `defer_staging = streaming` to distribute_partitions: with streaming off
+/// the distribute already staged the whole block synchronously (the
+/// historic charge, bit-identical) and this only cuts tiles; with streaming
+/// on this walks the TileGraph stage chain and enqueues one
+/// stage_to_device_async per tile, so the DMA pipeline drains in the shadow
+/// of whatever host-side phases precede the device sweeps.
+[[nodiscard]] TileStream begin_tile_stream(vmpi::Comm& comm,
+                                           const PartitionView& view,
+                                           std::size_t tile_rows,
+                                           bool streaming,
+                                           std::size_t replication);
+
+/// Runs `body` once per tile of `ts` in the deterministic TileGraph order
+/// (a compute chain: accumulators extend strictly in tile order, which is
+/// what keeps tiled sums bit-identical to the monolithic sweep) and charges
+/// the sweep's virtual time.  `body` returns the flops it performed on the
+/// tile.  Non-streaming: flops accumulate across tiles and the sweep
+/// charges ONE compute -- the same single multiply-then-charge as the
+/// monolithic path, so virtual time is bit-identical.  Streaming: each tile
+/// first waits out the exposed part of its staged copy, then charges its
+/// own compute, paying the kernel-launch latency only on the sweep's first
+/// tile (one batched launch per sweep).
+template <typename Body>
+void tiled_sweep(vmpi::Comm& comm, const TileStream& ts,
+                 std::size_t replication, Body&& body) {
+  linalg::TileGraph chain;
+  for (std::size_t k = 0; k < ts.tiles.size(); ++k) {
+    const std::size_t id =
+        chain.add_node(linalg::TileNodeKind::kCompute, k, k);
+    if (k > 0) chain.add_edge(id - 1, id);
+  }
+  if (!ts.streaming) {
+    std::uint64_t flops = 0;
+    chain.run([&](const linalg::TileNode& node) {
+      flops += body(ts.tiles[node.tile]);
+    });
+    comm.compute(flops * replication);
+    return;
+  }
+  bool first = true;
+  chain.run([&](const linalg::TileNode& node) {
+    comm.stage_wait(ts.staged_until[node.tile]);
+    const std::uint64_t flops = body(ts.tiles[node.tile]);
+    comm.compute_tile(flops * replication, first);
+    first = false;
+  });
+}
 
 /// OSP score ||P_U_perp x||^2 = x.x - b . G^-1 b computed against the
 /// factored Gram of the current target matrix.  Cost:

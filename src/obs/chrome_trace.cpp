@@ -95,6 +95,21 @@ std::string chrome_trace_json(const vmpi::RunReport& report,
     if (static_cast<int>(r) == report.root) label += " (root)";
     meta(os, first, kVirtualPid, static_cast<int>(r), "thread_name", label);
   }
+  // Asynchronous staging copies get their own lane per rank (tid offset past
+  // any real rank id) so Perfetto shows the DMA span *beside* the rank's
+  // compute spans -- the stage/compute overlap is the point of the tiled
+  // streaming driver.
+  constexpr int kStageLaneOffset = 1 << 20;
+  {
+    std::set<int> stage_ranks;
+    for (const vmpi::TraceEvent& ev : report.trace) {
+      if (ev.kind == vmpi::TraceKind::kStage) stage_ranks.insert(ev.rank);
+    }
+    for (int r : stage_ranks) {
+      meta(os, first, kVirtualPid, r + kStageLaneOffset, "thread_name",
+           "rank " + std::to_string(r) + " stage pipe");
+    }
+  }
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const TraceTrackGroup& grp = groups[g];
     const int pid = kFirstGroupPid + static_cast<int>(g);
@@ -119,9 +134,11 @@ std::string chrome_trace_json(const vmpi::RunReport& report,
   // flop/byte amount attached as an argument.  Virtual seconds map to
   // microseconds 1:1 in magnitude (1 virtual s == 1 trace s).
   for (const vmpi::TraceEvent& ev : report.trace) {
+    const bool stage = ev.kind == vmpi::TraceKind::kStage;
     os << ",\n"
-       << R"(  {"ph":"X","pid":)" << group_pid(ev.rank, ev.begin)
-       << R"(,"tid":)" << ev.rank
+       << R"(  {"ph":"X","pid":)"
+       << (stage ? kVirtualPid : group_pid(ev.rank, ev.begin))
+       << R"(,"tid":)" << (stage ? ev.rank + kStageLaneOffset : ev.rank)
        << R"(,"name":")" << vmpi::to_string(ev.kind) << R"(","cat":"virtual")"
        << R"(,"ts":)" << fmt(ev.begin * 1e6) << R"(,"dur":)"
        << fmt((ev.end - ev.begin) * 1e6) << R"(,"args":{"amount":)"

@@ -96,8 +96,13 @@ JobEstimate estimate_job(const simnet::Platform& platform,
     for (std::size_t i = 0; i < members.size(); ++i) {
       const auto m = static_cast<std::size_t>(members[i]);
       const auto& p = platform.processor(m);
-      d[i] = total_mflops * p.cycle_time +
-             image_bytes * 8e-6 * p.stage_ms_per_mbit * 1e-3;
+      const double work = total_mflops * p.cycle_time;
+      const double staging =
+          image_bytes * 8e-6 * p.stage_ms_per_mbit * 1e-3;
+      // Streamed tiling overlaps a member's host<->device copies with its
+      // compute (the engine's per-tile staging pipe), so the dominant term
+      // bounds the round instead of their sum.
+      d[i] = spec.tile_stream ? std::max(work, staging) : work + staging;
       sum_inv_d += 1.0 / d[i];
       sum_l_over_d += (p.stage_latency_ms * 1e-3) / d[i];
     }

@@ -57,6 +57,10 @@ struct JobSpec {
   double memory_fraction = 0.5;
   core::PartitionPolicy policy = core::PartitionPolicy::kHeterogeneous;
   bool charge_data_staging = false;
+  /// Streamed per-tile staging (core tile driver): the cost model then
+  /// overlaps a member's host->device copy with its compute instead of
+  /// summing them.  Default false keeps historic estimates bit-identical.
+  bool tile_stream = false;
 
   /// Scene override; the scheduler's shared scene when null.
   const hsi::HsiCube* scene = nullptr;

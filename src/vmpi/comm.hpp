@@ -155,6 +155,30 @@ class Comm {
     engine_->core_stage(rank_, static_cast<std::uint64_t>(bytes));
   }
 
+  /// Enqueues an asynchronous host->device copy of `bytes` on this rank's
+  /// staging pipe (one DMA engine; copies serialize against each other but
+  /// overlap compute).  Returns the copy's virtual completion time without
+  /// advancing the clock; 0.0 for non-accelerated ranks.  Pair with
+  /// stage_wait before the compute that consumes the tile.
+  [[nodiscard]] double stage_to_device_async(std::size_t bytes) {
+    return engine_->core_stage_async(rank_,
+                                     static_cast<std::uint64_t>(bytes));
+  }
+
+  /// Blocks until the staging completion time returned by
+  /// stage_to_device_async; the exposed gap is charged as comm time,
+  /// matching the synchronous stage_to_device accounting.
+  void stage_wait(double until) { engine_->core_stage_wait(rank_, until); }
+
+  /// Per-tile compute charge for a streamed sweep: the first tile pays the
+  /// accelerator's fixed kernel-launch latency, subsequent tiles model
+  /// kernels enqueued in the same batched launch and charge pure flops
+  /// time.  Identical to compute() on non-accelerated ranks.
+  void compute_tile(std::uint64_t flops, bool first_in_sweep,
+                    Phase phase = Phase::kParallel) {
+    engine_->core_compute(rank_, flops, phase, first_in_sweep);
+  }
+
   void barrier() { engine_->core_barrier(*group_, local_); }
 
   /// Broadcast from `root`.  All ranks receive (a value equal to) the

@@ -180,6 +180,9 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     stats_.assign(pu, RankStats{});
     trace_.assign(pu, {});
     nic_free_.assign(pu, 0.0);
+    stage_pipe_free_.assign(pu, 0.0);
+    stage_tiles_.assign(pu, 0);
+    stage_bytes_.assign(pu, 0);
     xlink_free_.clear();
     mailbox_.clear();
     // The world communicator is group 0: every rank, rooted at the engine
@@ -351,6 +354,17 @@ void Engine::publish_metrics(const RunReport& report) const {
                 static_cast<int>(r));
     metrics.add("vmpi.flops", s.flops, Domain::kStable, static_cast<int>(r));
   }
+  std::uint64_t staged_tiles = 0;
+  for (const auto t : stage_tiles_) staged_tiles += t;
+  if (staged_tiles != 0) {
+    for (std::size_t r = 0; r < stage_tiles_.size(); ++r) {
+      if (stage_tiles_[r] == 0) continue;
+      metrics.add("vmpi.stage.tiles", stage_tiles_[r], Domain::kStable,
+                  static_cast<int>(r));
+      metrics.add("vmpi.stage.bytes", stage_bytes_[r], Domain::kStable,
+                  static_cast<int>(r));
+    }
+  }
   const RecoveryStats& rec = report.recovery;
   if (rec.crashes != 0 || rec.detections != 0 || rec.messages_lost != 0) {
     metrics.add("vmpi.fault.crashes", static_cast<std::uint64_t>(rec.crashes));
@@ -374,7 +388,8 @@ double Engine::core_now(int rank) const {
   return stats_[static_cast<std::size_t>(rank)].clock;
 }
 
-void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
+void Engine::core_compute(int rank, std::uint64_t flops, Phase phase,
+                          bool charge_launch) {
   const auto r = static_cast<std::size_t>(rank);
   auto& s = stats_[r];
   // Fail-stop boundary: crash_time_ is immutable during the run and the
@@ -389,7 +404,7 @@ void Engine::core_compute(int rank, std::uint64_t flops, Phase phase) {
   // non-empty kernel invocation, on top of the (fast) on-device compute.
   // Plain CPU ranks charge exactly what they always did, so platforms
   // without accelerators reproduce historic clocks bit-for-bit.
-  if (flops > 0 && platform_.accelerated(r)) {
+  if (flops > 0 && charge_launch && platform_.accelerated(r)) {
     seconds += platform_.stage_latency_s(r);
   }
   if (options_.enable_trace && seconds > 0.0) {
@@ -429,6 +444,46 @@ void Engine::core_stage(int rank, std::uint64_t bytes) {
   // charge comm time but no wire byte counters.
   s.clock += seconds;
   s.comm += seconds;
+}
+
+double Engine::core_stage_async(int rank, std::uint64_t bytes) {
+  const auto r = static_cast<std::size_t>(rank);
+  const double seconds =
+      platform_.stage_seconds(r, static_cast<std::size_t>(bytes));
+  if (seconds <= 0.0) return 0.0;  // plain CPU rank, or nothing to copy
+  auto& s = stats_[r];
+  // Same fail-stop boundary as core_stage: a dead rank never enqueues DMA.
+  if (s.clock >= crash_time_[r]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    die_locked(rank);
+  }
+  // One DMA engine per accelerator: copies serialize on the staging pipe
+  // but run in the background, so the rank's clock does not advance here.
+  const double begin = std::max(s.clock, stage_pipe_free_[r]);
+  const double end = begin + seconds;
+  stage_pipe_free_[r] = end;
+  ++stage_tiles_[r];
+  stage_bytes_[r] += bytes;
+  if (options_.enable_trace) {
+    trace_[r].push_back(TraceEvent{rank, TraceKind::kStage, begin, end, bytes});
+  }
+  return end;
+}
+
+void Engine::core_stage_wait(int rank, double until) {
+  const auto r = static_cast<std::size_t>(rank);
+  auto& s = stats_[r];
+  if (s.clock >= crash_time_[r]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    die_locked(rank);
+  }
+  if (until <= s.clock) return;  // the copy already finished in the shadow
+  // The exposed remainder of the copy is host<->device transfer time the
+  // rank actually waits out, so it lands in the comm bucket exactly like
+  // the synchronous core_stage charge (no extra trace span: the kStage
+  // interval from core_stage_async already covers it).
+  s.comm += until - s.clock;
+  s.clock = until;
 }
 
 // --- fault machinery --------------------------------------------------------

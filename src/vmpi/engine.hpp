@@ -182,11 +182,26 @@ class Engine {
   friend class Comm;
 
   // --- type-erased operation core, called via Comm ---
-  void core_compute(int rank, std::uint64_t flops, Phase phase);
+  /// `charge_launch` lets streamed sweeps model one batched kernel launch:
+  /// only the first tile of a sweep pays the accelerator's fixed launch
+  /// latency; later tiles charge pure flops time.  Default true keeps every
+  /// historic call site's arithmetic untouched.
+  void core_compute(int rank, std::uint64_t flops, Phase phase,
+                    bool charge_launch = true);
   /// Charges `rank` the host->device staging time for copying `bytes` of
   /// input onto its accelerator (comm bucket).  Exact no-op on
   /// non-accelerated ranks, so historic platforms keep their clocks.
   void core_stage(int rank, std::uint64_t bytes);
+  /// Enqueues an asynchronous host->device tile copy on `rank`'s staging
+  /// pipe (one DMA engine: tiles serialize on the pipe but overlap the
+  /// rank's compute).  Returns the virtual completion time of the copy
+  /// without advancing the rank's clock; 0.0 on non-accelerated ranks.
+  [[nodiscard]] double core_stage_async(int rank, std::uint64_t bytes);
+  /// Blocks `rank` until the staging completion time `until` (as returned
+  /// by core_stage_async): any exposed gap is charged to the comm bucket,
+  /// matching the synchronous core_stage accounting.  No-op when the clock
+  /// is already past `until`.
+  void core_stage_wait(int rank, double until);
   /// Advances `rank`'s clock to at least `deadline` (virtual seconds),
   /// charging the gap as wait time.  A no-op when the clock is already
   /// past the deadline.  Used by the scheduler to pace job arrivals.
@@ -382,6 +397,15 @@ class Engine {
   /// coordinator while the rank is blocked, like its clock.
   std::vector<std::vector<TraceEvent>> trace_;
   std::vector<double> nic_free_;  // per-processor NIC busy-until
+  /// Per-rank staging-pipe busy-until for core_stage_async (the accelerator
+  /// DMA engine).  Rank-confined like stats_: only rank r's context issues
+  /// stages on pipe r, so no lock is needed.
+  std::vector<double> stage_pipe_free_;
+  /// Rank-confined counters of async-staged tiles/bytes, published as
+  /// vmpi.stage.* metrics (gated on nonzero so historic goldens keep their
+  /// exact key sets).
+  std::vector<std::uint64_t> stage_tiles_;
+  std::vector<std::uint64_t> stage_bytes_;
   /// Inter-segment serial link busy-until, keyed by (communicator channel,
   /// ordered segment pair) -- see schedule_transfer_locked for why the
   /// backbone reservation is scoped per communicator.

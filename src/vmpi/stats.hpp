@@ -40,6 +40,8 @@ enum class TraceKind : std::uint8_t {
   kTransmit,  ///< active wire time sending (amount = bytes)
   kReceive,   ///< active wire time receiving (amount = bytes)
   kIdle,      ///< blocked at a collective or rendezvous
+  kStage,     ///< host->device copy on the staging pipe (amount = bytes);
+              ///< asynchronous spans may overlap the rank's compute spans
 };
 
 /// One recorded interval of a rank's virtual timeline (only collected when

@@ -13,6 +13,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kTransmit: return "transmit";
     case TraceKind::kReceive: return "receive";
     case TraceKind::kIdle: return "idle";
+    case TraceKind::kStage: return "stage";
   }
   return "?";
 }
@@ -32,7 +33,7 @@ std::string render_gantt(const RunReport& report, std::size_t width) {
   const double total = report.total_time;
   std::ostringstream out;
   out << "virtual timeline, 0 .. " << total
-      << " s (c=compute s=send r=receive .=idle)\n";
+      << " s (c=compute s=send r=receive d=stage .=idle)\n";
   if (total <= 0.0) return out.str();
 
   // Priority per glyph: compute paints over transfers over idle.
@@ -41,6 +42,7 @@ std::string render_gantt(const RunReport& report, std::size_t width) {
       case 'c': return 3;
       case 's': return 2;
       case 'r': return 2;
+      case 'd': return 2;
       case '.': return 1;
       default: return 0;
     }
@@ -54,6 +56,7 @@ std::string render_gantt(const RunReport& report, std::size_t width) {
       case TraceKind::kTransmit: g = 's'; break;
       case TraceKind::kReceive: g = 'r'; break;
       case TraceKind::kIdle: g = '.'; break;
+      case TraceKind::kStage: g = 'd'; break;
     }
     const auto col = [&](double t) {
       return std::min(width - 1, static_cast<std::size_t>(

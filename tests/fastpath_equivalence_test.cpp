@@ -14,7 +14,9 @@
 #include "hsi/scene.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/platform.hpp"
+#include "vmpi/engine.hpp"
 
 namespace hprs {
 namespace {
@@ -218,6 +220,236 @@ TEST(FastPathEquivalenceTest, HomogeneousPolicyAlsoIdentical) {
     EXPECT_EQ(ref.targets[i].row, fast.targets[i].row);
     EXPECT_EQ(ref.targets[i].col, fast.targets[i].col);
   }
+}
+
+// Full bit-identity check between two runs: scientific outputs plus every
+// field of every rank's virtual-time decomposition.
+void expect_identical_runs(const core::RunnerOutput& a,
+                           const core::RunnerOutput& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.targets.size(), b.targets.size()) << label;
+  for (std::size_t i = 0; i < a.targets.size(); ++i) {
+    EXPECT_EQ(a.targets[i].row, b.targets[i].row) << label << " target " << i;
+    EXPECT_EQ(a.targets[i].col, b.targets[i].col) << label << " target " << i;
+  }
+  ASSERT_EQ(a.labels, b.labels) << label;
+  EXPECT_EQ(a.label_count, b.label_count) << label;
+  EXPECT_EQ(a.report.total_time, b.report.total_time) << label;
+  ASSERT_EQ(a.report.ranks.size(), b.report.ranks.size()) << label;
+  for (std::size_t r = 0; r < a.report.ranks.size(); ++r) {
+    const auto& x = a.report.ranks[r];
+    const auto& y = b.report.ranks[r];
+    EXPECT_EQ(x.clock, y.clock) << label << " rank " << r;
+    EXPECT_EQ(x.compute_par, y.compute_par) << label << " rank " << r;
+    EXPECT_EQ(x.compute_seq, y.compute_seq) << label << " rank " << r;
+    EXPECT_EQ(x.comm, y.comm) << label << " rank " << r;
+    EXPECT_EQ(x.wait, y.wait) << label << " rank " << r;
+    EXPECT_EQ(x.flops, y.flops) << label << " rank " << r;
+    EXPECT_EQ(x.bytes_sent, y.bytes_sent) << label << " rank " << r;
+    EXPECT_EQ(x.bytes_received, y.bytes_received) << label << " rank " << r;
+  }
+}
+
+TEST(TileEquivalenceTest, TilingCannotPerturbAnything) {
+  // The tile driver's headline contract: any tile size reproduces the
+  // monolithic (auto-tiled) run bit for bit -- outputs AND every rank's
+  // virtual clocks -- across both host executor modes and thread counts.
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::fully_heterogeneous();
+  for (const core::Algorithm alg :
+       {core::Algorithm::kPct, core::Algorithm::kAtdca}) {
+    const core::RunnerConfig base = config_for(alg);
+    const core::RunnerOutput golden =
+        core::run_algorithm(platform, scene.cube, base);
+    for (const std::size_t tile_rows : {1u, 2u, 5u, 1000u}) {
+      core::RunnerConfig cfg = base;
+      cfg.tile_rows = tile_rows;
+      for (const bool thread_per_rank : {false, true}) {
+        vmpi::Options options;
+        options.exec_mode = thread_per_rank ? vmpi::ExecMode::kThreadPerRank
+                                            : vmpi::ExecMode::kBoundedExecutor;
+        for (const std::size_t threads : {1u, 4u}) {
+          const linalg::ScopedKernelThreads scoped(threads);
+          const core::RunnerOutput out =
+              core::run_algorithm(platform, scene.cube, cfg, options);
+          expect_identical_runs(
+              golden, out,
+              std::string(core::to_string(alg)) + " tile_rows=" +
+                  std::to_string(tile_rows) +
+                  (thread_per_rank ? " tpr" : " bounded") + " threads=" +
+                  std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(TileEquivalenceTest, TilingUnderFaultPlanAlsoIdentical) {
+  // Fault-tolerant runs go through the chunk-replay handlers, which call
+  // the same shared-accumulator range kernels the tiles do -- a crash plan
+  // must not let tile configuration leak into recovery numerics.
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::fully_heterogeneous();
+  core::RunnerConfig cfg = config_for(core::Algorithm::kPct);
+  cfg.fault_tolerant = true;
+  const double fault_free_s =
+      core::run_algorithm(platform, scene.cube, cfg).report.total_time;
+  vmpi::Options options;
+  options.fault_plan.crashes.push_back({3, 0.25 * fault_free_s});
+  options.fault_plan.crashes.push_back({11, 0.50 * fault_free_s});
+  const core::RunnerOutput golden =
+      core::run_algorithm(platform, scene.cube, cfg, options);
+  for (const std::size_t tile_rows : {1u, 5u}) {
+    core::RunnerConfig tiled = cfg;
+    tiled.tile_rows = tile_rows;
+    const core::RunnerOutput out =
+        core::run_algorithm(platform, scene.cube, tiled, options);
+    expect_identical_runs(golden, out,
+                          "ft tile_rows=" + std::to_string(tile_rows));
+  }
+}
+
+TEST(TileEquivalenceTest, StreamingOverlapBeatsMonolithicOnAccelerators) {
+  // The perf claim behind the tile runtime: on accelerated ranks the
+  // streamed driver hides the host->device copy of tile k+1 behind the
+  // compute of tile k, so the virtual makespan strictly beats the
+  // monolithic upfront-stage run -- with identical scientific outputs.
+  // Enough rows per rank and a compute-heavy replication keep the critical
+  // path on the accelerated ranks instead of integer row-rounding noise.
+  hsi::SceneConfig scfg;
+  scfg.rows = 48;
+  scfg.cols = 24;
+  scfg.bands = 48;
+  scfg.seed = 20010916;
+  const hsi::Scene scene = hsi::generate_wtc_scene(scfg);
+  const simnet::Platform platform = simnet::accelerated_now(2, 2);
+  for (const core::Algorithm alg :
+       {core::Algorithm::kPct, core::Algorithm::kAtdca}) {
+    core::RunnerConfig mono_cfg = config_for(alg);
+    mono_cfg.replication = 64;
+    core::RunnerConfig stream_cfg = mono_cfg;
+    stream_cfg.tile_stream = true;
+    const core::RunnerOutput mono =
+        core::run_algorithm(platform, scene.cube, mono_cfg);
+    const core::RunnerOutput stream =
+        core::run_algorithm(platform, scene.cube, stream_cfg);
+    EXPECT_LT(stream.report.total_time, mono.report.total_time)
+        << core::to_string(alg);
+    // Streaming only reschedules the copies; the science is untouched.
+    ASSERT_EQ(mono.targets.size(), stream.targets.size());
+    for (std::size_t i = 0; i < mono.targets.size(); ++i) {
+      EXPECT_EQ(mono.targets[i].row, stream.targets[i].row);
+      EXPECT_EQ(mono.targets[i].col, stream.targets[i].col);
+    }
+    EXPECT_EQ(mono.labels, stream.labels);
+    EXPECT_EQ(mono.label_count, stream.label_count);
+  }
+}
+
+TEST(TileEquivalenceTest, StreamingIsDeterministicAcrossExecutorModes) {
+  // Streamed runs keep the engine's reproducibility contract: repeated
+  // runs and both executor modes agree bit for bit, including the stable
+  // observability metrics (vmpi.stage.* charge accounting).
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::accelerated_now(12, 4);
+  core::RunnerConfig cfg = config_for(core::Algorithm::kPct);
+  cfg.tile_stream = true;
+
+  core::RunnerOutput first;
+  obs::Metrics::Snapshot stable_first;
+  {
+    const obs::ScopedMetrics metrics;
+    first = core::run_algorithm(platform, scene.cube, cfg);
+    stable_first =
+        obs::Metrics::stable_subset(obs::Metrics::instance().snapshot());
+  }
+  bool saw_stage_metric = false;
+  for (const auto& [name, value] : stable_first) {
+    saw_stage_metric |= name == "vmpi.stage.tiles";
+  }
+  EXPECT_TRUE(saw_stage_metric);
+
+  for (const bool thread_per_rank : {false, true}) {
+    vmpi::Options options;
+    options.exec_mode = thread_per_rank ? vmpi::ExecMode::kThreadPerRank
+                                        : vmpi::ExecMode::kBoundedExecutor;
+    const obs::ScopedMetrics metrics;
+    const core::RunnerOutput out =
+        core::run_algorithm(platform, scene.cube, cfg, options);
+    expect_identical_runs(first, out,
+                          thread_per_rank ? "stream tpr" : "stream bounded");
+    EXPECT_EQ(stable_first, obs::Metrics::stable_subset(
+                                obs::Metrics::instance().snapshot()))
+        << (thread_per_rank ? "stream tpr" : "stream bounded");
+  }
+}
+
+TEST(MixedPrecisionEquivalenceTest, AdversarialCubeFallsBackBitIdentical) {
+  // An adversarial cube whose magnitudes blow the float headroom: the
+  // a-priori gate must reject every tile, and the run with the mixed
+  // fast path enabled must equal the double run bit for bit.
+  hsi::Scene scene = small_scene();
+  for (float& v : scene.cube.samples()) v *= 1e17f;
+  const simnet::Platform platform = simnet::fully_heterogeneous();
+  const core::RunnerConfig cfg = config_for(core::Algorithm::kPct);
+
+  const core::RunnerOutput plain =
+      core::run_algorithm(platform, scene.cube, cfg);
+  core::RunnerOutput mixed;
+  obs::Metrics::Snapshot stable;
+  {
+    const obs::ScopedMetrics metrics;
+    const linalg::ScopedMixedPrecision mp(true);
+    mixed = core::run_algorithm(platform, scene.cube, cfg);
+    stable = obs::Metrics::stable_subset(obs::Metrics::instance().snapshot());
+  }
+  expect_identical_runs(plain, mixed, "adversarial mixed");
+  // Every tile fell back: zero mixed tiles, a positive fallback count.
+  for (const auto& [name, value] : stable) {
+    if (name == "core.pct.mp_tiles") {
+      EXPECT_EQ(value.count, 0u);
+    }
+    if (name == "core.pct.mp_fallback_tiles") {
+      EXPECT_GT(value.count, 0u);
+    }
+  }
+}
+
+TEST(MixedPrecisionEquivalenceTest, BenignCubeTakesTheFastPath) {
+  // On a well-conditioned scene the gate admits tiles, the covariance
+  // sweep charges the cheaper float flop count, and the classification
+  // stays essentially unchanged.  A single-node platform keeps the run
+  // compute-bound, so the flop saving must show up in the makespan (on a
+  // networked gang it hides in NIC-serialization slack).
+  const hsi::Scene scene = small_scene();
+  const simnet::Platform platform = simnet::thunderhead(1);
+  const core::RunnerConfig cfg = config_for(core::Algorithm::kPct);
+
+  const core::RunnerOutput plain =
+      core::run_algorithm(platform, scene.cube, cfg);
+  core::RunnerOutput mixed;
+  obs::Metrics::Snapshot stable;
+  {
+    const obs::ScopedMetrics metrics;
+    const linalg::ScopedMixedPrecision mp(true);
+    mixed = core::run_algorithm(platform, scene.cube, cfg);
+    stable = obs::Metrics::stable_subset(obs::Metrics::instance().snapshot());
+  }
+  std::uint64_t mixed_tiles = 0;
+  for (const auto& [name, value] : stable) {
+    if (name == "core.pct.mp_tiles") mixed_tiles = value.count;
+  }
+  EXPECT_GT(mixed_tiles, 0u);
+  EXPECT_LT(mixed.report.total_time, plain.report.total_time);
+  // The float accumulation may flip borderline pixels, but the gate bounds
+  // the damage: the label images agree almost everywhere.
+  ASSERT_EQ(plain.labels.size(), mixed.labels.size());
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < plain.labels.size(); ++i) {
+    diff += plain.labels[i] != mixed.labels[i] ? 1u : 0u;
+  }
+  EXPECT_LE(diff, plain.labels.size() / 10);
+  EXPECT_EQ(plain.label_count, mixed.label_count);
 }
 
 }  // namespace

@@ -163,7 +163,7 @@ TEST(TraceTest, GanttGoldenOutput) {
   // first column; the idle tail shares its first column with the transmit.
   EXPECT_EQ(render_gantt(golden_report(), 8),
             "virtual timeline, 0 .. 0.02 s "
-            "(c=compute s=send r=receive .=idle)\n"
+            "(c=compute s=send r=receive d=stage .=idle)\n"
             "root r00 |crrrr   |\n"
             "     r01 |sssss...|\n");
 }
@@ -173,6 +173,7 @@ TEST(TraceTest, KindNamesAreStable) {
   EXPECT_STREQ(to_string(TraceKind::kTransmit), "transmit");
   EXPECT_STREQ(to_string(TraceKind::kReceive), "receive");
   EXPECT_STREQ(to_string(TraceKind::kIdle), "idle");
+  EXPECT_STREQ(to_string(TraceKind::kStage), "stage");
 }
 
 }  // namespace

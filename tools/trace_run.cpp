@@ -4,7 +4,14 @@
 //
 //   trace_run --alg ATDCA --network fully-heterogeneous --out trace.json
 //   trace_run --alg MORPH --network thunderhead --cpus 64 --gantt
+//   trace_run --alg PCT --network accelerated-now --cpus 2 --accels 2 \
+//       --stream --out overlap.json
 //   trace_run --sched --jobs 6 --policy hetero --out sched.json
+//
+// --stream turns on the per-tile streamed driver (RunnerConfig::tile_stream);
+// with tracing on, each rank's "stage pipe" lane then shows the tile copies
+// overlapping its compute lane -- the comm/compute-overlap picture, best
+// viewed on an accelerated-now gang.
 //
 // --out writes the Chrome trace; --csv writes the raw per-rank interval CSV
 // (vmpi/trace.hpp); --gantt prints the ASCII Gantt chart to stdout.  The
@@ -46,7 +53,7 @@ bool parse_algorithm(const std::string& name, core::Algorithm& out) {
 }
 
 bool make_platform(const std::string& name, std::size_t cpus,
-                   simnet::Platform& out) {
+                   std::size_t accels, simnet::Platform& out) {
   if (name == "fully-heterogeneous") {
     out = simnet::fully_heterogeneous();
   } else if (name == "fully-homogeneous") {
@@ -57,6 +64,8 @@ bool make_platform(const std::string& name, std::size_t cpus,
     out = simnet::partially_homogeneous();
   } else if (name == "thunderhead") {
     out = simnet::thunderhead(cpus);
+  } else if (name == "accelerated-now") {
+    out = simnet::accelerated_now(cpus, accels);
   } else {
     return false;
   }
@@ -74,10 +83,10 @@ bool write_file(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
-                     {"alg", "network", "cpus", "rows", "cols", "bands",
-                      "seed", "replication", "targets", "classes", "iters",
-                      "radius", "homogeneous", "out", "csv", "gantt",
-                      "sched", "jobs", "policy"});
+                     {"alg", "network", "cpus", "accels", "rows", "cols",
+                      "bands", "seed", "replication", "targets", "classes",
+                      "iters", "radius", "homogeneous", "stream", "out",
+                      "csv", "gantt", "sched", "jobs", "policy"});
 
   core::Algorithm alg = core::Algorithm::kAtdca;
   if (!parse_algorithm(args.get("alg", "ATDCA"), alg)) {
@@ -88,11 +97,12 @@ int main(int argc, char** argv) {
   simnet::Platform platform = simnet::fully_heterogeneous();
   if (!make_platform(args.get("network", "fully-heterogeneous"),
                      static_cast<std::size_t>(args.get_int("cpus", 16)),
+                     static_cast<std::size_t>(args.get_int("accels", 2)),
                      platform)) {
     std::fprintf(stderr,
                  "trace_run: unknown --network (want fully-heterogeneous, "
                  "fully-homogeneous, partially-heterogeneous, "
-                 "partially-homogeneous, thunderhead)\n");
+                 "partially-homogeneous, thunderhead, accelerated-now)\n");
     return 2;
   }
 
@@ -200,6 +210,7 @@ int main(int argc, char** argv) {
   cfg.kernel_radius = static_cast<std::size_t>(args.get_int("radius", 2));
   cfg.replication =
       static_cast<std::size_t>(args.get_int("replication", 119));
+  cfg.tile_stream = args.get_bool("stream", false);
 
   vmpi::Options options;
   options.enable_trace = true;

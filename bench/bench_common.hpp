@@ -353,6 +353,46 @@ inline bool write_sched_json(const std::string& path,
   return true;
 }
 
+/// One scenario of the resilience bench: a fixed single-job stream run
+/// through the resilient scheduler either fault-free or under a leader
+/// crash, with checkpoint resume on or off.  bench_sched_resilience
+/// serializes one record per scenario with write_resilience_json
+/// (--json <path>, conventionally BENCH_resilience.json) so the
+/// recovery-cost contract (checkpoint resume beats cold restart, outputs
+/// bit-identical) is machine-checkable.
+struct ResilienceRecord {
+  std::string scenario;
+  double makespan_s = 0.0;
+  double recovery_overhead_s = 0.0;
+  std::size_t attempts = 0;
+  int checkpoints = 0;
+  int resumed_seq = 0;
+  bool outputs_match = false;
+};
+
+/// Writes the records as a flat JSON object keyed by scenario name.
+/// Same no-dependency format rationale as write_kernel_json.
+inline bool write_resilience_json(const std::string& path,
+                                  const std::vector<ResilienceRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "  \"%s\": {\"makespan_s\": %.6f, \"recovery_overhead_s\": %.6f, "
+        "\"attempts\": %zu, \"checkpoints\": %d, \"resumed_seq\": %d, "
+        "\"outputs_match\": %s}%s\n",
+        r.scenario.c_str(), r.makespan_s, r.recovery_overhead_s, r.attempts,
+        r.checkpoints, r.resumed_seq, r.outputs_match ? "true" : "false",
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Peels "--json <path>" out of argv before benchmark::Initialize sees it
 /// (google-benchmark aborts on unrecognized flags).  Returns the path, or
 /// an empty string when the flag is absent.

@@ -43,9 +43,9 @@ if [[ "$run_sanitizers" == "1" ]]; then
     "$repo/build-asan/tests/$t"
   done
 
-  echo "== tier 1c: vmpi engine under TSan, both execution modes =="
+  echo "== tier 1c: vmpi engine + resilience under TSan, both execution modes =="
   vmpi_tests=(vmpi_engine_test vmpi_collectives_test vmpi_engine_stress_test
-              vmpi_fault_test vmpi_split_test)
+              vmpi_fault_test vmpi_split_test sched_resilience_test)
   cmake -S "$repo" -B "$repo/build-tsan" \
     -DCMAKE_BUILD_TYPE=Release \
     -DHPRS_ENABLE_TSAN=ON \

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "common/error.hpp"
-#include "core/ft.hpp"
+#include "core/ft_programs.hpp"
 #include "core/spmd_common.hpp"
 #include "linalg/flops.hpp"
 #include "linalg/vec.hpp"
@@ -63,25 +63,33 @@ Candidate select_best(vmpi::Comm& comm, const std::vector<Candidate>& cands,
   return best;
 }
 
+}  // namespace
+
 /// The fault-tolerant schedule (core/ft.hpp): the same chunk kernels as the
 /// collective path (brightest_pixel, osp_argmax_sweep), driven by the
 /// master over point-to-point operations so worker crashes are survivable.
 /// Folding candidates in chunk order reproduces the gather's rank-order
 /// fold, so the extracted targets equal the fault-free ones exactly.
-void run_atdca_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
-                  const AtdcaConfig& config, const WorkloadModel& model,
-                  TargetDetectionResult& result) {
-  std::vector<ft::Handler> handlers;
+ft::Program atdca_ft_program(const hsi::HsiCube& cube,
+                             const AtdcaConfig& config,
+                             TargetDetectionResult& result) {
+  ft::Program prog;
+  prog.model = atdca_workload(cube.bands(), config.targets);
+  prog.model.scatter_input = config.charge_data_staging;
+  prog.policy = config.policy;
+  prog.memory_fraction = config.memory_fraction;
+  prog.replication = config.replication;
   // Phase 0: the chunk's brightest pixel.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
         const PartitionView view{&cube, chunk.part};
         return ft::ChunkOutcome{brightest_pixel(c, view, config.replication),
                                 detail::kCandidateBytes};
       });
   // Phase 1: the chunk's OSP argmax against the shipped target matrix U.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk,
+                      const std::any* payload) {
         const auto& u = std::any_cast<const linalg::Matrix&>(*payload);
         const linalg::Cholesky gram(detail::ridged_row_gram(u));
         c.compute(linalg::flops::gram(cube.bands(), u.rows()) +
@@ -95,54 +103,42 @@ void run_atdca_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
         return ft::ChunkOutcome{best, detail::kCandidateBytes};
       });
 
-  if (!comm.is_root()) {
-    ft::worker_loop(comm, handlers);
-    return;
-  }
+  prog.master = [&cube, config, &result](vmpi::Comm& comm,
+                                         ft::PhaseDriver& master,
+                                         const std::vector<ft::Handler>& h) {
+    const auto as_candidates = [](const std::vector<std::any>& results) {
+      std::vector<Candidate> cands;
+      cands.reserve(results.size());
+      for (const auto& r : results) {
+        cands.push_back(std::any_cast<Candidate>(r));
+      }
+      return cands;
+    };
 
-  const PartitionResult partition =
-      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
-                    config.policy, config.memory_fraction, /*overlap=*/0,
-                    comm.root());
-  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
-               vmpi::Phase::kSequential);
-  ft::Master master(comm, partition.parts, config.policy,
-                    config.memory_fraction, cube.cols(),
-                    cube.bytes_per_pixel(), config.replication,
-                    model.scatter_input);
+    // Steps 2-3: global brightest pixel, folded in chunk (== rank) order.
+    const Candidate t1 = select_best(comm, as_candidates(master.phase(0, h[0])),
+                                     linalg::flops::dot(cube.bands()));
+    std::vector<PixelLocation> found{{t1.row, t1.col}};
+    linalg::Matrix targets;
+    targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
 
-  const auto as_candidates = [](const std::vector<std::any>& results) {
-    std::vector<Candidate> cands;
-    cands.reserve(results.size());
-    for (const auto& r : results) cands.push_back(std::any_cast<Candidate>(r));
-    return cands;
+    // Steps 4-6: grow U one orthogonal target at a time; U ships with each
+    // phase command instead of the collective broadcast.
+    while (found.size() < config.targets) {
+      const std::size_t u_bytes =
+          targets.rows() * cube.bands() * sizeof(double);
+      auto payload = std::make_shared<const std::any>(targets);
+      const auto round = as_candidates(master.phase(1, h[1], payload, u_bytes));
+      const Candidate next = select_best(
+          comm, round, linalg::flops::osp_score(cube.bands(), targets.rows()));
+      found.push_back({next.row, next.col});
+      targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
+    }
+    master.finish();
+    result.targets = std::move(found);
   };
-
-  // Steps 2-3: global brightest pixel, folded in chunk (== rank) order.
-  const Candidate t1 = select_best(comm, as_candidates(master.phase(0, handlers[0])),
-                                   linalg::flops::dot(cube.bands()));
-  std::vector<PixelLocation> found{{t1.row, t1.col}};
-  linalg::Matrix targets;
-  targets.append_row(detail::to_double(cube.pixel(t1.row, t1.col)));
-
-  // Steps 4-6: grow U one orthogonal target at a time; U ships with each
-  // phase command instead of the collective broadcast.
-  while (found.size() < config.targets) {
-    const std::size_t u_bytes =
-        targets.rows() * cube.bands() * sizeof(double);
-    auto payload = std::make_shared<const std::any>(targets);
-    const auto round =
-        as_candidates(master.phase(1, handlers[1], payload, u_bytes));
-    const Candidate next = select_best(
-        comm, round, linalg::flops::osp_score(cube.bands(), targets.rows()));
-    found.push_back({next.row, next.col});
-    targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
-  }
-  master.finish();
-  result.targets = std::move(found);
+  return prog;
 }
-
-}  // namespace
 
 WorkloadModel atdca_workload(std::size_t bands, std::size_t targets) {
   // Brightness pass plus t-1 projection passes of growing width.
@@ -255,12 +251,10 @@ TargetDetectionResult run_atdca(const simnet::Platform& platform,
   TargetDetectionResult result;
 
   if (config.fault_tolerant) {
-    WorkloadModel model = atdca_workload(cube.bands(), config.targets);
-    model.scatter_input = config.charge_data_staging;
     ft::require_immortal_root(options);
-    result.report = engine.run([&](vmpi::Comm& comm) {
-      run_atdca_ft(comm, cube, config, model, result);
-    });
+    const ft::Program prog = atdca_ft_program(cube, config, result);
+    result.report = engine.run(
+        [&](vmpi::Comm& comm) { ft::run_program(comm, cube, prog); });
     return result;
   }
   result.report = engine.run(

@@ -1,6 +1,7 @@
 #include "core/ft.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <string>
@@ -21,32 +22,55 @@ void note_worker_lost() { obs::Metrics::instance().add("ft.workers_lost", 1); }
 
 }  // namespace
 
+/// Shared phase execution of one Command on a worker rank.
+[[nodiscard]] std::pair<PhaseResult, std::size_t> execute_command(
+    vmpi::Comm& comm, const Command& cmd,
+    const std::vector<Handler>& handlers) {
+  HPRS_REQUIRE(static_cast<std::size_t>(cmd.phase) < handlers.size(),
+               "fault-tolerant worker received a command for phase " +
+                   std::to_string(cmd.phase) + " but only " +
+                   std::to_string(handlers.size()) + " handlers exist");
+  const std::any* payload = cmd.payload ? cmd.payload.get() : nullptr;
+  PhaseResult out;
+  out.results.reserve(cmd.chunks.size());
+  std::size_t bytes = 0;
+  std::optional<vmpi::Comm::RecoveryScope> scope;
+  if (cmd.recovery) scope.emplace(comm);
+  for (const Chunk& chunk : cmd.chunks) {
+    ChunkOutcome oc =
+        handlers[static_cast<std::size_t>(cmd.phase)](comm, chunk, payload);
+    bytes += oc.bytes + kResultHeaderBytes;
+    out.results.push_back(ChunkResult{chunk.id, std::move(oc.value)});
+  }
+  return {std::move(out), bytes};
+}
+
 void worker_loop(vmpi::Comm& comm, const std::vector<Handler>& handlers) {
   const int root = comm.root();
   while (true) {
     Command cmd = comm.recv<Command>(root, kCommandTag);
     if (cmd.phase < 0) return;
-    HPRS_REQUIRE(static_cast<std::size_t>(cmd.phase) < handlers.size(),
-                 "fault-tolerant worker received a command for phase " +
-                     std::to_string(cmd.phase) + " but only " +
-                     std::to_string(handlers.size()) + " handlers exist");
-    const std::any* payload = cmd.payload ? cmd.payload.get() : nullptr;
-    PhaseResult out;
-    out.results.reserve(cmd.chunks.size());
-    std::size_t bytes = 0;
-    {
-      std::optional<vmpi::Comm::RecoveryScope> scope;
-      if (cmd.recovery) scope.emplace(comm);
-      for (const Chunk& chunk : cmd.chunks) {
-        ChunkOutcome oc =
-            handlers[static_cast<std::size_t>(cmd.phase)](comm, chunk, payload);
-        bytes += oc.bytes + kResultHeaderBytes;
-        out.results.push_back(ChunkResult{chunk.id, std::move(oc.value)});
-      }
-    }
+    auto [out, bytes] = execute_command(comm, cmd, handlers);
     // Plain send: the root is immortal and always collects from every
     // worker it commanded, so this cannot block forever.
     comm.send(root, std::move(out), bytes, kResultTag);
+  }
+}
+
+bool resilient_worker_loop(vmpi::Comm& comm,
+                           const std::vector<Handler>& handlers) {
+  const int root = comm.root();
+  while (true) {
+    auto cmd = comm.try_recv<Command>(root, kCommandTag);
+    if (!cmd.has_value()) return false;  // leader died with nothing pending
+    if (cmd->phase < 0) return true;     // graceful release
+    auto [out, bytes] = execute_command(comm, *cmd, handlers);
+    // try_send: a leader that crashed while we computed is detected here
+    // (the next try_recv then reports it); an alive leader matches this
+    // exactly like the plain send.
+    if (!comm.try_send(root, std::move(out), bytes, kResultTag)) {
+      return false;
+    }
   }
 }
 
@@ -78,6 +102,82 @@ Master::Master(vmpi::Comm& comm, std::vector<RowPartition> parts,
     staged_.push_back(std::move(staged));
   }
   alive_.assign(p, true);
+}
+
+Master::Master(vmpi::Comm& comm, std::vector<Chunk> chunks,
+               PartitionPolicy policy, double memory_fraction,
+               std::size_t cols, std::size_t bytes_per_pixel,
+               std::size_t replication, bool charge_staging)
+    : comm_(&comm),
+      policy_(policy),
+      memory_fraction_(memory_fraction),
+      cols_(cols),
+      bytes_per_pixel_(bytes_per_pixel),
+      replication_(replication),
+      charge_staging_(charge_staging),
+      chunks_(std::move(chunks)) {
+  HPRS_REQUIRE(comm.is_root(),
+               "ft::Master must be constructed on the root rank");
+  HPRS_REQUIRE(!chunks_.empty(), "resume requires at least one frozen chunk");
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto root = static_cast<std::size_t>(comm.root());
+  const std::size_t n = chunks_.size();
+  alive_.assign(p, true);
+  staged_.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<bool> staged(p, false);
+    staged[root] = true;
+    staged_.push_back(std::move(staged));
+  }
+  assignment_.assign(n, -1);
+  if (n == p) {
+    // Same width as the original gang: the identity assignment of the
+    // primary constructor.
+    for (std::size_t c = 0; c < n; ++c) {
+      assignment_[c] = static_cast<int>(c);
+    }
+    return;
+  }
+  // Elastic resize: spread the frozen chunks over the new width with the
+  // recovery path's earliest-finisher heuristic (memory-bounded,
+  // lowest-rank ties), in ascending chunk-id order so the plan is a pure
+  // function of (chunks, platform, policy).
+  const simnet::Platform& platform = comm.platform();
+  std::vector<double> load(p, 0.0);
+  std::vector<double> held(p, 0.0);
+  std::vector<double> weight(p, 1.0);
+  for (std::size_t r = 0; r < p; ++r) {
+    if (policy_ == PartitionPolicy::kHeterogeneous) {
+      weight[r] = 1.0 / platform.cycle_time(r);
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double rows = static_cast<double>(chunks_[c].part.owned_rows());
+    const double bytes = static_cast<double>(chunks_[c].part.halo_rows() *
+                                             cols_ * bytes_per_pixel_);
+    int best = -1;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < p; ++r) {
+      const double budget =
+          memory_fraction_ *
+          static_cast<double>(platform.processor(r).memory_mb) * 1024.0 *
+          1024.0;
+      if (held[r] + bytes > budget) continue;
+      const double finish = (load[r] + rows) / weight[r];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = static_cast<int>(r);
+      }
+    }
+    HPRS_REQUIRE(best >= 0,
+                 "elastic restart failed: no rank of the " +
+                     std::to_string(p) + "-wide gang has memory for chunk " +
+                     std::to_string(chunks_[c].id));
+    assignment_[c] = best;
+    const auto bu = static_cast<std::size_t>(best);
+    load[bu] += rows;
+    held[bu] += bytes;
+  }
 }
 
 std::size_t Master::chunk_block_bytes(const Chunk& chunk) const {
@@ -249,6 +349,8 @@ void Master::reassign_lost(const std::vector<bool>& have) {
 }
 
 void Master::finish() {
+  if (finished_) return;
+  finished_ = true;
   vmpi::Comm& comm = *comm_;
   for (int r = 0; r < comm.size(); ++r) {
     const auto ru = static_cast<std::size_t>(r);
@@ -266,6 +368,25 @@ int Master::live_workers() const {
     if (alive_[r] && static_cast<int>(r) != comm_->root()) ++n;
   }
   return n;
+}
+
+void run_program(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                 const Program& prog) {
+  if (!comm.is_root()) {
+    worker_loop(comm, prog.handlers);
+    return;
+  }
+  const PartitionResult partition =
+      wea_partition(comm.platform(), cube.rows(), cube.cols(), prog.model,
+                    prog.policy, prog.memory_fraction, prog.overlap,
+                    comm.root());
+  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
+               vmpi::Phase::kSequential);
+  Master master(comm, partition.parts, prog.policy, prog.memory_fraction,
+                cube.cols(), cube.bytes_per_pixel(), prog.replication,
+                prog.model.scatter_input);
+  prog.master(comm, master, prog.handlers);
+  master.finish();
 }
 
 void require_immortal_root(const vmpi::Options& options) {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/partition.hpp"
+#include "hsi/cube.hpp"
 #include "vmpi/comm.hpp"
 
 namespace hprs::core::ft {
@@ -112,10 +113,43 @@ struct PhaseResult {
 /// blocked toward the root can always make progress.
 void worker_loop(vmpi::Comm& comm, const std::vector<Handler>& handlers);
 
+/// Worker loop for gangs whose root (the gang leader) is itself mortal --
+/// the cluster-resilience case (src/sched/resilience): every operation
+/// toward the root is a try-variant, so a leader crash is detected instead
+/// of deadlocking or poisoning the engine.  Returns true when the leader
+/// released this worker with the exit command, false when the leader was
+/// detected dead (the caller then reports itself free to whatever outer
+/// control plane owns it).
+[[nodiscard]] bool resilient_worker_loop(vmpi::Comm& comm,
+                                         const std::vector<Handler>& handlers);
+
+/// Abstract phase-issuing interface the algorithm master closures program
+/// against.  Master implements it directly; the scheduler's checkpointing
+/// decorator (sched::ResilientDriver) wraps one to replay completed phases
+/// from a checkpoint and snapshot progress at phase boundaries.
+class PhaseDriver {
+ public:
+  virtual ~PhaseDriver() = default;
+
+  /// Runs one phase over all chunks and returns the per-chunk results,
+  /// indexed by chunk id.  Blocks (in virtual time) until every chunk has a
+  /// result, adopting orphans of crashed workers as needed.  Throws
+  /// hprs::Error when the surviving memory cannot hold the orphans.
+  [[nodiscard]] virtual std::vector<std::any> phase(
+      int phase_id, const Handler& handler,
+      std::shared_ptr<const std::any> payload = nullptr,
+      std::size_t payload_bytes = 0) = 0;
+
+  /// Releases the surviving workers (idempotent: only the first call sends
+  /// exit commands, so a caller-side release followed by a run_program
+  /// backstop charges nothing twice).
+  virtual void finish() = 0;
+};
+
 /// The master side of the protocol.  Constructed with the frozen full-world
 /// partition; `phase()` runs one handler over every chunk, surviving any
 /// worker crashes; `finish()` releases the surviving workers.
-class Master {
+class Master final : public PhaseDriver {
  public:
   /// `bytes_per_pixel` and `replication` size the staging transfer charged
   /// the first time a chunk lands on a rank (only when `charge_staging`;
@@ -125,23 +159,35 @@ class Master {
          std::size_t bytes_per_pixel, std::size_t replication,
          bool charge_staging);
 
+  /// Resume / elastic-restart construction: adopts an explicit frozen chunk
+  /// list (typically exported from a checkpoint of an earlier, differently
+  /// sized gang).  When the list has exactly one chunk per rank the
+  /// assignment is the identity, matching the primary constructor; for any
+  /// other width the chunks are spread with the same earliest-finisher
+  /// heuristic the recovery path uses (memory-bounded, lowest-rank ties),
+  /// in ascending chunk-id order.  Because chunks are atomic and folds run
+  /// in chunk-id order, a resumed run's outputs equal the original gang's
+  /// regardless of the new width.
+  Master(vmpi::Comm& comm, std::vector<Chunk> chunks, PartitionPolicy policy,
+         double memory_fraction, std::size_t cols, std::size_t bytes_per_pixel,
+         std::size_t replication, bool charge_staging);
+
   Master(const Master&) = delete;
   Master& operator=(const Master&) = delete;
 
-  /// Runs one phase over all chunks and returns the per-chunk results,
-  /// indexed by chunk id.  Blocks (in virtual time) until every chunk has a
-  /// result, adopting orphans of crashed workers as needed.  Throws
-  /// hprs::Error when the surviving memory cannot hold the orphans.
   [[nodiscard]] std::vector<std::any> phase(
       int phase_id, const Handler& handler,
       std::shared_ptr<const std::any> payload = nullptr,
-      std::size_t payload_bytes = 0);
+      std::size_t payload_bytes = 0) override;
 
-  /// Sends the exit command to every surviving worker.
-  void finish();
+  void finish() override;
 
   /// Workers currently believed alive (excludes the root).
   [[nodiscard]] int live_workers() const;
+
+  /// The frozen chunk list (checkpoint export: chunks are immutable for the
+  /// lifetime of the job, across restarts and resizes).
+  [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
 
  private:
   [[nodiscard]] std::size_t chunk_block_bytes(const Chunk& chunk) const;
@@ -156,11 +202,41 @@ class Master {
   std::size_t bytes_per_pixel_;
   std::size_t replication_;
   bool charge_staging_;
+  bool finished_ = false;
   std::vector<Chunk> chunks_;
   std::vector<int> assignment_;             // chunk id -> rank
   std::vector<bool> alive_;                 // rank -> believed alive
   std::vector<std::vector<bool>> staged_;   // chunk id -> rank -> data present
 };
+
+/// One algorithm packaged for the master/worker framework: the phase
+/// handlers (run on every rank), the root-side control flow (phase issue
+/// order plus the master-only folds), and the WEA parameters that freeze
+/// the chunk list.  Factories live in core/ft_programs.hpp; run_program and
+/// the scheduler's resilient gang runtime both consume this.
+struct Program {
+  std::vector<Handler> handlers;
+  /// Root-side control flow.  Receives the driver (phase issuing) and the
+  /// program's handlers; must call driver.finish() at the point the
+  /// collective implementation released the workers (finish is idempotent,
+  /// so run_program's backstop charges nothing on the normal path).
+  std::function<void(vmpi::Comm&, PhaseDriver&, const std::vector<Handler>&)>
+      master;
+  /// WEA inputs for the chunk freeze; model.scatter_input doubles as the
+  /// staging-charge toggle (Master's charge_staging).
+  WorkloadModel model;
+  PartitionPolicy policy = PartitionPolicy::kHeterogeneous;
+  double memory_fraction = 0.5;
+  /// Halo rows per side (MORPH's kernel radius; 0 elsewhere).
+  std::size_t overlap = 0;
+  std::size_t replication = 1;
+};
+
+/// Runs `prog` over `comm` exactly as the historical per-algorithm
+/// run_*_ft drivers did: non-root ranks serve worker_loop; the root runs
+/// the WEA once, freezes the chunks, and hands a Master to prog.master.
+void run_program(vmpi::Comm& comm, const hsi::HsiCube& cube,
+                 const Program& prog);
 
 /// Validates that a fault plan never kills `root` (the protocol's single
 /// point of control).  Throws hprs::Error otherwise.

@@ -1,0 +1,48 @@
+// Per-algorithm ft::Program factories.
+//
+// Each factory packages one algorithm for the master/worker framework
+// (core/ft.hpp): the phase handlers, the root-side control flow, and the
+// WEA parameters.  The closures capture `cube` and `result` by reference
+// and the config by value, so the returned Program must not outlive either
+// argument.  ft::run_program(comm, cube, prog) reproduces the historical
+// solo fault-tolerant schedules bit for bit; the cluster resilience layer
+// (src/sched/resilience) drives the same Programs through a checkpointing
+// PhaseDriver instead.
+//
+// The handlers are stateless (they only read the captured cube/config), so
+// one Program instance may be shared by every rank of an engine run, in
+// both executor modes.
+#pragma once
+
+#include "core/atdca.hpp"
+#include "core/ft.hpp"
+#include "core/morph.hpp"
+#include "core/pct.hpp"
+#include "core/ppi.hpp"
+#include "core/ufcls.hpp"
+
+namespace hprs::core {
+
+[[nodiscard]] ft::Program atdca_ft_program(const hsi::HsiCube& cube,
+                                           const AtdcaConfig& config,
+                                           TargetDetectionResult& result);
+
+[[nodiscard]] ft::Program ufcls_ft_program(const hsi::HsiCube& cube,
+                                           const UfclsConfig& config,
+                                           TargetDetectionResult& result);
+
+[[nodiscard]] ft::Program pct_ft_program(const hsi::HsiCube& cube,
+                                         const PctConfig& config,
+                                         ClassificationResult& result);
+
+/// Requires config.overlap_borders: the chunks carry their own halo rows,
+/// so a re-run on an adopting rank needs no worker-to-worker exchange.
+[[nodiscard]] ft::Program morph_ft_program(const hsi::HsiCube& cube,
+                                           const MorphConfig& config,
+                                           ClassificationResult& result);
+
+[[nodiscard]] ft::Program ppi_ft_program(const hsi::HsiCube& cube,
+                                         const PpiConfig& config,
+                                         PpiResult& result);
+
+}  // namespace hprs::core

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
-#include "core/ft.hpp"
+#include "core/ft_programs.hpp"
 #include "core/morph_kernel.hpp"
 #include "core/spmd_common.hpp"
 #include "hsi/metrics.hpp"
@@ -329,27 +329,36 @@ void assemble_label_image(vmpi::Comm& comm,
   comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
 }
 
+}  // namespace
+
 /// The fault-tolerant schedule (core/ft.hpp): the same morphology and
 /// labeling kernels, driven chunk-wise by the master.  Chunks carry their
 /// own overlap borders, so a re-run on an adopting rank reproduces the lost
 /// candidates bit for bit; merging in chunk order matches the collective
 /// gather's rank order.
-void run_morph_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
-                  const MorphConfig& config, const WorkloadModel& model,
-                  ClassificationResult& result) {
-  const std::size_t bands = cube.bands();
-  std::vector<ft::Handler> handlers;
+ft::Program morph_ft_program(const hsi::HsiCube& cube,
+                             const MorphConfig& config,
+                             ClassificationResult& result) {
+  ft::Program prog;
+  prog.model = morph_workload(cube.bands(), config);
+  prog.model.scatter_input = config.charge_data_staging;
+  prog.policy = config.policy;
+  prog.memory_fraction = config.memory_fraction;
+  prog.overlap = config.kernel_radius;
+  prog.replication = config.replication;
   // Phase 0: morphology + candidate selection on the chunk.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
         std::vector<MorphRep> local =
             morph_candidates(c, cube, chunk.part, config);
         const std::size_t count = local.size();
-        return ft::ChunkOutcome{std::move(local), rep_bytes(bands, count)};
+        return ft::ChunkOutcome{std::move(local),
+                                rep_bytes(cube.bands(), count)};
       });
   // Phase 1: label the chunk against the shipped unique set.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk,
+                      const std::any* payload) {
         const auto& unique =
             std::any_cast<const std::vector<MorphRep>&>(*payload);
         LabelOut out = label_partition(cube, chunk.part.row_begin,
@@ -360,49 +369,38 @@ void run_morph_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
         return ft::ChunkOutcome{std::move(out.block), bytes};
       });
 
-  if (!comm.is_root()) {
-    ft::worker_loop(comm, handlers);
-    return;
-  }
+  prog.master = [&cube, config, &result](vmpi::Comm& comm,
+                                         ft::PhaseDriver& master,
+                                         const std::vector<ft::Handler>& h) {
+    const std::size_t bands = cube.bands();
 
-  const PartitionResult partition =
-      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
-                    config.policy, config.memory_fraction,
-                    config.kernel_radius, comm.root());
-  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
-               vmpi::Phase::kSequential);
-  ft::Master master(comm, partition.parts, config.policy,
-                    config.memory_fraction, cube.cols(),
-                    cube.bytes_per_pixel(), config.replication,
-                    model.scatter_input);
+    // Steps 2-3: candidates, merged in chunk (== rank) order.
+    auto rep_any = master.phase(0, h[0]);
+    std::vector<std::vector<MorphRep>> rep_sets;
+    rep_sets.reserve(rep_any.size());
+    for (auto& a : rep_any) {
+      rep_sets.push_back(std::any_cast<std::vector<MorphRep>>(std::move(a)));
+    }
+    std::vector<MorphRep> unique =
+        merge_unique_sets(comm, std::move(rep_sets), config, bands);
+    const std::size_t reps = unique.size();
+    const std::size_t unique_bytes = rep_bytes(bands, reps);
 
-  // Steps 2-3: candidates, merged in chunk (== rank) order.
-  auto rep_any = master.phase(0, handlers[0]);
-  std::vector<std::vector<MorphRep>> rep_sets;
-  rep_sets.reserve(rep_any.size());
-  for (auto& a : rep_any) {
-    rep_sets.push_back(std::any_cast<std::vector<MorphRep>>(std::move(a)));
-  }
-  std::vector<MorphRep> unique =
-      merge_unique_sets(comm, std::move(rep_sets), config, bands);
-  const std::size_t reps = unique.size();
-  const std::size_t unique_bytes = rep_bytes(bands, reps);
-
-  // Steps 4-5: labeling against the shipped unique set.
-  auto block_any = master.phase(1, handlers[1],
-                                std::make_shared<const std::any>(
-                                    std::move(unique)),
-                                unique_bytes);
-  std::vector<LabelBlock> blocks;
-  blocks.reserve(block_any.size());
-  for (auto& a : block_any) {
-    blocks.push_back(std::any_cast<LabelBlock>(std::move(a)));
-  }
-  master.finish();
-  assemble_label_image(comm, blocks, cube, reps, result);
+    // Steps 4-5: labeling against the shipped unique set.
+    auto block_any = master.phase(1, h[1],
+                                  std::make_shared<const std::any>(
+                                      std::move(unique)),
+                                  unique_bytes);
+    std::vector<LabelBlock> blocks;
+    blocks.reserve(block_any.size());
+    for (auto& a : block_any) {
+      blocks.push_back(std::any_cast<LabelBlock>(std::move(a)));
+    }
+    master.finish();
+    assemble_label_image(comm, blocks, cube, reps, result);
+  };
+  return prog;
 }
-
-}  // namespace
 
 WorkloadModel morph_workload(std::size_t bands, const MorphConfig& config) {
   const std::size_t w = 2 * config.kernel_radius + 1;
@@ -497,11 +495,9 @@ ClassificationResult run_morph(const simnet::Platform& platform,
                  "halo-exchange mode needs worker-to-worker traffic the "
                  "master/worker protocol excludes");
     ft::require_immortal_root(options);
-    WorkloadModel model = morph_workload(cube.bands(), config);
-    model.scatter_input = config.charge_data_staging;
-    result.report = engine.run([&](vmpi::Comm& comm) {
-      run_morph_ft(comm, cube, config, model, result);
-    });
+    const ft::Program prog = morph_ft_program(cube, config, result);
+    result.report = engine.run(
+        [&](vmpi::Comm& comm) { ft::run_program(comm, cube, prog); });
     return result;
   }
   result.report = engine.run(

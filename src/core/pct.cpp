@@ -7,7 +7,7 @@
 #include <memory>
 
 #include "common/error.hpp"
-#include "core/ft.hpp"
+#include "core/ft_programs.hpp"
 #include "core/spmd_common.hpp"
 #include "hsi/metrics.hpp"
 #include "linalg/eigen.hpp"
@@ -484,16 +484,22 @@ void assemble_label_image(vmpi::Comm& comm,
   comm.compute(cube.pixel_count() / 8, vmpi::Phase::kSequential);
 }
 
+}  // namespace
+
 /// The fault-tolerant schedule (core/ft.hpp): the same kernels and folds,
 /// with the mean and bundle shipped as phase payloads instead of broadcasts.
-void run_pct_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
-                const PctConfig& config, const WorkloadModel& model,
-                ClassificationResult& result) {
-  const std::size_t bands = cube.bands();
-  std::vector<ft::Handler> handlers;
+ft::Program pct_ft_program(const hsi::HsiCube& cube, const PctConfig& config,
+                           ClassificationResult& result) {
+  ft::Program prog;
+  prog.model = pct_workload(cube.bands(), config.classes);
+  prog.model.scatter_input = config.charge_data_staging;
+  prog.policy = config.policy;
+  prog.memory_fraction = config.memory_fraction;
+  prog.replication = config.replication;
   // Phase 0: local unique spectral sets.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+        const std::size_t bands = cube.bands();
         UniqueOut out = local_unique_sets(cube, chunk.part.row_begin,
                                           chunk.part.row_end, config);
         c.compute(out.sad_evals * hsi::flops::sad(bands) *
@@ -503,27 +509,29 @@ void run_pct_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
                                 rep_bytes(bands, count)};
       });
   // Phase 1: band sums.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
         MeanOut out =
             local_mean_sums(cube, chunk.part.row_begin, chunk.part.row_end);
         c.compute(out.flops * config.replication);
         return ft::ChunkOutcome{std::move(out.sums),
-                                bands * sizeof(double)};
+                                cube.bands() * sizeof(double)};
       });
   // Phase 2: covariance triangle against the shipped mean.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk,
+                      const std::any* payload) {
         const auto& mean = std::any_cast<const std::vector<double>&>(*payload);
         CovOut out = local_cov_sums(cube, chunk.part.row_begin,
                                     chunk.part.row_end, mean);
         c.compute(out.flops * config.replication);
-        const std::size_t tri = bands * (bands + 1) / 2;
+        const std::size_t tri = cube.bands() * (cube.bands() + 1) / 2;
         return ft::ChunkOutcome{std::move(out.tri), tri * sizeof(double)};
       });
   // Phase 3: transform + labeling against the shipped bundle.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk,
+                      const std::any* payload) {
         const auto& bundle = std::any_cast<const PctBundle&>(*payload);
         LabelOut out = label_partition(cube, chunk.part.row_begin,
                                        chunk.part.row_end, bundle, config);
@@ -534,73 +542,63 @@ void run_pct_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
         return ft::ChunkOutcome{std::move(out.block), bytes};
       });
 
-  if (!comm.is_root()) {
-    ft::worker_loop(comm, handlers);
-    return;
-  }
+  prog.master = [&cube, config, &result](vmpi::Comm& comm,
+                                         ft::PhaseDriver& master,
+                                         const std::vector<ft::Handler>& h) {
+    const std::size_t bands = cube.bands();
 
-  const PartitionResult partition =
-      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
-                    config.policy, config.memory_fraction, /*overlap=*/0,
-                    comm.root());
-  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
-               vmpi::Phase::kSequential);
-  ft::Master master(comm, partition.parts, config.policy,
-                    config.memory_fraction, cube.cols(),
-                    cube.bytes_per_pixel(), config.replication,
-                    model.scatter_input);
+    // Steps 2-3: unique sets, merged in chunk (== rank) order.
+    auto rep_any = master.phase(0, h[0]);
+    std::vector<std::vector<Rep>> rep_sets;
+    rep_sets.reserve(rep_any.size());
+    for (auto& a : rep_any) {
+      rep_sets.push_back(std::any_cast<std::vector<Rep>>(std::move(a)));
+    }
+    const std::vector<Rep> unique =
+        merge_unique_sets(comm, std::move(rep_sets), config, bands);
 
-  // Steps 2-3: unique sets, merged in chunk (== rank) order.
-  auto rep_any = master.phase(0, handlers[0]);
-  std::vector<std::vector<Rep>> rep_sets;
-  rep_sets.reserve(rep_any.size());
-  for (auto& a : rep_any) {
-    rep_sets.push_back(std::any_cast<std::vector<Rep>>(std::move(a)));
-  }
-  const std::vector<Rep> unique =
-      merge_unique_sets(comm, std::move(rep_sets), config, bands);
+    // Steps 4-6: mean, then covariance against it.
+    auto mean_any = master.phase(1, h[1]);
+    std::vector<std::vector<double>> mean_parts;
+    mean_parts.reserve(mean_any.size());
+    for (auto& a : mean_any) {
+      mean_parts.push_back(std::any_cast<std::vector<double>>(std::move(a)));
+    }
+    const std::vector<double> mean =
+        fold_mean(comm, mean_parts, cube.pixel_count(), bands);
 
-  // Steps 4-6: mean, then covariance against it.
-  auto mean_any = master.phase(1, handlers[1]);
-  std::vector<std::vector<double>> mean_parts;
-  mean_parts.reserve(mean_any.size());
-  for (auto& a : mean_any) {
-    mean_parts.push_back(std::any_cast<std::vector<double>>(std::move(a)));
-  }
-  const std::vector<double> mean =
-      fold_mean(comm, mean_parts, cube.pixel_count(), bands);
+    auto cov_any = master.phase(2, h[2],
+                                std::make_shared<const std::any>(mean),
+                                bands * sizeof(double));
+    std::vector<std::vector<double>> cov_parts;
+    cov_parts.reserve(cov_any.size());
+    for (auto& a : cov_any) {
+      cov_parts.push_back(std::any_cast<std::vector<double>>(std::move(a)));
+    }
 
-  auto cov_any = master.phase(2, handlers[2],
-                              std::make_shared<const std::any>(mean),
-                              bands * sizeof(double));
-  std::vector<std::vector<double>> cov_parts;
-  cov_parts.reserve(cov_any.size());
-  for (auto& a : cov_any) {
-    cov_parts.push_back(std::any_cast<std::vector<double>>(std::move(a)));
-  }
+    // Step 7: sequential eigendecomposition + bundle at the master.
+    PctBundle bundle =
+        build_bundle(comm, cov_parts, mean, unique, config, cube);
+    const std::size_t reps = bundle.reduced_reps.rows();
+    const std::size_t bundle_bytes =
+        config.classes * bands * sizeof(double) + bands * sizeof(double) +
+        config.classes * config.classes * sizeof(double);
 
-  // Step 7: sequential eigendecomposition + bundle at the master.
-  PctBundle bundle = build_bundle(comm, cov_parts, mean, unique, config, cube);
-  const std::size_t reps = bundle.reduced_reps.rows();
-  const std::size_t bundle_bytes =
-      config.classes * bands * sizeof(double) + bands * sizeof(double) +
-      config.classes * config.classes * sizeof(double);
-
-  // Steps 8-9: labeling against the shipped bundle.
-  auto block_any = master.phase(3, handlers[3],
-                                std::make_shared<const std::any>(
-                                    std::move(bundle)),
-                                bundle_bytes);
-  std::vector<LabelBlock> blocks;
-  blocks.reserve(block_any.size());
-  for (auto& a : block_any) {
-    blocks.push_back(std::any_cast<LabelBlock>(std::move(a)));
-  }
-  master.finish();
-  assemble_label_image(comm, blocks, cube, reps, result);
+    // Steps 8-9: labeling against the shipped bundle.
+    auto block_any = master.phase(3, h[3],
+                                  std::make_shared<const std::any>(
+                                      std::move(bundle)),
+                                  bundle_bytes);
+    std::vector<LabelBlock> blocks;
+    blocks.reserve(block_any.size());
+    for (auto& a : block_any) {
+      blocks.push_back(std::any_cast<LabelBlock>(std::move(a)));
+    }
+    master.finish();
+    assemble_label_image(comm, blocks, cube, reps, result);
+  };
+  return prog;
 }
-
-}  // namespace
 
 WorkloadModel pct_workload(std::size_t bands, std::size_t classes) {
   // Unique-set comparisons, mean + covariance accumulation, projection, and
@@ -758,12 +756,10 @@ ClassificationResult run_pct(const simnet::Platform& platform,
   ClassificationResult result;
 
   if (config.fault_tolerant) {
-    WorkloadModel model = pct_workload(cube.bands(), config.classes);
-    model.scatter_input = config.charge_data_staging;
     ft::require_immortal_root(options);
-    result.report = engine.run([&](vmpi::Comm& comm) {
-      run_pct_ft(comm, cube, config, model, result);
-    });
+    const ft::Program prog = pct_ft_program(cube, config, result);
+    result.report = engine.run(
+        [&](vmpi::Comm& comm) { ft::run_program(comm, cube, prog); });
     return result;
   }
   result.report = engine.run(

@@ -1,12 +1,15 @@
 #include "core/ppi.hpp"
 
 #include <algorithm>
+#include <any>
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/ft_programs.hpp"
 #include "core/spmd_common.hpp"
 #include "obs/host_profile.hpp"
 #include "obs/metrics.hpp"
@@ -57,6 +60,127 @@ linalg::Matrix make_skewers(std::size_t k, std::size_t bands,
 }
 
 }  // namespace
+
+/// The fault-tolerant schedule (core/ft.hpp): the projection kernel runs
+/// per chunk against the skewer matrix shipped as the phase payload; the
+/// master folds the per-chunk extremes in chunk order with the same
+/// row-major position tie-breaks as the collective path, so the purity
+/// counts (and hence the ranked targets) are bit-identical regardless of
+/// which rank computed which chunk.
+ft::Program ppi_ft_program(const hsi::HsiCube& cube, const PpiConfig& config,
+                           PpiResult& result) {
+  ft::Program prog;
+  prog.model = ppi_workload(cube.bands(), config.skewers);
+  prog.model.scatter_input = config.charge_data_staging;
+  prog.policy = config.policy;
+  prog.memory_fraction = config.memory_fraction;
+  prog.replication = config.replication;
+  // Phase 0: per-skewer projection extremes over the chunk's rows.
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk,
+                      const std::any* payload) {
+        const auto& skewers = std::any_cast<const linalg::Matrix&>(*payload);
+        const std::size_t bands = cube.bands();
+        const std::size_t cols = cube.cols();
+        std::vector<SkewerExtreme> local(config.skewers);
+        Count flops = 0;
+        for (std::size_t s = 0; s < config.skewers; ++s) {
+          const auto skewer = skewers.row(s);
+          auto& ext = local[s];
+          for (std::size_t r = chunk.part.row_begin; r < chunk.part.row_end;
+               ++r) {
+            for (std::size_t col = 0; col < cols; ++col) {
+              const double proj =
+                  linalg::dot<double, float>(skewer, cube.pixel(r, col));
+              flops += linalg::flops::dot(bands);
+              if (proj < ext.lo) {
+                ext.lo = proj;
+                ext.lo_row = r;
+                ext.lo_col = col;
+              }
+              if (proj > ext.hi) {
+                ext.hi = proj;
+                ext.hi_row = r;
+                ext.hi_col = col;
+              }
+            }
+          }
+        }
+        c.compute(flops * config.replication);
+        return ft::ChunkOutcome{std::move(local),
+                                config.skewers * kExtremeBytes};
+      });
+
+  prog.master = [&cube, config, &result](vmpi::Comm& comm,
+                                         ft::PhaseDriver& master,
+                                         const std::vector<ft::Handler>& h) {
+    const std::size_t bands = cube.bands();
+
+    // The master draws the skewers once and ships them with the phase
+    // command (the collective path broadcasts the same matrix).
+    linalg::Matrix drawn = make_skewers(config.skewers, bands, config.seed);
+    comm.compute(config.skewers * (3 * bands + 1), vmpi::Phase::kSequential);
+    auto payload = std::make_shared<const std::any>(std::move(drawn));
+    const std::size_t skewer_bytes =
+        config.skewers * bands * sizeof(double);
+
+    auto ext_any = master.phase(0, h[0], payload, skewer_bytes);
+    std::vector<std::vector<SkewerExtreme>> parts;
+    parts.reserve(ext_any.size());
+    for (auto& a : ext_any) {
+      parts.push_back(std::any_cast<std::vector<SkewerExtreme>>(std::move(a)));
+    }
+
+    // Global extreme per skewer, folded in chunk order; ties broken by
+    // row-major position so the outcome cannot depend on the partitioning.
+    std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> counts;
+    for (std::size_t s = 0; s < config.skewers; ++s) {
+      std::size_t lo_row = 0, lo_col = 0, hi_row = 0, hi_col = 0;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (const auto& part : parts) {
+        const auto& ext = part[s];
+        if (ext.lo < lo ||
+            (ext.lo == lo && std::make_pair(ext.lo_row, ext.lo_col) <
+                                 std::make_pair(lo_row, lo_col))) {
+          lo = ext.lo;
+          lo_row = ext.lo_row;
+          lo_col = ext.lo_col;
+        }
+        if (ext.hi > hi ||
+            (ext.hi == hi && std::make_pair(ext.hi_row, ext.hi_col) <
+                                 std::make_pair(hi_row, hi_col))) {
+          hi = ext.hi;
+          hi_row = ext.hi_row;
+          hi_col = ext.hi_col;
+        }
+      }
+      ++counts[{lo_row, lo_col}];
+      ++counts[{hi_row, hi_col}];
+    }
+    comm.compute(config.skewers * parts.size() * 4, vmpi::Phase::kSequential);
+
+    std::vector<PurityEntry> all;
+    all.reserve(counts.size());
+    for (const auto& [loc, count] : counts) {
+      all.push_back(PurityEntry{loc.first, loc.second, count});
+    }
+    // Deterministic ranking: count desc, then row-major position.
+    std::sort(all.begin(), all.end(),
+              [](const PurityEntry& a, const PurityEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                if (a.row != b.row) return a.row < b.row;
+                return a.col < b.col;
+              });
+    master.finish();
+    const std::size_t keep = std::min(config.targets, all.size());
+    for (std::size_t k = 0; k < keep; ++k) {
+      result.targets.push_back({all[k].row, all[k].col});
+      result.scores.push_back(all[k].count);
+    }
+  };
+  return prog;
+}
 
 WorkloadModel ppi_workload(std::size_t bands, std::size_t skewers) {
   WorkloadModel model;
@@ -184,6 +308,13 @@ PpiResult run_ppi(const simnet::Platform& platform, const hsi::HsiCube& cube,
 
   vmpi::Engine engine(platform, options);
   PpiResult result;
+  if (config.fault_tolerant) {
+    ft::require_immortal_root(options);
+    const ft::Program prog = ppi_ft_program(cube, config, result);
+    result.report = engine.run(
+        [&](vmpi::Comm& comm) { ft::run_program(comm, cube, prog); });
+    return result;
+  }
   result.report = engine.run(
       [&](vmpi::Comm& comm) { ppi_body(comm, cube, config, result); });
   return result;

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
-#include "core/ft.hpp"
+#include "core/ft_programs.hpp"
 #include "core/spmd_common.hpp"
 #include "linalg/fcls.hpp"
 #include "linalg/flops.hpp"
@@ -99,23 +99,31 @@ ErrorSweepOut fcls_error_sweep(const hsi::HsiCube& cube,
   return out;
 }
 
+}  // namespace
+
 /// The fault-tolerant schedule (core/ft.hpp): identical chunk kernels and
 /// chunk-order folds, driven over point-to-point operations only.
-void run_ufcls_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
-                  const UfclsConfig& config, const WorkloadModel& model,
-                  TargetDetectionResult& result) {
-  std::vector<ft::Handler> handlers;
+ft::Program ufcls_ft_program(const hsi::HsiCube& cube,
+                             const UfclsConfig& config,
+                             TargetDetectionResult& result) {
+  ft::Program prog;
+  prog.model = ufcls_workload(cube.bands(), config.targets);
+  prog.model.scatter_input = config.charge_data_staging;
+  prog.policy = config.policy;
+  prog.memory_fraction = config.memory_fraction;
+  prog.replication = config.replication;
   // Phase 0: the chunk's brightest pixel.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk, const std::any*) {
         const BrightestOut out =
             brightest_sweep(cube, chunk.part.row_begin, chunk.part.row_end);
         c.compute(out.flops * config.replication);
         return ft::ChunkOutcome{out.best, detail::kCandidateBytes};
       });
   // Phase 1: the chunk's FCLS error argmax against the shipped targets.
-  handlers.push_back(
-      [&](vmpi::Comm& c, const ft::Chunk& chunk, const std::any* payload) {
+  prog.handlers.push_back(
+      [&cube, config](vmpi::Comm& c, const ft::Chunk& chunk,
+                      const std::any* payload) {
         const auto& u = std::any_cast<const linalg::Matrix&>(*payload);
         const linalg::Unmixer unmixer(u);
         c.compute(linalg::flops::gram(cube.bands(), u.rows()) +
@@ -127,62 +135,50 @@ void run_ufcls_ft(vmpi::Comm& comm, const hsi::HsiCube& cube,
         return ft::ChunkOutcome{out.best, detail::kCandidateBytes};
       });
 
-  if (!comm.is_root()) {
-    ft::worker_loop(comm, handlers);
-    return;
-  }
+  prog.master = [&cube, config, &result](vmpi::Comm& comm,
+                                         ft::PhaseDriver& master,
+                                         const std::vector<ft::Handler>& h) {
+    const auto as_candidates = [](const std::vector<std::any>& results) {
+      std::vector<Candidate> cands;
+      cands.reserve(results.size());
+      for (const auto& r : results) {
+        cands.push_back(std::any_cast<Candidate>(r));
+      }
+      return cands;
+    };
 
-  const PartitionResult partition =
-      wea_partition(comm.platform(), cube.rows(), cube.cols(), model,
-                    config.policy, config.memory_fraction, /*overlap=*/0,
-                    comm.root());
-  comm.compute(64ULL * static_cast<std::uint64_t>(comm.size()),
-               vmpi::Phase::kSequential);
-  ft::Master master(comm, partition.parts, config.policy,
-                    config.memory_fraction, cube.cols(),
-                    cube.bytes_per_pixel(), config.replication,
-                    model.scatter_input);
-
-  const auto as_candidates = [](const std::vector<std::any>& results) {
-    std::vector<Candidate> cands;
-    cands.reserve(results.size());
-    for (const auto& r : results) cands.push_back(std::any_cast<Candidate>(r));
-    return cands;
-  };
-
-  // Step 1: the brightest pixel seeds the target set (chunk-order fold).
-  const auto seeds = as_candidates(master.phase(0, handlers[0]));
-  Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
-  for (const auto& c : seeds) {
-    if (c.score > best.score) best = c;
-  }
-  comm.compute(linalg::flops::dot(cube.bands()) * seeds.size(),
-               vmpi::Phase::kSequential);
-  std::vector<PixelLocation> found{{best.row, best.col}};
-  linalg::Matrix targets;
-  targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
-
-  // Steps 2-5: grow the target set by maximum reconstruction error.
-  while (found.size() < config.targets) {
-    const std::size_t t_cur = targets.rows();
-    const std::size_t u_bytes = t_cur * cube.bands() * sizeof(double);
-    auto payload = std::make_shared<const std::any>(targets);
-    const auto round =
-        as_candidates(master.phase(1, handlers[1], payload, u_bytes));
-    Candidate next{0, 0, -std::numeric_limits<double>::infinity()};
-    for (const auto& c : round) {
-      if (c.score > next.score) next = c;
+    // Step 1: the brightest pixel seeds the target set (chunk-order fold).
+    const auto seeds = as_candidates(master.phase(0, h[0]));
+    Candidate best{0, 0, -std::numeric_limits<double>::infinity()};
+    for (const auto& c : seeds) {
+      if (c.score > best.score) best = c;
     }
-    comm.compute(linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
+    comm.compute(linalg::flops::dot(cube.bands()) * seeds.size(),
                  vmpi::Phase::kSequential);
-    found.push_back({next.row, next.col});
-    targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
-  }
-  master.finish();
-  result.targets = std::move(found);
-}
+    std::vector<PixelLocation> found{{best.row, best.col}};
+    linalg::Matrix targets;
+    targets.append_row(detail::to_double(cube.pixel(best.row, best.col)));
 
-}  // namespace
+    // Steps 2-5: grow the target set by maximum reconstruction error.
+    while (found.size() < config.targets) {
+      const std::size_t t_cur = targets.rows();
+      const std::size_t u_bytes = t_cur * cube.bands() * sizeof(double);
+      auto payload = std::make_shared<const std::any>(targets);
+      const auto round = as_candidates(master.phase(1, h[1], payload, u_bytes));
+      Candidate next{0, 0, -std::numeric_limits<double>::infinity()};
+      for (const auto& c : round) {
+        if (c.score > next.score) next = c;
+      }
+      comm.compute(linalg::flops::fcls(cube.bands(), t_cur, 2) * round.size(),
+                   vmpi::Phase::kSequential);
+      found.push_back({next.row, next.col});
+      targets.append_row(detail::to_double(cube.pixel(next.row, next.col)));
+    }
+    master.finish();
+    result.targets = std::move(found);
+  };
+  return prog;
+}
 
 WorkloadModel ufcls_workload(std::size_t bands, std::size_t targets) {
   // Brightness pass plus t-1 unmixing passes; assume a couple of active-set
@@ -282,12 +278,10 @@ TargetDetectionResult run_ufcls(const simnet::Platform& platform,
   TargetDetectionResult result;
 
   if (config.fault_tolerant) {
-    WorkloadModel model = ufcls_workload(cube.bands(), config.targets);
-    model.scatter_input = config.charge_data_staging;
     ft::require_immortal_root(options);
-    result.report = engine.run([&](vmpi::Comm& comm) {
-      run_ufcls_ft(comm, cube, config, model, result);
-    });
+    const ft::Program prog = ufcls_ft_program(cube, config, result);
+    result.report = engine.run(
+        [&](vmpi::Comm& comm) { ft::run_program(comm, cube, prog); });
     return result;
   }
   result.report = engine.run(

@@ -145,6 +145,20 @@ std::string chrome_trace_json(const vmpi::RunReport& report,
        << ev.amount << "}}";
   }
 
+  // -- Group instants (e.g. checkpoint/restart marks): pinned to the
+  // group's leader lane so they line up with the job's activity.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const TraceTrackGroup& grp = groups[g];
+    if (grp.members.empty()) continue;
+    const int pid = kFirstGroupPid + static_cast<int>(g);
+    for (const TraceInstant& mark : grp.instants) {
+      os << ",\n"
+         << R"(  {"ph":"i","pid":)" << pid << R"(,"tid":)" << grp.members[0]
+         << R"(,"name":")" << escape(mark.label) << R"(","cat":"resilience")"
+         << R"(,"s":"t","ts":)" << fmt(mark.t_s * 1e6) << R"(,"args":{}})";
+    }
+  }
+
   // -- Fault log: instant events pinned to the affected rank's track.
   for (const vmpi::FaultEvent& ev : report.fault_events) {
     const int tid = ev.rank >= 0 ? ev.rank : 0;

@@ -26,6 +26,13 @@
 
 namespace hprs::obs {
 
+/// A labelled instant on a track group's leader lane (virtual seconds),
+/// e.g. the resilient scheduler's "checkpoint" / "restart" marks.
+struct TraceInstant {
+  std::string label;
+  double t_s = 0.0;
+};
+
 /// A named group of rank tracks over a virtual-time window.  Virtual-time
 /// events of `members` that begin inside [begin_s, end_s) are re-homed
 /// from the shared pid-0 timeline into the group's own trace process
@@ -38,6 +45,8 @@ struct TraceTrackGroup {
   std::vector<int> members;
   double begin_s = 0.0;
   double end_s = 0.0;
+  /// Instant marks rendered on the group's leader lane ("i" events).
+  std::vector<TraceInstant> instants;
 };
 
 /// Renders `report` (and optionally a host-profiler span list) as a Chrome

@@ -1,0 +1,40 @@
+#include "sched/checkpoint.hpp"
+
+#include <utility>
+
+namespace hprs::sched {
+
+void CheckpointStore::begin(Checkpoint snapshot) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  staged_[snapshot.job_id] = std::move(snapshot);
+}
+
+void CheckpointStore::commit(std::uint64_t job_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = staged_.find(job_id);
+  if (it == staged_.end()) return;
+  committed_[job_id] = std::move(it->second);
+  staged_.erase(it);
+  ++commits_[job_id];
+}
+
+std::optional<Checkpoint> CheckpointStore::load(std::uint64_t job_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = committed_.find(job_id);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CheckpointStore::erase(std::uint64_t job_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  staged_.erase(job_id);
+  committed_.erase(job_id);
+}
+
+std::size_t CheckpointStore::committed_count(std::uint64_t job_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = commits_.find(job_id);
+  return it == commits_.end() ? 0 : it->second;
+}
+
+}  // namespace hprs::sched

@@ -50,18 +50,27 @@ core::WorkloadModel job_workload(const JobSpec& spec,
 
 JobEstimate estimate_job(const simnet::Platform& platform,
                          const std::vector<int>& members, const JobSpec& spec,
-                         const hsi::HsiCube& scene) {
+                         const hsi::HsiCube& scene,
+                         const std::vector<double>* speed_scale) {
   HPRS_REQUIRE(!members.empty(), "estimate over an empty member list");
   const core::WorkloadModel model = job_workload(spec, scene);
   const double pixels = static_cast<double>(scene.pixel_count()) *
                         static_cast<double>(spec.replication);
+
+  // Observed speed of rank m: the platform speed times the online
+  // re-estimation scale (identity without one, keeping historic estimates
+  // bit-identical).
+  const auto speed_of = [&platform, speed_scale](std::size_t m) {
+    const double s = platform.speed(m);
+    return speed_scale == nullptr ? s : s * (*speed_scale)[m];
+  };
 
   // Balanced divisible-load compute bound: every member finishes its WEA
   // share of total_flops simultaneously at total * 1e-6 / sum(1/w_i).
   double speed_sum = 0.0;
   bool any_accel = false;
   for (int m : members) {
-    speed_sum += platform.speed(static_cast<std::size_t>(m));
+    speed_sum += speed_of(static_cast<std::size_t>(m));
     any_accel |= platform.accelerated(static_cast<std::size_t>(m));
   }
   const double total_mflops = model.flops_per_pixel * pixels * 1e-6;
@@ -78,8 +87,7 @@ JobEstimate estimate_job(const simnet::Platform& platform,
     // every pre-existing schedule and golden estimate is bit-identical.
     compute_s = total_mflops / speed_sum;
     for (std::size_t i = 0; i < members.size(); ++i) {
-      share[i] =
-          platform.speed(static_cast<std::size_t>(members[i])) / speed_sum;
+      share[i] = speed_of(static_cast<std::size_t>(members[i])) / speed_sum;
     }
   } else {
     // Staging-aware divisible-load bound.  Member i running fraction a_i of
@@ -96,7 +104,10 @@ JobEstimate estimate_job(const simnet::Platform& platform,
     for (std::size_t i = 0; i < members.size(); ++i) {
       const auto m = static_cast<std::size_t>(members[i]);
       const auto& p = platform.processor(m);
-      const double work = total_mflops * p.cycle_time;
+      const double cycle =
+          speed_scale == nullptr ? p.cycle_time
+                                 : p.cycle_time / (*speed_scale)[m];
+      const double work = total_mflops * cycle;
       const double staging =
           image_bytes * 8e-6 * p.stage_ms_per_mbit * 1e-3;
       // Streamed tiling overlaps a member's host<->device copies with its
@@ -120,7 +131,7 @@ JobEstimate estimate_job(const simnet::Platform& platform,
   // Serial leader section (e.g. PCT's eigensolve): every member waits while
   // the gang leader grinds through it at its own speed.
   const auto leader = static_cast<std::size_t>(members.front());
-  compute_s += model.seq_flops * 1e-6 / platform.speed(leader);
+  compute_s += model.seq_flops * 1e-6 / speed_of(leader);
 
   // Serial root-link communication: each synchronized round gathers one
   // candidate message per non-leader member over the leader's links.

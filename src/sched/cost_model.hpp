@@ -42,11 +42,14 @@ struct JobEstimate {
                                                const hsi::HsiCube& scene);
 
 /// Estimated makespan of `spec` gang-placed on `members` (engine ranks into
-/// `platform`; members[0] is the gang leader).
-[[nodiscard]] JobEstimate estimate_job(const simnet::Platform& platform,
-                                       const std::vector<int>& members,
-                                       const JobSpec& spec,
-                                       const hsi::HsiCube& scene);
+/// `platform`; members[0] is the gang leader).  `speed_scale`, when
+/// non-null, multiplies each rank's platform speed (the resilient
+/// scheduler's online w_i re-estimation from measured gang spans); the
+/// default null keeps historic estimates bit-identical.
+[[nodiscard]] JobEstimate estimate_job(
+    const simnet::Platform& platform, const std::vector<int>& members,
+    const JobSpec& spec, const hsi::HsiCube& scene,
+    const std::vector<double>* speed_scale = nullptr);
 
 /// Accelerator-aware member refinement: when `picked` contains accelerated
 /// ranks, compares its estimate against the fastest equally-wide all-CPU

@@ -66,6 +66,48 @@ struct JobSpec {
   const hsi::HsiCube* scene = nullptr;
 };
 
+/// Terminal disposition of a job.  The base scheduler only produces
+/// kCompleted / kRejected; the resilient mode (SchedulerConfig::resilience)
+/// adds kDegraded (retries exhausted but checkpointed progress exists) and
+/// kFailed (retries exhausted with nothing saved) instead of aborting the
+/// whole schedule.
+enum class JobState : std::uint8_t {
+  kPending,
+  kCompleted,
+  kRejected,
+  kDegraded,
+  kFailed,
+};
+
+[[nodiscard]] const char* to_string(JobState state);
+
+/// One dispatch attempt of a job under the resilient scheduler (empty for
+/// the base scheduler).  All times are virtual seconds.
+struct JobAttempt {
+  /// 1-based attempt number.
+  int attempt = 1;
+  double dispatch_s = -1.0;
+  /// When the dispatcher retired the attempt (-1 while in flight).
+  double end_s = -1.0;
+  /// Backoff this attempt waited in the retry queue (0 for the first
+  /// attempt and for preemption requeues).
+  double backoff_s = 0.0;
+  /// Gang width of the attempt (elastic resize may shrink it).
+  int width = 0;
+  /// Engine ranks of the attempt's gang, ascending; [0] is the leader.
+  std::vector<int> members;
+  /// Phases replayed from the checkpoint this attempt resumed at.
+  int resumed_seq = 0;
+  /// Checkpoints the attempt committed.
+  int checkpoints = 0;
+  /// Virtual seconds the attempt spent writing checkpoints.
+  double checkpoint_s = 0.0;
+  /// Commit times of those checkpoints (trace instants).
+  std::vector<double> checkpoint_at_s;
+  /// "completed", "preempted", "leader crashed", or the failure message.
+  std::string outcome;
+};
+
 /// Numeric result of a completed job (populated by the job's gang leader;
 /// empty for rejected jobs).  Target extractors fill `targets` (+ `scores`
 /// for PPI); classifiers fill `labels` / `label_count`.
@@ -99,6 +141,12 @@ struct JobRecord {
   /// carry the sched::AdmissionError message in `error`.
   bool rejected = false;
   std::string error;
+  /// Terminal disposition (kPending only while the schedule is running).
+  JobState state = JobState::kPending;
+  /// Attempt history under the resilient scheduler; empty in base mode.
+  /// `dispatch_s` / `members` above describe the attempt that completed
+  /// the job (the last one).
+  std::vector<JobAttempt> attempts;
 
   [[nodiscard]] bool completed() const { return finish_s >= 0.0; }
   [[nodiscard]] double queue_wait_s() const {

@@ -19,6 +19,17 @@ const char* to_string(JobAlgorithm algorithm) {
   return "?";
 }
 
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kCompleted: return "completed";
+    case JobState::kRejected: return "rejected";
+    case JobState::kDegraded: return "degraded";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
 const char* to_string(Policy policy) {
   switch (policy) {
     case Policy::kFifo: return "fifo";
@@ -65,7 +76,8 @@ std::vector<std::size_t> policy_order(Policy policy,
 }
 
 std::vector<int> pick_members(Policy policy, const simnet::Platform& platform,
-                              const std::vector<int>& free_ranks, int width) {
+                              const std::vector<int>& free_ranks, int width,
+                              const std::vector<double>* speed_scale) {
   HPRS_REQUIRE(width >= 1 &&
                    static_cast<std::size_t>(width) <= free_ranks.size(),
                "pick_members: gang width " + std::to_string(width) +
@@ -73,12 +85,20 @@ std::vector<int> pick_members(Policy policy, const simnet::Platform& platform,
                    " free ranks");
   std::vector<int> members(free_ranks);
   if (policy == Policy::kHeteroBestFit) {
-    std::sort(members.begin(), members.end(), [&platform](int a, int b) {
-      const double wa = platform.cycle_time(static_cast<std::size_t>(a));
-      const double wb = platform.cycle_time(static_cast<std::size_t>(b));
-      if (wa != wb) return wa < wb;
-      return a < b;
-    });
+    // Effective cycle time w_i / scale_i: a rank measured faster than its
+    // platform w_i (scale > 1) sorts earlier.
+    const auto effective = [&platform, speed_scale](int r) {
+      const double w = platform.cycle_time(static_cast<std::size_t>(r));
+      if (speed_scale == nullptr) return w;
+      return w / (*speed_scale)[static_cast<std::size_t>(r)];
+    };
+    std::sort(members.begin(), members.end(),
+              [&effective](int a, int b) {
+                const double wa = effective(a);
+                const double wb = effective(b);
+                if (wa != wb) return wa < wb;
+                return a < b;
+              });
   }
   members.resize(static_cast<std::size_t>(width));
   // Comm::subset wants strictly increasing ranks; members[0] is the leader.
@@ -118,7 +138,8 @@ std::optional<Selection> try_select(Policy policy,
                                     const std::vector<PendingJob>& ready,
                                     const std::vector<int>& free_ranks,
                                     const std::vector<RunningJob>& running,
-                                    double now) {
+                                    double now,
+                                    const std::vector<double>* speed_scale) {
   if (ready.empty()) return std::nullopt;
   const std::vector<std::size_t> order = policy_order(policy, ready);
   const PendingJob& head = ready[order.front()];
@@ -126,7 +147,8 @@ std::optional<Selection> try_select(Policy policy,
       static_cast<std::size_t>(head.width) <= free_ranks.size();
   if (head_fits) {
     return Selection{order.front(),
-                     pick_members(policy, platform, free_ranks, head.width)};
+                     pick_members(policy, platform, free_ranks, head.width,
+                                  speed_scale)};
   }
   if (policy != Policy::kHeteroBestFit) return std::nullopt;
 
@@ -140,7 +162,7 @@ std::optional<Selection> try_select(Policy policy,
     const PendingJob& job = ready[order[k]];
     if (static_cast<std::size_t>(job.width) > free_ranks.size()) continue;
     std::vector<int> members =
-        pick_members(policy, platform, free_ranks, job.width);
+        pick_members(policy, platform, free_ranks, job.width, speed_scale);
     if (now + job.est_seconds <= horizon) {
       return Selection{order[k], std::move(members)};
     }

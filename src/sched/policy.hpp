@@ -67,10 +67,13 @@ struct RunningJob {
 /// `free_ranks` (engine ranks, ascending).  kHeteroBestFit takes the
 /// fastest ranks (smallest w_i, id tie-break); the others the lowest ids.
 /// The result is ascending -- the subset order Comm::subset requires.
-[[nodiscard]] std::vector<int> pick_members(Policy policy,
-                                            const simnet::Platform& platform,
-                                            const std::vector<int>& free_ranks,
-                                            int width);
+/// `speed_scale`, when non-null, is a per-engine-rank multiplier on the
+/// platform speed (the resilient scheduler's online w_i re-estimation);
+/// the default null keeps historic decisions bit-identical.
+[[nodiscard]] std::vector<int> pick_members(
+    Policy policy, const simnet::Platform& platform,
+    const std::vector<int>& free_ranks, int width,
+    const std::vector<double>* speed_scale = nullptr);
 
 /// Earliest estimated time at least `width` ranks are simultaneously free,
 /// given `free_now` currently free and the running jobs' est_finish times.
@@ -91,6 +94,7 @@ struct Selection {
 [[nodiscard]] std::optional<Selection> try_select(
     Policy policy, const simnet::Platform& platform,
     const std::vector<PendingJob>& ready, const std::vector<int>& free_ranks,
-    const std::vector<RunningJob>& running, double now);
+    const std::vector<RunningJob>& running, double now,
+    const std::vector<double>* speed_scale = nullptr);
 
 }  // namespace hprs::sched

@@ -1,6 +1,8 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 #include <utility>
@@ -12,6 +14,7 @@
 #include "core/ppi.hpp"
 #include "core/ufcls.hpp"
 #include "obs/metrics.hpp"
+#include "sched/checkpoint.hpp"
 #include "sched/cost_model.hpp"
 #include "vmpi/comm.hpp"
 
@@ -25,11 +28,15 @@ namespace {
 // and cannot collide.
 constexpr int kCmdTag = 9001;
 constexpr int kDoneTag = 9002;
+/// Per-member free notification of the resilient mode (kDoneTag stays the
+/// leader's completion report, so the base wire protocol is untouched).
+constexpr int kFreeTag = 9003;
 
 /// Dispatcher -> member gang command (or shutdown).
 struct Cmd {
   bool shutdown = false;
   std::uint32_t index = 0;   ///< stream index of the job
+  std::uint32_t attempt = 1; ///< 1-based attempt (resilient mode; else 1)
   std::vector<int> members;  ///< engine ranks of the gang, ascending
 };
 
@@ -40,11 +47,42 @@ struct Done {
   double busy_s = 0.0;    ///< summed member busy time during the job
 };
 
+/// Resilient gang leader -> dispatcher attempt report.  Unlike Done it can
+/// describe a preempted or failed attempt; a *crashed* leader sends
+/// nothing, which the dispatcher detects with try_recv.
+struct RDone {
+  std::uint32_t index = 0;
+  std::uint32_t attempt = 1;
+  std::uint32_t status = 0;  ///< AttemptOutcome::status
+  double finish_s = 0.0;
+  std::int32_t resumed_seq = 0;
+  std::int32_t checkpoints = 0;
+  double checkpoint_s = 0.0;
+  std::vector<double> checkpoint_at_s;
+  std::string error;
+};
+
+/// Every gang member -> dispatcher after an attempt (leader included,
+/// after its RDone): the per-member busy contribution and the implicit
+/// "this rank is alive and free again" signal.
+struct WorkerFree {
+  std::uint32_t index = 0;
+  std::uint32_t attempt = 1;
+  double busy_s = 0.0;
+};
+
 constexpr std::size_t kCmdBaseBytes = 16;
 constexpr std::size_t kDoneBytes = 24;
+constexpr std::size_t kRDoneBaseBytes = 40;
+constexpr std::size_t kFreeBytes = 16;
 
 [[nodiscard]] std::size_t cmd_bytes(const Cmd& cmd) {
   return kCmdBaseBytes + 4 * cmd.members.size();
+}
+
+[[nodiscard]] std::size_t rdone_bytes(const RDone& done) {
+  return kRDoneBaseBytes + 8 * done.checkpoint_at_s.size() +
+         done.error.size();
 }
 
 /// Runs one job on a fresh sub-communicator over the commanded members and
@@ -280,6 +318,355 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Resilient mode (SchedulerConfig::resilience.enabled)
+// ---------------------------------------------------------------------------
+
+/// Sub-communicator uid of one attempt: retries of a job must build a
+/// *fresh* communicator (the previous one may contain dead ranks and
+/// half-matched state), so the attempt number is mixed in.
+[[nodiscard]] std::uint64_t attempt_uid(std::uint64_t job_id,
+                                        std::uint32_t attempt) {
+  return job_id + (static_cast<std::uint64_t>(attempt) << 32);
+}
+
+void resilient_worker_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
+                           const hsi::HsiCube& scene,
+                           std::vector<JobOutput>& outputs,
+                           const ResilienceConfig& rc, CheckpointStore* store) {
+  while (true) {
+    const Cmd cmd = comm.recv<Cmd>(comm.root(), kCmdTag);
+    if (cmd.shutdown) break;
+    const JobSpec& spec = stream[cmd.index];
+    const hsi::HsiCube& job_scene = spec.scene != nullptr ? *spec.scene : scene;
+    vmpi::Comm sub =
+        comm.subset(cmd.members, attempt_uid(spec.id, cmd.attempt));
+    const vmpi::RankStats before = sub.stats();
+    if (sub.is_root()) {
+      AttemptOutcome oc = run_resilient_leader(
+          sub, spec, job_scene, static_cast<int>(cmd.attempt), rc, store,
+          outputs[cmd.index]);
+      const vmpi::RankStats after = sub.stats();
+      RDone done;
+      done.index = cmd.index;
+      done.attempt = cmd.attempt;
+      done.status = static_cast<std::uint32_t>(oc.status);
+      done.finish_s = after.clock;
+      done.resumed_seq = oc.resumed_seq;
+      done.checkpoints = oc.checkpoints;
+      done.checkpoint_s = oc.checkpoint_s;
+      done.checkpoint_at_s = std::move(oc.checkpoint_at_s);
+      done.error = std::move(oc.error);
+      const std::size_t bytes = rdone_bytes(done);
+      comm.send(comm.root(), std::move(done), bytes, kDoneTag);
+    } else {
+      // Released by the leader or detected it dead; either way this rank
+      // is free again and says so below.
+      (void)run_resilient_worker(sub, spec, job_scene);
+    }
+    const vmpi::RankStats after = sub.stats();
+    WorkerFree free_msg;
+    free_msg.index = cmd.index;
+    free_msg.attempt = cmd.attempt;
+    free_msg.busy_s = after.busy() - before.busy();
+    comm.send(comm.root(), free_msg, kFreeBytes, kFreeTag);
+  }
+}
+
+/// One queued retry: the job may start again at `retry_at_s`.
+struct RetryEntry {
+  double retry_at_s = 0.0;
+  std::size_t index = 0;
+  double backoff_s = 0.0;
+};
+
+void resilient_dispatcher_loop(vmpi::Comm& comm,
+                               const std::vector<JobSpec>& stream,
+                               const hsi::HsiCube& scene,
+                               const SchedulerConfig& config,
+                               std::vector<JobRecord>& records,
+                               CheckpointStore& store,
+                               std::vector<int>& lost_ranks) {
+  const simnet::Platform& platform = comm.platform();
+  const ResilienceConfig& rc = config.resilience;
+  const Policy policy = config.policy;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<int> pool;  // surviving worker ranks, ascending
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r != comm.root()) pool.push_back(r);
+  }
+  std::set<int> free(pool.begin(), pool.end());
+  // Online w_i re-estimation: measured-vs-estimated spans of completed
+  // attempts nudge a per-rank speed multiplier the placement and estimates
+  // consult.  Seeded entirely by virtual-time observations -> deterministic.
+  std::vector<double> speed_scale(platform.size(), 1.0);
+
+  std::vector<std::size_t> arrivals;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (!records[i].rejected) arrivals.push_back(i);
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [&stream](std::size_t a, std::size_t b) {
+              if (stream[a].arrival_s != stream[b].arrival_s) {
+                return stream[a].arrival_s < stream[b].arrival_s;
+              }
+              return stream[a].id < stream[b].id;
+            });
+
+  std::size_t next_arrival = 0;
+  std::vector<PendingJob> ready;
+  std::vector<double> ready_backoff;  // parallel to `ready`
+  std::vector<RunningJob> running;
+  std::vector<RetryEntry> retryq;
+  std::size_t terminal = 0;
+
+  const auto finalize = [&](std::size_t idx, const std::string& why) {
+    JobRecord& record = records[idx];
+    record.state = store.committed_count(stream[idx].id) > 0
+                       ? JobState::kDegraded
+                       : JobState::kFailed;
+    record.error = why;
+    store.erase(stream[idx].id);
+    ++terminal;
+  };
+
+  // A rank detected dead leaves the pool for good; ready widths re-clamp
+  // so queued jobs elastically resize to whatever survives.
+  const auto remove_rank = [&](int rank) {
+    pool.erase(std::remove(pool.begin(), pool.end(), rank), pool.end());
+    free.erase(rank);
+    lost_ranks.push_back(rank);
+    for (PendingJob& job : ready) {
+      job.width =
+          std::max(1, std::min(job.width, static_cast<int>(pool.size())));
+    }
+  };
+
+  while (terminal < arrivals.size()) {
+    const double now = comm.now();
+
+    while (next_arrival < arrivals.size() &&
+           stream[arrivals[next_arrival]].arrival_s <= now) {
+      const std::size_t idx = arrivals[next_arrival++];
+      if (pool.empty()) {
+        finalize(idx, "no surviving workers to run the job");
+        continue;
+      }
+      const int width =
+          std::min(stream[idx].ranks, static_cast<int>(pool.size()));
+      ready.push_back(PendingJob{stream[idx].id, idx, stream[idx].arrival_s,
+                                 records[idx].est_seconds, width});
+      ready_backoff.push_back(0.0);
+    }
+    // Due retries re-enter the queue in deterministic (retry_at, id) order.
+    std::sort(retryq.begin(), retryq.end(),
+              [&stream](const RetryEntry& a, const RetryEntry& b) {
+                if (a.retry_at_s != b.retry_at_s) {
+                  return a.retry_at_s < b.retry_at_s;
+                }
+                return stream[a.index].id < stream[b.index].id;
+              });
+    while (!retryq.empty() && retryq.front().retry_at_s <= now) {
+      const RetryEntry entry = retryq.front();
+      retryq.erase(retryq.begin());
+      if (pool.empty()) {
+        finalize(entry.index, "no surviving workers to retry the job");
+        continue;
+      }
+      const int width =
+          std::min(stream[entry.index].ranks, static_cast<int>(pool.size()));
+      ready.push_back(PendingJob{stream[entry.index].id, entry.index,
+                                 stream[entry.index].arrival_s,
+                                 records[entry.index].est_seconds, width});
+      ready_backoff.push_back(entry.backoff_s);
+    }
+
+    const std::vector<int> free_ranks(free.begin(), free.end());
+    if (auto sel = try_select(policy, platform, ready, free_ranks, running,
+                              now, &speed_scale)) {
+      const std::size_t idx = ready[sel->ready_pos].index;
+      const JobSpec& spec = stream[idx];
+      const hsi::HsiCube& job_scene =
+          spec.scene != nullptr ? *spec.scene : scene;
+      std::vector<int> members = sel->members;
+      if (policy == Policy::kHeteroBestFit) {
+        members = refine_members(platform, free_ranks, std::move(members),
+                                 spec, job_scene);
+      }
+      JobRecord& record = records[idx];
+      record.dispatch_s = now;
+      record.members = members;
+      record.est_seconds =
+          estimate_job(platform, members, spec, job_scene, &speed_scale)
+              .seconds;
+      JobAttempt attempt;
+      attempt.attempt = static_cast<int>(record.attempts.size()) + 1;
+      attempt.dispatch_s = now;
+      attempt.backoff_s = ready_backoff[sel->ready_pos];
+      attempt.width = static_cast<int>(members.size());
+      attempt.members = members;
+      record.attempts.push_back(std::move(attempt));
+      running.push_back(
+          RunningJob{spec.id, idx, now + record.est_seconds, members});
+      for (int m : members) free.erase(m);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(sel->ready_pos));
+      ready_backoff.erase(ready_backoff.begin() +
+                          static_cast<std::ptrdiff_t>(sel->ready_pos));
+      Cmd cmd;
+      cmd.index = static_cast<std::uint32_t>(idx);
+      cmd.attempt =
+          static_cast<std::uint32_t>(records[idx].attempts.back().attempt);
+      cmd.members = members;
+      const std::size_t bytes = cmd_bytes(cmd);
+      for (int m : members) {
+        comm.send(m, cmd, bytes, kCmdTag);
+      }
+      continue;
+    }
+
+    // Nothing may start: advance to the next arrival, due retry, or
+    // completion -- all deterministic virtual-time quantities.
+    const double arrival_t = next_arrival < arrivals.size()
+                                 ? stream[arrivals[next_arrival]].arrival_s
+                                 : kInf;
+    double retry_t = kInf;
+    for (const RetryEntry& entry : retryq) {
+      retry_t = std::min(retry_t, entry.retry_at_s);
+    }
+    if (running.empty()) {
+      const double wake = std::min(arrival_t, retry_t);
+      HPRS_ASSERT(wake < kInf);  // else the stream would be drained
+      comm.sleep_until(wake);
+      continue;
+    }
+    std::size_t next = 0;
+    for (std::size_t i = 1; i < running.size(); ++i) {
+      const bool earlier =
+          running[i].est_finish_s != running[next].est_finish_s
+              ? running[i].est_finish_s < running[next].est_finish_s
+              : running[i].id < running[next].id;
+      if (earlier) next = i;
+    }
+    if (std::min(arrival_t, retry_t) <= running[next].est_finish_s) {
+      comm.sleep_until(std::min(arrival_t, retry_t));
+      continue;
+    }
+
+    // Consume the attempt: the leader's report (nullopt = leader crashed),
+    // then every member's free notification (nullopt = member crashed and
+    // leaves the pool).  All try_recv detection time is charged to the
+    // dispatcher in virtual time, so the schedule stays deterministic.
+    const RunningJob run = running[next];
+    running.erase(running.begin() + static_cast<std::ptrdiff_t>(next));
+    const int leader = run.members.front();
+    std::optional<RDone> report = comm.try_recv<RDone>(leader, kDoneTag);
+    double busy = 0.0;
+    for (int m : run.members) {
+      if (m == leader && !report.has_value()) {
+        // A dead leader posted nothing (RDone precedes its WorkerFree);
+        // skip the redundant probe and drop it from the pool directly.
+        remove_rank(m);
+        continue;
+      }
+      std::optional<WorkerFree> free_msg =
+          comm.try_recv<WorkerFree>(m, kFreeTag);
+      if (free_msg.has_value()) {
+        free.insert(m);
+        busy += free_msg->busy_s;
+      } else {
+        remove_rank(m);
+      }
+    }
+    JobRecord& record = records[run.index];
+    record.busy_s += busy;
+    JobAttempt& attempt = record.attempts.back();
+    attempt.end_s = report.has_value() ? report->finish_s : comm.now();
+    if (report.has_value()) {
+      attempt.resumed_seq = report->resumed_seq;
+      attempt.checkpoints = report->checkpoints;
+      attempt.checkpoint_s = report->checkpoint_s;
+      attempt.checkpoint_at_s = std::move(report->checkpoint_at_s);
+    }
+
+    if (report.has_value() && report->status == 0) {
+      attempt.outcome = "completed";
+      record.finish_s = report->finish_s;
+      record.state = JobState::kCompleted;
+      store.erase(stream[run.index].id);
+      ++terminal;
+      // Feed the measured span back into the speed estimates: ratio > 1
+      // means the gang beat its estimate (its ranks run faster than the
+      // platform w_i claims), < 1 the opposite.  Clamps keep one noisy
+      // attempt from swinging placements wildly.
+      const double measured = report->finish_s - attempt.dispatch_s;
+      if (measured > 0.0) {
+        const double ratio =
+            std::clamp(record.est_seconds / measured, 0.25, 4.0);
+        for (int m : run.members) {
+          auto& scale = speed_scale[static_cast<std::size_t>(m)];
+          scale = std::clamp(scale * (0.7 + 0.3 * ratio), 0.1, 10.0);
+        }
+      }
+    } else {
+      const bool preempted = report.has_value() && report->status == 1;
+      const std::string why = !report.has_value()
+                                  ? "leader crashed"
+                                  : (preempted ? "preempted" : report->error);
+      attempt.outcome = why;
+      const int attempts_done = static_cast<int>(record.attempts.size());
+      if (pool.empty() || attempts_done >= rc.retry.max_attempts) {
+        finalize(run.index,
+                 pool.empty()
+                     ? "no surviving workers to retry the job (" + why + ")"
+                     : "retries exhausted after " +
+                           std::to_string(attempts_done) + " attempts (" +
+                           why + ")");
+      } else {
+        // Preemption requeues immediately (the deadline already rationed
+        // the attempt); crashes and errors wait out a seeded jittered
+        // exponential backoff in virtual time.
+        double backoff = 0.0;
+        if (!preempted) {
+          const int next_attempt = attempts_done + 1;
+          SplitMix64 rng(rc.retry.backoff_seed ^ stream[run.index].id ^
+                         static_cast<std::uint64_t>(next_attempt));
+          const double u =
+              static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+          backoff = rc.retry.backoff_base_s *
+                    std::pow(rc.retry.backoff_factor, next_attempt - 2) *
+                    (0.5 + u);
+        }
+        retryq.push_back(RetryEntry{comm.now() + backoff, run.index, backoff});
+      }
+    }
+
+    // A completion that killed the last workers strands everything still
+    // queued; resolve those jobs now instead of spinning.
+    if (pool.empty()) {
+      HPRS_ASSERT(running.empty());
+      for (const PendingJob& job : ready) {
+        finalize(job.index, "no surviving workers to run the job");
+      }
+      ready.clear();
+      ready_backoff.clear();
+      for (const RetryEntry& entry : retryq) {
+        finalize(entry.index, "no surviving workers to retry the job");
+      }
+      retryq.clear();
+    }
+  }
+
+  // Drain the survivors; crashed ranks get nothing (they can no longer
+  // match a message, and an idle rank merely *scheduled* to crash still
+  // completes the receive, so every pool member is safe to address).
+  Cmd bye;
+  bye.shutdown = true;
+  for (int m : pool) {
+    comm.send(m, bye, kCmdBaseBytes, kCmdTag);
+  }
+}
+
 }  // namespace
 
 std::size_t ScheduleResult::completed() const {
@@ -291,6 +678,20 @@ std::size_t ScheduleResult::completed() const {
 std::size_t ScheduleResult::rejected() const {
   std::size_t n = 0;
   for (const JobRecord& r : records) n += r.rejected ? 1 : 0;
+  return n;
+}
+
+std::size_t ScheduleResult::degraded() const {
+  std::size_t n = 0;
+  for (const JobRecord& r : records) {
+    n += r.state == JobState::kDegraded ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t ScheduleResult::failed() const {
+  std::size_t n = 0;
+  for (const JobRecord& r : records) n += r.state == JobState::kFailed ? 1 : 0;
   return n;
 }
 
@@ -314,6 +715,15 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
   const int root = options.root;
   HPRS_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < platform.size(),
                "dispatcher (root) rank out of range");
+  if (config.resilience.enabled) {
+    // Fail fast at schedule construction: a crash aimed at the dispatcher
+    // or a nonexistent rank is a plan bug, not a survivable fault.
+    validate_cluster_fault_plan(options, platform.size());
+  } else {
+    HPRS_REQUIRE(options.fault_plan.crashes.empty(),
+                 "the base scheduler cannot survive rank crashes; enable "
+                 "SchedulerConfig::resilience for fault plans with crashes");
+  }
   std::vector<int> pool;
   for (std::size_t r = 0; r < platform.size(); ++r) {
     if (static_cast<int>(r) != root) pool.push_back(static_cast<int>(r));
@@ -348,17 +758,36 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
     } catch (const AdmissionError& e) {
       record.rejected = true;
       record.error = e.what();
+      record.state = JobState::kRejected;
     }
   }
 
+  CheckpointStore store;
+  CheckpointStore* gang_store =
+      config.resilience.resume_from_checkpoint ? &store : nullptr;
   vmpi::Engine engine(platform, options);
   result.report = engine.run([&](vmpi::Comm& comm) {
     if (comm.rank() == comm.root()) {
-      dispatcher_loop(comm, stream, scene, config.policy, result.records);
+      if (config.resilience.enabled) {
+        resilient_dispatcher_loop(comm, stream, scene, config, result.records,
+                                  store, result.lost_ranks);
+      } else {
+        dispatcher_loop(comm, stream, scene, config.policy, result.records);
+      }
+    } else if (config.resilience.enabled) {
+      resilient_worker_loop(comm, stream, scene, result.outputs,
+                            config.resilience, gang_store);
     } else {
       worker_loop(comm, stream, scene, result.outputs);
     }
   });
+  std::sort(result.lost_ranks.begin(), result.lost_ranks.end());
+  for (JobRecord& record : result.records) {
+    if (record.state == JobState::kPending) {
+      record.state =
+          record.completed() ? JobState::kCompleted : JobState::kFailed;
+    }
+  }
 
   for (const JobRecord& record : result.records) {
     if (!record.completed()) continue;
@@ -381,6 +810,29 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
       metrics.gauge_max(prefix + "makespan_s", record.makespan_s());
       metrics.gauge_max(prefix + "utilization", record.utilization());
     }
+    // Resilience counters only exist in resilient mode, so base-mode runs
+    // publish exactly the historic metric set.
+    if (config.resilience.enabled) {
+      std::size_t attempts = 0;
+      std::size_t checkpoints = 0;
+      std::size_t resumes = 0;
+      for (const JobRecord& record : result.records) {
+        attempts += record.attempts.size();
+        for (const JobAttempt& attempt : record.attempts) {
+          checkpoints += static_cast<std::size_t>(attempt.checkpoints);
+          resumes += attempt.resumed_seq > 0 ? 1 : 0;
+        }
+        if (record.attempts.empty()) continue;
+        metrics.add("sched.job." + std::to_string(record.id) + ".attempts",
+                    record.attempts.size());
+      }
+      metrics.add("sched.resilience.attempts", attempts);
+      metrics.add("sched.resilience.checkpoints", checkpoints);
+      metrics.add("sched.resilience.resumed_attempts", resumes);
+      metrics.add("sched.resilience.jobs.degraded", result.degraded());
+      metrics.add("sched.resilience.jobs.failed", result.failed());
+      metrics.add("sched.resilience.ranks.lost", result.lost_ranks.size());
+    }
   }
   return result;
 }
@@ -389,14 +841,39 @@ std::vector<obs::TraceTrackGroup> job_track_groups(
     const ScheduleResult& result) {
   std::vector<obs::TraceTrackGroup> groups;
   for (const JobRecord& record : result.records) {
-    if (!record.completed()) continue;
-    obs::TraceTrackGroup group;
-    group.label = "job:" + std::to_string(record.id) + "/" +
-                  to_string(record.algorithm);
-    group.members = record.members;
-    group.begin_s = record.dispatch_s;
-    group.end_s = record.finish_s;
-    groups.push_back(std::move(group));
+    if (record.attempts.empty()) {
+      // Base scheduler: one group per completed job.
+      if (!record.completed()) continue;
+      obs::TraceTrackGroup group;
+      group.label = "job:" + std::to_string(record.id) + "/" +
+                    to_string(record.algorithm);
+      group.members = record.members;
+      group.begin_s = record.dispatch_s;
+      group.end_s = record.finish_s;
+      groups.push_back(std::move(group));
+      continue;
+    }
+    // Resilient scheduler: one group per dispatched attempt, with
+    // checkpoint commits and resumed restarts as instant marks.
+    for (const JobAttempt& attempt : record.attempts) {
+      if (attempt.dispatch_s < 0.0) continue;
+      obs::TraceTrackGroup group;
+      group.label = "job:" + std::to_string(record.id) + "/" +
+                    to_string(record.algorithm) + "#" +
+                    std::to_string(attempt.attempt);
+      group.members = attempt.members;
+      group.begin_s = attempt.dispatch_s;
+      group.end_s = attempt.end_s >= 0.0 ? attempt.end_s : attempt.dispatch_s;
+      if (attempt.attempt > 1) {
+        group.instants.push_back(obs::TraceInstant{
+            attempt.resumed_seq > 0 ? "restart (resumed)" : "restart (cold)",
+            attempt.dispatch_s});
+      }
+      for (double t : attempt.checkpoint_at_s) {
+        group.instants.push_back(obs::TraceInstant{"checkpoint", t});
+      }
+      groups.push_back(std::move(group));
+    }
   }
   return groups;
 }

@@ -19,6 +19,7 @@
 #include "obs/chrome_trace.hpp"
 #include "sched/job.hpp"
 #include "sched/policy.hpp"
+#include "sched/resilience.hpp"
 #include "simnet/platform.hpp"
 #include "vmpi/engine.hpp"
 
@@ -29,6 +30,14 @@ struct SchedulerConfig {
   /// Publish per-job Domain::kStable metrics (queue wait, makespan,
   /// utilization) into the obs registry after the run.
   bool record_metrics = true;
+  /// Cluster resilience (sched/resilience.hpp).  When enabled the
+  /// dispatcher runs the checkpoint/retry control plane: gang leaders are
+  /// mortal, crashed ranks leave the pool, preempted or failed jobs are
+  /// retried (elastically resized, resumed from their last checkpoint)
+  /// with seeded backoff, and jobs exhausting their attempts go
+  /// kDegraded / kFailed instead of aborting the schedule.  Off by
+  /// default: the base path stays bit-identical to previous releases.
+  ResilienceConfig resilience;
 };
 
 /// Outcome of scheduling one job stream.
@@ -43,8 +52,15 @@ struct ScheduleResult {
   /// Summed job busy time over (worker count x makespan): the cluster-wide
   /// busy fraction while the stream was in flight.
   double utilization = 0.0;
+  /// Engine ranks the resilient dispatcher detected dead and removed from
+  /// the worker pool (ascending; always empty in base mode).
+  std::vector<int> lost_ranks;
   [[nodiscard]] std::size_t completed() const;
   [[nodiscard]] std::size_t rejected() const;
+  /// Jobs that exhausted their retries with / without checkpointed
+  /// progress (resilient mode only; zero in base mode).
+  [[nodiscard]] std::size_t degraded() const;
+  [[nodiscard]] std::size_t failed() const;
 };
 
 /// Admits, places, and runs `stream` on `platform` under `config.policy`.

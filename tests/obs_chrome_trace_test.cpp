@@ -155,7 +155,7 @@ TEST(ChromeTraceTest, TrackGroupsRehomeWindowedRankActivity) {
   ASSERT_FALSE(report.trace.empty());
   std::vector<TraceTrackGroup> groups;
   groups.push_back(
-      {"job:1/ATDCA", {1, 2}, 0.0, report.total_time + 1.0});
+      {"job:1/ATDCA", {1, 2}, 0.0, report.total_time + 1.0, {}});
   const std::string json = chrome_trace_json(report, groups, {});
   EXPECT_TRUE(json_shape_ok(json));
   EXPECT_NE(json.find("\"name\":\"job:1/ATDCA\""), std::string::npos);

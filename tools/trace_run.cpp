@@ -22,6 +22,14 @@
 // round-robin stream of --jobs analyses goes through sched::run_schedule
 // and every job gets its own named track group ("job:<id>/<ALG>") in the
 // exported trace.
+//
+// --resilient runs the schedule under the checkpoint/retry control plane
+// (sched/resilience.hpp): each dispatch attempt becomes its own track
+// group ("job:<id>/<ALG>#<attempt>") with "checkpoint" and "restart"
+// instants on the job lane.  --checkpoint <s> sets the commit cadence and
+// --crash <rank>@<t>[,<rank>@<t>...] injects fail-stop rank crashes, e.g.
+//
+//   trace_run --sched --resilient --checkpoint 0.01 --crash 2@0.05
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -72,6 +80,28 @@ bool make_platform(const std::string& name, std::size_t cpus,
   return true;
 }
 
+/// Parses "--crash <rank>@<time>[,<rank>@<time>...]" into a fault plan.
+bool parse_crashes(const std::string& text, vmpi::FaultPlan& plan) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(pos, comma - pos);
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= entry.size()) {
+      return false;
+    }
+    try {
+      plan.crashes.push_back(
+          {std::stoi(entry.substr(0, at)), std::stod(entry.substr(at + 1))});
+    } catch (const std::exception&) {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return !plan.crashes.empty();
+}
+
 bool write_file(const std::string& path, const std::string& text) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return false;
@@ -86,7 +116,8 @@ int main(int argc, char** argv) {
                      {"alg", "network", "cpus", "accels", "rows", "cols",
                       "bands", "seed", "replication", "targets", "classes",
                       "iters", "radius", "homogeneous", "stream", "out",
-                      "csv", "gantt", "sched", "jobs", "policy"});
+                      "csv", "gantt", "sched", "jobs", "policy", "resilient",
+                      "checkpoint", "crash"});
 
   core::Algorithm alg = core::Algorithm::kAtdca;
   if (!parse_algorithm(args.get("alg", "ATDCA"), alg)) {
@@ -121,6 +152,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace_run: %s\n", e.what());
       return 2;
     }
+    const bool resilient = args.get_bool("resilient", false);
+    vmpi::FaultPlan fault_plan;
+    const std::string crash_spec = args.get("crash", "");
+    if (!crash_spec.empty() && !parse_crashes(crash_spec, fault_plan)) {
+      std::fprintf(stderr,
+                   "trace_run: bad --crash (want <rank>@<time>[,...])\n");
+      return 2;
+    }
+    if (resilient) {
+      sched_cfg.resilience.enabled = true;
+      sched_cfg.resilience.checkpoint_interval_s =
+          args.get_double("checkpoint", 0.01);
+    }
     const int pool = static_cast<int>(platform.size()) - 1;
     constexpr sched::JobAlgorithm kCycle[] = {
         sched::JobAlgorithm::kAtdca, sched::JobAlgorithm::kPct,
@@ -146,6 +190,7 @@ int main(int argc, char** argv) {
 
     vmpi::Options options;
     options.enable_trace = true;
+    options.fault_plan = fault_plan;
     const obs::ScopedHostProfile profile;
     const obs::ScopedMetrics metrics;
     const auto result =
@@ -159,12 +204,39 @@ int main(int argc, char** argv) {
         if (!members.empty()) members += ",";
         members += std::to_string(m);
       }
-      if (record.rejected) members = "rejected: " + record.error;
+      if (record.rejected) {
+        members = "rejected: " + record.error;
+      } else if (record.state == sched::JobState::kDegraded ||
+                 record.state == sched::JobState::kFailed) {
+        members = std::string(sched::to_string(record.state)) + ": " +
+                  record.error;
+      }
       std::printf("%-4llu %-6s %9.4f %9.4f %9.4f %9.4f  %s\n",
                   static_cast<unsigned long long>(record.id),
                   sched::to_string(record.algorithm), record.arrival_s,
                   record.dispatch_s, record.finish_s, record.queue_wait_s(),
                   members.c_str());
+      // The resilient control plane keeps a per-attempt history; surface
+      // it whenever a job needed more than one dispatch.
+      if (resilient && record.attempts.size() > 1) {
+        for (const auto& attempt : record.attempts) {
+          std::printf(
+              "       attempt %d: [%9.4f, %9.4f] width %d ckpts %d "
+              "resumed %d  %s\n",
+              attempt.attempt, attempt.dispatch_s, attempt.end_s,
+              attempt.width, attempt.checkpoints, attempt.resumed_seq,
+              attempt.outcome.c_str());
+        }
+      }
+    }
+    if (resilient && !result.lost_ranks.empty()) {
+      std::string lost;
+      for (const int r : result.lost_ranks) {
+        if (!lost.empty()) lost += ",";
+        lost += std::to_string(r);
+      }
+      std::printf("lost ranks: %s (%zu degraded, %zu failed)\n", lost.c_str(),
+                  result.degraded(), result.failed());
     }
     std::printf(
         "policy %s: makespan %.4f s, cluster utilization %.3f on %zu ranks\n",

@@ -9,12 +9,14 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/runner.hpp"
 #include "hsi/scene.hpp"
+#include "linalg/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
 #include "simnet/platform.hpp"
@@ -122,6 +124,30 @@ inline const std::vector<core::Algorithm>& all_algorithms() {
   return algs;
 }
 
+/// Writes the shared "_metadata" header line every committed BENCH_*.json
+/// artifact carries: the host's hardware thread count, the effective
+/// HPRS_KERNEL_THREADS setting, and an oversubscription warning flag
+/// (timings measured with more kernel threads than hardware threads are
+/// not comparable to the committed artifact).  scripts/bench_smoke.sh
+/// structurally requires this header in every artifact.
+inline void write_metadata_entry(std::FILE* f, bool trailing_comma,
+                                 std::size_t hw_threads,
+                                 std::size_t kernel_threads) {
+  std::fprintf(f,
+               "  \"_metadata\": {\"hw_threads\": %zu, \"kernel_threads\": "
+               "%zu, \"oversubscribed\": %s}%s\n",
+               hw_threads, kernel_threads,
+               kernel_threads > hw_threads ? "true" : "false",
+               trailing_comma ? "," : "");
+}
+
+inline void write_metadata_entry(std::FILE* f, bool trailing_comma) {
+  write_metadata_entry(
+      f, trailing_comma,
+      static_cast<std::size_t>(std::thread::hardware_concurrency()),
+      linalg::kernel_threads());
+}
+
 /// One cell of the Tables 5-7 sweep: an algorithm/policy pair on one of the
 /// four experimental networks.
 struct SweepRecord {
@@ -180,9 +206,7 @@ inline bool write_kernel_json(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
-  std::fprintf(
-      f, "  \"_metadata\": {\"hw_threads\": %zu, \"kernel_threads\": %zu}%s\n",
-      hw_threads, kernel_threads, records.empty() ? "" : ",");
+  write_metadata_entry(f, !records.empty(), hw_threads, kernel_threads);
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.3f, \"bytes_per_op\": %.1f",
                  records[i].name.c_str(), records[i].ns_per_op,
@@ -224,6 +248,7 @@ inline bool write_stream_json(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  write_metadata_entry(f, !records.empty());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     std::fprintf(f,
@@ -257,6 +282,7 @@ inline bool write_engine_json(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  write_metadata_entry(f, !records.empty());
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(
         f, "  \"%s_p%zu\": {\"host_seconds\": %.4f, \"virtual_seconds\": %.3f}%s\n",
@@ -293,6 +319,7 @@ inline bool write_fault_json(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  write_metadata_entry(f, !records.empty());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     std::fprintf(
@@ -337,6 +364,7 @@ inline bool write_sched_json(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  write_metadata_entry(f, !records.empty());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     std::fprintf(
@@ -377,6 +405,7 @@ inline bool write_resilience_json(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  write_metadata_entry(f, !records.empty());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     std::fprintf(
@@ -393,21 +422,42 @@ inline bool write_resilience_json(const std::string& path,
   return true;
 }
 
-/// Peels "--json <path>" out of argv before benchmark::Initialize sees it
-/// (google-benchmark aborts on unrecognized flags).  Returns the path, or
-/// an empty string when the flag is absent.
-inline std::string take_json_flag(int& argc, char** argv) {
-  std::string path;
+/// Peels "--<name> <value>" out of argv before the setup parser (or
+/// benchmark::Initialize, which aborts on unrecognized flags) sees it.
+/// Returns the value, or an empty string when the flag is absent.
+inline std::string take_string_flag(int& argc, char** argv,
+                                    const std::string& name) {
+  std::string value;
   int out = 0;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-      path = argv[++i];
+    if (std::string(argv[i]) == "--" + name && i + 1 < argc) {
+      value = argv[++i];
       continue;
     }
     argv[out++] = argv[i];
   }
   argc = out;
-  return path;
+  return value;
+}
+
+/// Peels a bare "--<name>" switch out of argv; true when it was present.
+inline bool take_bool_flag(int& argc, char** argv, const std::string& name) {
+  bool value = false;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--" + name) {
+      value = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return value;
+}
+
+/// Peels "--json <path>" (the machine-readable artifact twin).
+inline std::string take_json_flag(int& argc, char** argv) {
+  return take_string_flag(argc, argv, "json");
 }
 
 inline void emit(const TextTable& table, bool csv, const char* title) {

@@ -20,10 +20,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/snapshot.hpp"
 #include "sched/scheduler.hpp"
 
 namespace {
@@ -67,6 +70,65 @@ double percentile(std::vector<double> xs, double q) {
   return xs[rank - 1];
 }
 
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << text;
+  return f.good();
+}
+
+/// Counter-plane cell: one fully-heterogeneous hetero-policy run with the
+/// snapshot service on.  Kept off the sweep path so the sweep's summary and
+/// BENCH_sched.json stay bit-identical to releases without this cell; the
+/// timeline it writes is the golden gated by scripts/bench_smoke.sh
+/// --only counter-plane.
+int run_snapshot_cell(const bench::BenchSetup& setup, std::size_t jobs,
+                      double gap_s, double interval_s,
+                      const std::string& snap_path,
+                      const std::string& trace_path) {
+  const auto networks = bench::paper_networks();
+  const auto net = std::find_if(
+      networks.begin(), networks.end(),
+      [](const simnet::Platform& n) {
+        return n.name() == "fully-heterogeneous";
+      });
+  if (net == networks.end()) {
+    std::fprintf(stderr, "bench_sched_throughput: no fully-heterogeneous "
+                         "network in paper_networks()\n");
+    return 1;
+  }
+  const auto stream = make_stream(
+      jobs, static_cast<int>(net->size()) - 1, setup, gap_s);
+  sched::SchedulerConfig config;
+  config.policy = sched::Policy::kHeteroBestFit;
+  vmpi::Options options;
+  options.snapshot.enabled = true;
+  options.snapshot.interval_s = interval_s;
+  options.enable_trace = !trace_path.empty();
+  const auto result =
+      sched::run_schedule(*net, setup.scene.cube, stream, config, options);
+
+  if (!snap_path.empty()) {
+    if (!write_file(snap_path,
+                    obs::snapshot_timeline_json(result.report.snapshots))) {
+      std::fprintf(stderr, "failed to write %s\n", snap_path.c_str());
+      return 1;
+    }
+    std::printf("snapshot timeline: %s (%zu samples)\n", snap_path.c_str(),
+                result.report.snapshots.size());
+  }
+  if (!trace_path.empty()) {
+    const std::string json = obs::chrome_trace_json(
+        result.report, sched::job_track_groups(result), {});
+    if (!write_file(trace_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("chrome trace: %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 /// Peels "--<name> <value>" out of argv (make_setup rejects flags it does
@@ -88,10 +150,29 @@ double take_double_flag(int& argc, char** argv, const std::string& name,
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::take_json_flag(argc, argv);
+  const std::string snap_path =
+      bench::take_string_flag(argc, argv, "snapshots");
+  const std::string trace_path = bench::take_string_flag(argc, argv, "trace");
+  const bool snapshots_only = bench::take_bool_flag(argc, argv,
+                                                    "snapshots-only");
+  const double snap_interval_s =
+      take_double_flag(argc, argv, "snapshot-interval", 0.5);
   const auto jobs = static_cast<std::size_t>(
       take_double_flag(argc, argv, "jobs", 32));
   const double gap_s = take_double_flag(argc, argv, "gap", 0.2);
   const auto setup = bench::make_setup(argc, argv);
+
+  if (!snap_path.empty() || !trace_path.empty()) {
+    const int cell_status = run_snapshot_cell(setup, jobs, gap_s,
+                                              snap_interval_s, snap_path,
+                                              trace_path);
+    if (cell_status != 0 || snapshots_only) return cell_status;
+  } else if (snapshots_only) {
+    std::fprintf(stderr,
+                 "bench_sched_throughput: --snapshots-only needs "
+                 "--snapshots <path> or --trace <path>\n");
+    return 2;
+  }
 
   std::vector<simnet::Platform> networks = bench::paper_networks();
   networks.push_back(simnet::thunderhead(64));

@@ -10,11 +10,21 @@
 # single source of truth for the smoke sizes -- CI and local runs use the
 # same flags.
 #
+# The counter-plane gate runs the bench_sched_throughput snapshot cell
+# (vmpi::Options::snapshot, obs/snapshot.hpp) in BOTH executor modes and
+# diffs the full snapshot timeline against bench/golden/snapshots_sched.json
+# with report_diff --timeline: every mid-run sample of every stable pvar
+# must match character for character, so a counter that drifts mid-run and
+# drifts back by the end is still caught and localized in virtual time.
+#
 # Usage:
-#   scripts/bench_smoke.sh             # compare against bench/golden/
-#   scripts/bench_smoke.sh --update    # regenerate bench/golden/ (run after
-#                                      # an intentional virtual-time change,
-#                                      # and commit the diff)
+#   scripts/bench_smoke.sh                       # full gate
+#   scripts/bench_smoke.sh --only summaries      # summary + artifact gates
+#   scripts/bench_smoke.sh --only counter-plane  # snapshot-timeline gate
+#   scripts/bench_smoke.sh --update              # regenerate bench/golden/
+#                                                # (after an intentional
+#                                                # virtual-time change;
+#                                                # commit the diff)
 #
 # Environment:
 #   BUILD_DIR  build tree with bench/ + tools/ binaries (default: ./build)
@@ -26,10 +36,58 @@ build="${BUILD_DIR:-$repo/build}"
 out="${OUT_DIR:-$(mktemp -d)}"
 golden="$repo/bench/golden"
 update=0
-if [[ "${1:-}" == "--update" ]]; then
-  update=1
-fi
+only="all"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update) update=1; shift ;;
+    --only)
+      only="${2:?bench_smoke: --only needs summaries|counter-plane}"
+      shift 2 ;;
+    *)
+      echo "bench_smoke: unknown argument $1" >&2
+      echo "usage: bench_smoke.sh [--update] [--only summaries|counter-plane]" >&2
+      exit 2 ;;
+  esac
+done
+case "$only" in
+  all|summaries|counter-plane) ;;
+  *) echo "bench_smoke: --only must be summaries or counter-plane" >&2
+     exit 2 ;;
+esac
 
+status=0
+
+need_bin() {
+  if [[ ! -x "$1" ]]; then
+    echo "bench_smoke: missing $1 (build with -DHPRS_BUILD_BENCH=ON)" >&2
+    exit 2
+  fi
+}
+
+# Every committed perf artifact must carry the _metadata header (hardware
+# threads, HPRS_KERNEL_THREADS, oversubscription warning) so the recording
+# conditions travel with the numbers.  Structural: values are host-specific.
+require_metadata() {
+  local label="$1" file="$2" key
+  if [[ ! -f "$file" ]]; then
+    echo "bench_smoke: $label: missing artifact $file" >&2
+    status=1
+    return 0
+  fi
+  for key in '"_metadata"' '"hw_threads"' '"kernel_threads"' '"oversubscribed"'; do
+    if ! grep -q "$key" "$file"; then
+      echo "bench_smoke: $label: $file lacks $key in its _metadata header" >&2
+      status=1
+      return 0
+    fi
+  done
+}
+
+for artifact in "$repo"/BENCH_*.json; do
+  require_metadata "committed $(basename "$artifact")" "$artifact"
+done
+
+# --- Summary gates ----------------------------------------------------
 # One entry per gated bench: name, binary, and the reduced-size flags.
 # Table 8 partitions by rows across up to 256 ranks, so it keeps >= 256
 # rows and trims the other axes instead.
@@ -43,81 +101,120 @@ declare -A bench_cmd=(
   [resilience]="bench/bench_sched_resilience --rows 48 --cols 48 --replication 8"
 )
 
-status=0
-for name in table5 table6 table7 table8 fault sched resilience; do
-  cmd=(${bench_cmd[$name]})
-  bin="$build/${cmd[0]}"
-  if [[ ! -x "$bin" ]]; then
-    echo "bench_smoke: missing $bin (build with -DHPRS_BUILD_BENCH=ON)" >&2
-    exit 2
-  fi
-  echo "== bench_smoke: $name =="
-  extra=()
-  if [[ "$name" == "table8" ]]; then
-    # The same run doubles as the BENCH_engine.json structural gate below.
-    extra=(--json "$out/engine.json")
-  elif [[ "$name" == "table6" ]]; then
-    # The same run doubles as the BENCH_stream.json structural gate below.
-    extra=(--json "$out/stream.json")
-  elif [[ "$name" == "resilience" ]]; then
-    # The same run doubles as the BENCH_resilience.json structural gate below.
-    extra=(--json "$out/resilience_cells.json")
-  fi
-  "$bin" "${cmd[@]:1}" "${extra[@]}" --summary "$out/$name.json" > "$out/$name.txt"
+if [[ "$only" == "all" || "$only" == "summaries" ]]; then
+  for name in table5 table6 table7 table8 fault sched resilience; do
+    cmd=(${bench_cmd[$name]})
+    bin="$build/${cmd[0]}"
+    need_bin "$bin"
+    echo "== bench_smoke: $name =="
+    extra=()
+    if [[ "$name" == "table8" ]]; then
+      # The same run doubles as the BENCH_engine.json structural gate below.
+      extra=(--json "$out/engine.json")
+    elif [[ "$name" == "table6" ]]; then
+      # The same run doubles as the BENCH_stream.json structural gate below.
+      extra=(--json "$out/stream.json")
+    elif [[ "$name" == "resilience" ]]; then
+      # The same run doubles as the BENCH_resilience.json structural gate below.
+      extra=(--json "$out/resilience_cells.json")
+    fi
+    "$bin" "${cmd[@]:1}" "${extra[@]}" --summary "$out/$name.json" > "$out/$name.txt"
+
+    if [[ "$update" == "1" ]]; then
+      mkdir -p "$golden"
+      cp "$out/$name.json" "$golden/$name.json"
+      echo "updated $golden/$name.json"
+    elif ! "$build/tools/report_diff" "$golden/$name.json" "$out/$name.json"; then
+      status=1
+    fi
+  done
+
+  # --- Perf-artifact structural gates ---------------------------------
+  # BENCH_kernels.json / BENCH_engine.json at the repo root are measured on
+  # a quiet machine at full size; their *values* are host wall time and
+  # cannot be bit-gated.  The smoke runs the same benches small and checks
+  # that the artifact KEY SETS still match -- a renamed/added/removed
+  # benchmark or table cell must come with a regenerated artifact.
+  json_keys() {
+    sed -n 's/^  "\([^"]*\)".*/\1/p' "$1" | sort
+  }
+  gate_keys() {
+    local name="$1" committed="$2" fresh="$3"
+    require_metadata "fresh $name" "$fresh"
+    if [[ "$update" == "1" ]]; then
+      return 0  # root artifacts are regenerated by hand at full size
+    fi
+    if [[ ! -f "$committed" ]]; then
+      echo "bench_smoke: missing committed artifact $committed" >&2
+      status=1
+      return 0
+    fi
+    if ! diff <(json_keys "$committed") <(json_keys "$fresh") >/dev/null; then
+      echo "bench_smoke: $name artifact key set drifted from $committed" >&2
+      diff <(json_keys "$committed") <(json_keys "$fresh") >&2 || true
+      echo "Regenerate the root artifact at full size and commit it." >&2
+      status=1
+    else
+      echo "== bench_smoke: $name artifact keys match $(basename "$committed") =="
+    fi
+  }
+
+  echo "== bench_smoke: kernels (artifact key gate) =="
+  "$build/bench/bench_kernels" --benchmark_min_time=0.02 \
+    --json "$out/kernels.json" > "$out/kernels.txt" 2>&1
+  gate_keys kernels "$repo/BENCH_kernels.json" "$out/kernels.json"
+
+  gate_keys engine "$repo/BENCH_engine.json" "$out/engine.json"
+
+  gate_keys stream "$repo/BENCH_stream.json" "$out/stream.json"
+
+  gate_keys resilience "$repo/BENCH_resilience.json" "$out/resilience_cells.json"
+fi
+
+# --- Counter-plane gate -----------------------------------------------
+# The snapshot cell is one fully-heterogeneous hetero-policy stream with
+# the per-group + dispatcher pvar snapshot service on.  The Perfetto trace
+# of the executor-mode run is left in $OUT_DIR for CI to upload on failure.
+if [[ "$only" == "all" || "$only" == "counter-plane" ]]; then
+  snap_bin="$build/bench/bench_sched_throughput"
+  need_bin "$snap_bin"
+  snap_flags=(--rows 48 --cols 48 --replication 8
+              --jobs 16 --snapshot-interval 1.0 --snapshots-only)
+  echo "== bench_smoke: counter-plane (executor) =="
+  "$snap_bin" "${snap_flags[@]}" \
+    --snapshots "$out/snapshots_sched.json" \
+    --trace "$out/snapshots_sched_trace.json" > "$out/counter_plane.txt"
+  echo "== bench_smoke: counter-plane (thread-per-rank) =="
+  HPRS_THREAD_PER_RANK=1 "$snap_bin" "${snap_flags[@]}" \
+    --snapshots "$out/snapshots_sched_tpr.json" >> "$out/counter_plane.txt"
 
   if [[ "$update" == "1" ]]; then
     mkdir -p "$golden"
-    cp "$out/$name.json" "$golden/$name.json"
-    echo "updated $golden/$name.json"
-  elif ! "$build/tools/report_diff" "$golden/$name.json" "$out/$name.json"; then
-    status=1
-  fi
-done
-
-# --- Perf-artifact structural gates -----------------------------------
-# BENCH_kernels.json / BENCH_engine.json at the repo root are measured on a
-# quiet machine at full size; their *values* are host wall time and cannot
-# be bit-gated.  The smoke runs the same benches small and checks that the
-# artifact KEY SETS still match -- a renamed/added/removed benchmark or
-# table cell must come with a regenerated artifact.
-json_keys() {
-  sed -n 's/^  "\([^"]*\)".*/\1/p' "$1" | sort
-}
-gate_keys() {
-  local name="$1" committed="$2" fresh="$3"
-  if [[ "$update" == "1" ]]; then
-    return 0  # root artifacts are regenerated by hand at full size
-  fi
-  if [[ ! -f "$committed" ]]; then
-    echo "bench_smoke: missing committed artifact $committed" >&2
-    status=1
-    return 0
-  fi
-  if ! diff <(json_keys "$committed") <(json_keys "$fresh") >/dev/null; then
-    echo "bench_smoke: $name artifact key set drifted from $committed" >&2
-    diff <(json_keys "$committed") <(json_keys "$fresh") >&2 || true
-    echo "Regenerate the root artifact at full size and commit it." >&2
-    status=1
+    cp "$out/snapshots_sched.json" "$golden/snapshots_sched.json"
+    echo "updated $golden/snapshots_sched.json"
+    if ! cmp -s "$out/snapshots_sched.json" "$out/snapshots_sched_tpr.json"; then
+      echo "bench_smoke: executor-mode timelines DIVERGE -- not committing" >&2
+      exit 1
+    fi
   else
-    echo "== bench_smoke: $name artifact keys match $(basename "$committed") =="
+    # --timeline must follow the positionals: CliArgs would otherwise eat
+    # the golden path as the flag's value.
+    if ! "$build/tools/report_diff" "$golden/snapshots_sched.json" \
+        "$out/snapshots_sched.json" --timeline; then
+      status=1
+    fi
+    if ! "$build/tools/report_diff" "$golden/snapshots_sched.json" \
+        "$out/snapshots_sched_tpr.json" --timeline; then
+      echo "bench_smoke: thread-per-rank timeline diverged" >&2
+      status=1
+    fi
   fi
-}
-
-echo "== bench_smoke: kernels (artifact key gate) =="
-"$build/bench/bench_kernels" --benchmark_min_time=0.02 \
-  --json "$out/kernels.json" > "$out/kernels.txt" 2>&1
-gate_keys kernels "$repo/BENCH_kernels.json" "$out/kernels.json"
-
-gate_keys engine "$repo/BENCH_engine.json" "$out/engine.json"
-
-gate_keys stream "$repo/BENCH_stream.json" "$out/stream.json"
-
-gate_keys resilience "$repo/BENCH_resilience.json" "$out/resilience_cells.json"
+fi
 
 if [[ "$update" == "1" ]]; then
   echo "bench_smoke: goldens regenerated under bench/golden/ -- review and commit"
 elif [[ "$status" == "0" ]]; then
-  echo "bench_smoke: all summaries match bench/golden/"
+  echo "bench_smoke: all gates match bench/golden/"
 else
   echo "bench_smoke: MISMATCH -- see report_diff output above." >&2
   echo "If the virtual-time change is intentional, regenerate with" >&2

@@ -1,0 +1,75 @@
+#include "obs/pvar.hpp"
+
+#include <algorithm>
+
+namespace hprs::obs {
+
+const char* to_string(PvarClass cls) {
+  switch (cls) {
+    case PvarClass::kCounter:
+      return "counter";
+    case PvarClass::kLevel:
+      return "level";
+    case PvarClass::kTimer:
+      return "timer";
+  }
+  return "?";
+}
+
+void PvarSet::counter(std::string_view name, std::uint64_t total,
+                      Domain domain) {
+  vars_.push_back(Pvar{std::string(name), PvarClass::kCounter, domain, total,
+                       0.0});
+  dirty_ = true;
+}
+
+void PvarSet::level(std::string_view name, double value, Domain domain) {
+  vars_.push_back(Pvar{std::string(name), PvarClass::kLevel, domain, 0,
+                       value});
+  dirty_ = true;
+}
+
+void PvarSet::timer(std::string_view name, double seconds,
+                    std::uint64_t samples) {
+  vars_.push_back(Pvar{std::string(name), PvarClass::kTimer, Domain::kHost,
+                       samples, seconds});
+  dirty_ = true;
+}
+
+const std::vector<Pvar>& PvarSet::sorted() const {
+  if (dirty_) {
+    std::sort(vars_.begin(), vars_.end(),
+              [](const Pvar& a, const Pvar& b) { return a.name < b.name; });
+    dirty_ = false;
+  }
+  return vars_;
+}
+
+PvarSet pvars_from_metrics(const Metrics::Snapshot& snapshot,
+                           bool include_host) {
+  PvarSet set;
+  for (const auto& [name, value] : snapshot) {
+    if (value.domain == Domain::kHost && !include_host) continue;
+    std::string pvar_name = name;
+    if (value.domain == Domain::kHost &&
+        name.find("host") == std::string::npos) {
+      // Route host values into report_diff's threshold rule, which keys on
+      // the substring "host".
+      pvar_name += ".host";
+    }
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        set.counter(pvar_name, value.count, value.domain);
+        break;
+      case MetricKind::kGauge:
+        set.level(pvar_name, value.value, value.domain);
+        break;
+      case MetricKind::kTimer:
+        set.timer(pvar_name, value.value, value.count);
+        break;
+    }
+  }
+  return set;
+}
+
+}  // namespace hprs::obs

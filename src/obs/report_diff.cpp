@@ -2,7 +2,10 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <tuple>
+#include <utility>
 
 namespace hprs::obs {
 namespace {
@@ -192,6 +195,147 @@ DiffResult diff_summaries(const std::map<std::string, std::string>& golden,
           {key, "<missing>", act_token, "key absent from golden summary"});
     }
   }
+  return result;
+}
+
+namespace {
+
+struct TimelineKey {
+  std::string scope;
+  int seq = 0;
+  std::string name;
+};
+
+// Splits "<scope>|<seq>|<name>" (scope is sanitized, so it contains no
+// '|'; the name never does either).
+bool split_timeline_key(std::string_view key, TimelineKey& out) {
+  const std::size_t first = key.find('|');
+  if (first == std::string_view::npos) return false;
+  const std::size_t second = key.find('|', first + 1);
+  if (second == std::string_view::npos || second + 1 >= key.size()) {
+    return false;
+  }
+  out.scope = std::string(key.substr(0, first));
+  out.name = std::string(key.substr(second + 1));
+  const std::string seq_text(key.substr(first + 1, second - first - 1));
+  char* end = nullptr;
+  const long seq = std::strtol(seq_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || seq_text.empty() || seq < 0) {
+    return false;
+  }
+  out.seq = static_cast<int>(seq);
+  return true;
+}
+
+}  // namespace
+
+bool timeline_from_flat(const std::map<std::string, std::string>& flat,
+                        SnapshotTimeline& out, std::string& error) {
+  out.clear();
+  // The flat map is key-sorted, so all entries of one (scope, seq) sample
+  // are adjacent; within a sample "t_s" is just another sorted key.
+  std::map<std::pair<std::string, int>, SnapshotSample> samples;
+  for (const auto& [key, token] : flat) {
+    if (key.rfind("_timeline.", 0) == 0) continue;
+    TimelineKey parts;
+    if (!split_timeline_key(key, parts)) {
+      error = "key \"" + key + "\" is not in <scope>|<seq>|<name> shape";
+      return false;
+    }
+    SnapshotSample& sample = samples[{parts.scope, parts.seq}];
+    sample.scope = parts.scope;
+    sample.seq = parts.seq;
+    if (parts.name == "t_s") {
+      double t = 0.0;
+      if (!parse_number(token, t)) {
+        error = "key \"" + key + "\": timestamp token \"" + token +
+                "\" is not a number";
+        return false;
+      }
+      sample.t_s = t;
+      continue;
+    }
+    const Domain domain = is_host_time_key(parts.name) ? Domain::kHost
+                                                       : Domain::kStable;
+    if (token.find_first_of(".eE") == std::string::npos) {
+      const std::string s(token);
+      char* end = nullptr;
+      const unsigned long long count = std::strtoull(s.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || s.empty()) {
+        error = "key \"" + key + "\": token \"" + token +
+                "\" is neither a counter nor a level";
+        return false;
+      }
+      sample.pvars.counter(parts.name, count, domain);
+    } else {
+      double value = 0.0;
+      if (!parse_number(token, value)) {
+        error = "key \"" + key + "\": token \"" + token +
+                "\" is not a number";
+        return false;
+      }
+      sample.pvars.level(parts.name, value, domain);
+    }
+  }
+  for (auto& [id, sample] : samples) out.append_sample(std::move(sample));
+  out.finalize();
+  return true;
+}
+
+TimelineDiffResult diff_timelines(
+    const std::map<std::string, std::string>& golden,
+    const std::map<std::string, std::string>& actual,
+    const DiffOptions& options) {
+  TimelineDiffResult result;
+  result.diff = diff_summaries(golden, actual, options);
+  if (result.diff.ok()) return result;
+
+  // Localize the earliest divergence in *virtual time*, using whichever
+  // side carries the sample's timestamp (the golden side wins ties).
+  const DiffEntry* best = nullptr;
+  TimelineKey best_key;
+  double best_t = 0.0;
+  for (const DiffEntry& entry : result.diff.mismatches) {
+    TimelineKey parts;
+    if (!split_timeline_key(entry.key, parts)) continue;
+    char seq_buf[16];
+    std::snprintf(seq_buf, sizeof(seq_buf), "%06d", parts.seq);
+    const std::string t_key = parts.scope + "|" + seq_buf + "|t_s";
+    double t = 0.0;
+    bool have_t = false;
+    if (auto it = golden.find(t_key); it != golden.end()) {
+      have_t = parse_number(it->second, t);
+    }
+    if (!have_t) {
+      if (auto it = actual.find(t_key); it != actual.end()) {
+        have_t = parse_number(it->second, t);
+      }
+    }
+    if (!have_t) t = 0.0;
+    if (best == nullptr ||
+        std::tie(t, parts.scope, parts.seq, parts.name) <
+            std::tie(best_t, best_key.scope, best_key.seq, best_key.name)) {
+      best = &entry;
+      best_key = parts;
+      best_t = t;
+    }
+  }
+  char line[512];
+  if (best != nullptr) {
+    std::snprintf(line, sizeof(line),
+                  "first divergence at t=%.6g s: scope \"%s\" sample %d, "
+                  "key \"%s\" (golden %s, actual %s)",
+                  best_t, best_key.scope.c_str(), best_key.seq,
+                  best_key.name.c_str(), best->golden.c_str(),
+                  best->actual.c_str());
+  } else {
+    const DiffEntry& entry = result.diff.mismatches.front();
+    std::snprintf(line, sizeof(line),
+                  "timelines differ at key \"%s\" (golden %s, actual %s)",
+                  entry.key.c_str(), entry.golden.c_str(),
+                  entry.actual.c_str());
+  }
+  result.first_divergence = line;
   return result;
 }
 

@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/snapshot.hpp"
+
 namespace hprs::obs {
 
 /// Parses the flat one-object JSON produced by RunSummary::to_json into
@@ -54,6 +56,35 @@ struct DiffResult {
 };
 
 [[nodiscard]] DiffResult diff_summaries(
+    const std::map<std::string, std::string>& golden,
+    const std::map<std::string, std::string>& actual,
+    const DiffOptions& options = {});
+
+/// Reconstructs a SnapshotTimeline from the flat map written by
+/// snapshot_timeline_flat/json ("<scope>|<seq>|<name>" keys).  Token shape
+/// decides the pvar class (decimal integer -> counter, decimal-marked ->
+/// level) and the "host" substring decides the domain -- enough for replay
+/// display and re-export; timer sample counts are not representable in the
+/// flat form and come back as levels.  Keys outside the timeline shape
+/// (other than the "_timeline." header) fail the parse.
+bool timeline_from_flat(const std::map<std::string, std::string>& flat,
+                        SnapshotTimeline& out, std::string& error);
+
+struct TimelineDiffResult {
+  DiffResult diff;
+  /// When !diff.ok(): a one-line localization of the earliest diverging
+  /// sample in virtual time, e.g.
+  ///   "first divergence at t=0.125 s: scope \"job:3/atdca\" sample 7,
+  ///    key \"p2p.wire_bytes\"".
+  std::string first_divergence;
+  [[nodiscard]] bool ok() const { return diff.ok(); }
+};
+
+/// diff_summaries over a full snapshot timeline: stable series must be
+/// character-exact, host series thresholded -- so a counter that drifts
+/// mid-run fails even when end-state totals agree.  On mismatch, the
+/// earliest divergence is localized by the golden timeline's timestamps.
+[[nodiscard]] TimelineDiffResult diff_timelines(
     const std::map<std::string, std::string>& golden,
     const std::map<std::string, std::string>& actual,
     const DiffOptions& options = {});

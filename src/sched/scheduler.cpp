@@ -85,12 +85,86 @@ constexpr std::size_t kFreeBytes = 16;
          done.error.size();
 }
 
+/// Snapshot-scope label of one job's gang communicator; the resilient mode
+/// appends "#<attempt>" so every attempt gets its own series.
+[[nodiscard]] std::string job_snapshot_scope(const JobSpec& spec) {
+  return "job:" + std::to_string(spec.id) + "/" + to_string(spec.algorithm);
+}
+
+/// Decorrelates the dispatcher's sampling schedule from the per-group
+/// cadences (which are keyed on communicator ids).
+constexpr std::uint64_t kDispatcherScopeId = 0xd15ba7c4e5c09e1dULL;
+
+/// Dispatcher-side counter plane: job/retry counters plus queue-depth and
+/// bytes-in-flight levels, sampled on the engine's snapshot cadence at the
+/// top of the dispatch loop.  Every sampled quantity and the loop's `now`
+/// sequence are deterministic virtual-time state (DESIGN.md §11), so the
+/// series is bit-identical across runs and exec modes.
+class DispatcherPvars {
+ public:
+  explicit DispatcherPvars(vmpi::Comm& comm)
+      : comm_(comm), enabled_(comm.snapshots_enabled()) {
+    if (enabled_) {
+      const obs::SnapshotConfig& cfg = comm.snapshot_config();
+      cadence_ =
+          obs::SnapshotCadence(cfg.interval_s, cfg.seed, kDispatcherScopeId);
+    }
+  }
+
+  void on_dispatch(std::size_t wire_bytes) {
+    ++dispatched_;
+    cmd_wire_bytes_ += wire_bytes;
+    bytes_in_flight_ += wire_bytes;
+  }
+  void on_complete(std::size_t wire_bytes) {
+    ++completed_;
+    bytes_in_flight_ -= std::min<std::uint64_t>(bytes_in_flight_, wire_bytes);
+  }
+  void on_retry() { ++retried_; }
+  void on_worker_lost() { ++lost_workers_; }
+
+  void maybe_sample(double now, std::size_t ready, std::size_t running,
+                    std::size_t free, std::size_t retry_queue) {
+    if (!enabled_ || !cadence_.due(now)) return;
+    cadence_.advance_past(now);
+    obs::PvarSet set;
+    set.counter("jobs.dispatched", dispatched_);
+    set.counter("jobs.completed", completed_);
+    set.counter("jobs.retried", retried_);
+    set.counter("workers.lost", lost_workers_);
+    set.counter("cmd.wire_bytes", cmd_wire_bytes_);
+    set.level("bytes.in_flight", static_cast<double>(bytes_in_flight_));
+    set.level("queue.ready", static_cast<double>(ready));
+    set.level("queue.retry", static_cast<double>(retry_queue));
+    set.level("gangs.running", static_cast<double>(running));
+    set.level("workers.free", static_cast<double>(free));
+    comm_.snapshot_sample("dispatcher", set);
+  }
+
+ private:
+  vmpi::Comm& comm_;
+  bool enabled_ = false;
+  obs::SnapshotCadence cadence_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t lost_workers_ = 0;
+  std::uint64_t cmd_wire_bytes_ = 0;
+  std::uint64_t bytes_in_flight_ = 0;  ///< control-plane bytes of running gangs
+};
+
+/// Control-plane wire bytes a running gang's dispatch put in flight.
+[[nodiscard]] std::size_t gang_wire_bytes(std::size_t members) {
+  return (kCmdBaseBytes + 4 * members) * members;
+}
+
 /// Runs one job on a fresh sub-communicator over the commanded members and
 /// reports completion to the dispatcher.  Every member executes this; only
 /// the gang leader (members[0]) writes `out` and messages the dispatcher.
 void run_job(vmpi::Comm& world, const Cmd& cmd, const JobSpec& spec,
              const hsi::HsiCube& scene, JobOutput& out) {
   vmpi::Comm sub = world.subset(cmd.members, spec.id);
+  if (world.snapshots_enabled()) sub.label_snapshots(job_snapshot_scope(spec));
   const vmpi::RankStats before = sub.stats();
 
   switch (spec.algorithm) {
@@ -227,6 +301,7 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
   std::vector<RunningJob> running;
   std::set<int> free(pool.begin(), pool.end());
   std::size_t completed = 0;
+  DispatcherPvars pvars(comm);
 
   while (completed < arrivals.size()) {
     const double now = comm.now();
@@ -239,6 +314,7 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
                                  records[idx].est_seconds,
                                  stream[idx].ranks});
     }
+    pvars.maybe_sample(now, ready.size(), running.size(), free.size(), 0);
 
     const std::vector<int> free_ranks(free.begin(), free.end());
     if (auto sel = try_select(policy, platform, ready, free_ranks, running,
@@ -272,6 +348,7 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
       for (int m : members) {
         comm.send(m, cmd, bytes, kCmdTag);
       }
+      pvars.on_dispatch(gang_wire_bytes(members.size()));
       continue;
     }
 
@@ -306,6 +383,7 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
     record.finish_s = done.finish_s;
     record.busy_s = done.busy_s;
     for (int m : running[next].members) free.insert(m);
+    pvars.on_complete(gang_wire_bytes(running[next].members.size()));
     running.erase(running.begin() + static_cast<std::ptrdiff_t>(next));
     ++completed;
   }
@@ -341,6 +419,10 @@ void resilient_worker_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
     const hsi::HsiCube& job_scene = spec.scene != nullptr ? *spec.scene : scene;
     vmpi::Comm sub =
         comm.subset(cmd.members, attempt_uid(spec.id, cmd.attempt));
+    if (comm.snapshots_enabled()) {
+      sub.label_snapshots(job_snapshot_scope(spec) + "#" +
+                          std::to_string(cmd.attempt));
+    }
     const vmpi::RankStats before = sub.stats();
     if (sub.is_root()) {
       AttemptOutcome oc = run_resilient_leader(
@@ -420,6 +502,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
   std::vector<RunningJob> running;
   std::vector<RetryEntry> retryq;
   std::size_t terminal = 0;
+  DispatcherPvars pvars(comm);
 
   const auto finalize = [&](std::size_t idx, const std::string& why) {
     JobRecord& record = records[idx];
@@ -437,6 +520,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
     pool.erase(std::remove(pool.begin(), pool.end(), rank), pool.end());
     free.erase(rank);
     lost_ranks.push_back(rank);
+    pvars.on_worker_lost();
     for (PendingJob& job : ready) {
       job.width =
           std::max(1, std::min(job.width, static_cast<int>(pool.size())));
@@ -481,6 +565,8 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
                                  records[entry.index].est_seconds, width});
       ready_backoff.push_back(entry.backoff_s);
     }
+    pvars.maybe_sample(now, ready.size(), running.size(), free.size(),
+                       retryq.size());
 
     const std::vector<int> free_ranks(free.begin(), free.end());
     if (auto sel = try_select(policy, platform, ready, free_ranks, running,
@@ -522,6 +608,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
       for (int m : members) {
         comm.send(m, cmd, bytes, kCmdTag);
       }
+      pvars.on_dispatch(gang_wire_bytes(members.size()));
       continue;
     }
 
@@ -559,6 +646,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
     // dispatcher in virtual time, so the schedule stays deterministic.
     const RunningJob run = running[next];
     running.erase(running.begin() + static_cast<std::ptrdiff_t>(next));
+    pvars.on_complete(gang_wire_bytes(run.members.size()));
     const int leader = run.members.front();
     std::optional<RDone> report = comm.try_recv<RDone>(leader, kDoneTag);
     double busy = 0.0;
@@ -638,6 +726,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
                     (0.5 + u);
         }
         retryq.push_back(RetryEntry{comm.now() + backoff, run.index, backoff});
+        pvars.on_retry();
       }
     }
 

@@ -75,6 +75,29 @@ class Comm {
     engine_->core_sleep_until(rank_, deadline);
   }
 
+  // --- counter plane (obs/snapshot.hpp; see DESIGN.md §15) ---
+  /// True when the engine's snapshot service is on.
+  [[nodiscard]] bool snapshots_enabled() const {
+    return engine_->options_.snapshot.enabled;
+  }
+  [[nodiscard]] const obs::SnapshotConfig& snapshot_config() const {
+    return engine_->options_.snapshot;
+  }
+  /// Renames this communicator's snapshot scope (default "comm_<id>",
+  /// "world" for the world communicator).  The scheduler labels each gang
+  /// "job:<id>/<algorithm>" so a job's timeline survives gang reshuffles.
+  /// Call it with the same label from every member before the first
+  /// collective.
+  void label_snapshots(std::string_view label) {
+    engine_->core_label_snapshots(*group_, label);
+  }
+  /// Appends one caller-assembled pvar sample at this rank's current
+  /// virtual clock (no-op while snapshots are disabled).  Used by the
+  /// scheduler's dispatcher for queue-depth / bytes-in-flight series.
+  void snapshot_sample(std::string_view scope, const obs::PvarSet& pvars) {
+    engine_->core_snapshot_sample(rank_, scope, pvars);
+  }
+
   /// Splits this communicator into disjoint sub-communicators, one per
   /// distinct `color` (the MPI_Comm_split analogue; a collective -- every
   /// member must call it).  Members of the new communicator are ordered by

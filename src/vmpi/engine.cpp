@@ -177,6 +177,7 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     std::lock_guard<std::mutex> lock(mutex_);
     obs_ = ObsCounters{};
     obs_scheduled_bytes_ = 0;
+    timeline_.clear();
     stats_.assign(pu, RankStats{});
     trace_.assign(pu, {});
     nic_free_.assign(pu, 0.0);
@@ -194,6 +195,7 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
       for (int r = 0; r < p; ++r) everyone[static_cast<std::size_t>(r)] = r;
       auto world = std::make_unique<Group>(0, std::move(everyone),
                                            options_.root, platform_);
+      world->snap_scope = "world";
       world->inputs.assign(pu, Packet{});
       world->single_out.assign(pu, Packet{});
       resize_and_clear(world->scatter_parts, pu);
@@ -325,8 +327,86 @@ RunReport Engine::run(const std::function<void(Comm&)>& program) {
     if (e.kind == FaultEventKind::kCrash) ++report.recovery.crashes;
     if (e.kind == FaultEventKind::kMessageLoss) ++report.recovery.messages_lost;
   }
+  // The counter-plane timeline was appended under the engine mutex in
+  // host order; finalize() imposes the canonical (t_s, scope, seq) order
+  // so the export is bit-identical across runs and exec modes.
+  timeline_.finalize();
+  report.snapshots = std::move(timeline_);
+  timeline_.clear();
   publish_metrics(report);
   return report;
+}
+
+void Engine::maybe_snapshot_group_locked(Group& group) {
+  const obs::SnapshotConfig& cfg = options_.snapshot;
+  if (!cfg.enabled) return;
+  // The sample point is the collective boundary every member has reached:
+  // the max member clock after the collective's accounting.
+  double t = 0.0;
+  for (const int m : group.members) {
+    t = std::max(t, stats_[static_cast<std::size_t>(m)].clock);
+  }
+  if (!group.snap_init) {
+    group.snap_cadence = obs::SnapshotCadence(cfg.interval_s, cfg.seed,
+                                              group.id);
+    group.snap_init = true;
+  }
+  if (!group.snap_cadence.due(t)) return;
+  group.snap_cadence.advance_past(t);
+  timeline_.append(group.snap_scope, t, group_pvars_locked(group));
+}
+
+obs::PvarSet Engine::group_pvars_locked(const Group& group) const {
+  static constexpr const char* kCollNames[] = {"none",    "barrier", "bcast",
+                                               "gather",  "scatter",
+                                               "exchange"};
+  obs::PvarSet set;
+  // Emit every collective kind unconditionally (zeros included) so each
+  // scope's samples share one schema and the flat diff never sees a key
+  // appear mid-run.
+  for (std::size_t k = 1; k < 6; ++k) {
+    set.counter(std::string("collectives.") + kCollNames[k],
+                group.coll_count[k]);
+    set.counter(std::string("collective_wire_bytes.") + kCollNames[k],
+                group.coll_bytes[k]);
+  }
+  set.counter("p2p.messages", group.p2p_messages);
+  set.counter("p2p.wire_bytes", group.p2p_bytes);
+  std::uint64_t flops = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  double compute = 0.0;
+  double comm = 0.0;
+  double wait = 0.0;
+  for (const int m : group.members) {
+    const RankStats& s = stats_[static_cast<std::size_t>(m)];
+    flops += s.flops;
+    sent += s.bytes_sent;
+    received += s.bytes_received;
+    compute += s.compute_par + s.compute_seq;
+    comm += s.comm;
+    wait += s.wait;
+  }
+  set.counter("ranks.flops", flops);
+  set.counter("ranks.bytes_sent", sent);
+  set.counter("ranks.bytes_received", received);
+  set.level("ranks.compute_s", compute);
+  set.level("ranks.comm_s", comm);
+  set.level("ranks.wait_s", wait);
+  return set;
+}
+
+void Engine::core_label_snapshots(Group& group, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  group.snap_scope = obs::sanitize_scope(label);
+}
+
+void Engine::core_snapshot_sample(int rank, std::string_view scope,
+                                  const obs::PvarSet& pvars) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!options_.snapshot.enabled) return;
+  timeline_.append(scope, stats_[static_cast<std::size_t>(rank)].clock,
+                   pvars);
 }
 
 void Engine::publish_metrics(const RunReport& report) const {
@@ -592,6 +672,13 @@ Packet Engine::match_recv_locked(int rank, int src, int tag, PendingSend& ps) {
       schedule_transfer_locked(ps.channel, src, rank, bytes, ready, &active);
   ++obs_.p2p_messages;
   obs_.p2p_wire_bytes += bytes;
+  // The message was sent over the communicator identified by ps.channel;
+  // file it on that group's counter plane (the group can already be gone
+  // only for world-tag traffic of a finished run, never mid-collective).
+  if (auto git = groups_.find(ps.channel); git != groups_.end()) {
+    ++git->second->p2p_messages;
+    git->second->p2p_bytes += bytes;
+  }
   account_transfer_locked(rank, me.clock, end, active, 0, bytes);
   // Record the sender's half for it to apply itself (core_send /
   // core_wait_send); writing stats_[src] here would race with a sender
@@ -1109,8 +1196,14 @@ void Engine::finish_collective_locked(Group& group) {
   }
 
   ++obs_.collectives[obs_kind];
-  obs_.collective_wire_bytes[obs_kind] +=
-      obs_scheduled_bytes_ - obs_bytes_before;
+  const std::uint64_t wire = obs_scheduled_bytes_ - obs_bytes_before;
+  obs_.collective_wire_bytes[obs_kind] += wire;
+  ++group.coll_count[obs_kind];
+  group.coll_bytes[obs_kind] += wire;
+  // Sample the group's counter plane while every member is still blocked
+  // at this boundary: the values are then a pure function of the group's
+  // program order and virtual clocks (DESIGN.md §15).
+  maybe_snapshot_group_locked(group);
   group.coll_kind = CollectiveKind::kNone;
   group.coll_root = -1;
   group.arrived = 0;
@@ -1245,6 +1338,7 @@ Group& Engine::ensure_group(std::uint64_t id, const std::vector<int>& members) {
   simnet::Platform sub(platform_.name(), std::move(specs), std::move(seg),
                        platform_.switched_fabric());
   auto group = std::make_unique<Group>(id, members, 0, std::move(sub));
+  group->snap_scope = "comm_" + std::to_string(id);
   const auto n = members.size();
   group->inputs.assign(n, Packet{});
   group->single_out.assign(n, Packet{});

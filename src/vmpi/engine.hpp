@@ -51,6 +51,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/snapshot.hpp"
 #include "simnet/platform.hpp"
 #include "vmpi/fault.hpp"
 #include "vmpi/packet.hpp"
@@ -125,6 +126,22 @@ struct Group {
   std::vector<Packet> single_out;
   std::vector<std::vector<Packet>> multi_out;
   std::vector<std::vector<std::pair<int, Packet>>> exchange_out;
+
+  // --- counter plane (engine mutex; see obs/snapshot.hpp) ---
+  /// Scope label this group's snapshot samples are filed under; "world"
+  /// for group 0, "comm_<id>" by default, overridden per job through
+  /// Comm::label_snapshots.
+  std::string snap_scope;
+  /// Per-group stable counters, sampled at collective boundaries.  Indexed
+  /// by CollectiveKind like Engine::ObsCounters; [0] stays unused.
+  std::uint64_t coll_count[6] = {};
+  std::uint64_t coll_bytes[6] = {};
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+  /// Seeded virtual-time sampling schedule; initialized lazily on the
+  /// group's first collective so disabled runs never draw from it.
+  obs::SnapshotCadence snap_cadence;
+  bool snap_init = false;
 };
 
 /// How rank bodies are mapped onto host threads.  Virtual results are
@@ -162,6 +179,10 @@ struct Options {
   /// Default virtual-time heartbeat for Comm::try_send / try_recv: how long
   /// a rank waits past a dead peer's death before declaring it lost.
   double fault_detection_s = 0.1;
+  /// Counter-plane snapshot service (off by default).  Enabling it samples
+  /// per-communicator stable pvars on a seeded virtual-time cadence into
+  /// RunReport::snapshots; virtual results are unaffected either way.
+  obs::SnapshotConfig snapshot;
 };
 
 class Engine {
@@ -253,6 +274,15 @@ class Engine {
   /// core_try_send).
   [[nodiscard]] std::optional<Packet> core_try_recv(int rank, int src, int tag,
                                                     double timeout_s);
+  /// Renames the snapshot scope of `group` (e.g. "job:7/atdca" instead of
+  /// the default "comm_<id>"); every member calls it with the same label
+  /// right after creating the communicator, so it lands before the group's
+  /// first sample.
+  void core_label_snapshots(Group& group, std::string_view label);
+  /// Appends one caller-assembled pvar sample at `rank`'s current virtual
+  /// clock (used by the scheduler's dispatcher for queue-depth series).
+  void core_snapshot_sample(int rank, std::string_view scope,
+                            const obs::PvarSet& pvars);
   /// Tags `seconds` of already-charged master time as redistribution
   /// overhead in the recovery decomposition.
   void core_note_redistribution(int rank, double seconds);
@@ -318,6 +348,15 @@ class Engine {
   void account_transfer_locked(int rank, double ready, double end,
                                double active, std::uint64_t bytes_out,
                                std::uint64_t bytes_in);
+
+  /// Samples `group`'s counter plane into timeline_ if its snapshot
+  /// cadence has come due at the group's current collective boundary.
+  /// Called from finish_collective_locked with every member blocked, so
+  /// the sampled values are a pure function of the group's program order.
+  void maybe_snapshot_group_locked(Group& group);
+  /// Assembles the pvar sample for `group` (collective/p2p counters plus
+  /// member stats totals).
+  [[nodiscard]] obs::PvarSet group_pvars_locked(const Group& group) const;
 
   void poison_locked(const std::string& reason);
   void check_poison_locked() const;
@@ -478,6 +517,9 @@ class Engine {
     std::uint64_t mailbox_depth_max = 0;
   };
   ObsCounters obs_;
+  /// Counter-plane snapshot timeline (engine mutex); cleared at the top of
+  /// run() and moved into RunReport::snapshots at the end.
+  obs::SnapshotTimeline timeline_;
   /// Wire bytes of every transfer scheduled since run() started;
   /// finish_collective_locked differences it around the fan-out to obtain
   /// per-collective-kind byte totals.

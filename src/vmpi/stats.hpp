@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/snapshot.hpp"
 #include "vmpi/fault.hpp"
 
 namespace hprs::vmpi {
@@ -67,6 +68,9 @@ struct RunReport {
   /// Recovery-overhead decomposition summed over ranks (all zero without
   /// faults): detection waits, master redistribution time, recomputed work.
   RecoveryStats recovery;
+  /// Counter-plane snapshot timeline in canonical (t_s, scope, seq) order
+  /// (empty unless Options::snapshot.enabled); see obs/snapshot.hpp.
+  obs::SnapshotTimeline snapshots;
 
   /// COM: the root's communication time.  In the master/worker algorithms
   /// every transfer touches the root, so this is the communication span of

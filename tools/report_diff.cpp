@@ -2,12 +2,17 @@
 // under the golden-gate policy of obs/report_diff.hpp.
 //
 //   report_diff <golden.json> <actual.json>
-//       [--host-rel-tol N] [--host-abs-tol N]
+//       [--host-rel-tol N] [--host-abs-tol N] [--timeline]
 //
 // Exit status: 0 when the summaries agree, 1 on any mismatch (every
 // mismatching key is printed), 2 on usage / unreadable or unparsable input.
 // This is the decision procedure of the CI bench-smoke job: goldens live in
 // bench/golden/ and are regenerated with scripts/bench_smoke.sh --update.
+//
+// --timeline treats both documents as counter-plane snapshot timelines
+// (obs/snapshot.hpp): same key-by-key policy, but on mismatch the earliest
+// diverging sample is localized in virtual time -- the counter that
+// drifted mid-run, not just that something differed.
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -47,11 +52,12 @@ bool load_summary(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const hprs::CliArgs args(argc, argv, {"host-rel-tol", "host-abs-tol"});
+  const hprs::CliArgs args(argc, argv,
+                           {"host-rel-tol", "host-abs-tol", "timeline"});
   if (args.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: report_diff <golden.json> <actual.json> "
-                 "[--host-rel-tol N] [--host-abs-tol N]\n");
+                 "[--host-rel-tol N] [--host-abs-tol N] [--timeline]\n");
     return 2;
   }
   const std::string& golden_path = args.positional()[0];
@@ -67,6 +73,23 @@ int main(int argc, char** argv) {
   hprs::obs::DiffOptions options;
   options.host_rel_tol = args.get_double("host-rel-tol", options.host_rel_tol);
   options.host_abs_tol = args.get_double("host-abs-tol", options.host_abs_tol);
+
+  if (args.get_bool("timeline", false)) {
+    const auto result = hprs::obs::diff_timelines(golden, actual, options);
+    if (result.ok()) {
+      std::printf("report_diff: timeline OK (%zu keys compared)\n",
+                  result.diff.keys_compared);
+      return 0;
+    }
+    std::fprintf(stderr, "report_diff: %zu timeline mismatch(es) vs %s\n",
+                 result.diff.mismatches.size(), golden_path.c_str());
+    std::fprintf(stderr, "  %s\n", result.first_divergence.c_str());
+    for (const auto& m : result.diff.mismatches) {
+      std::fprintf(stderr, "  %s: golden=%s actual=%s (%s)\n", m.key.c_str(),
+                   m.golden.c_str(), m.actual.c_str(), m.reason.c_str());
+    }
+    return 1;
+  }
 
   const auto result = hprs::obs::diff_summaries(golden, actual, options);
   if (result.ok()) {

@@ -381,6 +381,49 @@ inline bool write_sched_json(const std::string& path,
   return true;
 }
 
+/// One cell of the serving bench: one {scenario, executor-mode} run of a
+/// generated traffic trace through serve::run_service.
+/// bench_serve_traffic collects one record per cell and serializes them
+/// with write_serve_json (--json <path>, conventionally BENCH_serve.json)
+/// so serving-quality regressions (SLA drift across executor modes,
+/// batching losing its win) are machine-checkable.
+struct ServeRecord {
+  std::string scenario;
+  std::string mode;
+  double makespan_s = 0.0;
+  double utilization = 0.0;
+  double wait_p50_s = 0.0;
+  double wait_p95_s = 0.0;
+  double slowdown_p95 = 0.0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t riders = 0;
+};
+
+/// Writes the records as a flat JSON object keyed "<scenario>_<mode>".
+/// Same no-dependency format rationale as write_kernel_json.
+inline bool write_serve_json(const std::string& path,
+                             const std::vector<ServeRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  write_metadata_entry(f, !records.empty());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "  \"%s_%s\": {\"makespan_s\": %.6f, \"utilization\": %.6f, "
+        "\"wait_p50_s\": %.6f, \"wait_p95_s\": %.6f, \"slowdown_p95\": "
+        "%.6f, \"completed\": %zu, \"rejected\": %zu, \"riders\": %zu}%s\n",
+        r.scenario.c_str(), r.mode.c_str(), r.makespan_s, r.utilization,
+        r.wait_p50_s, r.wait_p95_s, r.slowdown_p95, r.completed, r.rejected,
+        r.riders, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// One scenario of the resilience bench: a fixed single-job stream run
 /// through the resilient scheduler either fault-free or under a leader
 /// crash, with checkpoint resume on or off.  bench_sched_resilience

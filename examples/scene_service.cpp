@@ -1,29 +1,32 @@
-// Scene service: a shared network of workstations serving a mixed stream
-// of analysis requests (paper Sect. 6 outlook -- many concurrent analyses
-// competing for one cluster).
+// Scene service: a shared network of workstations serving production
+// traffic (paper Sect. 6 outlook -- many concurrent analyses competing for
+// one cluster, here as a multi-tenant service).
 //
-//   ./scene_service [--jobs N] [--policy fifo|sjf|hetero] [--rows N]
-//                   [--cols N] [--seed S]
+//   ./scene_service [--trace steady|diurnal|bursty|tenant-mix] [--jobs N]
+//                   [--duration S] [--policy fifo|sjf|hetero] [--batch B]
+//                   [--rows N] [--cols N] [--seed S]
 //
-// Submits an alternating ATDCA (target extraction) + PCT (dimensionality
-// reduction) request stream against the paper's fully heterogeneous
-// 16-workstation network, gang-places each request onto a rank subset with
-// the chosen policy (default: heterogeneity-aware best-fit with backfill),
-// and prints the per-request completion table plus the stream summary.
-// Everything runs in virtual time, so the table is bit-identical across
-// runs and executor modes.
+// Generates a seeded arrival trace of the chosen shape (default: the
+// skewed three-tenant mix), serves it through serve::run_service --
+// rate-limit admission, compute-once batching (--batch 1, default on),
+// gang placement under the chosen policy -- and prints the per-request
+// completion table plus the per-tenant SLA report.  Everything runs in
+// virtual time, so both tables are bit-identical across runs and executor
+// modes.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "hsi/scene.hpp"
-#include "sched/scheduler.hpp"
+#include "serve/service.hpp"
+#include "serve/traffic.hpp"
 #include "simnet/platform.hpp"
 
 int main(int argc, char** argv) {
   using namespace hprs;
-  const CliArgs args(argc, argv, {"jobs", "policy", "rows", "cols", "seed"});
+  const CliArgs args(argc, argv, {"trace", "jobs", "duration", "policy",
+                                  "batch", "rows", "cols", "seed"});
 
   // 1. The shared scene every request analyses (stands in for the AVIRIS
   //    World Trade Center cube) and the shared cluster serving the stream.
@@ -34,69 +37,71 @@ int main(int argc, char** argv) {
   const hsi::Scene scene = hsi::generate_wtc_scene(scene_cfg);
   const simnet::Platform platform = simnet::fully_heterogeneous();
 
-  const std::string policy_name = args.get("policy", "hetero");
-  sched::SchedulerConfig config;
-  if (policy_name == "fifo") {
-    config.policy = sched::Policy::kFifo;
-  } else if (policy_name == "sjf") {
-    config.policy = sched::Policy::kSjf;
-  } else {
-    config.policy = sched::Policy::kHeteroBestFit;
+  // 2. The traffic: a seeded trace of the requested shape, tenants and
+  //    request parameters from the preset's tenant profiles.
+  serve::TraceConfig trace_cfg =
+      serve::preset_trace(args.get("trace", "tenant-mix"));
+  trace_cfg.jobs = static_cast<std::size_t>(args.get_int("jobs", 24));
+  trace_cfg.duration_s = args.get_double("duration", 4.0);
+  trace_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20010916));
+  for (serve::TenantProfile& tenant : trace_cfg.tenants) {
+    tenant.targets = 6;
+    tenant.classes = 4;
+    tenant.skewers = 32;
   }
+  const auto stream = serve::generate_trace(trace_cfg);
 
-  // 2. The request stream: clients alternate between target extraction
-  //    (ATDCA, 3-rank gangs) and dimensionality reduction (PCT, 2-rank
-  //    gangs), one request every 50 virtual milliseconds.
-  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 8));
-  std::vector<sched::JobSpec> stream;
-  for (std::size_t k = 0; k < jobs; ++k) {
-    sched::JobSpec spec;
-    spec.id = k + 1;
-    spec.arrival_s = 0.05 * static_cast<double>(k);
-    if (k % 2 == 0) {
-      spec.algorithm = sched::JobAlgorithm::kAtdca;
-      spec.ranks = 3;
-      spec.targets = 8;
-    } else {
-      spec.algorithm = sched::JobAlgorithm::kPct;
-      spec.ranks = 2;
-      spec.classes = 5;
-    }
-    stream.push_back(spec);
-  }
-
-  std::printf("scene service: %zu requests on %s (%zu processors), %s\n\n",
-              stream.size(), platform.name().c_str(), platform.size(),
-              sched::to_string(config.policy));
-
-  // 3. Run the schedule and print the completion table.
-  const auto result =
-      sched::run_schedule(platform, scene.cube, stream, config);
-
-  std::printf("%4s  %-6s  %9s  %9s  %9s  %8s  ranks\n", "job", "alg",
-              "arrive(s)", "wait(s)", "finish(s)", "busy");
-  for (const auto& record : result.records) {
-    if (record.rejected) {
-      std::printf("%4llu  %-6s  rejected: %s\n",
-                  static_cast<unsigned long long>(record.id),
-                  sched::to_string(record.algorithm), record.error.c_str());
-      continue;
-    }
-    std::string members;
-    for (int m : record.members) {
-      members += (members.empty() ? "" : ",") + std::to_string(m);
-    }
-    std::printf("%4llu  %-6s  %9.3f  %9.3f  %9.3f  %7.0f%%  [%s]\n",
-                static_cast<unsigned long long>(record.id),
-                sched::to_string(record.algorithm), record.arrival_s,
-                record.queue_wait_s(), record.finish_s,
-                100.0 * record.utilization(), members.c_str());
-  }
+  // 3. Service policy: admission quotas for the ad-hoc tail, batching on
+  //    by default so the survey tenant's shared question computes once.
+  serve::ServiceConfig config;
+  config.policy = sched::parse_policy(args.get("policy", "hetero"));
+  config.batching = args.get_bool("batch", true);
+  config.quotas["adhoc"].max_inflight_ranks = 4;
 
   std::printf(
-      "\nstream: %zu completed, %zu rejected; makespan %.3f virtual s, "
+      "scene service: %zu requests (%s trace) on %s (%zu processors), "
+      "%s, batching %s\n\n",
+      stream.size(), serve::to_string(trace_cfg.shape),
+      platform.name().c_str(), platform.size(),
+      sched::to_string(config.policy), config.batching ? "on" : "off");
+
+  const auto result = serve::run_service(platform, scene.cube, stream,
+                                         config);
+
+  // 4. Per-request completion table with batching/quota attribution.
+  std::printf("%4s  %-8s  %-6s  %9s  %9s  %9s  note\n", "req", "tenant",
+              "alg", "arrive(s)", "wait(s)", "finish(s)");
+  for (const auto& record : result.schedule.records) {
+    if (record.state == sched::JobState::kRejected) {
+      std::printf("%4llu  %-8s  %-6s  %9.3f  rejected: %s\n",
+                  static_cast<unsigned long long>(record.id),
+                  record.tenant.c_str(), sched::to_string(record.algorithm),
+                  record.arrival_s, record.error.c_str());
+      continue;
+    }
+    std::string note;
+    if (record.batched_into != 0) {
+      note = "rider of job " + std::to_string(record.batched_into);
+    } else if (record.batch_fanout > 0) {
+      note = "computed for " + std::to_string(record.batch_fanout) +
+             " riders";
+    }
+    std::printf("%4llu  %-8s  %-6s  %9.3f  %9.3f  %9.3f  %s\n",
+                static_cast<unsigned long long>(record.id),
+                record.tenant.c_str(), sched::to_string(record.algorithm),
+                record.arrival_s, record.queue_wait_s(), record.finish_s,
+                note.c_str());
+  }
+
+  // 5. The per-tenant SLA report.
+  std::printf("\n%s", serve::sla_table(result).c_str());
+  std::printf(
+      "\nstream: %zu completed, %zu rejected (%zu by rate limits); "
+      "%zu riders saved %.3f virtual s; makespan %.3f virtual s, "
       "cluster utilization %.1f%%\n",
-      result.completed(), result.rejected(), result.makespan_s,
-      100.0 * result.utilization);
+      result.schedule.completed(), result.schedule.rejected(),
+      result.rate_rejected, result.batches.riders,
+      result.batches.saved_est_s, result.schedule.makespan_s,
+      100.0 * result.schedule.utilization);
   return 0;
 }

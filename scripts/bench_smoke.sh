@@ -99,10 +99,11 @@ declare -A bench_cmd=(
   [fault]="bench/bench_fault_recovery --rows 48 --cols 48 --replication 8"
   [sched]="bench/bench_sched_throughput --rows 48 --cols 48 --replication 8"
   [resilience]="bench/bench_sched_resilience --rows 48 --cols 48 --replication 8"
+  [serve]="bench/bench_serve_traffic --rows 48 --cols 48 --replication 8 --jobs 48 --duration 30"
 )
 
 if [[ "$only" == "all" || "$only" == "summaries" ]]; then
-  for name in table5 table6 table7 table8 fault sched resilience; do
+  for name in table5 table6 table7 table8 fault sched resilience serve; do
     cmd=(${bench_cmd[$name]})
     bin="$build/${cmd[0]}"
     need_bin "$bin"
@@ -117,6 +118,9 @@ if [[ "$only" == "all" || "$only" == "summaries" ]]; then
     elif [[ "$name" == "resilience" ]]; then
       # The same run doubles as the BENCH_resilience.json structural gate below.
       extra=(--json "$out/resilience_cells.json")
+    elif [[ "$name" == "serve" ]]; then
+      # The same run doubles as the BENCH_serve.json structural gate below.
+      extra=(--json "$out/serve_cells.json")
     fi
     "$bin" "${cmd[@]:1}" "${extra[@]}" --summary "$out/$name.json" > "$out/$name.txt"
 
@@ -169,6 +173,8 @@ if [[ "$only" == "all" || "$only" == "summaries" ]]; then
   gate_keys stream "$repo/BENCH_stream.json" "$out/stream.json"
 
   gate_keys resilience "$repo/BENCH_resilience.json" "$out/resilience_cells.json"
+
+  gate_keys serve "$repo/BENCH_serve.json" "$out/serve_cells.json"
 fi
 
 # --- Counter-plane gate -----------------------------------------------

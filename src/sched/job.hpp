@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/partition.hpp"
@@ -32,6 +33,7 @@ enum class JobAlgorithm : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(JobAlgorithm algorithm);
+[[nodiscard]] JobAlgorithm parse_job_algorithm(std::string_view name);
 
 /// One submitted analysis job.  Algorithm parameters default to the paper's
 /// values (core/runner.hpp); `ranks` is the gang width -- the job runs on
@@ -64,7 +66,25 @@ struct JobSpec {
 
   /// Scene override; the scheduler's shared scene when null.
   const hsi::HsiCube* scene = nullptr;
+
+  /// Submitting tenant (serve layer); empty for untenanted jobs.  The
+  /// dispatcher files per-tenant pvar samples under "tenant:<name>" scopes
+  /// and enforces SchedulerConfig::tenant_rank_caps against it.
+  std::string tenant;
+  /// Shared-work key (serve/batcher.hpp): two specs with the same nonzero
+  /// key *and* compute-equivalent parameters (compute_equivalent) may be
+  /// served by one gang under SchedulerConfig::batch_shared_keys.  Zero
+  /// (the default) never batches.
+  std::uint64_t batch_key = 0;
 };
+
+/// True when `a` and `b` run the identical computation: same algorithm,
+/// same algorithm parameters, same partitioning knobs, and the same scene
+/// override.  Gang width and arrival metadata are placement concerns and
+/// deliberately excluded -- a batched rider reuses the leader's gang, and
+/// its output then equals a solo run of its own spec on that same gang bit
+/// for bit.  Guards batching against batch-key hash collisions.
+[[nodiscard]] bool compute_equivalent(const JobSpec& a, const JobSpec& b);
 
 /// Terminal disposition of a job.  The base scheduler only produces
 /// kCompleted / kRejected; the resilient mode (SchedulerConfig::resilience)
@@ -143,6 +163,16 @@ struct JobRecord {
   std::string error;
   /// Terminal disposition (kPending only while the schedule is running).
   JobState state = JobState::kPending;
+  /// Submitting tenant, copied from the spec ("" for untenanted jobs).
+  std::string tenant;
+  /// Nonzero for a batched rider: the id of the leader job whose gang
+  /// computed this request's result (serve/batcher.hpp).  The rider's
+  /// output is the leader's, copied after the run; its busy_s is 0 (it
+  /// held no ranks).
+  std::uint64_t batched_into = 0;
+  /// On a batch leader: how many riders its gang's single computation
+  /// served in addition to itself.
+  std::size_t batch_fanout = 0;
   /// Attempt history under the resilient scheduler; empty in base mode.
   /// `dispatch_s` / `members` above describe the attempt that completed
   /// the job (the last one).

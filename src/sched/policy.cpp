@@ -1,6 +1,7 @@
 #include "sched/policy.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 
 #include "common/error.hpp"
@@ -17,6 +18,27 @@ const char* to_string(JobAlgorithm algorithm) {
     case JobAlgorithm::kPpi: return "PPI";
   }
   return "?";
+}
+
+JobAlgorithm parse_job_algorithm(std::string_view name) {
+  if (name == "ATDCA") return JobAlgorithm::kAtdca;
+  if (name == "UFCLS") return JobAlgorithm::kUfcls;
+  if (name == "PCT") return JobAlgorithm::kPct;
+  if (name == "MORPH") return JobAlgorithm::kMorph;
+  if (name == "PPI") return JobAlgorithm::kPpi;
+  throw Error("unknown job algorithm '" + std::string(name) +
+              "' (expected ATDCA, UFCLS, PCT, MORPH, or PPI)");
+}
+
+bool compute_equivalent(const JobSpec& a, const JobSpec& b) {
+  return a.algorithm == b.algorithm && a.targets == b.targets &&
+         a.classes == b.classes && a.iterations == b.iterations &&
+         a.kernel_radius == b.kernel_radius && a.skewers == b.skewers &&
+         a.seed == b.seed && a.sad_threshold == b.sad_threshold &&
+         a.replication == b.replication &&
+         a.memory_fraction == b.memory_fraction && a.policy == b.policy &&
+         a.charge_data_staging == b.charge_data_staging &&
+         a.tile_stream == b.tile_stream && a.scene == b.scene;
 }
 
 const char* to_string(JobState state) {
@@ -106,6 +128,64 @@ std::vector<int> pick_members(Policy policy, const simnet::Platform& platform,
   return members;
 }
 
+ReadyQueue::OrderKey ReadyQueue::key_of(const PendingJob& job) const {
+  // The same primary keys policy_order sorts by; ids are unique, so the
+  // total order (and hence every schedule) matches the vector-based sort.
+  const double primary =
+      policy_ == Policy::kSjf ? job.est_seconds : job.arrival_s;
+  return OrderKey{primary, job.id};
+}
+
+void ReadyQueue::push(const PendingJob& job) {
+  const OrderKey key = key_of(job);
+  HPRS_REQUIRE(by_id_.emplace(job.id, key).second,
+               "ReadyQueue: job id " + std::to_string(job.id) +
+                   " is already queued");
+  jobs_.emplace(key, job);
+  if (job.batch_key != 0) by_batch_key_.emplace(job.batch_key, job.id);
+}
+
+void ReadyQueue::erase(std::uint64_t id) {
+  const auto it = by_id_.find(id);
+  HPRS_REQUIRE(it != by_id_.end(),
+               "ReadyQueue: erasing unknown job id " + std::to_string(id));
+  const auto jt = jobs_.find(it->second);
+  HPRS_ASSERT(jt != jobs_.end());
+  if (jt->second.batch_key != 0) {
+    auto [lo, hi] = by_batch_key_.equal_range(jt->second.batch_key);
+    for (auto bt = lo; bt != hi; ++bt) {
+      if (bt->second == id) {
+        by_batch_key_.erase(bt);
+        break;
+      }
+    }
+  }
+  jobs_.erase(jt);
+  by_id_.erase(it);
+}
+
+const PendingJob* ReadyQueue::find(std::uint64_t id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  const auto jt = jobs_.find(it->second);
+  return jt == jobs_.end() ? nullptr : &jt->second;
+}
+
+std::vector<std::uint64_t> ReadyQueue::batch_peers(std::uint64_t key) const {
+  std::vector<std::uint64_t> ids;
+  if (key == 0) return ids;
+  auto [lo, hi] = by_batch_key_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) ids.push_back(it->second);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ReadyQueue::clamp_widths(int max_width) {
+  for (auto& [key, job] : jobs_) {
+    job.width = std::max(1, std::min(job.width, max_width));
+  }
+}
+
 double reservation_time(const std::vector<RunningJob>& running,
                         std::size_t free_now, int width, double now) {
   if (free_now >= static_cast<std::size_t>(width)) return now;
@@ -133,22 +213,19 @@ double reservation_time(const std::vector<RunningJob>& running,
   return now;
 }
 
-std::optional<Selection> try_select(Policy policy,
-                                    const simnet::Platform& platform,
-                                    const std::vector<PendingJob>& ready,
-                                    const std::vector<int>& free_ranks,
-                                    const std::vector<RunningJob>& running,
-                                    double now,
-                                    const std::vector<double>* speed_scale) {
+std::optional<QueueSelection> try_select(
+    Policy policy, const simnet::Platform& platform, const ReadyQueue& ready,
+    const std::vector<int>& free_ranks, const std::vector<RunningJob>& running,
+    double now, const std::vector<double>* speed_scale) {
   if (ready.empty()) return std::nullopt;
-  const std::vector<std::size_t> order = policy_order(policy, ready);
-  const PendingJob& head = ready[order.front()];
+  const auto& ordered = ready.ordered();
+  const PendingJob& head = ordered.begin()->second;
   const bool head_fits =
       static_cast<std::size_t>(head.width) <= free_ranks.size();
   if (head_fits) {
-    return Selection{order.front(),
-                     pick_members(policy, platform, free_ranks, head.width,
-                                  speed_scale)};
+    return QueueSelection{head.id, head.index,
+                          pick_members(policy, platform, free_ranks,
+                                       head.width, speed_scale)};
   }
   if (policy != Policy::kHeteroBestFit) return std::nullopt;
 
@@ -158,15 +235,36 @@ std::optional<Selection> try_select(Policy policy,
   // the head starts no later than it would have without backfill.
   const double horizon =
       reservation_time(running, free_ranks.size(), head.width, now);
-  for (std::size_t k = 1; k < order.size(); ++k) {
-    const PendingJob& job = ready[order[k]];
+  for (auto it = std::next(ordered.begin()); it != ordered.end(); ++it) {
+    const PendingJob& job = it->second;
     if (static_cast<std::size_t>(job.width) > free_ranks.size()) continue;
-    std::vector<int> members =
-        pick_members(policy, platform, free_ranks, job.width, speed_scale);
     if (now + job.est_seconds <= horizon) {
-      return Selection{order[k], std::move(members)};
+      return QueueSelection{job.id, job.index,
+                            pick_members(policy, platform, free_ranks,
+                                         job.width, speed_scale)};
     }
   }
+  return std::nullopt;
+}
+
+std::optional<Selection> try_select(Policy policy,
+                                    const simnet::Platform& platform,
+                                    const std::vector<PendingJob>& ready,
+                                    const std::vector<int>& free_ranks,
+                                    const std::vector<RunningJob>& running,
+                                    double now,
+                                    const std::vector<double>* speed_scale) {
+  ReadyQueue queue(policy);
+  for (const PendingJob& job : ready) queue.push(job);
+  auto sel = try_select(policy, platform, queue, free_ranks, running, now,
+                        speed_scale);
+  if (!sel.has_value()) return std::nullopt;
+  for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+    if (ready[pos].id == sel->id) {
+      return Selection{pos, std::move(sel->members)};
+    }
+  }
+  HPRS_ASSERT(false);  // the queue only holds entries of `ready`
   return std::nullopt;
 }
 

@@ -20,9 +20,12 @@
 //                       head is never delayed and no job starves.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "simnet/platform.hpp"
@@ -46,6 +49,12 @@ struct PendingJob {
   double arrival_s = 0.0;
   double est_seconds = 0.0;
   int width = 1;
+  /// Shared-work key (JobSpec::batch_key); 0 = unbatchable.  Opaque to the
+  /// policy order; ReadyQueue indexes it for the dispatcher's rider attach.
+  std::uint64_t batch_key = 0;
+  /// Backoff this entry waited in the retry queue before re-joining
+  /// (resilient dispatcher bookkeeping; 0 for first arrivals).
+  double backoff_s = 0.0;
 };
 
 /// Policy view of a dispatched, not-yet-completed job.
@@ -56,6 +65,61 @@ struct RunningJob {
   /// deterministic completion horizon policies reason against.
   double est_finish_s = 0.0;
   std::vector<int> members;
+  /// Shared-work key of the gang's job (0 = unbatchable).
+  std::uint64_t batch_key = 0;
+  /// Stream indices of batched riders attached to this gang: requests
+  /// whose compute-equivalent result this gang's single run will serve.
+  std::vector<std::size_t> riders;
+};
+
+/// Indexed ready queue: the dispatcher's pending set, kept permanently in
+/// the policy's dispatch-preference order (FIFO/hetero by (arrival, id),
+/// SJF by (estimate, id)) with O(log n) insert/erase, plus a batch-key
+/// index for the rider attach.  Replaces the O(n log n)-per-event re-sort
+/// of a flat vector, which turned 1000+-job streams quadratic; the total
+/// order is identical (ids are unique), so schedules are bit-identical to
+/// the vector-based dispatcher.
+class ReadyQueue {
+ public:
+  /// Sort key inside the ordered map: the policy's primary key with the
+  /// job-id tie-break every policy ordering uses.
+  struct OrderKey {
+    double primary = 0.0;
+    std::uint64_t id = 0;
+    [[nodiscard]] bool operator<(const OrderKey& o) const {
+      if (primary != o.primary) return primary < o.primary;
+      return id < o.id;
+    }
+  };
+
+  explicit ReadyQueue(Policy policy) : policy_(policy) {}
+
+  /// Inserts `job` (its id must not already be queued).
+  void push(const PendingJob& job);
+  /// Removes the entry with `id` (must be queued).
+  void erase(std::uint64_t id);
+  [[nodiscard]] const PendingJob* find(std::uint64_t id) const;
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// The queue in dispatch-preference order.
+  [[nodiscard]] const std::map<OrderKey, PendingJob>& ordered() const {
+    return jobs_;
+  }
+  /// Ids of queued jobs sharing this nonzero batch key, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> batch_peers(
+      std::uint64_t key) const;
+  /// Clamps every queued width into [1, max_width] (elastic resize after
+  /// rank loss).  Widths are not part of the sort key, so order holds.
+  void clamp_widths(int max_width);
+
+ private:
+  [[nodiscard]] OrderKey key_of(const PendingJob& job) const;
+
+  Policy policy_;
+  std::map<OrderKey, PendingJob> jobs_;
+  std::unordered_map<std::uint64_t, OrderKey> by_id_;
+  std::multimap<std::uint64_t, std::uint64_t> by_batch_key_;
 };
 
 /// Positions of `ready` in the policy's dispatch-preference order (FIFO and
@@ -88,9 +152,25 @@ struct Selection {
   std::vector<int> members;
 };
 
+/// try_select result over a ReadyQueue: the selected job's id and stream
+/// index instead of a vector position.
+struct QueueSelection {
+  std::uint64_t id = 0;
+  std::size_t index = 0;
+  std::vector<int> members;
+};
+
 /// The policy's dispatch decision at virtual time `now`: the next job to
 /// start and its placement, or nullopt when nothing may start (the
 /// dispatcher then waits for the next arrival or completion).
+[[nodiscard]] std::optional<QueueSelection> try_select(
+    Policy policy, const simnet::Platform& platform, const ReadyQueue& ready,
+    const std::vector<int>& free_ranks,
+    const std::vector<RunningJob>& running, double now,
+    const std::vector<double>* speed_scale = nullptr);
+
+/// Vector-based convenience overload (unit tests, callers without a
+/// persistent queue): same decision, reported as a position in `ready`.
 [[nodiscard]] std::optional<Selection> try_select(
     Policy policy, const simnet::Platform& platform,
     const std::vector<PendingJob>& ready, const std::vector<int>& free_ranks,

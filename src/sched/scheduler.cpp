@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -95,6 +96,23 @@ constexpr std::size_t kFreeBytes = 16;
 /// cadences (which are keyed on communicator ids).
 constexpr std::uint64_t kDispatcherScopeId = 0xd15ba7c4e5c09e1dULL;
 
+/// Live per-tenant accounting the dispatcher keeps for quota admission and
+/// the "tenant:<name>" pvar scopes.  All fields advance at deterministic
+/// dispatcher events (arrival processing, dispatch, completion), so the
+/// sampled series are bit-identical across runs and exec modes.
+struct TenantLive {
+  /// Summed requested gang widths of admitted, not-yet-finished jobs --
+  /// the quantity SchedulerConfig::tenant_rank_caps bounds.
+  int inflight_ranks = 0;
+  std::size_t ready = 0;    ///< jobs waiting in the ready queue
+  std::size_t running = 0;  ///< gangs holding ranks
+  std::size_t riders = 0;   ///< batched riders waiting on a gang
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t batched = 0;  ///< riders served by fan-out (cumulative)
+};
+using TenantMap = std::map<std::string, TenantLive>;
+
 /// Dispatcher-side counter plane: job/retry counters plus queue-depth and
 /// bytes-in-flight levels, sampled on the engine's snapshot cadence at the
 /// top of the dispatch loop.  Every sampled quantity and the loop's `now`
@@ -124,7 +142,8 @@ class DispatcherPvars {
   void on_worker_lost() { ++lost_workers_; }
 
   void maybe_sample(double now, std::size_t ready, std::size_t running,
-                    std::size_t free, std::size_t retry_queue) {
+                    std::size_t free, std::size_t retry_queue,
+                    const TenantMap* tenants = nullptr) {
     if (!enabled_ || !cadence_.due(now)) return;
     cadence_.advance_past(now);
     obs::PvarSet set;
@@ -139,6 +158,22 @@ class DispatcherPvars {
     set.level("gangs.running", static_cast<double>(running));
     set.level("workers.free", static_cast<double>(free));
     comm_.snapshot_sample("dispatcher", set);
+    // Per-tenant series ride the dispatcher's cadence event, one scope per
+    // tenant in map (= name) order.  Untenanted streams pass null and emit
+    // exactly the historic scope set.
+    if (tenants != nullptr) {
+      for (const auto& [name, t] : *tenants) {
+        obs::PvarSet ts;
+        ts.counter("jobs.completed", t.completed);
+        ts.counter("jobs.rejected_quota", t.rejected_quota);
+        ts.counter("jobs.batched", t.batched);
+        ts.level("jobs.ready", static_cast<double>(t.ready));
+        ts.level("gangs.running", static_cast<double>(t.running));
+        ts.level("jobs.riders", static_cast<double>(t.riders));
+        ts.level("ranks.inflight", static_cast<double>(t.inflight_ranks));
+        comm_.snapshot_sample("tenant:" + name, ts);
+      }
+    }
   }
 
  private:
@@ -274,9 +309,10 @@ void worker_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
 }
 
 void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
-                     const hsi::HsiCube& scene, Policy policy,
+                     const hsi::HsiCube& scene, const SchedulerConfig& config,
                      std::vector<JobRecord>& records) {
   const simnet::Platform& platform = comm.platform();
+  const Policy policy = config.policy;
   std::vector<int> pool;  // the worker ranks, ascending
   for (int r = 0; r < comm.size(); ++r) {
     if (r != comm.root()) pool.push_back(r);
@@ -296,30 +332,97 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
               return stream[a].id < stream[b].id;
             });
 
+  // Per-tenant live accounting, pre-seeded from the stream so every tenant
+  // has a pvar series from the first dispatcher sample on.  Untenanted
+  // streams keep the map empty and sample exactly the historic scope set.
+  TenantMap tenants;
+  for (std::size_t i : arrivals) {
+    if (!stream[i].tenant.empty()) tenants[stream[i].tenant];
+  }
+  const TenantMap* tenant_view = tenants.empty() ? nullptr : &tenants;
+  const auto live_of = [&tenants](const JobSpec& spec) -> TenantLive* {
+    if (spec.tenant.empty()) return nullptr;
+    const auto it = tenants.find(spec.tenant);
+    return it == tenants.end() ? nullptr : &it->second;
+  };
+
   std::size_t next_arrival = 0;
-  std::vector<PendingJob> ready;
+  ReadyQueue ready(policy);
   std::vector<RunningJob> running;
   std::set<int> free(pool.begin(), pool.end());
-  std::size_t completed = 0;
+  std::size_t terminal = 0;  // completed + quota-rejected + riders served
   DispatcherPvars pvars(comm);
 
-  while (completed < arrivals.size()) {
+  while (terminal < arrivals.size()) {
     const double now = comm.now();
 
     // Admit everything that has arrived by now.
     while (next_arrival < arrivals.size() &&
            stream[arrivals[next_arrival]].arrival_s <= now) {
       const std::size_t idx = arrivals[next_arrival++];
-      ready.push_back(PendingJob{stream[idx].id, idx, stream[idx].arrival_s,
-                                 records[idx].est_seconds,
-                                 stream[idx].ranks});
+      const JobSpec& spec = stream[idx];
+      TenantLive* live = live_of(spec);
+
+      // Tenant quota: the cap on in-flight ranks is enforced at the
+      // arrival event, before the job can hold a queue slot.
+      if (live != nullptr) {
+        const auto cap = config.tenant_rank_caps.find(spec.tenant);
+        if (cap != config.tenant_rank_caps.end() && cap->second > 0 &&
+            live->inflight_ranks + spec.ranks > cap->second) {
+          JobRecord& record = records[idx];
+          record.rejected = true;
+          record.state = JobState::kRejected;
+          record.error = "quota:inflight_ranks tenant '" + spec.tenant +
+                         "' cap " + std::to_string(cap->second) +
+                         " in flight " +
+                         std::to_string(live->inflight_ranks) +
+                         " requested " + std::to_string(spec.ranks);
+          ++live->rejected_quota;
+          ++terminal;
+          continue;
+        }
+        live->inflight_ranks += spec.ranks;
+      }
+
+      // Compute-once batching, arrival side: a request arriving while a
+      // gang is already computing the identical work attaches to it as a
+      // rider instead of queueing.  Among several matching gangs (possible
+      // only with batching off earlier in the stream) the lowest job id
+      // hosts -- a deterministic rule.
+      if (config.batch_shared_keys && spec.batch_key != 0) {
+        RunningJob* host = nullptr;
+        for (RunningJob& run : running) {
+          if (run.batch_key == spec.batch_key &&
+              compute_equivalent(stream[run.index], spec) &&
+              (host == nullptr || run.id < host->id)) {
+            host = &run;
+          }
+        }
+        if (host != nullptr) {
+          JobRecord& record = records[idx];
+          record.dispatch_s = now;  // joined the in-flight computation
+          record.members = records[host->index].members;
+          record.est_seconds = records[host->index].est_seconds;
+          record.batched_into = host->id;
+          host->riders.push_back(idx);
+          if (live != nullptr) ++live->riders;
+          continue;
+        }
+      }
+
+      PendingJob pending{spec.id,  idx, spec.arrival_s,
+                         records[idx].est_seconds, spec.ranks};
+      pending.batch_key = config.batch_shared_keys ? spec.batch_key : 0;
+      ready.push(pending);
+      if (live != nullptr) ++live->ready;
     }
-    pvars.maybe_sample(now, ready.size(), running.size(), free.size(), 0);
+    pvars.maybe_sample(now, ready.size(), running.size(), free.size(), 0,
+                       tenant_view);
 
     const std::vector<int> free_ranks(free.begin(), free.end());
     if (auto sel = try_select(policy, platform, ready, free_ranks, running,
                               now)) {
-      const std::size_t idx = ready[sel->ready_pos].index;
+      const std::size_t idx = sel->index;
       const JobSpec& spec = stream[idx];
       const hsi::HsiCube& job_scene =
           spec.scene != nullptr ? *spec.scene : scene;
@@ -336,11 +439,42 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
       record.members = members;
       record.est_seconds =
           estimate_job(platform, members, spec, job_scene).seconds;
-      running.push_back(RunningJob{spec.id, idx, now + record.est_seconds,
-                                   members});
+      RunningJob run;
+      run.id = spec.id;
+      run.index = idx;
+      run.est_finish_s = now + record.est_seconds;
+      run.members = members;
+      run.batch_key = config.batch_shared_keys ? spec.batch_key : 0;
+      ready.erase(sel->id);
+      if (TenantLive* live = live_of(spec)) {
+        --live->ready;
+        ++live->running;
+      }
+
+      // Compute-once batching, dispatch side: every queued
+      // compute-equivalent request with the same key skips its own
+      // dispatch and takes this gang's result.
+      if (run.batch_key != 0) {
+        for (std::uint64_t peer : ready.batch_peers(run.batch_key)) {
+          const PendingJob* pending = ready.find(peer);
+          HPRS_ASSERT(pending != nullptr);
+          const std::size_t ridx = pending->index;
+          if (!compute_equivalent(stream[ridx], spec)) continue;
+          ready.erase(peer);
+          JobRecord& rider = records[ridx];
+          rider.dispatch_s = now;
+          rider.members = members;
+          rider.est_seconds = record.est_seconds;
+          rider.batched_into = spec.id;
+          run.riders.push_back(ridx);
+          if (TenantLive* rlive = live_of(stream[ridx])) {
+            --rlive->ready;
+            ++rlive->riders;
+          }
+        }
+      }
+      running.push_back(std::move(run));
       for (int m : members) free.erase(m);
-      ready.erase(ready.begin() +
-                  static_cast<std::ptrdiff_t>(sel->ready_pos));
       Cmd cmd;
       cmd.index = static_cast<std::uint32_t>(idx);
       cmd.members = members;
@@ -382,10 +516,31 @@ void dispatcher_loop(vmpi::Comm& comm, const std::vector<JobSpec>& stream,
     JobRecord& record = records[done.index];
     record.finish_s = done.finish_s;
     record.busy_s = done.busy_s;
+    record.batch_fanout = running[next].riders.size();
+    if (TenantLive* live = live_of(stream[done.index])) {
+      --live->running;
+      ++live->completed;
+      live->inflight_ranks -= stream[done.index].ranks;
+    }
+    ++terminal;
+    // Fan the completion out to the riders: their result is the leader's
+    // (run_schedule copies the output after the run); available at the
+    // gang's finish, or at the rider's own attach instant if the gang's
+    // actual finish predates it (estimate skew).
+    for (std::size_t ridx : running[next].riders) {
+      JobRecord& rider = records[ridx];
+      rider.finish_s = std::max(done.finish_s, rider.dispatch_s);
+      if (TenantLive* rlive = live_of(stream[ridx])) {
+        --rlive->riders;
+        ++rlive->completed;
+        ++rlive->batched;
+        rlive->inflight_ranks -= stream[ridx].ranks;
+      }
+      ++terminal;
+    }
     for (int m : running[next].members) free.insert(m);
     pvars.on_complete(gang_wire_bytes(running[next].members.size()));
     running.erase(running.begin() + static_cast<std::ptrdiff_t>(next));
-    ++completed;
   }
 
   // Drain the pool: one shutdown command per worker.
@@ -497,8 +652,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
             });
 
   std::size_t next_arrival = 0;
-  std::vector<PendingJob> ready;
-  std::vector<double> ready_backoff;  // parallel to `ready`
+  ReadyQueue ready(policy);
   std::vector<RunningJob> running;
   std::vector<RetryEntry> retryq;
   std::size_t terminal = 0;
@@ -521,10 +675,7 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
     free.erase(rank);
     lost_ranks.push_back(rank);
     pvars.on_worker_lost();
-    for (PendingJob& job : ready) {
-      job.width =
-          std::max(1, std::min(job.width, static_cast<int>(pool.size())));
-    }
+    ready.clamp_widths(static_cast<int>(pool.size()));
   };
 
   while (terminal < arrivals.size()) {
@@ -539,9 +690,8 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
       }
       const int width =
           std::min(stream[idx].ranks, static_cast<int>(pool.size()));
-      ready.push_back(PendingJob{stream[idx].id, idx, stream[idx].arrival_s,
-                                 records[idx].est_seconds, width});
-      ready_backoff.push_back(0.0);
+      ready.push(PendingJob{stream[idx].id, idx, stream[idx].arrival_s,
+                            records[idx].est_seconds, width});
     }
     // Due retries re-enter the queue in deterministic (retry_at, id) order.
     std::sort(retryq.begin(), retryq.end(),
@@ -560,10 +710,11 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
       }
       const int width =
           std::min(stream[entry.index].ranks, static_cast<int>(pool.size()));
-      ready.push_back(PendingJob{stream[entry.index].id, entry.index,
-                                 stream[entry.index].arrival_s,
-                                 records[entry.index].est_seconds, width});
-      ready_backoff.push_back(entry.backoff_s);
+      PendingJob retry{stream[entry.index].id, entry.index,
+                       stream[entry.index].arrival_s,
+                       records[entry.index].est_seconds, width};
+      retry.backoff_s = entry.backoff_s;
+      ready.push(retry);
     }
     pvars.maybe_sample(now, ready.size(), running.size(), free.size(),
                        retryq.size());
@@ -571,7 +722,8 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
     const std::vector<int> free_ranks(free.begin(), free.end());
     if (auto sel = try_select(policy, platform, ready, free_ranks, running,
                               now, &speed_scale)) {
-      const std::size_t idx = ready[sel->ready_pos].index;
+      const std::size_t idx = sel->index;
+      const double sel_backoff_s = ready.find(sel->id)->backoff_s;
       const JobSpec& spec = stream[idx];
       const hsi::HsiCube& job_scene =
           spec.scene != nullptr ? *spec.scene : scene;
@@ -589,16 +741,18 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
       JobAttempt attempt;
       attempt.attempt = static_cast<int>(record.attempts.size()) + 1;
       attempt.dispatch_s = now;
-      attempt.backoff_s = ready_backoff[sel->ready_pos];
+      attempt.backoff_s = sel_backoff_s;
       attempt.width = static_cast<int>(members.size());
       attempt.members = members;
       record.attempts.push_back(std::move(attempt));
-      running.push_back(
-          RunningJob{spec.id, idx, now + record.est_seconds, members});
+      RunningJob run;
+      run.id = spec.id;
+      run.index = idx;
+      run.est_finish_s = now + record.est_seconds;
+      run.members = members;
+      running.push_back(std::move(run));
       for (int m : members) free.erase(m);
-      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(sel->ready_pos));
-      ready_backoff.erase(ready_backoff.begin() +
-                          static_cast<std::ptrdiff_t>(sel->ready_pos));
+      ready.erase(sel->id);
       Cmd cmd;
       cmd.index = static_cast<std::uint32_t>(idx);
       cmd.attempt =
@@ -734,11 +888,10 @@ void resilient_dispatcher_loop(vmpi::Comm& comm,
     // queued; resolve those jobs now instead of spinning.
     if (pool.empty()) {
       HPRS_ASSERT(running.empty());
-      for (const PendingJob& job : ready) {
+      for (const auto& [key, job] : ready.ordered()) {
         finalize(job.index, "no surviving workers to run the job");
       }
-      ready.clear();
-      ready_backoff.clear();
+      ready = ReadyQueue(policy);
       for (const RetryEntry& entry : retryq) {
         finalize(entry.index, "no surviving workers to retry the job");
       }
@@ -808,6 +961,12 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
     // Fail fast at schedule construction: a crash aimed at the dispatcher
     // or a nonexistent rank is a plan bug, not a survivable fault.
     validate_cluster_fault_plan(options, platform.size());
+    // Batching fan-out and quota admission are base-dispatcher features;
+    // the retry control plane would need per-attempt rider re-attachment
+    // to combine with them.  Tenant *labels* pass through either mode.
+    HPRS_REQUIRE(!config.batch_shared_keys && config.tenant_rank_caps.empty(),
+                 "batch_shared_keys / tenant_rank_caps cannot be combined "
+                 "with SchedulerConfig::resilience");
   } else {
     HPRS_REQUIRE(options.fault_plan.crashes.empty(),
                  "the base scheduler cannot survive rank crashes; enable "
@@ -834,6 +993,7 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
     record.id = spec.id;
     record.algorithm = spec.algorithm;
     record.arrival_s = spec.arrival_s;
+    record.tenant = spec.tenant;
     try {
       check_admission(platform, pool, spec, job_scene);
       std::vector<int> canonical =
@@ -861,7 +1021,7 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
         resilient_dispatcher_loop(comm, stream, scene, config, result.records,
                                   store, result.lost_ranks);
       } else {
-        dispatcher_loop(comm, stream, scene, config.policy, result.records);
+        dispatcher_loop(comm, stream, scene, config, result.records);
       }
     } else if (config.resilience.enabled) {
       resilient_worker_loop(comm, stream, scene, result.outputs,
@@ -878,6 +1038,21 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
     }
   }
 
+  // Fan batched results out: a rider's output is its leader's, bit for bit
+  // (compute_equivalent guarantees the leader's run equals a solo run of
+  // the rider's own spec on the same gang).
+  if (config.batch_shared_keys) {
+    std::map<std::uint64_t, std::size_t> index_of;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      index_of[stream[i].id] = i;
+    }
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      const std::uint64_t leader = result.records[i].batched_into;
+      if (leader == 0) continue;
+      result.outputs[i] = result.outputs[index_of.at(leader)];
+    }
+  }
+
   for (const JobRecord& record : result.records) {
     if (!record.completed()) continue;
     result.makespan_s = std::max(result.makespan_s, record.finish_s);
@@ -891,6 +1066,15 @@ ScheduleResult run_schedule(const simnet::Platform& platform,
     auto& metrics = obs::Metrics::instance();
     metrics.add("sched.jobs.completed", result.completed());
     metrics.add("sched.jobs.rejected", result.rejected());
+    // Batching counters only exist when the feature is on, so plain runs
+    // publish exactly the historic metric set.
+    if (config.batch_shared_keys) {
+      std::size_t riders = 0;
+      for (const JobRecord& record : result.records) {
+        riders += record.batched_into != 0 ? 1 : 0;
+      }
+      metrics.add("sched.jobs.batched_riders", riders);
+    }
     for (const JobRecord& record : result.records) {
       if (!record.completed()) continue;
       const std::string prefix =

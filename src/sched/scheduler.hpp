@@ -13,6 +13,8 @@
 // drains.  See DESIGN.md section 11 for the determinism argument.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "hsi/cube.hpp"
@@ -38,6 +40,21 @@ struct SchedulerConfig {
   /// kDegraded / kFailed instead of aborting the schedule.  Off by
   /// default: the base path stays bit-identical to previous releases.
   ResilienceConfig resilience;
+  /// Compute-once batching (serve/batcher.hpp): when a job with a nonzero
+  /// JobSpec::batch_key is dispatched or running, compute-equivalent jobs
+  /// sharing the key attach to its gang as *riders* instead of dispatching
+  /// -- the gang computes once and the scheduler fans the result out to
+  /// every rider at completion (JobRecord::batched_into / batch_fanout).
+  /// Base scheduler only; off by default (streams with zero keys are
+  /// unaffected either way).
+  bool batch_shared_keys = false;
+  /// Per-tenant admission cap on in-flight ranks: the summed requested
+  /// gang widths of a tenant's admitted, not-yet-finished jobs (queued +
+  /// running + riders) may not exceed its cap.  A job arriving over the
+  /// cap is rejected at its arrival event with a named
+  /// "quota:inflight_ranks ..." reason.  Tenants without an entry (and
+  /// entries <= 0) are unlimited.  Base scheduler only.
+  std::map<std::string, int> tenant_rank_caps;
 };
 
 /// Outcome of scheduling one job stream.

@@ -1,0 +1,99 @@
+// run_service: the scene service's end-to-end driver.
+//
+//   trace -> rate-limit admission -> batcher -> scheduler -> SLA reports
+//
+// One call takes an arrival-sorted request stream (usually from
+// serve/traffic.hpp), applies the sliding-window rate limits, hands the
+// admitted sub-stream to sched::run_schedule with batching and in-flight
+// rank caps wired through, then merges the scheduler's records back into
+// full stream order (rate-rejected requests get synthesized kRejected
+// records carrying their reasons) and derives per-tenant SLA statistics
+// (wait / makespan / slowdown percentiles).  Everything downstream of the
+// stream is a pure function of it, so reports are bit-identical across
+// runs and both executor modes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hsi/cube.hpp"
+#include "obs/run_summary.hpp"
+#include "sched/scheduler.hpp"
+#include "serve/batcher.hpp"
+#include "serve/tenant.hpp"
+#include "simnet/platform.hpp"
+#include "vmpi/engine.hpp"
+
+namespace hprs::serve {
+
+struct ServiceConfig {
+  sched::Policy policy = sched::Policy::kHeteroBestFit;
+  /// Compute-once batching of shared batch keys (serve/batcher.hpp).
+  bool batching = false;
+  /// Per-tenant admission budgets (serve/tenant.hpp).
+  TenantQuotas quotas;
+  /// Publish sched.* / serve.* metrics into the obs registry.
+  bool record_metrics = true;
+};
+
+/// Per-tenant service-level statistics over one run.  Percentiles are
+/// nearest-rank over the tenant's completed requests; slowdown is
+/// (wait + makespan) / makespan, the bounded-slowdown numerator the
+/// scheduling literature reports.
+struct TenantSla {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  /// Completed requests served as batched riders.
+  std::size_t riders = 0;
+  double wait_p50_s = 0.0;
+  double wait_p95_s = 0.0;
+  double makespan_p50_s = 0.0;
+  double makespan_p95_s = 0.0;
+  double slowdown_p50 = 0.0;
+  double slowdown_p95 = 0.0;
+  /// Summed busy seconds the tenant's gangs charged the cluster.
+  double busy_s = 0.0;
+};
+
+struct ServiceResult {
+  /// Scheduler outcome re-indexed to the FULL input stream: one record /
+  /// output per request, in stream order; rate-rejected requests carry
+  /// synthesized kRejected records (error = the named reason) and empty
+  /// outputs.
+  sched::ScheduleResult schedule;
+  /// Requests refused by the rate-limit pre-pass.
+  std::size_t rate_rejected = 0;
+  BatchStats batches;
+  /// Per-tenant SLAs, sorted by tenant name.
+  std::vector<TenantSla> tenants;
+};
+
+/// Runs the service over `stream` on `platform`.  The stream must be
+/// arrival-sorted with unique ids (generate_trace output qualifies).
+[[nodiscard]] ServiceResult run_service(const simnet::Platform& platform,
+                                        const hsi::HsiCube& scene,
+                                        const std::vector<sched::JobSpec>& stream,
+                                        const ServiceConfig& config = {},
+                                        vmpi::Options options = {});
+
+/// Nearest-rank percentile of an unsorted sample, q in (0, 1].
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Per-tenant SLAs over completion records (sorted by tenant name; the
+/// empty tenant name reports as "default").
+[[nodiscard]] std::vector<TenantSla> tenant_slas(
+    const std::vector<sched::JobRecord>& records);
+
+/// Records the result's service-level plane under `prefix.`: stream-wide
+/// counts, makespan/utilization, batching stats, and every tenant's SLA
+/// under `prefix.tenant.<name>.*`.  All stable keys.
+void add_sla_summary(obs::RunSummary& summary, std::string_view prefix,
+                     const ServiceResult& result);
+
+/// Human-readable per-tenant SLA table (one header + one row per tenant).
+[[nodiscard]] std::string sla_table(const ServiceResult& result);
+
+}  // namespace hprs::serve

@@ -1,0 +1,62 @@
+#include "serve/tenant.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hprs::serve {
+
+std::vector<sched::JobSpec> apply_rate_limits(
+    const std::vector<sched::JobSpec>& stream, const TenantQuotas& quotas,
+    std::vector<RateRejection>& rejected) {
+  rejected.clear();
+  std::vector<sched::JobSpec> admitted;
+  admitted.reserve(stream.size());
+  // Per-tenant arrival times of previously ADMITTED requests still inside
+  // the sliding window (rejected requests do not consume budget, matching
+  // a token-bucket refused call).
+  std::map<std::string, std::deque<double>> windows;
+  double last_arrival = -1.0;
+  for (std::size_t pos = 0; pos < stream.size(); ++pos) {
+    const sched::JobSpec& spec = stream[pos];
+    HPRS_REQUIRE(spec.arrival_s >= last_arrival,
+                 "apply_rate_limits: stream is not arrival-sorted at "
+                 "position " +
+                     std::to_string(pos));
+    last_arrival = spec.arrival_s;
+    const auto quota = quotas.find(spec.tenant);
+    if (quota == quotas.end() || quota->second.rate_limit == 0) {
+      admitted.push_back(spec);
+      continue;
+    }
+    const std::size_t limit = quota->second.rate_limit;
+    const double window_s = quota->second.rate_window_s;
+    std::deque<double>& window = windows[spec.tenant];
+    while (!window.empty() && window.front() <= spec.arrival_s - window_s) {
+      window.pop_front();
+    }
+    if (window.size() >= limit) {
+      char reason[160];
+      std::snprintf(reason, sizeof(reason),
+                    "quota:rate_limit tenant '%s' limit %zu per %gs",
+                    spec.tenant.c_str(), limit, window_s);
+      rejected.push_back(RateRejection{pos, reason});
+      continue;
+    }
+    window.push_back(spec.arrival_s);
+    admitted.push_back(spec);
+  }
+  return admitted;
+}
+
+std::map<std::string, int> inflight_rank_caps(const TenantQuotas& quotas) {
+  std::map<std::string, int> caps;
+  for (const auto& [name, quota] : quotas) {
+    if (quota.max_inflight_ranks > 0) caps[name] = quota.max_inflight_ranks;
+  }
+  return caps;
+}
+
+}  // namespace hprs::serve

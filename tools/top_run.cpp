@@ -18,6 +18,12 @@
 // like sample counts per second would vary, and none is printed.
 //
 //   top_run --jobs 12 --resilient --crash 3@0.05 --interval 0.02
+//
+// --trace steady|diurnal|bursty|tenant-mix serves a seeded traffic trace
+// (serve/traffic.hpp) with batching on instead of the plain cycle stream;
+// the dispatcher then emits "tenant:<name>" scopes and the render adds a
+// per-tenant service table (ready/running/riders/in-flight ranks, quota
+// rejections, batched fan-outs).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +37,7 @@
 #include "obs/report_diff.hpp"
 #include "obs/snapshot.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/traffic.hpp"
 #include "simnet/platform.hpp"
 
 namespace {
@@ -121,6 +128,31 @@ void render_dispatcher(const obs::SnapshotTimeline& timeline) {
   if (!header) std::printf("(no dispatcher samples)\n");
 }
 
+/// Per-tenant service table from the "tenant:<name>" scopes the
+/// dispatcher emits for tenanted streams (sched/scheduler.cpp): the last
+/// sample's live levels plus the cumulative counters.
+void render_tenants(const obs::SnapshotTimeline& timeline) {
+  std::map<std::string, const obs::SnapshotSample*> tenants;
+  for (const obs::SnapshotSample& s : timeline.samples()) {
+    if (s.scope.rfind("tenant:", 0) != 0) continue;
+    const obs::SnapshotSample*& last = tenants[s.scope.substr(7)];
+    if (last == nullptr || s.seq > last->seq) last = &s;
+  }
+  if (tenants.empty()) return;
+  std::printf("\n%-16s %6s %6s %6s %8s %6s %8s %8s\n", "tenant", "ready",
+              "run", "ride", "inflight", "done", "quota_rej", "batched");
+  for (const auto& [name, s] : tenants) {
+    std::printf("%-16s %6.0f %6.0f %6.0f %8.0f %6.0f %9.0f %8.0f\n",
+                name.c_str(), pvar_value(s->pvars, "jobs.ready"),
+                pvar_value(s->pvars, "gangs.running"),
+                pvar_value(s->pvars, "jobs.riders"),
+                pvar_value(s->pvars, "ranks.inflight"),
+                pvar_value(s->pvars, "jobs.completed"),
+                pvar_value(s->pvars, "jobs.rejected_quota"),
+                pvar_value(s->pvars, "jobs.batched"));
+  }
+}
+
 /// Per-scope rate table over each scope's first..last sample window.
 void render_rates(const obs::SnapshotTimeline& timeline) {
   struct Window {
@@ -138,7 +170,8 @@ void render_rates(const obs::SnapshotTimeline& timeline) {
   std::printf("\n%-28s %5s %9s %11s %11s %11s\n", "scope", "n", "span_s",
               "colls/s", "p2p_MB/s", "Mflops/s");
   for (const auto& [scope, w] : scopes) {
-    if (scope == "dispatcher") continue;
+    // Control-plane scopes carry no wire/flop counters.
+    if (scope == "dispatcher" || scope.rfind("tenant:", 0) == 0) continue;
     const double dt = w.last->t_s - w.first->t_s;
     const auto rate = [&](const std::string& name, double scale) {
       if (dt <= 0.0) return 0.0;
@@ -176,6 +209,7 @@ void render(const obs::SnapshotTimeline& timeline) {
               "[%.4f, %.4f] s\n\n",
               timeline.size(), scopes.size(), t0, t1);
   render_dispatcher(timeline);
+  render_tenants(timeline);
   render_rates(timeline);
 }
 
@@ -186,7 +220,8 @@ int main(int argc, char** argv) {
                      {"replay", "out", "csv", "interval", "jobs", "gap",
                       "policy", "network", "cpus", "accels", "rows", "cols",
                       "bands", "seed", "replication", "targets", "classes",
-                      "iters", "radius", "resilient", "checkpoint", "crash"});
+                      "iters", "radius", "resilient", "checkpoint", "crash",
+                      "trace", "duration"});
 
   obs::SnapshotTimeline timeline;
   const std::string replay_path = args.get("replay", "");
@@ -246,27 +281,55 @@ int main(int argc, char** argv) {
     }
 
     const int pool = static_cast<int>(platform.size()) - 1;
-    constexpr sched::JobAlgorithm kCycle[] = {
-        sched::JobAlgorithm::kAtdca, sched::JobAlgorithm::kPct,
-        sched::JobAlgorithm::kPpi, sched::JobAlgorithm::kUfcls,
-        sched::JobAlgorithm::kMorph};
     std::vector<sched::JobSpec> stream;
     const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 12));
-    const double gap = args.get_double("gap", 0.005);
-    for (std::size_t k = 0; k < jobs; ++k) {
-      sched::JobSpec spec;
-      spec.id = k + 1;
-      spec.algorithm = kCycle[k % 5];
-      spec.arrival_s = gap * static_cast<double>(k);
-      spec.ranks = std::min(pool, 2 + static_cast<int>(k % 3));
-      spec.targets = static_cast<std::size_t>(args.get_int("targets", 8));
-      spec.classes = static_cast<std::size_t>(args.get_int("classes", 5));
-      spec.iterations = static_cast<std::size_t>(args.get_int("iters", 2));
-      spec.kernel_radius =
-          static_cast<std::size_t>(args.get_int("radius", 1));
-      spec.replication =
-          static_cast<std::size_t>(args.get_int("replication", 8));
-      stream.push_back(spec);
+    const std::string trace_name = args.get("trace", "");
+    if (!trace_name.empty()) {
+      serve::TraceConfig trace_cfg;
+      try {
+        trace_cfg = serve::preset_trace(trace_name);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "top_run: %s\n", e.what());
+        return 2;
+      }
+      trace_cfg.jobs = jobs;
+      trace_cfg.duration_s = args.get_double("duration", 0.1);
+      trace_cfg.seed =
+          static_cast<std::uint64_t>(args.get_int("seed", 20010916));
+      for (serve::TenantProfile& tenant : trace_cfg.tenants) {
+        tenant.targets = static_cast<std::size_t>(args.get_int("targets", 8));
+        tenant.classes = static_cast<std::size_t>(args.get_int("classes", 5));
+        tenant.max_ranks = std::min(tenant.max_ranks, pool);
+        tenant.min_ranks = std::min(tenant.min_ranks, tenant.max_ranks);
+        tenant.replication =
+            static_cast<std::size_t>(args.get_int("replication", 8));
+      }
+      stream = serve::generate_trace(trace_cfg);
+      // Compute-once batching is a base-dispatcher feature; the retry
+      // control plane cannot host riders, so a resilient trace run serves
+      // every request solo.
+      sched_cfg.batch_shared_keys = !sched_cfg.resilience.enabled;
+    } else {
+      constexpr sched::JobAlgorithm kCycle[] = {
+          sched::JobAlgorithm::kAtdca, sched::JobAlgorithm::kPct,
+          sched::JobAlgorithm::kPpi, sched::JobAlgorithm::kUfcls,
+          sched::JobAlgorithm::kMorph};
+      const double gap = args.get_double("gap", 0.005);
+      for (std::size_t k = 0; k < jobs; ++k) {
+        sched::JobSpec spec;
+        spec.id = k + 1;
+        spec.algorithm = kCycle[k % 5];
+        spec.arrival_s = gap * static_cast<double>(k);
+        spec.ranks = std::min(pool, 2 + static_cast<int>(k % 3));
+        spec.targets = static_cast<std::size_t>(args.get_int("targets", 8));
+        spec.classes = static_cast<std::size_t>(args.get_int("classes", 5));
+        spec.iterations = static_cast<std::size_t>(args.get_int("iters", 2));
+        spec.kernel_radius =
+            static_cast<std::size_t>(args.get_int("radius", 1));
+        spec.replication =
+            static_cast<std::size_t>(args.get_int("replication", 8));
+        stream.push_back(spec);
+      }
     }
 
     vmpi::Options options;
